@@ -1,0 +1,155 @@
+// Command mab-prefetch runs a single prefetching simulation: one
+// application from the synthetic catalog, one prefetcher configuration,
+// and prints IPC plus hierarchy statistics. It is the interactive probe
+// for the prefetching use case (the batch experiments live in
+// mab-report).
+//
+// Usage:
+//
+//	mab-prefetch -app lbm17 -pf bandit [-insts 4000000] [-mtps 2400]
+//	             [-algo ducb|ucb|eps|single|periodic|static:N]
+//	             [-trace] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"microbandit/internal/core"
+	"microbandit/internal/cpu"
+	"microbandit/internal/mem"
+	"microbandit/internal/prefetch"
+	"microbandit/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "lbm17", "application from the synthetic catalog")
+	pfName := flag.String("pf", "bandit", "prefetcher: none, stride, bingo, mlop, pythia, bandit")
+	algo := flag.String("algo", "ducb", "bandit algorithm: ducb, ucb, eps, single, periodic, static:N")
+	insts := flag.Int64("insts", 4_000_000, "instructions to simulate")
+	mtps := flag.Float64("mtps", 2400, "DRAM channel rate (mega-transfers/s)")
+	altCache := flag.Bool("altcache", false, "use the Fig. 11 cache hierarchy (1MB L2 / 1.5MB LLC)")
+	stepL2 := flag.Int("step", 1000, "bandit step length in L2 demand accesses")
+	seed := flag.Uint64("seed", 1, "random seed")
+	showTrace := flag.Bool("trace", false, "print the arm exploration trace")
+	list := flag.Bool("list", false, "list catalog applications and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range trace.Catalog() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Suite)
+		}
+		return
+	}
+
+	app, err := trace.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	memCfg := mem.DefaultConfig()
+	if *altCache {
+		memCfg = mem.AltCacheConfig()
+	}
+	memCfg.MTPS = *mtps
+
+	hier := mem.NewHierarchy(memCfg)
+	c := cpu.New(cpu.DefaultConfig(), hier, app.New(*seed))
+
+	var (
+		l2   prefetch.Prefetcher
+		ctrl core.Controller
+		tun  prefetch.Tunable
+	)
+	switch strings.ToLower(*pfName) {
+	case "none":
+		l2 = prefetch.Null{}
+	case "stride":
+		l2 = prefetch.NewIPStride(64, 4)
+	case "bingo":
+		l2 = prefetch.NewBingo(64)
+	case "mlop":
+		l2 = prefetch.NewMLOP()
+	case "pythia":
+		l2 = prefetch.NewPythia(*seed)
+	case "bandit":
+		ens := prefetch.NewTable7Ensemble()
+		pol, err := banditPolicy(*algo, ens.NumArms())
+		if err != nil {
+			fatal(err)
+		}
+		if pol != nil {
+			ctrl = core.MustNew(core.Config{
+				Arms: ens.NumArms(), Policy: pol, Normalize: true,
+				Seed: *seed, RecordTrace: true,
+			})
+		} else {
+			// static:N
+			n, _ := strconv.Atoi(strings.TrimPrefix(*algo, "static:"))
+			ctrl = core.FixedArm(n)
+		}
+		l2, tun = ens, ens
+	default:
+		fatal(fmt.Errorf("unknown prefetcher %q", *pfName))
+	}
+
+	r := cpu.NewRunner(c, l2, ctrl, tun)
+	r.StepL2 = *stepL2
+	if *showTrace {
+		r.RecordArms()
+	}
+	r.Run(*insts)
+
+	st := hier.Stats()
+	cl := hier.Classify()
+	fmt.Printf("app=%s prefetcher=%s insts=%d cycles=%d\n", app.Name, *pfName, c.Insts(), c.Cycles())
+	fmt.Printf("IPC: %.4f\n", c.IPC())
+	fmt.Printf("L2 demand accesses: %d   LLC misses: %d   DRAM reads: %d\n",
+		st.L2Demand, st.LLCMisses, hier.DRAM().Reads())
+	fmt.Printf("prefetches issued: %d   timely: %d   late: %d   wrong: %d   dropped: %d\n",
+		st.PrefIssued, cl.Timely, cl.Late, cl.Wrong, st.PrefDropped)
+	if ctrl != nil {
+		fmt.Printf("bandit steps: %d\n", r.Steps())
+	}
+	if *showTrace {
+		fmt.Println("arm trace (cycle:arm):")
+		for _, s := range r.ArmTrace {
+			fmt.Printf("  %d:%d", s.Cycle, s.Arm)
+		}
+		fmt.Println()
+		if agent, ok := ctrl.(*core.Agent); ok {
+			fmt.Printf("final rTable: %v\n", agent.Rewards())
+		}
+	}
+}
+
+// banditPolicy parses the -algo flag; returns (nil, nil) for static:N.
+func banditPolicy(name string, arms int) (core.Policy, error) {
+	switch {
+	case name == "ducb":
+		return core.NewDUCB(core.PrefetchC, core.PrefetchGamma), nil
+	case name == "ucb":
+		return core.NewUCB(core.PrefetchC), nil
+	case name == "eps":
+		return core.NewEpsilonGreedy(0.05), nil
+	case name == "single":
+		return core.NewSingle(), nil
+	case name == "periodic":
+		return core.NewPeriodic(8, 4), nil
+	case strings.HasPrefix(name, "static:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "static:"))
+		if err != nil || n < 0 || n >= arms {
+			return nil, fmt.Errorf("bad static arm in %q (have %d arms)", name, arms)
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mab-prefetch:", err)
+	os.Exit(1)
+}

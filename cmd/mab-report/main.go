@@ -1,0 +1,92 @@
+// Command mab-report regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mab-report [-preset smoke|quick|full] [-exp id] [-list] [-seed n]
+//
+// With no -exp it runs every experiment in paper order; -list prints the
+// experiment registry (ids match DESIGN.md's per-experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"microbandit/internal/harness"
+)
+
+func main() {
+	preset := flag.String("preset", "quick", "run size: smoke, quick, or full")
+	expID := flag.String("exp", "", "run a single experiment by id (e.g. fig8, table9)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	csvDir := flag.String("csvdir", "", "also write per-experiment CSV files into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	var o harness.Options
+	switch *preset {
+	case "smoke":
+		o = harness.Smoke()
+	case "quick":
+		o = harness.Quick()
+	case "full":
+		o = harness.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "mab-report: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	o.Seed = *seed
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *expID != "" {
+		e, ok := harness.Find(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mab-report: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Desc)
+		fmt.Print(runOne(e, o, *csvDir))
+		fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
+		return
+	}
+	for _, e := range harness.Experiments() {
+		start := time.Now()
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Desc)
+		fmt.Print(runOne(e, o, *csvDir))
+		fmt.Printf("(%s: %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+// runOne executes an experiment once, writing its CSV alongside when a
+// CSV directory is configured and the experiment has a tabular form.
+func runOne(e harness.Experiment, o harness.Options, csvDir string) string {
+	if csvDir == "" {
+		return e.Run(o)
+	}
+	text, csv, ok := harness.RunWithCSV(e.ID, o)
+	if !ok {
+		return e.Run(o)
+	}
+	path := filepath.Join(csvDir, e.ID+".csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mab-report: writing %s: %v\n", path, err)
+	}
+	return text
+}

@@ -1,0 +1,117 @@
+// Command mab-smt runs a single SMT instruction-fetch simulation: one
+// 2-thread mix, one fetch PG controller (bandit, Choi, ICount, or any
+// static policy), and prints per-thread IPC plus the rename-stage
+// breakdown. The batch experiments live in mab-report.
+//
+// Usage:
+//
+//	mab-smt -mix gcc-lbm -ctrl bandit [-cycles 3000000]
+//	mab-smt -mix mcf-lbm -ctrl policy:LSQC_1111
+//	mab-smt -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"microbandit/internal/simsmt"
+	"microbandit/internal/smtwork"
+)
+
+func main() {
+	mixName := flag.String("mix", "gcc-lbm", "2-thread mix as appA-appB")
+	ctrlName := flag.String("ctrl", "bandit", "controller: bandit, choi, icount, or policy:<mnemonic>")
+	cycles := flag.Int64("cycles", 3_000_000, "cycles to simulate")
+	epoch := flag.Int64("epoch", 16*1024, "Hill Climbing epoch length in cycles")
+	rrEpochs := flag.Int("rrepochs", 8, "bandit step length during the initial RR phase, in epochs")
+	mainEpochs := flag.Int("mainepochs", 2, "bandit step length during the main loop, in epochs")
+	seed := flag.Uint64("seed", 1, "random seed")
+	showTrace := flag.Bool("trace", false, "print the arm exploration trace")
+	list := flag.Bool("list", false, "list thread profiles and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range smtwork.Profiles() {
+			fmt.Printf("%-12s load=%.2f store=%.2f branch=%.2f fp=%.2f\n",
+				p.Name, p.LoadFrac, p.StoreFrac, p.BranchFrac, p.FPFrac)
+		}
+		return
+	}
+
+	parts := strings.SplitN(*mixName, "-", 2)
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("mix must be appA-appB, got %q", *mixName))
+	}
+	a, err := smtwork.ByName(parts[0])
+	if err != nil {
+		fatal(err)
+	}
+	b, err := smtwork.ByName(parts[1])
+	if err != nil {
+		fatal(err)
+	}
+
+	sim := simsmt.NewSim(a, b, *seed)
+	var runner *simsmt.Runner
+	switch {
+	case *ctrlName == "bandit":
+		runner = simsmt.NewRunner(sim, simsmt.NewBanditAgent(*seed), simsmt.Table1Arms(), true)
+	case *ctrlName == "choi":
+		runner = simsmt.NewFixedRunner(sim, simsmt.ChoiPolicy, true)
+	case *ctrlName == "icount":
+		runner = simsmt.NewFixedRunner(sim, simsmt.ICountPolicy, false)
+	case strings.HasPrefix(*ctrlName, "policy:"):
+		p, err := simsmt.ParsePolicy(strings.TrimPrefix(*ctrlName, "policy:"))
+		if err != nil {
+			fatal(err)
+		}
+		runner = simsmt.NewFixedRunner(sim, p, true)
+	default:
+		fatal(fmt.Errorf("unknown controller %q", *ctrlName))
+	}
+	runner.EpochLen = *epoch
+	runner.RREpochs = *rrEpochs
+	runner.MainEpochs = *mainEpochs
+	if *showTrace {
+		runner.RecordArms()
+	}
+	runner.RunCycles(*cycles)
+
+	fmt.Printf("mix=%s ctrl=%s cycles=%d policy=%s\n",
+		*mixName, *ctrlName, sim.Cycle(), sim.Policy())
+	fmt.Printf("thread0 (%s): %d uops   thread1 (%s): %d uops\n",
+		a.Name, sim.Committed(0), b.Name, sim.Committed(1))
+	fmt.Printf("sum IPC: %.4f   hill-climb share: %.3f\n", sim.SumIPC(), sim.Share())
+	rs := sim.RenameStats()
+	total := float64(rs.Total())
+	fmt.Printf("rename: running %.1f%%  idle %.1f%%  stalled %.1f%% "+
+		"(ROB %.1f%%, IQ %.1f%%, LQ %.1f%%, SQ %.1f%%, RF %.1f%%)\n",
+		pct(rs.Running, total), pct(rs.Idle, total), pct(rs.Stalled(), total),
+		pct(rs.StallROB, total), pct(rs.StallIQ, total), pct(rs.StallLQ, total),
+		pct(rs.StallSQ, total), pct(rs.StallRF, total))
+	if *showTrace {
+		fmt.Println("arm trace (cycle:arm):")
+		for _, s := range runner.ArmTrace {
+			fmt.Printf("  %d:%d", s.Cycle, s.Arm)
+		}
+		fmt.Println()
+		arms := simsmt.Table1Arms()
+		for i, p := range arms {
+			fmt.Printf("  arm %d = %s\n", i, p)
+		}
+	}
+}
+
+func pct(n int64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / total * 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mab-smt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Quickstart: drive a Micro-Armed Bandit agent on a simple non-stationary
+// environment using only the public API.
+//
+// The environment has four "configurations" (arms) whose rewards mimic a
+// program with one coarse phase change: arm 1 is best in the first phase,
+// arm 3 in the second. The example shows the bandit-step protocol and why
+// the paper picks DUCB — it re-explores after the phase change, while
+// plain UCB would stay stuck.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"microbandit"
+)
+
+// phaseReward is the environment: the mean reward of each arm per phase,
+// with a little deterministic ripple standing in for measurement noise.
+func phaseReward(step, arm int) float64 {
+	means := [2][4]float64{
+		{0.30, 0.90, 0.50, 0.20}, // phase 0: arm 1 is best
+		{0.30, 0.20, 0.50, 0.90}, // phase 1: arm 3 is best
+	}
+	phase := 0
+	if step >= 600 {
+		phase = 1
+	}
+	ripple := 0.02 * float64((step*7)%5-2)
+	return means[phase][arm] + ripple
+}
+
+func run(name string, policy microbandit.Policy) {
+	agent := microbandit.MustNew(microbandit.Config{
+		Arms:        4,
+		Policy:      policy,
+		Normalize:   true, // the §4.3 reward normalization
+		Seed:        42,
+		RecordTrace: true,
+	})
+	total := 0.0
+	const steps = 1200
+	for step := 0; step < steps; step++ {
+		arm := agent.Step() // which configuration to apply this step
+		r := phaseReward(step, arm)
+		agent.Reward(r) // observe the step reward (the paper uses IPC)
+		total += r
+	}
+	// How often did the agent use the best arm in each phase?
+	trace := agent.Trace()
+	phase0Best, phase1Best := 0, 0
+	for step, arm := range trace {
+		if step < 600 && arm == 1 {
+			phase0Best++
+		}
+		if step >= 600 && arm == 3 {
+			phase1Best++
+		}
+	}
+	fmt.Printf("%-12s avg reward %.3f | best-arm usage: phase0 %3.0f%%  phase1 %3.0f%%\n",
+		name, total/steps,
+		100*float64(phase0Best)/600, 100*float64(phase1Best)/600)
+}
+
+func main() {
+	fmt.Println("Micro-Armed Bandit quickstart: 4 arms, phase change at step 600")
+	run("DUCB", microbandit.NewDUCB(0.05, 0.99))
+	run("UCB", microbandit.NewUCB(0.05))
+	run("eps-Greedy", microbandit.NewEpsilonGreedy(0.05))
+	run("Single", microbandit.NewSingle())
+	fmt.Println("\nDUCB adapts to the phase change (high usage in both phases);")
+	fmt.Println("UCB locks onto the phase-0 winner; Single never re-explores.")
+}

@@ -1,0 +1,3 @@
+module microbandit
+
+go 1.22

@@ -1,0 +1,39 @@
+package core
+
+// Controller is the minimal protocol a simulated microarchitecture unit
+// needs from its decision-maker: select an arm for the next bandit step,
+// then report the step's reward. *Agent implements it; FixedArm provides
+// the degenerate controller used for best-static-arm oracle runs, which —
+// per §6.4 — keep one arm stable for the full experiment with no initial
+// round-robin phase.
+type Controller interface {
+	// Step returns the arm to apply for the next bandit step.
+	Step() int
+	// Reward reports the reward observed at the end of the step.
+	Reward(rStep float64)
+	// InInitialRR reports whether the controller is still in its initial
+	// round-robin exploration phase (the SMT use case lengthens bandit
+	// steps during that phase).
+	InInitialRR() bool
+}
+
+// FixedArm is a Controller that always selects one arm and ignores
+// rewards. Used for best-static oracle sweeps and for wiring a
+// conventional (non-learning) configuration through the same harness code
+// paths as the Bandit.
+type FixedArm int
+
+// Step implements Controller.
+func (f FixedArm) Step() int { return int(f) }
+
+// Reward implements Controller.
+func (FixedArm) Reward(float64) {}
+
+// InInitialRR implements Controller; a fixed arm has no exploration phase.
+func (FixedArm) InInitialRR() bool { return false }
+
+// Compile-time interface checks.
+var (
+	_ Controller = (*Agent)(nil)
+	_ Controller = FixedArm(0)
+)

@@ -1,0 +1,49 @@
+package core
+
+// This file implements the multi-agent exploration coordination the paper
+// leaves as future work (§7.2.3 / §8, citing SOSA): when several Bandits
+// run concurrently — one per core — simultaneous round-robin restarts make
+// every agent's reward noisy at once, so cores can mis-attribute
+// interference to the arms they are testing. A Coordinator serializes the
+// §4.3 restarts: an agent may only begin a restart sweep when no other
+// registered agent is mid-sweep.
+
+// Coordinator arbitrates exploration across a set of agents. It is not
+// safe for concurrent use; the multi-core simulation is single-threaded,
+// like the hardware bus that would carry this signal.
+type Coordinator struct {
+	agents []*Agent
+}
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator() *Coordinator { return &Coordinator{} }
+
+// Add registers an agent and installs the coordination hook into it. It
+// must be called before the agent takes steps.
+func (c *Coordinator) Add(a *Agent) {
+	c.agents = append(c.agents, a)
+	a.restartPermission = c.permissionFor(a)
+}
+
+// permissionFor builds the restart gate for one agent: allowed only when
+// no sibling is currently sweeping.
+func (c *Coordinator) permissionFor(self *Agent) func() bool {
+	return func() bool {
+		for _, a := range c.agents {
+			if a != self && a.RestartActive() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Busy reports whether any registered agent is mid-sweep.
+func (c *Coordinator) Busy() bool {
+	for _, a := range c.agents {
+		if a.RestartActive() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package core
+
+import "fmt"
+
+// MetaAgent is the hierarchical extension sketched in the paper's future
+// work (§9): during tuning the authors observed that different DUCB
+// hyperparameters (γ, c) suit different applications, so several low-level
+// Bandits with different hyperparameters run concurrently and a high-level
+// Bandit selects which one drives the hardware.
+//
+// The implementation keeps the storage story honest: every low-level agent
+// observes every step reward (their tables are cheap — 8 bytes per arm),
+// but only the agent chosen by the high-level bandit controls the arm for
+// a step. The high-level bandit treats "which low-level agent" as its own
+// arm space and is rewarded with the same step reward, re-normalized by
+// its own round-robin average.
+//
+// MetaAgent implements Controller, so it drops into every runner where a
+// plain Agent fits.
+type MetaAgent struct {
+	high *Agent
+	low  []*Agent
+
+	current int  // low-level agent selected for the open step
+	inStep  bool // Step called, Reward pending
+}
+
+// NewMetaAgent builds a hierarchical agent. highCfg configures the
+// high-level selector (its Arms field is overwritten with len(lows));
+// lows are the concurrently learning low-level agents, which must all
+// have the same arm count.
+func NewMetaAgent(highCfg Config, lows []*Agent) (*MetaAgent, error) {
+	if len(lows) < 2 {
+		return nil, fmt.Errorf("core: meta agent needs at least 2 low-level agents, got %d", len(lows))
+	}
+	arms := lows[0].Arms()
+	for i, l := range lows {
+		if l.Arms() != arms {
+			return nil, fmt.Errorf("core: low-level agent %d has %d arms, want %d", i, l.Arms(), arms)
+		}
+	}
+	highCfg.Arms = len(lows)
+	high, err := New(highCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: meta agent high level: %w", err)
+	}
+	return &MetaAgent{high: high, low: lows}, nil
+}
+
+// MustNewMetaAgent is NewMetaAgent that panics on error.
+func MustNewMetaAgent(highCfg Config, lows []*Agent) *MetaAgent {
+	m, err := NewMetaAgent(highCfg, lows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Arms returns the low-level arm count (the hardware-visible action
+// space).
+func (m *MetaAgent) Arms() int { return m.low[0].Arms() }
+
+// Levels returns the number of low-level agents.
+func (m *MetaAgent) Levels() int { return len(m.low) }
+
+// CurrentLevel returns the low-level agent index steering the open (or
+// most recent) step.
+func (m *MetaAgent) CurrentLevel() int { return m.current }
+
+// Step implements Controller: the high-level bandit picks a low-level
+// agent; that agent picks the hardware arm. Every other low-level agent
+// also opens a step so it can learn from the shared reward.
+func (m *MetaAgent) Step() int {
+	if m.inStep {
+		panic("core: MetaAgent Step called twice without Reward")
+	}
+	m.inStep = true
+	m.current = m.high.Step()
+	arm := 0
+	for i, l := range m.low {
+		a := l.Step()
+		if i == m.current {
+			arm = a
+		}
+	}
+	return arm
+}
+
+// Reward implements Controller: the shared step reward trains the
+// high-level bandit and every low-level bandit.
+//
+// Off-policy caveat: a non-selected low-level agent is credited as if its
+// own arm choice had produced the reward. With high temporal homogeneity
+// the agents mostly agree on the arm, so the approximation is tight — and
+// it is what a storage-free shadow implementation can do in hardware.
+func (m *MetaAgent) Reward(rStep float64) {
+	if !m.inStep {
+		panic("core: MetaAgent Reward called without a pending Step")
+	}
+	m.inStep = false
+	m.high.Reward(rStep)
+	for _, l := range m.low {
+		l.Reward(rStep)
+	}
+}
+
+// InInitialRR implements Controller: true while any level still explores
+// round-robin, so runners keep using the longer initial bandit step.
+func (m *MetaAgent) InInitialRR() bool {
+	if m.high.InInitialRR() {
+		return true
+	}
+	for _, l := range m.low {
+		if l.InInitialRR() {
+			return true
+		}
+	}
+	return false
+}
+
+// BestLevel returns the low-level agent index the high-level bandit
+// currently rates best.
+func (m *MetaAgent) BestLevel() int { return m.high.BestArm() }
+
+// Reset restores all levels to their initial state.
+func (m *MetaAgent) Reset() {
+	m.high.Reset()
+	for _, l := range m.low {
+		l.Reset()
+	}
+	m.current = 0
+	m.inStep = false
+}
+
+// NewDUCBSweepMeta builds the §9 configuration directly: one low-level
+// DUCB agent per (c, γ) pair over the given arm count, under a DUCB
+// high-level selector with the same exploration constant as the first
+// pair.
+func NewDUCBSweepMeta(arms int, pairs [][2]float64, normalize bool, seed uint64) (*MetaAgent, error) {
+	if len(pairs) < 2 {
+		return nil, fmt.Errorf("core: hyperparameter sweep needs at least 2 (c, gamma) pairs")
+	}
+	lows := make([]*Agent, 0, len(pairs))
+	for i, p := range pairs {
+		a, err := New(Config{
+			Arms:      arms,
+			Policy:    NewDUCB(p[0], p[1]),
+			Normalize: normalize,
+			Seed:      seed + uint64(i)*0x9e37,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lows = append(lows, a)
+	}
+	return NewMetaAgent(Config{
+		Policy:    NewDUCB(pairs[0][0], 0.999),
+		Normalize: normalize,
+		Seed:      seed ^ 0x4d657461,
+	}, lows)
+}
+
+var _ Controller = (*MetaAgent)(nil)

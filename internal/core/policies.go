@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+
+	"microbandit/internal/xrand"
+)
+
+// EpsilonGreedy is the simplest MAB algorithm (Table 3a): with probability
+// 1-ε it exploits the arm with the highest average reward, with
+// probability ε it explores a uniformly random arm. Exploration is
+// randomized and non-decaying — the two shortcomings UCB addresses.
+type EpsilonGreedy struct {
+	// Epsilon is the exploration probability in [0,1].
+	Epsilon float64
+}
+
+// NewEpsilonGreedy returns an ε-Greedy policy.
+func NewEpsilonGreedy(epsilon float64) *EpsilonGreedy {
+	return &EpsilonGreedy{Epsilon: epsilon}
+}
+
+// Name implements Policy.
+func (p *EpsilonGreedy) Name() string { return "eps-Greedy" }
+
+// NextArm implements Policy: argmax r_i with probability 1-ε, else random.
+func (p *EpsilonGreedy) NextArm(t *Tables, rng *xrand.Rand) int {
+	if rng.Bool(p.Epsilon) {
+		return rng.Intn(t.Arms())
+	}
+	return t.BestArm()
+}
+
+// UpdateSelections implements Policy: n_arm++ and n_total++.
+func (p *EpsilonGreedy) UpdateSelections(t *Tables, arm int) {
+	t.N[arm]++
+	t.NTotal++
+}
+
+// UpdateReward implements Policy: fold r_step into the running average,
+// r_arm += (r_step - r_arm) / n_arm.
+func (p *EpsilonGreedy) UpdateReward(t *Tables, arm int, rStep float64) {
+	n := math.Max(t.N[arm], 1)
+	t.R[arm] += (rStep - t.R[arm]) / n
+}
+
+// Reset implements Policy (ε-Greedy is stateless).
+func (p *EpsilonGreedy) Reset() {}
+
+// UCB is the Upper Confidence Bound algorithm (Table 3b). The next arm is
+// the one with the highest potential r_i + c*sqrt(ln(n_total)/n_i): arms
+// that have been tried rarely receive a large exploration bonus, and the
+// bonus decays as evidence accumulates, fixing ε-Greedy's randomized,
+// non-decaying exploration.
+type UCB struct {
+	// C is the exploration constant.
+	C float64
+}
+
+// NewUCB returns a UCB policy with exploration constant c.
+func NewUCB(c float64) *UCB { return &UCB{C: c} }
+
+// Name implements Policy.
+func (p *UCB) Name() string { return "UCB" }
+
+// Potentials returns r_i + c*sqrt(ln(n_total)/n_i) for every arm.
+func (p *UCB) Potentials(t *Tables) []float64 {
+	return ucbPotentials(t, p.C)
+}
+
+func ucbPotentials(t *Tables, c float64) []float64 {
+	out := make([]float64, t.Arms())
+	lnTotal := math.Log(math.Max(t.NTotal, 1))
+	for i := range out {
+		n := math.Max(t.N[i], minCount)
+		out[i] = t.R[i] + c*math.Sqrt(lnTotal/n)
+	}
+	return out
+}
+
+func argmaxPotential(t *Tables, c float64) int {
+	best, bestP := 0, math.Inf(-1)
+	lnTotal := math.Log(math.Max(t.NTotal, 1))
+	for i := range t.R {
+		n := math.Max(t.N[i], minCount)
+		p := t.R[i] + c*math.Sqrt(lnTotal/n)
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// NextArm implements Policy: the arm with the highest potential.
+func (p *UCB) NextArm(t *Tables, _ *xrand.Rand) int {
+	return argmaxPotential(t, p.C)
+}
+
+// UpdateSelections implements Policy (same as ε-Greedy).
+func (p *UCB) UpdateSelections(t *Tables, arm int) {
+	t.N[arm]++
+	t.NTotal++
+}
+
+// UpdateReward implements Policy (same as ε-Greedy).
+func (p *UCB) UpdateReward(t *Tables, arm int, rStep float64) {
+	n := math.Max(t.N[arm], 1)
+	t.R[arm] += (rStep - t.R[arm]) / n
+}
+
+// Reset implements Policy (UCB is stateless).
+func (p *UCB) Reset() {}
+
+// DUCB is the Discounted Upper Confidence Bound algorithm (Table 3c),
+// the paper's choice for the Bandit agent. It shares nextArm and updRew
+// with UCB but discounts all selection counts by γ < 1 in updSels, so the
+// agent forgets stale evidence: rarely selected arms regain exploration
+// bonus over time and the agent adapts to non-stationary workloads
+// (program phase changes).
+type DUCB struct {
+	// C is the exploration constant.
+	C float64
+	// Gamma is the forgetting factor in (0,1).
+	Gamma float64
+}
+
+// NewDUCB returns a DUCB policy with exploration constant c and forgetting
+// factor gamma.
+func NewDUCB(c, gamma float64) *DUCB { return &DUCB{C: c, Gamma: gamma} }
+
+// Name implements Policy.
+func (p *DUCB) Name() string { return "DUCB" }
+
+// Potentials returns the per-arm UCB potentials under discounted counts.
+func (p *DUCB) Potentials(t *Tables) []float64 {
+	return ucbPotentials(t, p.C)
+}
+
+// NextArm implements Policy: same selection rule as UCB.
+func (p *DUCB) NextArm(t *Tables, _ *xrand.Rand) int {
+	return argmaxPotential(t, p.C)
+}
+
+// UpdateSelections implements Policy: discount every n_i by γ, then
+// increment the selected arm. NTotal is maintained as the sum of the
+// discounted counts.
+func (p *DUCB) UpdateSelections(t *Tables, arm int) {
+	total := 0.0
+	for i := range t.N {
+		t.N[i] *= p.Gamma
+		total += t.N[i]
+	}
+	t.N[arm]++
+	t.NTotal = total + 1
+}
+
+// UpdateReward implements Policy: same running-average fold as UCB, but
+// over the discounted count, which asymptotically behaves as an
+// exponentially weighted average with window ~1/(1-γ).
+func (p *DUCB) UpdateReward(t *Tables, arm int, rStep float64) {
+	n := math.Max(t.N[arm], 1)
+	t.R[arm] += (rStep - t.R[arm]) / n
+}
+
+// Reset implements Policy (DUCB is stateless).
+func (p *DUCB) Reset() {}
+
+// Static always selects one fixed arm. It is the building block of the
+// best-static-arm oracle (§6.4): the harness runs one full experiment per
+// arm with a Static policy and keeps the best result.
+type Static struct {
+	// Arm is the fixed arm to select.
+	Arm int
+}
+
+// NewStatic returns a policy that always selects arm.
+func NewStatic(arm int) *Static { return &Static{Arm: arm} }
+
+// Name implements Policy.
+func (p *Static) Name() string { return "Static" }
+
+// NextArm implements Policy.
+func (p *Static) NextArm(_ *Tables, _ *xrand.Rand) int { return p.Arm }
+
+// UpdateSelections implements Policy.
+func (p *Static) UpdateSelections(t *Tables, arm int) {
+	t.N[arm]++
+	t.NTotal++
+}
+
+// UpdateReward implements Policy: running average, kept for reporting.
+func (p *Static) UpdateReward(t *Tables, arm int, rStep float64) {
+	n := math.Max(t.N[arm], 1)
+	t.R[arm] += (rStep - t.R[arm]) / n
+}
+
+// Reset implements Policy (Static is stateless).
+func (p *Static) Reset() {}
+
+// Compile-time interface checks.
+var (
+	_ Policy      = (*EpsilonGreedy)(nil)
+	_ Policy      = (*UCB)(nil)
+	_ Policy      = (*DUCB)(nil)
+	_ Policy      = (*Static)(nil)
+	_ Potentialer = (*UCB)(nil)
+	_ Potentialer = (*DUCB)(nil)
+)

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+
+	"microbandit/internal/xrand"
+)
+
+// Thompson is Thompson sampling (Thompson 1933, the paper's reference
+// [73]) — the third classic bandit family alongside ε-Greedy and the
+// confidence-bound algorithms. The paper evaluates only the latter two;
+// Thompson is provided as a library extension so downstream users can
+// compare the Bayesian approach on their own decision problems.
+//
+// Each arm keeps a Gaussian posterior over its mean reward, updated from
+// the same running statistics the hardware tables already hold: the arm's
+// reward average (rTable) and its selection count (nTable). NextArm draws
+// one sample per arm from N(r_i, σ²/n_i) and plays the argmax, so
+// exploration falls out of posterior uncertainty instead of an explicit
+// bonus term. Like DUCB, it composes with the Agent's discounted-count
+// variant by pairing it with a discounting updSels.
+type Thompson struct {
+	// Sigma is the assumed reward noise scale (the posterior std dev of
+	// an arm observed once). Plays the role DUCB's c does.
+	Sigma float64
+	// Gamma, when in (0,1), discounts selection counts like DUCB so the
+	// posterior re-widens for stale arms (non-stationary environments).
+	// Gamma >= 1 or <= 0 disables discounting.
+	Gamma float64
+}
+
+// NewThompson returns a stationary Thompson-sampling policy.
+func NewThompson(sigma float64) *Thompson { return &Thompson{Sigma: sigma} }
+
+// NewDiscountedThompson returns a Thompson policy with DUCB-style count
+// discounting for non-stationary environments.
+func NewDiscountedThompson(sigma, gamma float64) *Thompson {
+	return &Thompson{Sigma: sigma, Gamma: gamma}
+}
+
+// Name implements Policy.
+func (p *Thompson) Name() string {
+	if p.discounting() {
+		return "D-Thompson"
+	}
+	return "Thompson"
+}
+
+func (p *Thompson) discounting() bool { return p.Gamma > 0 && p.Gamma < 1 }
+
+// NextArm implements Policy: sample each arm's posterior, play the argmax.
+func (p *Thompson) NextArm(t *Tables, rng *xrand.Rand) int {
+	best, bestV := 0, math.Inf(-1)
+	for i := range t.R {
+		n := math.Max(t.N[i], minCount)
+		v := t.R[i] + p.Sigma/math.Sqrt(n)*rng.NormFloat64()
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// UpdateSelections implements Policy (DUCB-style discount when enabled).
+func (p *Thompson) UpdateSelections(t *Tables, arm int) {
+	if p.discounting() {
+		total := 0.0
+		for i := range t.N {
+			t.N[i] *= p.Gamma
+			total += t.N[i]
+		}
+		t.N[arm]++
+		t.NTotal = total + 1
+		return
+	}
+	t.N[arm]++
+	t.NTotal++
+}
+
+// UpdateReward implements Policy: the shared running-average fold.
+func (p *Thompson) UpdateReward(t *Tables, arm int, rStep float64) {
+	n := math.Max(t.N[arm], 1)
+	t.R[arm] += (rStep - t.R[arm]) / n
+}
+
+// Reset implements Policy (Thompson is stateless beyond the Tables).
+func (p *Thompson) Reset() {}
+
+var _ Policy = (*Thompson)(nil)

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"microbandit/internal/xrand"
+)
+
+func TestThompsonNames(t *testing.T) {
+	if NewThompson(0.1).Name() != "Thompson" {
+		t.Error("stationary name wrong")
+	}
+	if NewDiscountedThompson(0.1, 0.99).Name() != "D-Thompson" {
+		t.Error("discounted name wrong")
+	}
+	if NewDiscountedThompson(0.1, 1.5).Name() != "Thompson" {
+		t.Error("gamma >= 1 must disable discounting")
+	}
+}
+
+func TestThompsonConverges(t *testing.T) {
+	a := MustNew(Config{
+		Arms: 5, Policy: NewThompson(0.1), Normalize: true, Seed: 3, RecordTrace: true,
+	})
+	env := xrand.New(55)
+	means := []float64{0.2, 0.9, 0.4, 0.1, 0.5}
+	const steps = 2000
+	for s := 0; s < steps; s++ {
+		arm := a.Step()
+		a.Reward(means[arm] + 0.02*env.NormFloat64())
+	}
+	best := 0
+	for _, arm := range a.Trace()[steps/2:] {
+		if arm == 1 {
+			best++
+		}
+	}
+	if frac := float64(best) / float64(steps/2); frac < 0.85 {
+		t.Errorf("best-arm fraction = %.2f, want >= 0.85", frac)
+	}
+}
+
+func TestDiscountedThompsonAdaptsToPhaseChange(t *testing.T) {
+	run := func(p Policy) float64 {
+		a := MustNew(Config{Arms: 3, Policy: p, Normalize: true, Seed: 11, RecordTrace: true})
+		env := xrand.New(77)
+		const half = 3000
+		for s := 0; s < 2*half; s++ {
+			arm := a.Step()
+			means := []float64{0.8, 0.3, 0.2}
+			if s >= half {
+				means = []float64{0.2, 0.3, 0.8}
+			}
+			a.Reward(means[arm] + 0.02*env.NormFloat64())
+		}
+		trace := a.Trace()
+		tail := trace[len(trace)*3/4:]
+		hit := 0
+		for _, arm := range tail {
+			if arm == 2 {
+				hit++
+			}
+		}
+		return float64(hit) / float64(len(tail))
+	}
+	discounted := run(NewDiscountedThompson(0.05, 0.995))
+	stationary := run(NewThompson(0.05))
+	if discounted < 0.8 {
+		t.Errorf("discounted Thompson post-change fraction = %.2f", discounted)
+	}
+	if discounted <= stationary {
+		t.Errorf("discounting (%.2f) should beat stationary (%.2f) after a phase change",
+			discounted, stationary)
+	}
+}
+
+func TestThompsonDiscountInvariant(t *testing.T) {
+	p := NewDiscountedThompson(0.1, 0.9)
+	tb := newTables(3)
+	for i := 0; i < 200; i++ {
+		p.UpdateSelections(tb, i%3)
+		p.UpdateReward(tb, i%3, 1)
+		sum := 0.0
+		for _, n := range tb.N {
+			sum += n
+		}
+		if d := sum - tb.NTotal; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("NTotal out of sync: %v vs %v", tb.NTotal, sum)
+		}
+	}
+}
+
+func TestThompsonExploresUncertainArms(t *testing.T) {
+	// An arm with few observations must be sampled sometimes even when
+	// its mean is a bit lower.
+	p := NewThompson(0.5)
+	tb := seededTables([]float64{0.6, 0.55, 0.5})
+	tb.N = []float64{500, 500, 1} // arm 2 barely observed
+	tb.NTotal = 1001
+	rng := xrand.New(7)
+	picked := 0
+	for i := 0; i < 2000; i++ {
+		if p.NextArm(tb, rng) == 2 {
+			picked++
+		}
+	}
+	if picked < 100 {
+		t.Errorf("uncertain arm sampled only %d/2000 times", picked)
+	}
+}

@@ -1,0 +1,206 @@
+// Package cpu implements the trace-driven out-of-order core model used for
+// the prefetching experiments — the project's ChampSim substitute.
+//
+// The model is a window (interval) model: instructions dispatch in order at
+// up to FetchWidth per cycle into a ROB-sized window, execute with
+// kind-specific latencies (memory operations through the internal/mem
+// hierarchy, which models MSHRs and DRAM bandwidth), and retire in order at
+// up to CommitWidth per cycle. Memory-level parallelism emerges naturally:
+// independent loads issue as they dispatch and overlap until the ROB
+// fills — exactly the mechanism that makes prefetching matter. Branch
+// mispredictions redirect the front end after the branch resolves.
+//
+// The model deliberately omits register renaming and scheduler details: the
+// Bandit only observes IPC responses to prefetch quality and bandwidth
+// pressure, and those causal paths are fully present.
+package cpu
+
+import (
+	"microbandit/internal/mem"
+	"microbandit/internal/trace"
+)
+
+// Config holds the core parameters (Table 4 defaults).
+type Config struct {
+	// FetchWidth is the dispatch width per cycle.
+	FetchWidth int
+	// CommitWidth is the in-order retire width per cycle.
+	CommitWidth int
+	// ROBSize is the reorder-buffer (window) size.
+	ROBSize int
+	// MispredictPenalty is the front-end refill delay after a
+	// mispredicted branch resolves.
+	MispredictPenalty int64
+	// ALULatency and FPLatency are execution latencies.
+	ALULatency, FPLatency int64
+}
+
+// DefaultConfig mirrors the paper's Table 4 (Skylake-like): fetch 6,
+// commit 4, 256-entry ROB.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        6,
+		CommitWidth:       4,
+		ROBSize:           256,
+		MispredictPenalty: 12,
+		ALULatency:        1,
+		FPLatency:         4,
+	}
+}
+
+// L2AccessFunc observes L2 demand accesses (the prefetcher training and
+// bandit-step event stream).
+type L2AccessFunc func(pc, addr uint64, hit bool, cycle int64)
+
+// Core is one simulated core consuming one instruction trace.
+type Core struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	gen  trace.Generator
+
+	cycle int64 // current dispatch cycle
+	slot  int   // dispatch slots consumed this cycle
+	insts int64
+
+	rob      []int64 // retire cycles, ring buffer
+	robHead  int
+	robCount int
+
+	lastRetire  int64 // retire cycle of the newest instruction
+	retireCount int   // commits already assigned to lastRetire
+
+	lastLoadDone int64 // completion of the most recent load (chase deps)
+
+	// OnL2Access, when set, is invoked for every L2 demand access.
+	OnL2Access L2AccessFunc
+}
+
+// New builds a core over the given hierarchy and trace generator.
+func New(cfg Config, hier *mem.Hierarchy, gen trace.Generator) *Core {
+	if cfg.FetchWidth < 1 || cfg.CommitWidth < 1 || cfg.ROBSize < 1 {
+		panic("cpu: widths and ROB size must be positive")
+	}
+	return &Core{cfg: cfg, hier: hier, gen: gen, rob: make([]int64, cfg.ROBSize)}
+}
+
+// Hier returns the core's memory hierarchy.
+func (c *Core) Hier() *mem.Hierarchy { return c.hier }
+
+// Insts returns the number of simulated instructions.
+func (c *Core) Insts() int64 { return c.insts }
+
+// Cycles returns the elapsed cycles including the retirement of the
+// youngest instruction.
+func (c *Core) Cycles() int64 {
+	if c.lastRetire > c.cycle {
+		return c.lastRetire
+	}
+	return c.cycle
+}
+
+// IPC returns the cumulative instructions per cycle.
+func (c *Core) IPC() float64 {
+	cy := c.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.insts) / float64(cy)
+}
+
+// RunInsts simulates n further instructions.
+func (c *Core) RunInsts(n int64) {
+	for i := int64(0); i < n; i++ {
+		c.stepInst()
+	}
+}
+
+// stepInst dispatches, executes, and schedules retirement for one
+// instruction.
+func (c *Core) stepInst() {
+	var inst trace.Inst
+	c.gen.Next(&inst)
+
+	// Dispatch bandwidth.
+	if c.slot >= c.cfg.FetchWidth {
+		c.cycle++
+		c.slot = 0
+	}
+	// Window: a full ROB stalls dispatch until the head retires.
+	if c.robCount == len(c.rob) {
+		if head := c.rob[c.robHead]; head > c.cycle {
+			c.cycle = head
+			c.slot = 0
+		}
+		c.robHead++
+		if c.robHead == len(c.rob) {
+			c.robHead = 0
+		}
+		c.robCount--
+	}
+
+	dispatch := c.cycle
+	var complete int64
+	redirect := false
+
+	switch inst.Kind {
+	case trace.KindALU:
+		complete = dispatch + c.cfg.ALULatency
+	case trace.KindFP:
+		complete = dispatch + c.cfg.FPLatency
+	case trace.KindBranch:
+		complete = dispatch + c.cfg.ALULatency
+		redirect = inst.Mispredict
+	case trace.KindLoad:
+		issue := dispatch
+		if inst.DependsOnPrev && c.lastLoadDone > issue {
+			issue = c.lastLoadDone // pointer chase serializes
+		}
+		res := c.hier.Access(inst.Addr, false, issue)
+		complete = res.Done
+		c.lastLoadDone = complete
+		if res.L2Access && c.OnL2Access != nil {
+			c.OnL2Access(inst.PC, inst.Addr, res.L2Hit, issue)
+		}
+	case trace.KindStore:
+		res := c.hier.Access(inst.Addr, true, dispatch)
+		// Stores retire through the store buffer: the write completes in
+		// the background and does not hold up commit.
+		complete = dispatch + c.cfg.ALULatency
+		if res.L2Access && c.OnL2Access != nil {
+			c.OnL2Access(inst.PC, inst.Addr, res.L2Hit, dispatch)
+		}
+	default:
+		complete = dispatch + c.cfg.ALULatency
+	}
+
+	// In-order retirement at CommitWidth per cycle.
+	retire := complete
+	if retire < c.lastRetire {
+		retire = c.lastRetire
+	}
+	if retire == c.lastRetire {
+		if c.retireCount >= c.cfg.CommitWidth {
+			retire++
+			c.retireCount = 1
+		} else {
+			c.retireCount++
+		}
+	} else {
+		c.retireCount = 1
+	}
+	c.lastRetire = retire
+
+	c.rob[(c.robHead+c.robCount)%len(c.rob)] = retire
+	c.robCount++
+	c.slot++
+	c.insts++
+
+	if redirect {
+		// Fetch resumes after the branch resolves plus the refill delay.
+		next := complete + c.cfg.MispredictPenalty
+		if next > c.cycle {
+			c.cycle = next
+			c.slot = 0
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package cpu
+
+// RunMultiCore co-simulates several runners that share an LLC and a DRAM
+// channel until every core has executed instsPerCore instructions (§6.2's
+// four-core methodology). Cores advance in timestamp order — always the
+// core with the smallest local cycle steps next — so contention on the
+// shared resources is observed in (approximately) global time order.
+func RunMultiCore(runners []*Runner, instsPerCore int64) {
+	if len(runners) == 0 {
+		return
+	}
+	// Prime the bandit controllers before interleaving.
+	for _, r := range runners {
+		r.Run(0)
+	}
+	for {
+		var next *Runner
+		for _, r := range runners {
+			if r.Core.Insts() >= instsPerCore {
+				continue
+			}
+			if next == nil || r.Core.cycle < next.Core.cycle {
+				next = r
+			}
+		}
+		if next == nil {
+			return
+		}
+		// Step a small batch to amortize the selection scan.
+		budget := instsPerCore - next.Core.Insts()
+		if budget > 64 {
+			budget = 64
+		}
+		next.Core.RunInsts(budget)
+	}
+}
+
+// SumIPC returns the sum of the runners' IPCs — the multi-core performance
+// metric the paper reports (§6.4).
+func SumIPC(runners []*Runner) float64 {
+	total := 0.0
+	for _, r := range runners {
+		total += r.Core.IPC()
+	}
+	return total
+}

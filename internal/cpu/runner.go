@@ -1,0 +1,175 @@
+package cpu
+
+import (
+	"microbandit/internal/core"
+	"microbandit/internal/hw"
+	"microbandit/internal/mem"
+	"microbandit/internal/prefetch"
+)
+
+// StepL2Accesses is the paper's bandit step length for prefetching: 1,000
+// L2 demand accesses (Table 6).
+const StepL2Accesses = 1000
+
+// Runner wires a Core, its memory hierarchy, the L2 (and optionally L1)
+// prefetchers, and — when the L2 prefetcher is bandit-controlled — the
+// controller that selects arms every bandit step.
+//
+// The runner reproduces the paper's control loop (§5.2, §6.1): the bandit
+// step is a fixed number of L2 demand accesses; the step reward is the
+// core's IPC over the step; after each step the controller picks the next
+// arm, which takes effect only after the conservative 500-cycle selection
+// latency, during which the prefetcher keeps operating with the old arm.
+type Runner struct {
+	Core *Core
+	Hier *mem.Hierarchy
+
+	// L2Pf is the L2 prefetcher (fills L2/LLC). May be prefetch.Null{}.
+	L2Pf prefetch.Prefetcher
+	// L1Pf, when non-nil, is an additional L1 prefetcher (fills L1/L2) —
+	// the multi-level configurations of Fig. 12.
+	L1Pf prefetch.Prefetcher
+
+	// Ctrl selects arms on Tunable when both are non-nil.
+	Ctrl core.Controller
+	// Tunable is the arm-controlled prefetcher (normally L2Pf itself).
+	Tunable prefetch.Tunable
+
+	// StepL2 is the bandit step length in L2 demand accesses.
+	StepL2 int
+	// SelectLatency is the arm-selection latency in cycles.
+	SelectLatency int64
+
+	stepAccesses   int
+	stepStartInsts int64
+	stepStartCycle int64
+
+	pendingArm      int
+	pendingActivate int64
+	havePending     bool
+
+	// bandwidth-utilization sampling for BandwidthAware prefetchers.
+	bwLastBusy  float64
+	bwLastCycle int64
+
+	// ArmTrace, when enabled via RecordArms, logs (cycle, arm) pairs;
+	// consecutive selections of the same arm collapse into one sample.
+	ArmTrace    []ArmSample
+	recordArms  bool
+	rewardCount int64
+}
+
+// ArmSample is one entry of the exploration trace (Fig. 7).
+type ArmSample struct {
+	Cycle int64
+	Arm   int
+}
+
+// NewRunner builds a runner. ctrl and tun may both be nil for
+// conventional (non-learning) prefetchers.
+func NewRunner(c *Core, l2pf prefetch.Prefetcher, ctrl core.Controller, tun prefetch.Tunable) *Runner {
+	r := &Runner{
+		Core:          c,
+		Hier:          c.Hier(),
+		L2Pf:          l2pf,
+		Ctrl:          ctrl,
+		Tunable:       tun,
+		StepL2:        StepL2Accesses,
+		SelectLatency: hw.SelectLatencyConservative,
+		pendingArm:    -1,
+	}
+	c.OnL2Access = r.onL2Access
+	return r
+}
+
+// RecordArms enables the exploration trace.
+func (r *Runner) RecordArms() { r.recordArms = true }
+
+// Steps returns the number of completed bandit steps.
+func (r *Runner) Steps() int64 { return r.rewardCount }
+
+// Run simulates n instructions, driving the bandit protocol.
+func (r *Runner) Run(n int64) {
+	if r.Ctrl != nil && r.Tunable != nil && r.rewardCount == 0 && !r.havePending && r.stepAccesses == 0 {
+		// First arm applies immediately at the start of the episode.
+		arm := r.Ctrl.Step()
+		r.Tunable.Apply(arm)
+		r.logArm(0, arm)
+	}
+	r.Core.RunInsts(n)
+}
+
+func (r *Runner) logArm(cycle int64, arm int) {
+	if !r.recordArms {
+		return
+	}
+	if n := len(r.ArmTrace); n > 0 && r.ArmTrace[n-1].Arm == arm {
+		return
+	}
+	r.ArmTrace = append(r.ArmTrace, ArmSample{Cycle: cycle, Arm: arm})
+}
+
+// onL2Access is the per-L2-demand-access hook: trains prefetchers, issues
+// their proposals, and advances the bandit step machinery.
+func (r *Runner) onL2Access(pc, addr uint64, hit bool, cycle int64) {
+	// Activate a pending arm once its selection latency has elapsed.
+	if r.havePending && cycle >= r.pendingActivate {
+		r.Tunable.Apply(r.pendingArm)
+		r.logArm(cycle, r.pendingArm)
+		r.havePending = false
+	}
+
+	ev := prefetch.Event{PC: pc, Addr: addr, Hit: hit, Cycle: cycle}
+	if r.L2Pf != nil {
+		target := mem.PrefToL2
+		if ta, ok := r.L2Pf.(prefetch.TargetAware); ok && ta.LLCOnly() {
+			target = mem.PrefToLLC // §9 target-cache-level extension
+		}
+		for _, a := range r.L2Pf.Operate(ev) {
+			r.Hier.Prefetch(a, cycle, target)
+		}
+	}
+	if r.L1Pf != nil {
+		for _, a := range r.L1Pf.Operate(ev) {
+			r.Hier.Prefetch(a, cycle, mem.PrefToL1)
+		}
+	}
+
+	// Feed DRAM bandwidth utilization to bandwidth-aware prefetchers
+	// (Pythia) over a sliding window.
+	if ba, ok := r.L2Pf.(prefetch.BandwidthAware); ok && cycle > r.bwLastCycle+1024 {
+		busy := r.Hier.DRAM().BusyCycles()
+		window := float64(cycle - r.bwLastCycle)
+		util := (busy - r.bwLastBusy) / window
+		if util > 1 {
+			util = 1
+		}
+		ba.SetBandwidthUtil(util)
+		r.bwLastBusy, r.bwLastCycle = busy, cycle
+	}
+
+	if r.Ctrl == nil || r.Tunable == nil {
+		return
+	}
+	r.stepAccesses++
+	if r.stepAccesses < r.StepL2 {
+		return
+	}
+	// Bandit step complete: reward is the step's IPC.
+	insts := r.Core.Insts() - r.stepStartInsts
+	cycles := r.Core.Cycles() - r.stepStartCycle
+	ipc := 0.0
+	if cycles > 0 {
+		ipc = float64(insts) / float64(cycles)
+	}
+	r.Ctrl.Reward(ipc)
+	r.rewardCount++
+	arm := r.Ctrl.Step()
+	r.pendingArm = arm
+	r.pendingActivate = cycle + r.SelectLatency
+	r.havePending = true
+
+	r.stepAccesses = 0
+	r.stepStartInsts = r.Core.Insts()
+	r.stepStartCycle = r.Core.Cycles()
+}

@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"microbandit/internal/core"
+	"microbandit/internal/cpu"
+	"microbandit/internal/mem"
+	"microbandit/internal/prefetch"
+	"microbandit/internal/simsmt"
+	"microbandit/internal/smtwork"
+	"microbandit/internal/stats"
+	"microbandit/internal/trace"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: the two
+// §4.3 modifications, the longer round-robin bandit step for SMT (§5.3),
+// the DUCB forgetting factor, and the arm-set size.
+
+// AblationRow is one configuration's aggregate result.
+type AblationRow struct {
+	Config string
+	Value  float64
+}
+
+// AblationResult is a generic named result list.
+type AblationResult struct {
+	Title  string
+	Metric string
+	Rows   []AblationRow
+}
+
+// Render formats the ablation as a table.
+func (r AblationResult) Render() string {
+	t := stats.NewTable(r.Title, "config", r.Metric)
+	for _, row := range r.Rows {
+		t.AddFloatRow(row.Config, "%.4f", row.Value)
+	}
+	return t.Render()
+}
+
+// AblationNormalization compares DUCB with and without the §4.3 reward
+// normalization across apps whose absolute IPCs differ widely.
+func AblationNormalization(o Options) AblationResult {
+	apps := o.apps(trace.TuneSet())
+	memCfg := mem.DefaultConfig()
+	run := func(normalize bool) float64 {
+		var ratios []float64
+		for _, app := range apps {
+			best, _ := o.bestStaticPrefetch(app, memCfg)
+			if best <= 0 {
+				continue
+			}
+			ctrl := core.MustNew(core.Config{
+				Arms:      core.PrefetchArms,
+				Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+				Normalize: normalize,
+				Seed:      o.subSeed("abl-norm", app.Name),
+			})
+			res := o.runPrefetchCtrl(app, fmt.Sprintf("norm-%v", normalize), ctrl, memCfg)
+			ratios = append(ratios, res.IPC/best)
+		}
+		return stats.GeoMean(ratios)
+	}
+	return AblationResult{
+		Title:  "Ablation: reward normalization by r_avg (§4.3 mod 1)",
+		Metric: "gmean IPC / best static",
+		Rows: []AblationRow{
+			{Config: "DUCB + normalization", Value: run(true)},
+			{Config: "DUCB, raw rewards", Value: run(false)},
+		},
+	}
+}
+
+// AblationRRRestart compares 4-core Bandit with and without the §4.3
+// round-robin restart on DRAM-heavy apps, where inter-core interference
+// during exploration matters most.
+func AblationRRRestart(o Options) AblationResult {
+	apps := o.apps(trace.BySuite("Ligra"))
+	memCfg := mem.DefaultConfig()
+	instsPerCore := o.Insts / 4
+	if instsPerCore < 50_000 {
+		instsPerCore = 50_000
+	}
+	run := func(prob float64, coordinated bool) float64 {
+		var sums []float64
+		for _, app := range apps {
+			shared := mem.NewShared(memCfg, 4)
+			coord := core.NewCoordinator()
+			var runners []*cpu.Runner
+			for coreID := 0; coreID < 4; coreID++ {
+				seed := o.subSeed("abl-rr", app.Name, fmt.Sprint(coreID),
+					fmt.Sprint(prob), fmt.Sprint(coordinated))
+				hier := mem.NewCoreHierarchy(memCfg, shared)
+				c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+				ens := prefetch.NewTable7Ensemble()
+				ctrl := core.MustNew(core.Config{
+					Arms:          ens.NumArms(),
+					Policy:        core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+					Normalize:     true,
+					RRRestartProb: prob,
+					Seed:          seed,
+				})
+				if coordinated {
+					// §8 future work: serialize sibling exploration.
+					coord.Add(ctrl)
+				}
+				r := cpu.NewRunner(c, ens, ctrl, ens)
+				r.StepL2 = o.StepL2
+				runners = append(runners, r)
+			}
+			cpu.RunMultiCore(runners, instsPerCore)
+			sums = append(sums, cpu.SumIPC(runners))
+		}
+		return stats.GeoMean(sums)
+	}
+	return AblationResult{
+		Title:  "Ablation: round-robin restart under 4-core interference (§4.3 mod 2 + §8 coordination)",
+		Metric: "gmean sum-IPC",
+		Rows: []AblationRow{
+			{Config: "rr_restart_prob = 0", Value: run(0, false)},
+			{Config: "rr_restart_prob = 0.001", Value: run(core.RRRestartProb4Core, false)},
+			{Config: "rr_restart_prob = 0.01", Value: run(0.01, false)},
+			{Config: "rr_restart_prob = 0.01, coordinated", Value: run(0.01, true)},
+		},
+	}
+}
+
+// AblationStepRR sweeps the SMT initial round-robin bandit step length
+// (§5.3: the longer step gives Hill Climbing time to converge per arm).
+func AblationStepRR(o Options) AblationResult {
+	mixes := o.mixes(smtwork.TuneMixes())
+	run := func(rrEpochs int) float64 {
+		var ipcs []float64
+		for _, mix := range mixes {
+			seed := o.subSeed("abl-step", mix.Name(), fmt.Sprint(rrEpochs))
+			sim := simsmt.NewSim(mix.A, mix.B, seed)
+			r := simsmt.NewRunner(sim, simsmt.NewBanditAgent(seed), simsmt.Table1Arms(), true)
+			r.EpochLen = o.EpochLen
+			r.RREpochs = rrEpochs
+			r.MainEpochs = o.MainEpochs
+			r.RunCycles(o.SMTCycles)
+			ipcs = append(ipcs, sim.SumIPC())
+		}
+		return stats.GeoMean(ipcs)
+	}
+	var rows []AblationRow
+	for _, rr := range []int{1, 2, o.RREpochs, 4 * o.RREpochs} {
+		rows = append(rows, AblationRow{
+			Config: fmt.Sprintf("bandit step-RR = %d epochs", rr),
+			Value:  run(rr),
+		})
+	}
+	return AblationResult{
+		Title:  "Ablation: initial round-robin bandit step length, SMT (§5.3)",
+		Metric: "gmean sum-IPC",
+		Rows:   rows,
+	}
+}
+
+// AblationGamma sweeps the DUCB forgetting factor on the phase-changing
+// mcf trace (the Fig. 7 adaptation scenario). γ = 1 is plain UCB.
+func AblationGamma(o Options) AblationResult {
+	app, err := trace.ByName("mcf06")
+	if err != nil {
+		return AblationResult{Title: "Ablation: gamma (mcf unavailable)"}
+	}
+	memCfg := mem.DefaultConfig()
+	run := func(gamma float64) float64 {
+		var p core.Policy
+		if gamma >= 1 {
+			p = core.NewUCB(core.PrefetchC)
+		} else {
+			p = core.NewDUCB(core.PrefetchC, gamma)
+		}
+		ctrl := core.MustNew(core.Config{
+			Arms: core.PrefetchArms, Policy: p, Normalize: true,
+			Seed: o.subSeed("abl-gamma", fmt.Sprint(gamma)),
+		})
+		return o.runPrefetchCtrl(app, fmt.Sprintf("g%.4f", gamma), ctrl, memCfg).IPC
+	}
+	var rows []AblationRow
+	for _, g := range []float64{0.9, 0.99, 0.999, 0.9999, 1.0} {
+		label := fmt.Sprintf("gamma = %.4f", g)
+		if g >= 1 {
+			label = "gamma = 1 (UCB)"
+		}
+		rows = append(rows, AblationRow{Config: label, Value: run(g)})
+	}
+	return AblationResult{
+		Title:  "Ablation: DUCB forgetting factor on the phase-changing mcf trace",
+		Metric: "IPC",
+		Rows:   rows,
+	}
+}
+
+// AblationArms compares the full Table 7 arm set against pruned subsets.
+func AblationArms(o Options) AblationResult {
+	apps := o.apps(trace.TuneSet())
+	memCfg := mem.DefaultConfig()
+	full := prefetch.Table7Arms()
+	sets := []struct {
+		name string
+		arms []prefetch.ArmConfig
+	}{
+		{"11 arms (Table 7)", full},
+		{"3 arms (off / stream-4 / max)", []prefetch.ArmConfig{full[1], full[0], full[10]}},
+		{"2 arms (off / stream-4)", []prefetch.ArmConfig{full[1], full[0]}},
+	}
+	var rows []AblationRow
+	for _, set := range sets {
+		var ipcs []float64
+		for _, app := range apps {
+			seed := o.subSeed("abl-arms", app.Name, set.name)
+			hier := mem.NewHierarchy(memCfg)
+			c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+			ens := prefetch.NewEnsemble(set.arms)
+			ctrl := core.MustNew(core.Config{
+				Arms:      ens.NumArms(),
+				Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+				Normalize: true,
+				Seed:      seed,
+			})
+			r := cpu.NewRunner(c, ens, ctrl, ens)
+			r.StepL2 = o.StepL2
+			r.Run(o.Insts)
+			ipcs = append(ipcs, c.IPC())
+		}
+		rows = append(rows, AblationRow{Config: set.name, Value: stats.GeoMean(ipcs)})
+	}
+	return AblationResult{
+		Title:  "Ablation: arm-set size (Table 7 vs pruned subsets)",
+		Metric: "gmean IPC",
+		Rows:   rows,
+	}
+}
+
+// AblationTargetLevel compares the Table 7 arm set against the §9
+// extended set whose extra arms fill the LLC only, on big-working-set
+// apps where L2 pollution costs the most.
+func AblationTargetLevel(o Options) AblationResult {
+	apps := append(o.apps(trace.BySuite("Ligra")), o.apps(trace.BySuite("CloudSuite"))...)
+	memCfg := mem.DefaultConfig()
+	run := func(extended bool) float64 {
+		var ipcs []float64
+		for _, app := range apps {
+			seed := o.subSeed("abl-target", app.Name, fmt.Sprint(extended))
+			hier := mem.NewHierarchy(memCfg)
+			c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+			var tun prefetch.Tunable
+			if extended {
+				tun = prefetch.NewExtendedEnsemble()
+			} else {
+				tun = prefetch.NewTable7Ensemble()
+			}
+			ctrl := core.MustNew(core.Config{
+				Arms:      tun.NumArms(),
+				Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+				Normalize: true,
+				Seed:      seed,
+			})
+			r := cpu.NewRunner(c, tun, ctrl, tun)
+			r.StepL2 = o.StepL2
+			r.Run(o.Insts)
+			ipcs = append(ipcs, c.IPC())
+		}
+		return stats.GeoMean(ipcs)
+	}
+	return AblationResult{
+		Title:  "Ablation: §9 target-cache-level arms (LLC-only fills) on big-footprint apps",
+		Metric: "gmean IPC",
+		Rows: []AblationRow{
+			{Config: "11 arms, L2 fills", Value: run(false)},
+			{Config: "14 arms incl. LLC-only fills", Value: run(true)},
+		},
+	}
+}
+
+// RenderAblations runs and renders every ablation.
+func RenderAblations(o Options) string {
+	var b strings.Builder
+	for _, r := range []AblationResult{
+		AblationNormalization(o),
+		AblationRRRestart(o),
+		AblationStepRR(o),
+		AblationGamma(o),
+		AblationArms(o),
+		AblationTargetLevel(o),
+	} {
+		b.WriteString(r.Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

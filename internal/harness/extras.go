@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"microbandit/internal/core"
+	"microbandit/internal/cpu"
+	"microbandit/internal/mem"
+	"microbandit/internal/prefetch"
+	"microbandit/internal/simsmt"
+	"microbandit/internal/smtwork"
+	"microbandit/internal/stats"
+	"microbandit/internal/trace"
+)
+
+// ExtrasResult holds the beyond-the-evaluation comparisons: the §8 BOP
+// contrast (single best offset vs the orchestrated ensemble under
+// imperfect temporal homogeneity) and the §9 hierarchical-bandit
+// extension (a high-level bandit selecting among DUCB hyperparameter
+// variants).
+type ExtrasResult struct {
+	// BOPNorm and BanditNorm are gmean IPCs normalized to no-prefetch.
+	BOPNorm, BanditNorm float64
+	// FlatNorm and MetaNorm compare the single paper-default DUCB agent
+	// against the hierarchical sweep agent, gmean IPC normalized to
+	// no-prefetch on the same apps.
+	FlatNorm, MetaNorm float64
+	// MetaLevels reports, per app, which hyperparameter level the
+	// high-level bandit ended up preferring.
+	MetaLevels map[string]int
+
+	// SMT resource-distribution comparison (§8): ARPA vs Choi vs Bandit,
+	// gmean sum-IPC over the tune mixes.
+	ARPAIPC, ChoiIPC, BanditSMTIPC float64
+}
+
+// metaPairs are the (c, γ) variants the §9 hierarchical agent sweeps.
+var metaPairs = [][2]float64{
+	{core.PrefetchC, 0.99},
+	{core.PrefetchC, core.PrefetchGamma},
+	{4 * core.PrefetchC, core.PrefetchGamma},
+}
+
+// Extras runs the BOP and MetaAgent comparisons on the catalog apps.
+func Extras(o Options) ExtrasResult {
+	apps := o.apps(trace.Catalog())
+	memCfg := mem.DefaultConfig()
+	res := ExtrasResult{MetaLevels: map[string]int{}}
+
+	var bop, bandit, flat, meta []float64
+	for _, app := range apps {
+		base := o.runPrefetch(app, PfNone, memCfg).IPC
+		if base <= 0 {
+			continue
+		}
+
+		// BOP: single learned offset, degree 1.
+		seed := o.subSeed("extras", app.Name)
+		hier := mem.NewHierarchy(memCfg)
+		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		r := cpu.NewRunner(c, prefetch.NewBOP(), nil, nil)
+		r.StepL2 = o.StepL2
+		r.Run(o.Insts)
+		bop = append(bop, c.IPC()/base)
+
+		// Paper-default (flat) Bandit.
+		flatRun := o.runPrefetch(app, PfBandit, memCfg)
+		bandit = append(bandit, flatRun.IPC/base)
+		flat = append(flat, flatRun.IPC/base)
+
+		// Hierarchical bandit over hyperparameter variants.
+		mctrl, err := core.NewDUCBSweepMeta(core.PrefetchArms, metaPairs, true, seed)
+		if err != nil {
+			continue
+		}
+		mres := o.runPrefetchCtrl(app, "meta", mctrl, memCfg)
+		meta = append(meta, mres.IPC/base)
+		res.MetaLevels[app.Name] = mctrl.BestLevel()
+	}
+	res.BOPNorm = stats.GeoMean(bop)
+	res.BanditNorm = stats.GeoMean(bandit)
+	res.FlatNorm = stats.GeoMean(flat)
+	res.MetaNorm = stats.GeoMean(meta)
+
+	// §8 SMT comparison: ARPA's efficiency-proportional partitioning vs
+	// Choi's hill-climbed threshold vs the Bandit on top of Hill Climbing.
+	var arpa, choi, banditSMT []float64
+	for _, mix := range o.mixes(smtwork.TuneMixes()) {
+		seed := o.subSeed("extras-arpa", mix.Name())
+		simA := simsmt.NewSim(mix.A, mix.B, seed)
+		ra := simsmt.NewARPARunner(simA, simsmt.ChoiPolicy)
+		ra.EpochLen = o.EpochLen
+		ra.RunCycles(o.SMTCycles)
+		arpa = append(arpa, simA.SumIPC())
+
+		choi = append(choi, o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC)
+		banditSMT = append(banditSMT,
+			o.runSMTCtrl(mix, "bandit", simsmt.NewBanditAgent(seed)).SumIPC)
+	}
+	res.ARPAIPC = stats.GeoMean(arpa)
+	res.ChoiIPC = stats.GeoMean(choi)
+	res.BanditSMTIPC = stats.GeoMean(banditSMT)
+	return res
+}
+
+// Render formats the extras comparison.
+func (r ExtrasResult) Render() string {
+	var b strings.Builder
+	t := stats.NewTable("Extensions: BOP contrast (§8) and hierarchical bandit (§9), gmean IPC vs no-prefetch",
+		"config", "gmean")
+	t.AddFloatRow("BOP (single best offset)", "%.3f", r.BOPNorm)
+	t.AddFloatRow("Bandit (Table 7 ensemble)", "%.3f", r.BanditNorm)
+	t.AddFloatRow("Bandit, flat DUCB", "%.3f", r.FlatNorm)
+	t.AddFloatRow("Bandit, hierarchical (3 hyperparameter levels)", "%.3f", r.MetaNorm)
+	b.WriteString(t.Render())
+	t2 := stats.NewTable("SMT resource distribution (§8): gmean sum-IPC over tune mixes",
+		"method", "gmean sum-IPC")
+	t2.AddFloatRow("ARPA (efficiency partition)", "%.3f", r.ARPAIPC)
+	t2.AddFloatRow("Choi (hill-climbed threshold)", "%.3f", r.ChoiIPC)
+	t2.AddFloatRow("Bandit over Hill Climbing", "%.3f", r.BanditSMTIPC)
+	b.WriteString(t2.Render())
+	if len(r.MetaLevels) > 0 {
+		b.WriteString("preferred hyperparameter level per app:\n")
+		for _, name := range sortedKeys(r.MetaLevels) {
+			p := metaPairs[r.MetaLevels[name]]
+			fmt.Fprintf(&b, "  %-14s level %d (c=%.2f, gamma=%.4f)\n",
+				name, r.MetaLevels[name], p[0], p[1])
+		}
+	}
+	return b.String()
+}

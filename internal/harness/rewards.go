@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+
+	"microbandit/internal/simsmt"
+	"microbandit/internal/smtwork"
+	"microbandit/internal/stats"
+)
+
+// RewardMetricsResult compares the Bandit under the three SMT reward
+// metrics of §6.4 (sum IPC, average weighted IPC, harmonic mean of
+// weighted IPC): what each optimizes for and what it costs elsewhere.
+type RewardMetricsResult struct {
+	Modes []string
+	// Per mode: gmean over mixes of throughput (sum IPC), weighted
+	// speedup, harmonic weighted speedup, and mean fairness.
+	SumIPC, Weighted, Harmonic, Fairness []float64
+}
+
+// RewardMetrics runs the Bandit with each reward mode over the tune
+// mixes.
+func RewardMetrics(o Options) RewardMetricsResult {
+	mixes := o.mixes(smtwork.TuneMixes())
+	modes := []simsmt.RewardMode{
+		simsmt.RewardSumIPC, simsmt.RewardWeightedIPC, simsmt.RewardHarmonicWeighted,
+	}
+	res := RewardMetricsResult{}
+	soloCycles := o.SMTCycles / 4
+	if soloCycles < 50_000 {
+		soloCycles = 50_000
+	}
+	// Solo baselines are per profile, shared across modes.
+	solo := map[string]float64{}
+	soloOf := func(p smtwork.Profile) float64 {
+		if v, ok := solo[p.Name]; ok {
+			return v
+		}
+		v := simsmt.SoloIPC(p, o.subSeed("solo", p.Name), soloCycles)
+		solo[p.Name] = v
+		return v
+	}
+
+	for _, mode := range modes {
+		var sum, wgt, har, fair []float64
+		for _, mix := range mixes {
+			seed := o.subSeed("reward", mix.Name(), mode.String())
+			sim := simsmt.NewSim(mix.A, mix.B, seed)
+			r := simsmt.NewRunner(sim, simsmt.NewBanditAgent(seed), simsmt.Table1Arms(), true)
+			r.EpochLen = o.EpochLen
+			r.RREpochs = o.RREpochs
+			r.MainEpochs = o.MainEpochs
+			r.Reward = mode
+			r.Solo = [2]float64{soloOf(mix.A), soloOf(mix.B)}
+			r.RunCycles(o.SMTCycles)
+			m := simsmt.Evaluate(sim, r.Solo)
+			if m.SumIPC <= 0 || m.Weighted <= 0 || m.Harmonic <= 0 {
+				continue
+			}
+			sum = append(sum, m.SumIPC)
+			wgt = append(wgt, m.Weighted)
+			har = append(har, m.Harmonic)
+			fair = append(fair, m.Fairness)
+		}
+		res.Modes = append(res.Modes, mode.String())
+		res.SumIPC = append(res.SumIPC, stats.GeoMean(sum))
+		res.Weighted = append(res.Weighted, stats.GeoMean(wgt))
+		res.Harmonic = append(res.Harmonic, stats.GeoMean(har))
+		res.Fairness = append(res.Fairness, stats.Mean(fair))
+	}
+	return res
+}
+
+// Render formats the reward-metric comparison.
+func (r RewardMetricsResult) Render() string {
+	t := stats.NewTable("Reward metrics (§6.4): Bandit optimizing different SMT objectives",
+		"reward", "sum IPC", "weighted", "harmonic", "fairness")
+	for i, m := range r.Modes {
+		t.AddRow(m,
+			fmt.Sprintf("%.3f", r.SumIPC[i]),
+			fmt.Sprintf("%.3f", r.Weighted[i]),
+			fmt.Sprintf("%.3f", r.Harmonic[i]),
+			fmt.Sprintf("%.3f", r.Fairness[i]))
+	}
+	return t.Render()
+}

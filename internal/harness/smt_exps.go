@@ -1,0 +1,369 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"microbandit/internal/hw"
+	"microbandit/internal/simsmt"
+	"microbandit/internal/smtwork"
+	"microbandit/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// Fig. 5 — the fetch PG policy design space
+
+// Fig5Row is one mix's best/worst static policy relative to Choi.
+type Fig5Row struct {
+	Mix        string
+	BestPolicy string
+	BestDelta  float64 // IPC change vs Choi, fraction (+0.13 = +13%)
+	WorstDelta float64
+}
+
+// Fig5Result reproduces the design-space motivation: for each 2-thread
+// mix, the best- and worst-performing of the 64 fetch PG policies,
+// relative to the Choi policy (IC_1011).
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5 sweeps all 64 policies over the tune mixes. Policies here are
+// static (no bandit), so Hill Climbing converges quickly and half the
+// usual cycle budget suffices — this sweep is by far the largest run
+// count in the harness (64 × mixes).
+func Fig5(o Options) Fig5Result {
+	var res Fig5Result
+	half := o
+	half.SMTCycles = o.SMTCycles / 2
+	if half.SMTCycles < 200_000 {
+		half.SMTCycles = o.SMTCycles
+	}
+	o = half
+	policies := simsmt.AllPolicies()
+	for _, mix := range o.mixes(smtwork.TuneMixes()) {
+		choi := o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC
+		if choi <= 0 {
+			continue
+		}
+		bestD, worstD := -2.0, 2.0
+		bestP := ""
+		for _, p := range policies {
+			ipc := o.runSMTFixed(mix, p.String(), p, true).SumIPC
+			d := ipc/choi - 1
+			if d > bestD {
+				bestD, bestP = d, p.String()
+			}
+			if d < worstD {
+				worstD = d
+			}
+		}
+		res.Rows = append(res.Rows, Fig5Row{
+			Mix: mix.Name(), BestPolicy: bestP, BestDelta: bestD, WorstDelta: worstD,
+		})
+	}
+	return res
+}
+
+// Render formats the design-space sweep.
+func (r Fig5Result) Render() string {
+	t := stats.NewTable("Fig. 5: best/worst fetch PG policy IPC change vs Choi (IC_1011)",
+		"mix", "best policy", "best %", "worst %")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mix, row.BestPolicy,
+			fmt.Sprintf("%+.1f", row.BestDelta*100),
+			fmt.Sprintf("%+.1f", row.WorstDelta*100))
+	}
+	return t.Render()
+}
+
+// ---------------------------------------------------------------------
+// Table 9 — bandit algorithms vs best static arm (SMT tune set)
+
+// Table9Result mirrors Table8Result with the Choi column added.
+type Table9Result struct {
+	Algos map[string]stats.Summary
+	Order []string
+}
+
+// Table9 compares Choi, Single, Periodic, ε-Greedy, UCB, and DUCB to the
+// best static Table 1 arm on the tune mixes.
+func Table9(o Options) Table9Result {
+	mixes := o.mixes(smtwork.TuneMixes())
+	ratios := map[string][]float64{}
+	for _, mix := range mixes {
+		best, _ := o.bestStaticSMT(mix)
+		if best <= 0 {
+			continue
+		}
+		choi := o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true)
+		ratios["Choi"] = append(ratios["Choi"], choi.SumIPC/best)
+		arms := len(simsmt.Table1Arms())
+		for name, mk := range banditAlgorithms(o.subSeed("t9", mix.Name()), arms, true) {
+			res := o.runSMTCtrl(mix, name, mk())
+			ratios[name] = append(ratios[name], res.SumIPC/best)
+		}
+	}
+	out := Table9Result{
+		Algos: map[string]stats.Summary{},
+		Order: []string{"Choi", "Single", "Periodic", "eps-Greedy", "UCB", "DUCB"},
+	}
+	for name, rs := range ratios {
+		out.Algos[name] = stats.Summarize(rs).AsPercent()
+	}
+	return out
+}
+
+// Render formats the table in the paper's layout.
+func (r Table9Result) Render() string {
+	t := stats.NewTable("Table 9: IPC as % of best static arm (SMT tune set)",
+		append([]string{""}, r.Order...)...)
+	addRow := func(label string, pick func(stats.Summary) float64) {
+		cells := []string{label}
+		for _, name := range r.Order {
+			cells = append(cells, fmt.Sprintf("%.1f", pick(r.Algos[name])))
+		}
+		t.AddRow(cells...)
+	}
+	addRow("min", func(s stats.Summary) float64 { return s.Min })
+	addRow("max", func(s stats.Summary) float64 { return s.Max })
+	addRow("gmean", func(s stats.Summary) float64 { return s.GMean })
+	return t.Render()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 13 — Bandit vs Choi across all mixes
+
+// Fig13Result holds the per-mix Bandit/Choi IPC ratios (sorted ascending,
+// as in the paper's figure) plus the headline aggregates.
+type Fig13Result struct {
+	Mixes        []string  // sorted by ratio
+	Ratios       []float64 // Bandit IPC / Choi IPC, same order
+	GMeanVsChoi  float64
+	GMeanVsIC    float64
+	WinsOver4Pct int
+	LossOver4Pct int
+}
+
+// Fig13 runs Bandit, Choi, and ICount on every mix.
+func Fig13(o Options) Fig13Result {
+	mixes := o.mixes(smtwork.Mixes())
+	type row struct {
+		name  string
+		ratio float64
+		vsIC  float64
+	}
+	var rows []row
+	for _, mix := range mixes {
+		choi := o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC
+		ic := o.runSMTFixed(mix, "icount", simsmt.ICountPolicy, false).SumIPC
+		bandit := o.runSMTCtrl(mix, "bandit",
+			simsmt.NewBanditAgent(o.subSeed("fig13", mix.Name()))).SumIPC
+		if choi <= 0 || ic <= 0 {
+			continue
+		}
+		rows = append(rows, row{name: mix.Name(), ratio: bandit / choi, vsIC: bandit / ic})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio < rows[j].ratio })
+
+	var res Fig13Result
+	var ratios, vsIC []float64
+	for _, r := range rows {
+		res.Mixes = append(res.Mixes, r.name)
+		res.Ratios = append(res.Ratios, r.ratio)
+		ratios = append(ratios, r.ratio)
+		vsIC = append(vsIC, r.vsIC)
+		if r.ratio > 1.04 {
+			res.WinsOver4Pct++
+		}
+		if r.ratio < 0.96 {
+			res.LossOver4Pct++
+		}
+	}
+	res.GMeanVsChoi = stats.GeoMean(ratios)
+	res.GMeanVsIC = stats.GeoMean(vsIC)
+	return res
+}
+
+// Render plots the sorted ratio curve and the headline numbers.
+func (r Fig13Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 13: Bandit IPC relative to Choi across 2-thread mixes (sorted)\n")
+	s := stats.NewSeries("Bandit/Choi", r.Ratios)
+	b.WriteString(stats.LinePlot("", []stats.Series{s}, 10, 64))
+	fmt.Fprintf(&b, "gmean vs Choi: %+.1f%%   gmean vs ICount: %+.1f%%\n",
+		stats.SpeedupPercent(r.GMeanVsChoi), stats.SpeedupPercent(r.GMeanVsIC))
+	fmt.Fprintf(&b, "mixes >4%% better: %d   mixes >4%% worse: %d (of %d)\n",
+		r.WinsOver4Pct, r.LossOver4Pct, len(r.Ratios))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 15 — rename-stage activity breakdown
+
+// Fig15Result holds the average fraction of cycles the rename stage spends
+// in each state, for Bandit and Choi.
+type Fig15Result struct {
+	// Fractions[kind][state]; states ordered as StateOrder.
+	Fractions map[string]map[string]float64
+}
+
+// Fig15StateOrder lists the paper's bar order.
+var Fig15StateOrder = []string{"ROB full", "IQ full", "LQ full", "SQ full", "RF full", "stalled", "idle", "running"}
+
+// Fig15 aggregates rename-stage accounting over the mixes.
+func Fig15(o Options) Fig15Result {
+	mixes := o.mixes(smtwork.Mixes())
+	res := Fig15Result{Fractions: map[string]map[string]float64{}}
+	accumulate := func(kind string, get func(mix smtwork.Mix) simsmt.RenameStats) {
+		var sum simsmt.RenameStats
+		for _, mix := range mixes {
+			rs := get(mix)
+			sum.StallROB += rs.StallROB
+			sum.StallIQ += rs.StallIQ
+			sum.StallLQ += rs.StallLQ
+			sum.StallSQ += rs.StallSQ
+			sum.StallRF += rs.StallRF
+			sum.Idle += rs.Idle
+			sum.Running += rs.Running
+		}
+		total := float64(sum.Total())
+		if total == 0 {
+			total = 1
+		}
+		res.Fractions[kind] = map[string]float64{
+			"ROB full": float64(sum.StallROB) / total,
+			"IQ full":  float64(sum.StallIQ) / total,
+			"LQ full":  float64(sum.StallLQ) / total,
+			"SQ full":  float64(sum.StallSQ) / total,
+			"RF full":  float64(sum.StallRF) / total,
+			"stalled":  float64(sum.Stalled()) / total,
+			"idle":     float64(sum.Idle) / total,
+			"running":  float64(sum.Running) / total,
+		}
+	}
+	accumulate("Choi", func(mix smtwork.Mix) simsmt.RenameStats {
+		return o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).Rename
+	})
+	accumulate("Bandit", func(mix smtwork.Mix) simsmt.RenameStats {
+		return o.runSMTCtrl(mix, "bandit", simsmt.NewBanditAgent(o.subSeed("fig15", mix.Name()))).Rename
+	})
+	return res
+}
+
+// Render formats the breakdown table.
+func (r Fig15Result) Render() string {
+	t := stats.NewTable("Fig. 15: rename-stage cycle breakdown (% of cycles)",
+		append([]string{"policy"}, Fig15StateOrder...)...)
+	for _, kind := range []string{"Choi", "Bandit"} {
+		cells := []string{kind}
+		for _, s := range Fig15StateOrder {
+			cells = append(cells, fmt.Sprintf("%.1f", r.Fractions[kind][s]*100))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 (SMT panels)
+
+// Fig7SMT produces the SMT-side exploration panels (gcc-lbm and
+// cactuBSSN-lbm under BestStatic, Single, UCB, DUCB).
+func Fig7SMT(o Options) []Fig7Panel {
+	var panels []Fig7Panel
+	pairs := [][2]string{{"gcc", "lbm"}, {"cactuBSSN", "lbm"}}
+	for _, pair := range pairs {
+		a, errA := smtwork.ByName(pair[0])
+		b, errB := smtwork.ByName(pair[1])
+		if errA != nil || errB != nil {
+			continue
+		}
+		mix := smtwork.Mix{A: a, B: b}
+		_, bestArm := o.bestStaticSMT(mix)
+		configs := []struct {
+			name string
+			run  func() ([]simsmt.ArmSample, float64)
+		}{
+			{"BestStatic", func() ([]simsmt.ArmSample, float64) {
+				arms := simsmt.Table1Arms()
+				res := o.runSMTFixed(mix, "best-static", arms[bestArm], true)
+				return []simsmt.ArmSample{{Cycle: 0, Arm: bestArm}}, res.SumIPC
+			}},
+			{"Single", func() ([]simsmt.ArmSample, float64) {
+				return o.runSMTTrace(mix, "Single")
+			}},
+			{"UCB", func() ([]simsmt.ArmSample, float64) {
+				return o.runSMTTrace(mix, "UCB")
+			}},
+			{"DUCB", func() ([]simsmt.ArmSample, float64) {
+				return o.runSMTTrace(mix, "DUCB")
+			}},
+		}
+		for _, cfg := range configs {
+			arms, ipc := cfg.run()
+			panel := Fig7Panel{Algo: cfg.name, App: mix.Name(), IPC: ipc}
+			for _, s := range arms {
+				panel.Arms = append(panel.Arms, ArmPoint{Cycle: s.Cycle, Arm: s.Arm})
+			}
+			panels = append(panels, panel)
+		}
+	}
+	return panels
+}
+
+// runSMTTrace runs a mix under a named bandit algorithm with arm tracing.
+func (o Options) runSMTTrace(mix smtwork.Mix, algo string) ([]simsmt.ArmSample, float64) {
+	arms := len(simsmt.Table1Arms())
+	ctrl := banditAlgorithms(o.subSeed("fig7smt", mix.Name(), algo), arms, true)[algo]()
+	seed := o.subSeed("fig7smtrun", mix.Name(), algo)
+	sim := simsmt.NewSim(mix.A, mix.B, seed)
+	r := simsmt.NewRunner(sim, ctrl, simsmt.Table1Arms(), true)
+	r.EpochLen = o.EpochLen
+	r.RREpochs = o.RREpochs
+	r.MainEpochs = o.MainEpochs
+	r.RecordArms()
+	r.RunCycles(o.SMTCycles)
+	return r.ArmTrace, sim.SumIPC()
+}
+
+// ---------------------------------------------------------------------
+// §5.4 / §6.5 — storage, area, power
+
+// AreaPowerResult carries the hardware-cost model outputs.
+type AreaPowerResult struct {
+	Prefetch  hw.AgentCost
+	SMT       hw.AgentCost
+	AreaFrac  float64
+	PowerFrac float64
+	Storage   []hw.StorageComparison
+}
+
+// AreaPower evaluates the hardware model for both use cases.
+func AreaPower() AreaPowerResult {
+	area, power := hw.DieOverhead()
+	return AreaPowerResult{
+		Prefetch:  hw.Agent(11),
+		SMT:       hw.Agent(6),
+		AreaFrac:  area,
+		PowerFrac: power,
+		Storage:   hw.StorageTable(11),
+	}
+}
+
+// Render formats the hardware-cost summary.
+func (r AreaPowerResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Hardware cost model (§5.4, §6.5)\n")
+	fmt.Fprintf(&b, "prefetching agent: %s\n", r.Prefetch)
+	fmt.Fprintf(&b, "SMT agent:         %s\n", r.SMT)
+	fmt.Fprintf(&b, "40-core die overhead: area %.5f%%  power %.5f%%\n",
+		r.AreaFrac*100, r.PowerFrac*100)
+	t := stats.NewTable("Storage comparison", "design", "bytes")
+	for _, s := range r.Storage {
+		t.AddRow(s.Name, fmt.Sprintf("%d", s.Bytes))
+	}
+	b.WriteString(t.Render())
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAgentStorageScalesLinearly(t *testing.T) {
+	if got := Agent(11).StorageBytes; got != 88 {
+		t.Errorf("11-arm storage = %dB, want 88", got)
+	}
+	if got := Agent(6).StorageBytes; got != 48 {
+		t.Errorf("6-arm storage = %dB, want 48", got)
+	}
+}
+
+func TestPaperHeadlineClaims(t *testing.T) {
+	// "the dramatically lower storage requirement of only 100 bytes"
+	// for the maximum number of arms in the evaluation (11).
+	if got := Agent(11).StorageBytes; got >= 100 {
+		t.Errorf("11-arm Bandit storage = %dB, paper claims <100B", got)
+	}
+	// Conservative selection latency for 11 arms is "less than 500 cycles".
+	if got := Agent(11).SelectCycles; got >= 500 {
+		t.Errorf("11-arm select latency = %d cycles, paper claims <500", got)
+	}
+	// Relative overheads on a 40-core Icelake are "less than 0.003%".
+	areaFrac, powerFrac := DieOverhead()
+	if areaFrac >= 0.00003 {
+		t.Errorf("area overhead = %v, want < 0.003%%", areaFrac)
+	}
+	if powerFrac >= 0.00003 {
+		t.Errorf("power overhead = %v, want < 0.003%%", powerFrac)
+	}
+}
+
+func TestAgentClampsArms(t *testing.T) {
+	if got := Agent(0).Arms; got != 1 {
+		t.Errorf("Agent(0).Arms = %d, want 1", got)
+	}
+	if got := Agent(-5).Arms; got != 1 {
+		t.Errorf("Agent(-5).Arms = %d, want 1", got)
+	}
+}
+
+func TestAgentString(t *testing.T) {
+	s := Agent(11).String()
+	for _, want := range []string{"arms=11", "storage=88B", "select="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestStorageTableOrdering(t *testing.T) {
+	rows := StorageTable(11)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Name != "Bandit" || rows[0].Bytes != 88 {
+		t.Errorf("row0 = %+v", rows[0])
+	}
+	// Bandit must be dramatically smaller than every prior prefetcher.
+	for _, r := range rows[2:] {
+		if rows[0].Bytes*10 > r.Bytes {
+			t.Errorf("Bandit (%dB) not <10%% of %s (%dB)", rows[0].Bytes, r.Name, r.Bytes)
+		}
+	}
+	// Even including the orchestrated ensemble, storage stays below MLOP.
+	if rows[1].Bytes >= MLOPStorageBytes {
+		t.Errorf("Bandit+ensemble = %dB, want < MLOP %dB", rows[1].Bytes, MLOPStorageBytes)
+	}
+}
+
+// Property: selection latency and storage grow monotonically with arms.
+func TestQuickMonotoneCosts(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a%64)+1, int(b%64)+1
+		if x > y {
+			x, y = y, x
+		}
+		cx, cy := Agent(x), Agent(y)
+		return cx.StorageBytes <= cy.StorageBytes && cx.SelectCycles <= cy.SelectCycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package mem models the memory hierarchy of the paper's trace-driven
+// evaluation platform (Table 4): set-associative write-back caches with
+// LRU replacement, miss-status holding registers, a bandwidth-limited DRAM
+// channel, and a three-level hierarchy that classifies prefetches as
+// timely, late, or wrong (Fig. 9) and exposes the L2-demand-access count
+// that defines the prefetching bandit step.
+package mem
+
+import "fmt"
+
+// lineShift is log2 of the cache line size (64 B).
+const lineShift = 6
+
+// LineAddr returns the line address (byte address >> lineShift).
+func LineAddr(addr uint64) uint64 { return addr >> lineShift }
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag        uint64
+	lastUse    int64
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by a prefetch...
+	used       bool // ...and since referenced by a demand access
+}
+
+// CacheStats counts cache-local events.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Fills         int64
+	Evictions     int64
+	DirtyEvicts   int64
+	PrefFills     int64
+	PrefUseful    int64 // prefetched lines that saw a demand hit
+	PrefUnused    int64 // prefetched lines evicted untouched ("wrong")
+	PrefRedundant int64 // prefetches dropped because the line was present
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with true
+// LRU replacement. The zero value is unusable; construct with NewCache.
+type Cache struct {
+	name  string
+	sets  [][]cacheLine
+	mask  uint64
+	clock int64
+	stats CacheStats
+}
+
+// NewCache builds a cache with the given geometry. sets must be a power of
+// two; ways must be positive.
+func NewCache(name string, sets, ways int) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %s sets %d not a power of two", name, sets))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("mem: cache %s needs positive ways", name))
+	}
+	storage := make([]cacheLine, sets*ways)
+	s := make([][]cacheLine, sets)
+	for i := range s {
+		s[i] = storage[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return &Cache{name: name, sets: s, mask: uint64(sets - 1)}
+}
+
+// Name returns the cache's name ("L1", "L2", "LLC").
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// SizeBytes returns the cache capacity.
+func (c *Cache) SizeBytes() int { return len(c.sets) * len(c.sets[0]) * (1 << lineShift) }
+
+// set returns the set for a line address.
+func (c *Cache) set(lineAddr uint64) []cacheLine { return c.sets[lineAddr&c.mask] }
+
+// Lookup probes the cache with a demand access. On a hit it updates LRU
+// and the dirty/used bits and returns true.
+func (c *Cache) Lookup(lineAddr uint64, isWrite bool) bool {
+	c.clock++
+	set := c.set(lineAddr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == lineAddr {
+			l.lastUse = c.clock
+			if isWrite {
+				l.dirty = true
+			}
+			if l.prefetched && !l.used {
+				l.used = true
+				c.stats.PrefUseful++
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains probes without updating any state (used to drop redundant
+// prefetches).
+func (c *Cache) Contains(lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Evicted describes a victim pushed out by Fill.
+type Evicted struct {
+	LineAddr uint64
+	Dirty    bool
+	Valid    bool
+}
+
+// Fill inserts a line (demand fill if prefetched is false). It returns the
+// evicted victim, if any. Filling a line that is already present refreshes
+// its LRU position instead of duplicating it.
+func (c *Cache) Fill(lineAddr uint64, prefetched, dirty bool) Evicted {
+	c.clock++
+	set := c.set(lineAddr)
+	// Already present: refresh (a racing demand fill may beat a prefetch).
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == lineAddr {
+			l.lastUse = c.clock
+			l.dirty = l.dirty || dirty
+			if l.prefetched && !prefetched {
+				// A demand fill of a prefetched line counts as a use.
+				if !l.used {
+					l.used = true
+					c.stats.PrefUseful++
+				}
+			}
+			return Evicted{}
+		}
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	var ev Evicted
+	v := &set[victim]
+	if v.valid {
+		ev = Evicted{LineAddr: v.tag, Dirty: v.dirty, Valid: true}
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.DirtyEvicts++
+		}
+		if v.prefetched && !v.used {
+			c.stats.PrefUnused++
+		}
+	}
+	*v = cacheLine{tag: lineAddr, lastUse: c.clock, valid: true, dirty: dirty, prefetched: prefetched}
+	c.stats.Fills++
+	if prefetched {
+		c.stats.PrefFills++
+	}
+	return ev
+}
+
+// NoteRedundantPrefetch counts a prefetch dropped because the target line
+// was already cached or in flight.
+func (c *Cache) NoteRedundantPrefetch() { c.stats.PrefRedundant++ }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = cacheLine{}
+		}
+	}
+	c.clock = 0
+	c.stats = CacheStats{}
+}

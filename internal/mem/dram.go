@@ -1,0 +1,101 @@
+package mem
+
+import "fmt"
+
+// DRAM models a bandwidth-limited memory channel: a fixed access latency
+// plus a serialization period per cache-line transfer derived from the
+// channel's transfer rate. When requests arrive faster than the channel
+// can stream lines out, they queue and the observed latency grows — the
+// behaviour behind the paper's bandwidth-sensitivity sweep (Fig. 10),
+// where aggressive prefetching stops paying off at low MTPS.
+type DRAM struct {
+	latency  int64   // uncontended access latency in core cycles
+	period   float64 // core cycles needed to stream one 64B line
+	nextFree float64 // cycle at which the channel is next available
+
+	reads      int64
+	writes     int64
+	busyCycles float64
+	queued     int64 // requests that waited on the channel
+}
+
+// NewDRAM builds a channel for a core running at freqGHz with a transfer
+// rate of mtps mega-transfers/s (8 bytes per transfer, DDR-style) and the
+// given uncontended latency in core cycles.
+func NewDRAM(mtps, freqGHz float64, latencyCycles int64) *DRAM {
+	if mtps <= 0 || freqGHz <= 0 {
+		panic(fmt.Sprintf("mem: invalid DRAM rate mtps=%v freq=%v", mtps, freqGHz))
+	}
+	cyclesPerTransfer := freqGHz * 1000 / mtps // (freq*1e9) / (mtps*1e6)
+	const transfersPerLine = (1 << lineShift) / 8
+	return &DRAM{
+		latency: latencyCycles,
+		period:  cyclesPerTransfer * transfersPerLine,
+	}
+}
+
+// Read schedules a line read issued at cycle and returns its completion
+// cycle, accounting for channel occupancy.
+func (d *DRAM) Read(cycle int64) int64 {
+	d.reads++
+	return d.schedule(cycle)
+}
+
+// Write schedules a line writeback at cycle. The returned completion is
+// when the channel finishes the transfer (callers normally ignore it —
+// writebacks are off the critical path — but they still consume
+// bandwidth).
+func (d *DRAM) Write(cycle int64) int64 {
+	d.writes++
+	return d.schedule(cycle)
+}
+
+func (d *DRAM) schedule(cycle int64) int64 {
+	start := float64(cycle)
+	if d.nextFree > start {
+		start = d.nextFree
+		d.queued++
+	}
+	d.nextFree = start + d.period
+	d.busyCycles += d.period
+	return int64(start) + d.latency + int64(d.period)
+}
+
+// Reads returns the number of line reads serviced.
+func (d *DRAM) Reads() int64 { return d.reads }
+
+// Writes returns the number of line writebacks serviced.
+func (d *DRAM) Writes() int64 { return d.writes }
+
+// Queued returns how many requests found the channel busy.
+func (d *DRAM) Queued() int64 { return d.queued }
+
+// Utilization returns the fraction of cycles the channel was busy up to
+// the given cycle.
+func (d *DRAM) Utilization(cycle int64) float64 {
+	if cycle <= 0 {
+		return 0
+	}
+	u := d.busyCycles / float64(cycle)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// BusyCycles returns the cumulative cycles the channel has been occupied;
+// callers can difference it across a window for instantaneous utilization.
+func (d *DRAM) BusyCycles() float64 { return d.busyCycles }
+
+// LinePeriodCycles returns the cycles needed to stream one line — the
+// inverse bandwidth seen by the hierarchy.
+func (d *DRAM) LinePeriodCycles() float64 { return d.period }
+
+// Reset clears scheduling state and counters.
+func (d *DRAM) Reset() {
+	d.nextFree = 0
+	d.reads = 0
+	d.writes = 0
+	d.busyCycles = 0
+	d.queued = 0
+}

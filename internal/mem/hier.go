@@ -1,0 +1,426 @@
+package mem
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Level identifies where a demand access was served.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelMem
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelMem:
+		return "MEM"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Config describes the hierarchy geometry and timing (Table 4 defaults).
+type Config struct {
+	L1Sets, L1Ways   int
+	L2Sets, L2Ways   int
+	LLCSets, LLCWays int // LLC capacity per core; scaled by core count
+
+	L1Lat, L2Lat, LLCLat int64 // load-to-use latencies per level (cycles)
+	DRAMLat              int64 // uncontended DRAM latency (cycles)
+
+	MTPS    float64 // DRAM channel rate in mega-transfers/s
+	FreqGHz float64 // core frequency
+	// MSHRs bounds outstanding demand misses (the core's line-fill
+	// buffers — the limited demand MLP that prefetching bypasses).
+	MSHRs int
+	// PrefMSHRs bounds outstanding prefetches (the prefetch queue).
+	PrefMSHRs int
+}
+
+// DefaultConfig mirrors the paper's Table 4: 32 KB 8-way L1, 256 KB 8-way
+// L2, 2 MB 16-way LLC per core, 4 GHz, and the baseline 2400 MTPS channel.
+func DefaultConfig() Config {
+	return Config{
+		L1Sets: 64, L1Ways: 8, // 32 KB
+		L2Sets: 512, L2Ways: 8, // 256 KB
+		LLCSets: 2048, LLCWays: 16, // 2 MB
+		L1Lat: 4, L2Lat: 14, LLCLat: 44,
+		DRAMLat: 160,
+		MTPS:    2400, FreqGHz: 4,
+		MSHRs: 10, PrefMSHRs: 32,
+	}
+}
+
+// AltCacheConfig is the Fig. 11 variant: 1 MB L2 and 1.5 MB LLC per core
+// (Skylake-like), everything else unchanged.
+func AltCacheConfig() Config {
+	c := DefaultConfig()
+	c.L2Sets, c.L2Ways = 2048, 8    // 1 MB
+	c.LLCSets, c.LLCWays = 2048, 12 // 1.5 MB
+	return c
+}
+
+// Shared bundles the resources multiple cores contend on.
+type Shared struct {
+	LLC  *Cache
+	DRAM *DRAM
+}
+
+// NewShared builds the shared LLC (scaled by core count) and DRAM channel.
+// cores must be a power of two so the set count stays one.
+func NewShared(cfg Config, cores int) *Shared {
+	if cores <= 0 || cores&(cores-1) != 0 {
+		panic(fmt.Sprintf("mem: core count %d must be a power of two", cores))
+	}
+	return &Shared{
+		LLC:  NewCache("LLC", cfg.LLCSets*cores, cfg.LLCWays),
+		DRAM: NewDRAM(cfg.MTPS, cfg.FreqGHz, cfg.DRAMLat),
+	}
+}
+
+// PrefTarget selects the fill level of a prefetch.
+type PrefTarget uint8
+
+// Prefetch fill targets.
+const (
+	// PrefToL2 fills L2 and LLC (the paper's Bandit/Pythia/Bingo/MLOP
+	// configuration: trained on L1 misses, filling L2 and LLC).
+	PrefToL2 PrefTarget = iota
+	// PrefToL1 fills L1 and L2 (used by the multi-level configurations
+	// of Fig. 12).
+	PrefToL1
+	// PrefToLLC fills only the shared LLC — the least intrusive target,
+	// part of the paper's §9 target-cache-level extension.
+	PrefToLLC
+)
+
+// fill is a pending line delivery.
+type fill struct {
+	ready      int64
+	line       uint64
+	target     PrefTarget
+	fromMem    bool // also fill the LLC
+	isPrefetch bool
+	entry      *mshrEntry // owning MSHR entry, if any
+}
+
+type fillHeap []*fill
+
+func (h fillHeap) Len() int            { return len(h) }
+func (h fillHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
+func (h fillHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fillHeap) Push(x interface{}) { *h = append(*h, x.(*fill)) }
+func (h *fillHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// mshrEntry tracks one in-flight line miss.
+type mshrEntry struct {
+	line       uint64
+	ready      int64
+	isPrefetch bool
+	demanded   bool // a demand access arrived while in flight
+	dirty      bool // a store demanded the line: fill dirty
+}
+
+// Stats are the hierarchy-level counters the experiments consume.
+type Stats struct {
+	Loads  int64
+	Stores int64
+
+	L2Demand  int64 // L1 misses = L2 demand accesses (bandit step unit)
+	LLCDemand int64 // L2 demand misses reaching the LLC
+	LLCMisses int64 // demand misses served by DRAM
+
+	PrefIssued  int64 // prefetches that allocated a request
+	PrefLate    int64 // demand arrived while the prefetch was in flight
+	PrefDropped int64 // prefetches dropped for MSHR pressure
+}
+
+// Hierarchy is one core's L1/L2 plus shared LLC/DRAM access machinery.
+type Hierarchy struct {
+	cfg    Config
+	l1, l2 *Cache
+	shared *Shared
+
+	mshr          map[uint64]*mshrEntry
+	demandInFlite int // in-flight demand misses
+	prefInFlite   int // in-flight prefetches
+	pending       fillHeap
+	stats         Stats
+}
+
+// NewHierarchy builds a single-core hierarchy with its own shared pool.
+func NewHierarchy(cfg Config) *Hierarchy {
+	return NewCoreHierarchy(cfg, NewShared(cfg, 1))
+}
+
+// NewCoreHierarchy builds one core's hierarchy over an existing shared
+// LLC/DRAM pool (multi-core experiments share one pool).
+func NewCoreHierarchy(cfg Config, shared *Shared) *Hierarchy {
+	return &Hierarchy{
+		cfg:    cfg,
+		l1:     NewCache("L1", cfg.L1Sets, cfg.L1Ways),
+		l2:     NewCache("L2", cfg.L2Sets, cfg.L2Ways),
+		shared: shared,
+		mshr:   make(map[uint64]*mshrEntry),
+	}
+}
+
+// Stats returns the hierarchy counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// L1 returns the private L1 cache (stats access).
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 returns the private L2 cache (stats access).
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// LLC returns the shared last-level cache.
+func (h *Hierarchy) LLC() *Cache { return h.shared.LLC }
+
+// DRAM returns the shared memory channel.
+func (h *Hierarchy) DRAM() *DRAM { return h.shared.DRAM }
+
+// Drain applies all pending fills whose ready time is at or before cycle.
+// The core model calls it as simulated time advances.
+func (h *Hierarchy) Drain(cycle int64) {
+	for len(h.pending) > 0 && h.pending[0].ready <= cycle {
+		f := heap.Pop(&h.pending).(*fill)
+		h.applyFill(f)
+	}
+}
+
+// applyFill delivers a line into the caches and retires its MSHR entry.
+func (h *Hierarchy) applyFill(f *fill) {
+	prefetched := f.isPrefetch
+	dirty := false
+	if f.entry != nil {
+		if f.entry.demanded {
+			prefetched = false // a late prefetch fills as a demand line
+		}
+		dirty = f.entry.dirty
+		delete(h.mshr, f.line)
+		if f.entry.isPrefetch {
+			h.prefInFlite--
+		} else {
+			h.demandInFlite--
+		}
+	}
+	if f.fromMem {
+		// The LLC copy carries the prefetched bit only when the LLC is
+		// the fill target; otherwise timeliness and waste are accounted
+		// at the target level to avoid double counting.
+		llcPref := prefetched && f.target == PrefToLLC
+		if ev := h.shared.LLC.Fill(f.line, llcPref, false); ev.Valid && ev.Dirty {
+			h.shared.DRAM.Write(f.ready)
+		}
+	}
+	switch f.target {
+	case PrefToL1:
+		h.fillL2(f.line, false, false, f.ready)
+		h.fillL1(f.line, prefetched, dirty, f.ready)
+	case PrefToLLC:
+		// LLC-only prefetch: account the prefetched bit in the LLC copy
+		// (the fill target), which fromMem inserted clean above; demand
+		// fills that merged in flight still reach L2/L1 below.
+		if f.entry != nil && f.entry.demanded {
+			h.fillL2(f.line, false, dirty, f.ready)
+		} else if !f.fromMem {
+			// Promotion from LLC with an LLC target is a no-op.
+			_ = f
+		}
+	default:
+		h.fillL2(f.line, prefetched, dirty, f.ready)
+	}
+}
+
+// fillL1 inserts into L1, writing back the victim into L2.
+func (h *Hierarchy) fillL1(line uint64, prefetched, dirty bool, cycle int64) {
+	if ev := h.l1.Fill(line, prefetched, dirty); ev.Valid && ev.Dirty {
+		h.fillL2(ev.LineAddr, false, true, cycle)
+	}
+}
+
+// fillL2 inserts into L2, writing back the victim into the LLC.
+func (h *Hierarchy) fillL2(line uint64, prefetched, dirty bool, cycle int64) {
+	if ev := h.l2.Fill(line, prefetched, dirty); ev.Valid && ev.Dirty {
+		if lev := h.shared.LLC.Fill(ev.LineAddr, false, true); lev.Valid && lev.Dirty {
+			h.shared.DRAM.Write(cycle)
+		}
+	}
+}
+
+// AccessResult reports the outcome of a demand access.
+type AccessResult struct {
+	// Done is the cycle the data is available.
+	Done int64
+	// Level is where the access was served.
+	Level Level
+	// L2Access reports whether this access reached the L2 (an L1 miss) —
+	// the event stream both the prefetchers and the bandit step counter
+	// are driven by.
+	L2Access bool
+	// L2Hit reports whether the L2 probe hit (valid when L2Access).
+	L2Hit bool
+	// LineAddr is the accessed cache line.
+	LineAddr uint64
+}
+
+// Access performs a demand load or store at the given cycle and returns
+// the completion. Stores allocate like loads (write-allocate) but callers
+// typically do not stall on the result.
+func (h *Hierarchy) Access(addr uint64, isWrite bool, cycle int64) AccessResult {
+	h.Drain(cycle)
+	line := LineAddr(addr)
+	if isWrite {
+		h.stats.Stores++
+	} else {
+		h.stats.Loads++
+	}
+	if h.l1.Lookup(line, isWrite) {
+		return AccessResult{Done: cycle + h.cfg.L1Lat, Level: LevelL1, LineAddr: line}
+	}
+	h.stats.L2Demand++
+	res := AccessResult{L2Access: true, LineAddr: line}
+	if h.l2.Lookup(line, isWrite) {
+		h.fillL1(line, false, isWrite, cycle)
+		res.Done, res.Level, res.L2Hit = cycle+h.cfg.L2Lat, LevelL2, true
+		return res
+	}
+	// In flight already? Merge with the outstanding request.
+	if e, ok := h.mshr[line]; ok {
+		if e.isPrefetch && !e.demanded {
+			h.stats.PrefLate++
+		}
+		e.demanded = true
+		e.dirty = e.dirty || isWrite
+		done := e.ready
+		if min := cycle + h.cfg.L2Lat; done < min {
+			done = min
+		}
+		res.Done, res.Level = done, LevelMem
+		return res
+	}
+	h.stats.LLCDemand++
+	if h.shared.LLC.Lookup(line, isWrite) {
+		h.fillL2(line, false, false, cycle)
+		h.fillL1(line, false, isWrite, cycle)
+		res.Done, res.Level = cycle+h.cfg.LLCLat, LevelLLC
+		return res
+	}
+	h.stats.LLCMisses++
+	issue := h.waitForMSHR(cycle)
+	ready := h.shared.DRAM.Read(issue + h.cfg.LLCLat)
+	e := &mshrEntry{line: line, ready: ready, demanded: true, dirty: isWrite}
+	h.mshr[line] = e
+	h.demandInFlite++
+	// Demand misses fill L1, L2, and LLC when the line arrives.
+	heap.Push(&h.pending, &fill{ready: ready, line: line, target: PrefToL1, fromMem: true, entry: e})
+	res.Done, res.Level = ready, LevelMem
+	return res
+}
+
+// waitForMSHR returns the earliest cycle a new miss can issue, stalling
+// until an MSHR frees up when all are occupied.
+func (h *Hierarchy) waitForMSHR(cycle int64) int64 {
+	if h.demandInFlite < h.cfg.MSHRs {
+		return cycle
+	}
+	earliest := int64(-1)
+	for _, e := range h.mshr {
+		if e.isPrefetch {
+			continue
+		}
+		if earliest < 0 || e.ready < earliest {
+			earliest = e.ready
+		}
+	}
+	if earliest > cycle {
+		h.Drain(earliest)
+		return earliest
+	}
+	h.Drain(cycle)
+	return cycle
+}
+
+// Prefetch requests a line. Redundant prefetches (line cached at or above
+// the target, or already in flight) are dropped. Prefetches consume DRAM
+// bandwidth like demand misses; under MSHR pressure they are dropped, not
+// queued — prefetches are hints.
+func (h *Hierarchy) Prefetch(addr uint64, cycle int64, target PrefTarget) {
+	h.Drain(cycle)
+	line := LineAddr(addr)
+	if h.l2.Contains(line) || (target == PrefToL1 && h.l1.Contains(line)) {
+		h.l2.NoteRedundantPrefetch()
+		return
+	}
+	if _, ok := h.mshr[line]; ok {
+		h.l2.NoteRedundantPrefetch()
+		return
+	}
+	h.stats.PrefIssued++
+	if h.shared.LLC.Contains(line) {
+		if target == PrefToLLC {
+			h.l2.NoteRedundantPrefetch()
+			h.stats.PrefIssued--
+			return
+		}
+		// Promote from LLC into the target level; no DRAM traffic.
+		heap.Push(&h.pending, &fill{
+			ready: cycle + h.cfg.LLCLat, line: line,
+			target: target, isPrefetch: true,
+		})
+		return
+	}
+	if h.prefInFlite >= h.cfg.PrefMSHRs {
+		h.stats.PrefDropped++
+		h.stats.PrefIssued--
+		return
+	}
+	ready := h.shared.DRAM.Read(cycle + h.cfg.LLCLat)
+	e := &mshrEntry{line: line, ready: ready, isPrefetch: true}
+	h.mshr[line] = e
+	h.prefInFlite++
+	heap.Push(&h.pending, &fill{
+		ready: ready, line: line, target: target,
+		fromMem: true, isPrefetch: true, entry: e,
+	})
+}
+
+// Classification summarizes prefetch outcomes for Fig. 9.
+type Classification struct {
+	Timely int64 // prefetched lines that served a demand hit
+	Late   int64 // demanded while still in flight
+	Wrong  int64 // evicted without any demand use
+}
+
+// Classify aggregates the prefetch outcome counters across the levels that
+// carry the prefetched bit (the fill target caches).
+func (h *Hierarchy) Classify() Classification {
+	l1, l2 := h.l1.Stats(), h.l2.Stats()
+	llc := h.shared.LLC.Stats()
+	return Classification{
+		Timely: l1.PrefUseful + l2.PrefUseful + llc.PrefUseful,
+		Late:   h.stats.PrefLate,
+		Wrong:  l1.PrefUnused + l2.PrefUnused + llc.PrefUnused,
+	}
+}

@@ -1,0 +1,460 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCacheValidation(t *testing.T) {
+	assertPanics(t, func() { NewCache("x", 3, 4) })  // non power of two
+	assertPanics(t, func() { NewCache("x", 0, 4) })  // zero sets
+	assertPanics(t, func() { NewCache("x", 16, 0) }) // zero ways
+}
+
+func TestCacheSizeBytes(t *testing.T) {
+	if got := NewCache("L1", 64, 8).SizeBytes(); got != 32*1024 {
+		t.Errorf("L1 size = %d, want 32KB", got)
+	}
+	if got := NewCache("LLC", 2048, 16).SizeBytes(); got != 2*1024*1024 {
+		t.Errorf("LLC size = %d, want 2MB", got)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache("c", 16, 2)
+	if c.Lookup(100, false) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Fill(100, false, false)
+	if !c.Lookup(100, false) {
+		t.Fatal("miss after fill")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Fills != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache("c", 1, 2) // single set, 2 ways
+	c.Fill(1, false, false)
+	c.Fill(2, false, false)
+	c.Lookup(1, false) // 1 is now MRU
+	ev := c.Fill(3, false, false)
+	if !ev.Valid || ev.LineAddr != 2 {
+		t.Fatalf("evicted %+v, want line 2 (LRU)", ev)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Error("wrong post-eviction contents")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := NewCache("c", 1, 1)
+	c.Fill(1, false, false)
+	c.Lookup(1, true) // store marks dirty
+	ev := c.Fill(2, false, false)
+	if !ev.Valid || !ev.Dirty {
+		t.Fatalf("dirty victim not reported: %+v", ev)
+	}
+	if c.Stats().DirtyEvicts != 1 {
+		t.Error("dirty eviction not counted")
+	}
+}
+
+func TestCachePrefetchAccounting(t *testing.T) {
+	c := NewCache("c", 1, 2)
+	c.Fill(1, true, false) // prefetched
+	if c.Stats().PrefFills != 1 {
+		t.Fatal("prefetch fill not counted")
+	}
+	c.Lookup(1, false) // first demand hit => useful
+	if c.Stats().PrefUseful != 1 {
+		t.Fatal("useful prefetch not counted")
+	}
+	c.Lookup(1, false) // second hit must not double count
+	if c.Stats().PrefUseful != 1 {
+		t.Fatal("useful prefetch double counted")
+	}
+	// An untouched prefetched line evicted counts as wrong.
+	c.Fill(2, true, false)
+	c.Fill(3, false, false)
+	c.Fill(4, false, false) // evicts line 2 or 1; 1 is used, 2 is not
+	c.Fill(5, false, false)
+	if c.Stats().PrefUnused != 1 {
+		t.Errorf("PrefUnused = %d, want 1", c.Stats().PrefUnused)
+	}
+}
+
+func TestCacheRefillRefreshes(t *testing.T) {
+	c := NewCache("c", 1, 2)
+	c.Fill(1, true, false)
+	// Demand fill of the same line counts as a use, not a duplicate.
+	c.Fill(1, false, false)
+	if got := c.Stats().PrefUseful; got != 1 {
+		t.Errorf("PrefUseful = %d after demand refill", got)
+	}
+	if got := c.Stats().Fills; got != 1 {
+		t.Errorf("Fills = %d; refill must not duplicate", got)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache("c", 4, 2)
+	c.Fill(1, false, false)
+	c.Lookup(1, false)
+	c.Reset()
+	if c.Contains(1) {
+		t.Error("contents survived Reset")
+	}
+	if c.Stats() != (CacheStats{}) {
+		t.Error("stats survived Reset")
+	}
+}
+
+func TestDRAMBandwidthQueueing(t *testing.T) {
+	// 2400 MTPS at 4 GHz: one line every ~13.3 cycles.
+	d := NewDRAM(2400, 4, 160)
+	if p := d.LinePeriodCycles(); p < 13 || p > 14 {
+		t.Fatalf("line period = %v, want ~13.3", p)
+	}
+	// Back-to-back requests at the same cycle serialize.
+	first := d.Read(0)
+	second := d.Read(0)
+	if second <= first {
+		t.Errorf("no serialization: %d then %d", first, second)
+	}
+	if d.Queued() != 1 {
+		t.Errorf("queued = %d, want 1", d.Queued())
+	}
+	// Spaced requests do not queue.
+	d.Reset()
+	a := d.Read(0)
+	b := d.Read(1000)
+	if b-1000 != a-0 {
+		t.Errorf("spaced requests got different latencies: %d vs %d", a, b-1000)
+	}
+	if d.Queued() != 0 {
+		t.Error("spaced requests queued")
+	}
+}
+
+func TestDRAMLowBandwidthHurts(t *testing.T) {
+	fast := NewDRAM(2400, 4, 160)
+	slow := NewDRAM(150, 4, 160)
+	var fastDone, slowDone int64
+	for i := 0; i < 100; i++ {
+		fastDone = fast.Read(int64(i))
+		slowDone = slow.Read(int64(i))
+	}
+	if slowDone < 4*fastDone {
+		t.Errorf("150 MTPS (%d) should be >4x slower than 2400 MTPS (%d) under load",
+			slowDone, fastDone)
+	}
+}
+
+func TestDRAMUtilization(t *testing.T) {
+	d := NewDRAM(2400, 4, 160)
+	for i := 0; i < 10; i++ {
+		d.Read(0)
+	}
+	u := d.Utilization(1000)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+	if d.Utilization(0) != 0 {
+		t.Error("utilization at cycle 0 != 0")
+	}
+}
+
+func TestNewDRAMPanics(t *testing.T) {
+	assertPanics(t, func() { NewDRAM(0, 4, 100) })
+	assertPanics(t, func() { NewDRAM(2400, 0, 100) })
+}
+
+func TestHierarchyDemandPath(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := uint64(0x100000)
+
+	// Cold miss goes to memory.
+	r1 := h.Access(addr, false, 0)
+	if r1.Level != LevelMem || !r1.L2Access || r1.L2Hit {
+		t.Fatalf("cold access = %+v", r1)
+	}
+	if r1.Done < 160 {
+		t.Fatalf("memory access done at %d, faster than DRAM latency", r1.Done)
+	}
+	// After the fill arrives, the same line hits in L1.
+	r2 := h.Access(addr, false, r1.Done+1)
+	if r2.Level != LevelL1 {
+		t.Fatalf("post-fill access served by %v", r2.Level)
+	}
+	st := h.Stats()
+	if st.L2Demand != 1 || st.LLCMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHierarchyL2AndLLCHits(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	base := uint64(0x200000)
+	// Warm the line, then evict it from tiny L1 by touching conflicting lines.
+	r := h.Access(base, false, 0)
+	cycle := r.Done + 1
+	// L1 has 64 sets; lines base + k*64*64 all map to the same L1 set.
+	for k := 1; k <= 9; k++ {
+		rr := h.Access(base+uint64(k)*64*64, false, cycle)
+		cycle = rr.Done + 1
+	}
+	got := h.Access(base, false, cycle)
+	if got.Level != LevelL2 {
+		t.Fatalf("expected L2 hit after L1 eviction, got %v", got.Level)
+	}
+	if !got.L2Hit {
+		t.Error("L2Hit flag not set")
+	}
+}
+
+func TestHierarchyPrefetchTimely(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := uint64(0x300000)
+	h.Prefetch(addr, 0, PrefToL2)
+	if h.Stats().PrefIssued != 1 {
+		t.Fatal("prefetch not issued")
+	}
+	// Wait for the fill, then demand it: timely.
+	h.Drain(10000)
+	r := h.Access(addr, false, 10000)
+	if r.Level != LevelL2 {
+		t.Fatalf("prefetched line served by %v, want L2", r.Level)
+	}
+	cl := h.Classify()
+	if cl.Timely != 1 || cl.Late != 0 || cl.Wrong != 0 {
+		t.Errorf("classification = %+v", cl)
+	}
+}
+
+func TestHierarchyPrefetchLate(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := uint64(0x400000)
+	h.Prefetch(addr, 0, PrefToL2)
+	// Demand arrives immediately, before the line lands: late.
+	r := h.Access(addr, false, 1)
+	if r.Level != LevelMem {
+		t.Fatalf("late-prefetch demand served by %v", r.Level)
+	}
+	cl := h.Classify()
+	if cl.Late != 1 {
+		t.Errorf("classification = %+v, want Late=1", cl)
+	}
+	// The eventual fill must not be counted wrong after eviction pressure.
+	h.Drain(100000)
+	if got := h.Classify().Wrong; got != 0 {
+		t.Errorf("late prefetch misclassified as wrong: %d", got)
+	}
+}
+
+func TestHierarchyPrefetchRedundantDropped(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := uint64(0x500000)
+	r := h.Access(addr, false, 0)
+	h.Drain(r.Done + 1)
+	h.Prefetch(addr, r.Done+1, PrefToL2)
+	if h.Stats().PrefIssued != 0 {
+		t.Error("redundant prefetch issued")
+	}
+	if h.L2().Stats().PrefRedundant != 1 {
+		t.Error("redundant prefetch not counted")
+	}
+	// In-flight duplicate also dropped.
+	h.Prefetch(0x600000, r.Done+2, PrefToL2)
+	h.Prefetch(0x600000, r.Done+3, PrefToL2)
+	if h.Stats().PrefIssued != 1 {
+		t.Errorf("PrefIssued = %d, want 1", h.Stats().PrefIssued)
+	}
+}
+
+func TestHierarchyPrefetchWrong(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2Sets, cfg.L2Ways = 1, 2 // tiny L2 to force evictions
+	h := NewHierarchy(cfg)
+	h.Prefetch(0x10000, 0, PrefToL2)
+	h.Drain(100000)
+	// Two demand misses push the prefetched line out of the 2-way set.
+	r := h.Access(0x20000, false, 100000)
+	h.Drain(r.Done + 1)
+	r = h.Access(0x30000, false, r.Done+1)
+	h.Drain(r.Done + 1)
+	if got := h.Classify().Wrong; got != 1 {
+		t.Errorf("Wrong = %d, want 1", got)
+	}
+}
+
+func TestHierarchyMSHRPrefetchDrop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrefMSHRs = 2
+	h := NewHierarchy(cfg)
+	h.Prefetch(0x1_0000, 0, PrefToL2)
+	h.Prefetch(0x2_0000, 0, PrefToL2)
+	h.Prefetch(0x3_0000, 0, PrefToL2) // prefetch queue full: dropped
+	st := h.Stats()
+	if st.PrefDropped != 1 || st.PrefIssued != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHierarchyPrefetchToL1(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := uint64(0x700000)
+	h.Prefetch(addr, 0, PrefToL1)
+	h.Drain(100000)
+	r := h.Access(addr, false, 100000)
+	if r.Level != LevelL1 {
+		t.Fatalf("L1 prefetch landed at %v", r.Level)
+	}
+	if got := h.Classify().Timely; got != 1 {
+		t.Errorf("Timely = %d", got)
+	}
+}
+
+func TestSharedLLCContention(t *testing.T) {
+	cfg := DefaultConfig()
+	shared := NewShared(cfg, 2)
+	h0 := NewCoreHierarchy(cfg, shared)
+	h1 := NewCoreHierarchy(cfg, shared)
+	// Core 0 warms a line into the shared LLC (and its private caches).
+	r := h0.Access(0x800000, false, 0)
+	h0.Drain(r.Done + 1)
+	// Core 1's private caches miss but the shared LLC hits.
+	got := h1.Access(0x800000, false, r.Done+1)
+	if got.Level != LevelLLC {
+		t.Fatalf("cross-core access served by %v, want LLC", got.Level)
+	}
+}
+
+func TestNewSharedPanicsOnBadCores(t *testing.T) {
+	assertPanics(t, func() { NewShared(DefaultConfig(), 3) })
+	assertPanics(t, func() { NewShared(DefaultConfig(), 0) })
+}
+
+func TestLevelString(t *testing.T) {
+	for l, s := range map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelLLC: "LLC", LevelMem: "MEM", Level(9): "level(9)"} {
+		if l.String() != s {
+			t.Errorf("Level(%d) = %q", l, l.String())
+		}
+	}
+}
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if NewCache("L2", cfg.L2Sets, cfg.L2Ways).SizeBytes() != 256*1024 {
+		t.Error("default L2 is not 256KB")
+	}
+	alt := AltCacheConfig()
+	if NewCache("L2", alt.L2Sets, alt.L2Ways).SizeBytes() != 1024*1024 {
+		t.Error("alt L2 is not 1MB")
+	}
+	if NewCache("LLC", alt.LLCSets, alt.LLCWays).SizeBytes() != 1536*1024 {
+		t.Error("alt LLC is not 1.5MB")
+	}
+}
+
+// Property: a cache never reports more hits+misses than lookups, and
+// lookups after a fill of the same line always hit until eviction.
+func TestQuickCacheConsistency(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := NewCache("q", 8, 2)
+		present := map[uint64]bool{}
+		for _, op := range ops {
+			line := uint64(op % 64)
+			if op%3 == 0 {
+				ev := c.Fill(line, false, false)
+				present[line] = true
+				if ev.Valid {
+					delete(present, ev.LineAddr)
+				}
+			} else {
+				hit := c.Lookup(line, false)
+				if present[line] && !hit {
+					return false // present lines must hit
+				}
+				if hit && !present[line] {
+					return false // absent lines must miss
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DRAM completions are monotone for monotone request times.
+func TestQuickDRAMMonotone(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		d := NewDRAM(600, 4, 160)
+		var cycle, prev int64
+		for _, g := range gaps {
+			cycle += int64(g)
+			done := d.Read(cycle)
+			if done < prev {
+				return false
+			}
+			prev = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	var cycle int64
+	for i := 0; i < b.N; i++ {
+		r := h.Access(uint64(i)*64, false, cycle)
+		cycle = r.Done
+	}
+}
+
+func TestHierarchyPrefetchToLLC(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := uint64(0x900000)
+	h.Prefetch(addr, 0, PrefToLLC)
+	if h.Stats().PrefIssued != 1 {
+		t.Fatal("LLC prefetch not issued")
+	}
+	h.Drain(1 << 30)
+	// The line must be in the LLC but not in L2 (no pollution).
+	if h.L2().Contains(LineAddr(addr)) {
+		t.Error("LLC-only prefetch polluted the L2")
+	}
+	if !h.LLC().Contains(LineAddr(addr)) {
+		t.Error("LLC-only prefetch missing from LLC")
+	}
+	// Demand access is served from the LLC and counts as timely.
+	r := h.Access(addr, false, 1<<30)
+	if r.Level != LevelLLC {
+		t.Fatalf("served by %v, want LLC", r.Level)
+	}
+	if got := h.Classify().Timely; got != 1 {
+		t.Errorf("Timely = %d, want 1", got)
+	}
+	// A second LLC-targeted prefetch of a cached line is redundant.
+	h.Prefetch(addr, 1<<30+100, PrefToLLC)
+	if h.Stats().PrefIssued != 1 {
+		t.Error("redundant LLC prefetch issued")
+	}
+}

@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"testing"
+
+	"microbandit/internal/xrand"
+)
+
+// TestHierarchyStressRandomTraffic drives random demand and prefetch
+// traffic and checks the structural invariants: MSHR counters track the
+// map, every fill eventually drains, and classification counters stay
+// consistent with issue counters.
+func TestHierarchyStressRandomTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MSHRs = 4
+	cfg.PrefMSHRs = 4
+	h := NewHierarchy(cfg)
+	rng := xrand.New(123)
+	var cycle int64
+	for i := 0; i < 50_000; i++ {
+		addr := uint64(rng.Intn(1 << 22)) // 4M byte region
+		switch rng.Intn(4) {
+		case 0:
+			h.Prefetch(addr, cycle, PrefToL2)
+		case 1:
+			r := h.Access(addr, true, cycle)
+			if r.Done < cycle {
+				t.Fatalf("store completion %d before issue %d", r.Done, cycle)
+			}
+		default:
+			r := h.Access(addr, false, cycle)
+			if r.Done < cycle {
+				t.Fatalf("load completion %d before issue %d", r.Done, cycle)
+			}
+		}
+		cycle += int64(rng.Intn(8))
+		// Internal consistency of the MSHR bookkeeping.
+		if h.demandInFlite < 0 || h.prefInFlite < 0 {
+			t.Fatalf("negative in-flight counters %d/%d", h.demandInFlite, h.prefInFlite)
+		}
+		if h.demandInFlite+h.prefInFlite != len(h.mshr) {
+			t.Fatalf("in-flight counters %d+%d != mshr size %d",
+				h.demandInFlite, h.prefInFlite, len(h.mshr))
+		}
+		if h.demandInFlite > cfg.MSHRs {
+			t.Fatalf("demand MSHRs over capacity: %d", h.demandInFlite)
+		}
+		if h.prefInFlite > cfg.PrefMSHRs {
+			t.Fatalf("prefetch MSHRs over capacity: %d", h.prefInFlite)
+		}
+	}
+	// Everything drains at quiescence. The driver is open-loop, so the
+	// DRAM backlog can extend far beyond the driver's clock; drain to the
+	// end of time.
+	h.Drain(1 << 62)
+	if len(h.mshr) != 0 || len(h.pending) != 0 {
+		t.Errorf("residual state after quiescence: mshr=%d pending=%d",
+			len(h.mshr), len(h.pending))
+	}
+	st := h.Stats()
+	cl := h.Classify()
+	if cl.Timely+cl.Wrong > st.PrefIssued {
+		t.Errorf("classified outcomes (%d+%d) exceed issued prefetches (%d)",
+			cl.Timely, cl.Wrong, st.PrefIssued)
+	}
+	if st.PrefLate > st.PrefIssued {
+		t.Errorf("late (%d) exceeds issued (%d)", st.PrefLate, st.PrefIssued)
+	}
+}
+
+// TestHierarchyInclusionish checks that a line served from DRAM is
+// subsequently present in L1, and that repeated access stays fast.
+func TestHierarchyInclusionish(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	rng := xrand.New(7)
+	var cycle int64
+	for i := 0; i < 2000; i++ {
+		addr := uint64(rng.Intn(1<<18)) &^ 63
+		r1 := h.Access(addr, false, cycle)
+		cycle = r1.Done + 1
+		r2 := h.Access(addr, false, cycle)
+		if r2.Level != LevelL1 {
+			t.Fatalf("iteration %d: immediate re-access served by %v", i, r2.Level)
+		}
+		cycle = r2.Done + 1
+	}
+}
+
+// TestWritebackTrafficCounted: dirty evictions must reach the DRAM write
+// counter under working sets that overflow the LLC.
+func TestWritebackTrafficCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	var cycle int64
+	lines := int64(cfg.LLCSets*cfg.LLCWays) * 3
+	for i := int64(0); i < lines; i++ {
+		r := h.Access(uint64(i*64), true, cycle)
+		cycle = r.Done + 1
+	}
+	h.Drain(cycle + 1_000_000)
+	// Touch a second pass to force evictions of dirty lines.
+	for i := int64(0); i < lines; i++ {
+		r := h.Access(uint64(i*64+1<<30), true, cycle)
+		cycle = r.Done + 1
+	}
+	h.Drain(cycle + 1_000_000)
+	if h.DRAM().Writes() == 0 {
+		t.Error("no writeback traffic recorded despite dirty overflow")
+	}
+}

@@ -1,0 +1,150 @@
+package prefetch
+
+// Bingo (Bakhshalipour et al., HPCA 2019) is a spatial footprint
+// prefetcher: it records which lines of a region were touched after a
+// trigger access, stores that footprint under progressively shorter
+// events (PC+Address, then PC+Offset), and on a recurring trigger replays
+// the recorded footprint. This implementation follows the published
+// mechanism with modest table sizes; the paper's storage figure (46 KB) is
+// represented in internal/hw, not derived from these structures.
+
+// bingoRegionShift: 2 KB regions = 32 lines.
+const (
+	bingoRegionShift = 11
+	bingoRegionLines = 1 << (bingoRegionShift - 6)
+)
+
+// bingoActive is one in-flight (accumulating) region.
+type bingoActive struct {
+	region    uint64
+	trigPC    uint64
+	trigLine  uint64 // absolute line number of the trigger
+	trigOff   int
+	footprint uint32
+	lastUse   int64
+	valid     bool
+}
+
+// Bingo is the spatial footprint prefetcher.
+type Bingo struct {
+	active  []bingoActive
+	longHit map[uint64]uint32 // PC+Address event -> footprint
+	longQ   []uint64
+	shortHi map[uint64]uint32 // PC+Offset event -> footprint
+	shortQ  []uint64
+	clock   int64
+	out     []uint64
+}
+
+// bingoHistoryCap bounds each history table (FIFO replacement).
+const bingoHistoryCap = 4096
+
+// NewBingo builds a Bingo prefetcher with the given number of active
+// (accumulation) regions.
+func NewBingo(activeRegions int) *Bingo {
+	if activeRegions < 1 {
+		activeRegions = 1
+	}
+	return &Bingo{
+		active:  make([]bingoActive, activeRegions),
+		longHit: make(map[uint64]uint32),
+		shortHi: make(map[uint64]uint32),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *Bingo) Name() string { return "Bingo" }
+
+func bingoLongKey(pc, line uint64) uint64 { return pc*0x9e3779b97f4a7c15 ^ line }
+func bingoShortKey(pc uint64, off int) uint64 {
+	return pc*0x9e3779b97f4a7c15 ^ uint64(off)<<58
+}
+
+// Operate implements Prefetcher.
+func (p *Bingo) Operate(ev Event) []uint64 {
+	p.out = p.out[:0]
+	p.clock++
+	line := ev.Addr >> 6
+	region := ev.Addr >> bingoRegionShift
+	off := int(line & (bingoRegionLines - 1))
+
+	// Accumulate into an active region if present.
+	for i := range p.active {
+		a := &p.active[i]
+		if a.valid && a.region == region {
+			a.footprint |= 1 << off
+			a.lastUse = p.clock
+			return nil
+		}
+	}
+
+	// New region: retire the LRU active region into history, then start
+	// accumulating and predict from history.
+	v := p.victim()
+	if v.valid {
+		p.commit(v)
+	}
+	*v = bingoActive{
+		region: region, trigPC: ev.PC, trigLine: line, trigOff: off,
+		footprint: 1 << off, lastUse: p.clock, valid: true,
+	}
+
+	fp, ok := p.longHit[bingoLongKey(ev.PC, line)]
+	if !ok {
+		fp, ok = p.shortHi[bingoShortKey(ev.PC, off)]
+	}
+	if !ok {
+		return nil
+	}
+	base := region << bingoRegionShift
+	for b := 0; b < bingoRegionLines; b++ {
+		if b != off && fp&(1<<b) != 0 {
+			p.out = append(p.out, base+uint64(b)*LineSize)
+		}
+	}
+	return p.out
+}
+
+// victim returns the active-table entry to replace (invalid or LRU).
+func (p *Bingo) victim() *bingoActive {
+	v := &p.active[0]
+	for i := range p.active {
+		a := &p.active[i]
+		if !a.valid {
+			return a
+		}
+		if a.lastUse < v.lastUse {
+			v = a
+		}
+	}
+	return v
+}
+
+// commit stores a finished region's footprint under both event keys.
+func (p *Bingo) commit(a *bingoActive) {
+	insert := func(m map[uint64]uint32, q *[]uint64, key uint64, fp uint32) {
+		if _, exists := m[key]; !exists {
+			if len(*q) >= bingoHistoryCap {
+				old := (*q)[0]
+				*q = (*q)[1:]
+				delete(m, old)
+			}
+			*q = append(*q, key)
+		}
+		m[key] = fp
+	}
+	insert(p.longHit, &p.longQ, bingoLongKey(a.trigPC, a.trigLine), a.footprint)
+	insert(p.shortHi, &p.shortQ, bingoShortKey(a.trigPC, a.trigOff), a.footprint)
+}
+
+// Reset implements Prefetcher.
+func (p *Bingo) Reset() {
+	for i := range p.active {
+		p.active[i] = bingoActive{}
+	}
+	p.longHit = make(map[uint64]uint32)
+	p.shortHi = make(map[uint64]uint32)
+	p.longQ = nil
+	p.shortQ = nil
+	p.clock = 0
+}

@@ -1,0 +1,125 @@
+package prefetch
+
+// BOP is the Best-Offset Prefetcher (Michaud, HPCA 2016), implemented as
+// the related-work contrast of §8: it learns a single best line offset for
+// *all* cache lines by scoring candidate offsets over epochs, and always
+// prefetches with degree 1. The paper argues this works under perfect
+// temporal homogeneity but cannot adapt when a few different degrees and
+// offsets are concurrently optimal — the regime where the Bandit's
+// orchestrated ensemble wins. Including BOP lets the harness demonstrate
+// that contrast directly.
+
+// BOP scoring parameters (after the published design, compacted).
+const (
+	bopMaxOffset   = 16
+	bopRRCap       = 256 // recent-requests window
+	bopScoreMax    = 31  // end the round when an offset saturates
+	bopRoundLenMax = 512 // or after this many accesses
+	bopBadScore    = 4   // below this, prefetching turns off
+)
+
+// BOP is the best-offset prefetcher.
+type BOP struct {
+	recent  map[uint64]struct{}
+	rrOrder []uint64
+
+	scores  []int
+	testIdx int // next candidate offset index to test
+	inRound int
+	current int // active prefetch offset; 0 = off
+	out     []uint64
+}
+
+// NewBOP builds a best-offset prefetcher.
+func NewBOP() *BOP {
+	return &BOP{
+		recent: make(map[uint64]struct{}, bopRRCap),
+		scores: make([]int, 2*bopMaxOffset+1),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *BOP) Name() string { return "BOP" }
+
+// CurrentOffset returns the active offset (0 when prefetching is off).
+func (p *BOP) CurrentOffset() int { return p.current }
+
+// Operate implements Prefetcher.
+func (p *BOP) Operate(ev Event) []uint64 {
+	p.out = p.out[:0]
+	line := ev.Addr >> 6
+
+	// Learning: test one candidate offset per access round-robin — did
+	// line-offset appear in the recent-requests window (i.e. would this
+	// offset have produced a timely prefetch)?
+	off := offsetAt(p.testIdx)
+	if off != 0 {
+		if _, ok := p.recent[line-uint64(off)]; ok {
+			p.scores[p.testIdx]++
+			if p.scores[p.testIdx] >= bopScoreMax {
+				p.endRound()
+			}
+		}
+	}
+	p.testIdx++
+	if p.testIdx == len(p.scores) {
+		p.testIdx = 0
+	}
+	p.inRound++
+	if p.inRound >= bopRoundLenMax {
+		p.endRound()
+	}
+
+	// Record the access in the recent-requests window.
+	if _, ok := p.recent[line]; !ok {
+		if len(p.rrOrder) >= bopRRCap {
+			old := p.rrOrder[0]
+			p.rrOrder = p.rrOrder[1:]
+			delete(p.recent, old)
+		}
+		p.rrOrder = append(p.rrOrder, line)
+		p.recent[line] = struct{}{}
+	}
+
+	// Prefetching: degree 1 with the single learned offset.
+	if p.current != 0 {
+		target := int64(line) + int64(p.current)
+		if target >= 0 {
+			p.out = append(p.out, uint64(target)*LineSize)
+		}
+	}
+	return p.out
+}
+
+// endRound commits the best-scoring offset and starts a new round.
+func (p *BOP) endRound() {
+	bestIdx, bestScore := -1, 0
+	for i, s := range p.scores {
+		if offsetAt(i) != 0 && s > bestScore {
+			bestIdx, bestScore = i, s
+		}
+	}
+	if bestIdx >= 0 && bestScore >= bopBadScore {
+		p.current = offsetAt(bestIdx)
+	} else {
+		p.current = 0 // prefetching off, as in the published design
+	}
+	for i := range p.scores {
+		p.scores[i] = 0
+	}
+	p.inRound = 0
+}
+
+// Reset implements Prefetcher.
+func (p *BOP) Reset() {
+	p.recent = make(map[uint64]struct{}, bopRRCap)
+	p.rrOrder = nil
+	for i := range p.scores {
+		p.scores[i] = 0
+	}
+	p.testIdx = 0
+	p.inRound = 0
+	p.current = 0
+}
+
+var _ Prefetcher = (*BOP)(nil)

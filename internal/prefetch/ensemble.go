@@ -1,0 +1,140 @@
+package prefetch
+
+import "fmt"
+
+// ArmConfig is one ensemble configuration: which lightweight prefetchers
+// are active and at what degree (one column of the paper's Table 7).
+type ArmConfig struct {
+	// NextLine enables the next-line prefetcher (degree 1).
+	NextLine bool
+	// StrideDegree is the PC-stride prefetcher degree (0 = off).
+	StrideDegree int
+	// StreamDegree is the stream prefetcher degree (0 = off).
+	StreamDegree int
+}
+
+// String renders the arm compactly, e.g. "NL:on stride:4 stream:4".
+func (a ArmConfig) String() string {
+	nl := "off"
+	if a.NextLine {
+		nl = "on"
+	}
+	return fmt.Sprintf("NL:%s stride:%d stream:%d", nl, a.StrideDegree, a.StreamDegree)
+}
+
+// Table7Arms returns the 11 prefetching arms of the paper's Table 7.
+func Table7Arms() []ArmConfig {
+	return []ArmConfig{
+		{NextLine: false, StrideDegree: 0, StreamDegree: 4},   // arm 0
+		{NextLine: false, StrideDegree: 0, StreamDegree: 0},   // arm 1 (all off)
+		{NextLine: true, StrideDegree: 0, StreamDegree: 0},    // arm 2
+		{NextLine: false, StrideDegree: 0, StreamDegree: 2},   // arm 3
+		{NextLine: false, StrideDegree: 2, StreamDegree: 2},   // arm 4
+		{NextLine: false, StrideDegree: 4, StreamDegree: 4},   // arm 5
+		{NextLine: false, StrideDegree: 0, StreamDegree: 6},   // arm 6
+		{NextLine: false, StrideDegree: 8, StreamDegree: 6},   // arm 7
+		{NextLine: true, StrideDegree: 0, StreamDegree: 8},    // arm 8
+		{NextLine: false, StrideDegree: 0, StreamDegree: 15},  // arm 9
+		{NextLine: false, StrideDegree: 15, StreamDegree: 15}, // arm 10
+	}
+}
+
+// Ensemble bundles the next-line, stream, and PC-stride prefetchers under
+// bandit control: each arm programs the component degrees (§5.2). It is
+// the Tunable the Micro-Armed Bandit drives in the prefetching use case.
+type Ensemble struct {
+	arms   []ArmConfig
+	cur    int
+	nl     NextLine
+	stream *Stream
+	stride *IPStride
+	out    []uint64
+}
+
+// NewEnsemble builds the ensemble with the given arm set and the paper's
+// tracker counts (64 stream trackers, 64 stride entries). It panics on an
+// empty arm set.
+func NewEnsemble(arms []ArmConfig) *Ensemble {
+	if len(arms) == 0 {
+		panic("prefetch: ensemble needs at least one arm")
+	}
+	e := &Ensemble{
+		arms:   arms,
+		stream: NewStream(64, 0),
+		stride: NewIPStride(64, 0),
+	}
+	e.Apply(0)
+	return e
+}
+
+// NewTable7Ensemble builds the ensemble with the paper's 11 arms.
+func NewTable7Ensemble() *Ensemble { return NewEnsemble(Table7Arms()) }
+
+// Name implements Prefetcher.
+func (e *Ensemble) Name() string { return "Bandit-Ensemble" }
+
+// NumArms implements Tunable.
+func (e *Ensemble) NumArms() int { return len(e.arms) }
+
+// CurrentArm returns the active arm index.
+func (e *Ensemble) CurrentArm() int { return e.cur }
+
+// Arm returns the configuration of arm i.
+func (e *Ensemble) Arm(i int) ArmConfig { return e.arms[i] }
+
+// Apply implements Tunable: program the component degrees.
+func (e *Ensemble) Apply(arm int) {
+	if arm < 0 || arm >= len(e.arms) {
+		panic(fmt.Sprintf("prefetch: arm %d out of range [0,%d)", arm, len(e.arms)))
+	}
+	e.cur = arm
+	cfg := e.arms[arm]
+	if cfg.NextLine {
+		e.nl.Degree = 1
+	} else {
+		e.nl.Degree = 0
+	}
+	e.stream.Degree = cfg.StreamDegree
+	e.stride.Degree = cfg.StrideDegree
+}
+
+// Operate implements Prefetcher: all active components observe the access
+// and their proposals are merged (deduplicated).
+func (e *Ensemble) Operate(ev Event) []uint64 {
+	e.out = e.out[:0]
+	e.out = append(e.out, e.nl.Operate(ev)...)
+	e.out = appendDedup(e.out, e.stream.Operate(ev))
+	e.out = appendDedup(e.out, e.stride.Operate(ev))
+	return e.out
+}
+
+// appendDedup appends addrs to dst, skipping line-duplicates already in
+// dst. The candidate lists are tiny (≤ 31 entries), so linear scan wins.
+func appendDedup(dst, addrs []uint64) []uint64 {
+next:
+	for _, a := range addrs {
+		al := a &^ uint64(LineSize-1)
+		for _, d := range dst {
+			if d&^uint64(LineSize-1) == al {
+				continue next
+			}
+		}
+		dst = append(dst, a)
+	}
+	return dst
+}
+
+// Reset implements Prefetcher. The applied arm is retained.
+func (e *Ensemble) Reset() {
+	e.stream.Reset()
+	e.stride.Reset()
+}
+
+// Compile-time interface checks.
+var (
+	_ Tunable    = (*Ensemble)(nil)
+	_ Prefetcher = (*NextLine)(nil)
+	_ Prefetcher = (*Stream)(nil)
+	_ Prefetcher = (*IPStride)(nil)
+	_ Prefetcher = Null{}
+)

@@ -1,0 +1,99 @@
+package prefetch
+
+import "fmt"
+
+// This file implements the first §9 extension: spending a little more
+// storage on a larger action space in which arms also select the prefetch
+// *fill target* — the usual L2 fill, or an LLC-only fill that avoids
+// polluting the small L2 with speculative lines (useful for huge working
+// sets where prefetched lines are single-use).
+
+// ExtArmConfig is an ensemble arm extended with a fill-target choice.
+type ExtArmConfig struct {
+	ArmConfig
+	// LLCOnly directs prefetches into the LLC instead of the L2.
+	LLCOnly bool
+}
+
+// String renders the extended arm.
+func (a ExtArmConfig) String() string {
+	target := "L2"
+	if a.LLCOnly {
+		target = "LLC"
+	}
+	return fmt.Sprintf("%s fill:%s", a.ArmConfig, target)
+}
+
+// ExtendedArms returns the Table 7 arms plus LLC-only variants of the
+// most aggressive ones — the arms whose pollution cost is highest, where
+// a farther fill target is most plausibly the right call.
+func ExtendedArms() []ExtArmConfig {
+	base := Table7Arms()
+	out := make([]ExtArmConfig, 0, len(base)+3)
+	for _, a := range base {
+		out = append(out, ExtArmConfig{ArmConfig: a})
+	}
+	for _, idx := range []int{0, 9, 10} { // stream-4, stream-15, stride+stream-15
+		out = append(out, ExtArmConfig{ArmConfig: base[idx], LLCOnly: true})
+	}
+	return out
+}
+
+// ExtendedEnsemble is the ensemble over ExtendedArms. It implements
+// Tunable plus the TargetAware hook the core runner consults for the fill
+// level.
+type ExtendedEnsemble struct {
+	inner *Ensemble
+	arms  []ExtArmConfig
+	cur   int
+}
+
+// NewExtendedEnsemble builds the extended ensemble.
+func NewExtendedEnsemble() *ExtendedEnsemble {
+	arms := ExtendedArms()
+	baseArms := make([]ArmConfig, len(arms))
+	for i, a := range arms {
+		baseArms[i] = a.ArmConfig
+	}
+	return &ExtendedEnsemble{inner: NewEnsemble(baseArms), arms: arms}
+}
+
+// Name implements Prefetcher.
+func (e *ExtendedEnsemble) Name() string { return "Bandit-Ensemble-Ext" }
+
+// NumArms implements Tunable.
+func (e *ExtendedEnsemble) NumArms() int { return len(e.arms) }
+
+// Apply implements Tunable.
+func (e *ExtendedEnsemble) Apply(arm int) {
+	e.inner.Apply(arm) // panics on out-of-range, matching Tunable's contract
+	e.cur = arm
+}
+
+// CurrentArm returns the active arm index.
+func (e *ExtendedEnsemble) CurrentArm() int { return e.cur }
+
+// Arm returns arm i's configuration.
+func (e *ExtendedEnsemble) Arm(i int) ExtArmConfig { return e.arms[i] }
+
+// Operate implements Prefetcher.
+func (e *ExtendedEnsemble) Operate(ev Event) []uint64 { return e.inner.Operate(ev) }
+
+// Reset implements Prefetcher.
+func (e *ExtendedEnsemble) Reset() { e.inner.Reset() }
+
+// LLCOnly implements TargetAware.
+func (e *ExtendedEnsemble) LLCOnly() bool { return e.arms[e.cur].LLCOnly }
+
+// TargetAware is implemented by prefetchers whose active configuration
+// chooses the fill level; the core runner consults it per prefetch.
+type TargetAware interface {
+	// LLCOnly reports whether prefetches should fill only the LLC.
+	LLCOnly() bool
+}
+
+// Compile-time interface checks.
+var (
+	_ Tunable     = (*ExtendedEnsemble)(nil)
+	_ TargetAware = (*ExtendedEnsemble)(nil)
+)

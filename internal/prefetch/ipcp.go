@@ -1,0 +1,243 @@
+package prefetch
+
+// IPCP (Pakalapati & Panda, ISCA 2020) classifies instruction pointers by
+// their access pattern and runs a lightweight prefetcher per class:
+//
+//   - CS (constant stride): per-IP stride with confidence.
+//   - CPLX (complex): per-IP delta-signature prediction for non-constant
+//     but repeating delta sequences.
+//   - GS (global stream): a global monotonic-stream detector for
+//     streaming phases that individual IPs do not expose.
+//
+// The paper evaluates IPCP as a multi-level (L1+L2) prefetcher (Fig. 12);
+// the core model instantiates one IPCP per level with the fill target
+// chosen by the runner.
+
+// ipcpEntry is the per-IP record.
+type ipcpEntry struct {
+	pc        uint64
+	lastLine  uint64
+	stride    int64
+	strideCnf int // CS confidence, saturating 0..3
+	signature uint32
+	lastUse   int64
+	valid     bool
+}
+
+// IPCP is the IP-classifier prefetcher.
+type IPCP struct {
+	entries []ipcpEntry
+	cplx    map[uint32]int64 // delta signature -> predicted next delta
+	cplxQ   []uint32
+
+	gsUp, gsDown int    // global stream direction votes
+	gsLast       uint64 // last line seen by any IP (global stream input)
+	clock        int64
+	out          []uint64
+
+	// Degree is the per-class prefetch depth.
+	Degree int
+}
+
+// ipcpCplxCap bounds the complex-pattern table.
+const ipcpCplxCap = 2048
+
+// NewIPCP builds an IPCP with the given IP-table size and degree.
+func NewIPCP(entries, degree int) *IPCP {
+	if entries < 1 {
+		entries = 1
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	return &IPCP{
+		entries: make([]ipcpEntry, entries),
+		cplx:    make(map[uint32]int64),
+		Degree:  degree,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *IPCP) Name() string { return "IPCP" }
+
+// Operate implements Prefetcher.
+func (p *IPCP) Operate(ev Event) []uint64 {
+	p.out = p.out[:0]
+	p.clock++
+	line := ev.Addr >> 6
+
+	p.voteGS(int64(line) - int64(p.gsLast))
+	p.gsLast = line
+
+	e := p.lookup(ev.PC)
+	if e == nil {
+		e = p.victim()
+		*e = ipcpEntry{pc: ev.PC, lastLine: line, lastUse: p.clock, valid: true}
+		if dir := p.gsDir(); dir != 0 {
+			for d := 1; d <= p.Degree; d++ {
+				t := int64(line) + int64(dir*d)
+				if t >= 0 {
+					p.out = append(p.out, uint64(t)*LineSize)
+				}
+			}
+		}
+		return p.out
+	}
+	e.lastUse = p.clock
+	delta := int64(line) - int64(e.lastLine)
+	e.lastLine = line
+	if delta == 0 {
+		return nil
+	}
+
+	// Class CS: constant stride.
+	if delta == e.stride {
+		if e.strideCnf < 3 {
+			e.strideCnf++
+		}
+	} else {
+		e.stride = delta
+		if e.strideCnf > 0 {
+			e.strideCnf--
+		}
+	}
+	if e.strideCnf >= 2 {
+		for d := 1; d <= p.Degree; d++ {
+			t := int64(line) + e.stride*int64(d)
+			if t >= 0 {
+				p.out = append(p.out, uint64(t)*LineSize)
+			}
+		}
+		p.train(e, delta)
+		return p.out
+	}
+
+	// Class CPLX: signature-predicted delta chain.
+	sig := e.signature
+	p.train(e, delta)
+	if next, ok := p.cplx[sig]; ok && next != 0 {
+		cur := int64(line)
+		s := sig
+		for d := 1; d <= p.Degree; d++ {
+			nd, ok := p.cplx[s]
+			if !ok || nd == 0 {
+				break
+			}
+			cur += nd
+			if cur >= 0 {
+				p.out = append(p.out, uint64(cur)*LineSize)
+			}
+			s = ipcpSig(s, nd)
+		}
+		if len(p.out) > 0 {
+			return p.out
+		}
+	}
+
+	// Class GS: global stream.
+	if dir := p.gsDir(); dir != 0 {
+		for d := 1; d <= p.Degree; d++ {
+			t := int64(line) + int64(dir*d)
+			if t >= 0 {
+				p.out = append(p.out, uint64(t)*LineSize)
+			}
+		}
+	}
+	return p.out
+}
+
+// train records delta into the per-IP signature chain and the CPLX table.
+func (p *IPCP) train(e *ipcpEntry, delta int64) {
+	sig := e.signature
+	if _, exists := p.cplx[sig]; !exists {
+		if len(p.cplxQ) >= ipcpCplxCap {
+			old := p.cplxQ[0]
+			p.cplxQ = p.cplxQ[1:]
+			delete(p.cplx, old)
+		}
+		p.cplxQ = append(p.cplxQ, sig)
+	}
+	p.cplx[sig] = delta
+	e.signature = ipcpSig(sig, delta)
+}
+
+// ipcpSig folds a delta into a rolling signature.
+func ipcpSig(sig uint32, delta int64) uint32 {
+	return sig<<4 ^ uint32(uint64(delta)&0xfff)*2654435761
+}
+
+// voteGS maintains the global stream direction votes over a sliding
+// window of recent deltas.
+func (p *IPCP) voteGS(delta int64) {
+	decay := func(v int) int {
+		if v > 0 {
+			return v - 1
+		}
+		return v
+	}
+	switch {
+	case delta == 1:
+		p.gsUp += 4
+	case delta == -1:
+		p.gsDown += 4
+	default:
+		p.gsUp = decay(p.gsUp)
+		p.gsDown = decay(p.gsDown)
+	}
+	const cap = 64
+	if p.gsUp > cap {
+		p.gsUp = cap
+	}
+	if p.gsDown > cap {
+		p.gsDown = cap
+	}
+}
+
+// gsDir returns the confident global stream direction, or 0.
+func (p *IPCP) gsDir() int {
+	const need = 32
+	if p.gsUp >= need && p.gsUp > 2*p.gsDown {
+		return 1
+	}
+	if p.gsDown >= need && p.gsDown > 2*p.gsUp {
+		return -1
+	}
+	return 0
+}
+
+func (p *IPCP) lookup(pc uint64) *ipcpEntry {
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].pc == pc {
+			return &p.entries[i]
+		}
+	}
+	return nil
+}
+
+func (p *IPCP) victim() *ipcpEntry {
+	v := &p.entries[0]
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			return e
+		}
+		if e.lastUse < v.lastUse {
+			v = e
+		}
+	}
+	return v
+}
+
+// Reset implements Prefetcher.
+func (p *IPCP) Reset() {
+	for i := range p.entries {
+		p.entries[i] = ipcpEntry{}
+	}
+	p.cplx = make(map[uint32]int64)
+	p.cplxQ = nil
+	p.gsUp, p.gsDown = 0, 0
+	p.gsLast = 0
+	p.clock = 0
+}
+
+var _ Prefetcher = (*IPCP)(nil)

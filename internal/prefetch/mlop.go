@@ -1,0 +1,131 @@
+package prefetch
+
+// MLOP (Shakerinava et al., DPC-3 2019) is a multi-lookahead offset
+// prefetcher: it scores candidate line offsets against a map of recently
+// accessed lines and, unlike a single-best-offset design, selects several
+// offsets (one per lookahead level) so it can cover patterns that need a
+// mix of near and far prefetches. This implementation keeps the published
+// structure — an access map, per-offset scores, round-based selection —
+// with compact parameters.
+
+// MLOP tuning constants.
+const (
+	mlopMaxOffset   = 16  // candidate offsets in [-16,16], excluding 0
+	mlopMapCap      = 512 // recently-accessed-lines window
+	mlopRoundLen    = 256 // accesses per selection round
+	mlopMaxSelected = 4   // lookahead levels = prefetch degree cap
+	mlopThreshold   = 35  // minimum percent of round accesses to select
+)
+
+// MLOP is the multi-lookahead offset prefetcher.
+type MLOP struct {
+	recent   map[uint64]struct{}
+	order    []uint64 // FIFO of the recent-lines window
+	scores   []int    // score per candidate offset
+	selected []int    // offsets chosen at the end of the last round
+	inRound  int
+	out      []uint64
+}
+
+// NewMLOP builds an MLOP prefetcher.
+func NewMLOP() *MLOP {
+	return &MLOP{
+		recent: make(map[uint64]struct{}, mlopMapCap),
+		scores: make([]int, 2*mlopMaxOffset+1),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *MLOP) Name() string { return "MLOP" }
+
+// offsetAt maps a score index to its offset (skipping 0).
+func offsetAt(idx int) int { return idx - mlopMaxOffset }
+
+// Operate implements Prefetcher.
+func (p *MLOP) Operate(ev Event) []uint64 {
+	p.out = p.out[:0]
+	line := ev.Addr >> 6
+
+	// Score: which offsets would have predicted this access from a line
+	// seen in the recent window?
+	for idx := range p.scores {
+		off := offsetAt(idx)
+		if off == 0 {
+			continue
+		}
+		if _, ok := p.recent[line-uint64(off)]; ok {
+			p.scores[idx]++
+		}
+	}
+
+	// Record the access.
+	if _, ok := p.recent[line]; !ok {
+		if len(p.order) >= mlopMapCap {
+			old := p.order[0]
+			p.order = p.order[1:]
+			delete(p.recent, old)
+		}
+		p.order = append(p.order, line)
+		p.recent[line] = struct{}{}
+	}
+
+	p.inRound++
+	if p.inRound >= mlopRoundLen {
+		p.selectOffsets()
+	}
+
+	// Prefetch with the currently selected offsets.
+	for _, off := range p.selected {
+		target := int64(line) + int64(off)
+		if target < 0 {
+			continue
+		}
+		p.out = append(p.out, uint64(target)*LineSize)
+	}
+	return p.out
+}
+
+// selectOffsets ends a round: pick up to mlopMaxSelected offsets whose
+// score clears the threshold, best-first, then clear the scores.
+func (p *MLOP) selectOffsets() {
+	min := p.inRound * mlopThreshold / 100
+	p.selected = p.selected[:0]
+	type cand struct{ off, score int }
+	var cands []cand
+	for idx, s := range p.scores {
+		off := offsetAt(idx)
+		if off != 0 && s >= min {
+			cands = append(cands, cand{off, s})
+		}
+	}
+	// Selection sort by score descending; the list is tiny.
+	for len(cands) > 0 && len(p.selected) < mlopMaxSelected {
+		best := 0
+		for i := range cands {
+			if cands[i].score > cands[best].score {
+				best = i
+			}
+		}
+		p.selected = append(p.selected, cands[best].off)
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+	for idx := range p.scores {
+		p.scores[idx] = 0
+	}
+	p.inRound = 0
+}
+
+// Selected returns the offsets chosen by the last round (for tests).
+func (p *MLOP) Selected() []int { return p.selected }
+
+// Reset implements Prefetcher.
+func (p *MLOP) Reset() {
+	p.recent = make(map[uint64]struct{}, mlopMapCap)
+	p.order = nil
+	for i := range p.scores {
+		p.scores[i] = 0
+	}
+	p.selected = nil
+	p.inRound = 0
+}

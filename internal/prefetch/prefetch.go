@@ -1,0 +1,76 @@
+// Package prefetch implements the L2 data prefetchers of the paper's
+// evaluation: the lightweight next-line / stream / PC-stride prefetchers
+// the Bandit orchestrates (Table 7), the ensemble wrapper that exposes
+// them as bandit arms, and the prior-work comparison points — the IP-stride
+// baseline, Bingo, MLOP, the MDP-RL prefetcher Pythia, and the multi-level
+// IPCP.
+//
+// All prefetchers are driven by the stream of L2 demand accesses (L1
+// misses), matching the paper's configuration where prefetchers train on
+// L1 misses and fill into L2/LLC. A prefetcher consumes one Event per L2
+// access and returns the byte addresses it wants prefetched; the core
+// model issues them into the hierarchy.
+package prefetch
+
+// Event is one L2 demand access presented to a prefetcher.
+type Event struct {
+	// PC is the program counter of the triggering load/store.
+	PC uint64
+	// Addr is the accessed byte address.
+	Addr uint64
+	// Hit reports whether the access hit in the L2.
+	Hit bool
+	// Cycle is the access time.
+	Cycle int64
+}
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Line returns the event's cache-line-aligned address.
+func (e Event) Line() uint64 { return e.Addr &^ uint64(LineSize-1) }
+
+// Prefetcher consumes L2 demand accesses and proposes prefetch addresses.
+// Implementations are single-threaded, like the hardware they model.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// Operate observes one L2 demand access and returns byte addresses
+	// to prefetch (possibly none). The returned slice is only valid
+	// until the next call.
+	Operate(ev Event) []uint64
+	// Reset clears all learned state.
+	Reset()
+}
+
+// Tunable is a prefetcher whose behaviour is selected from a discrete set
+// of configurations ("arms") by an external agent — the interface between
+// the Bandit and the prefetcher ensemble.
+type Tunable interface {
+	Prefetcher
+	// NumArms returns the number of selectable configurations.
+	NumArms() int
+	// Apply switches to the given configuration. It panics on an
+	// out-of-range arm: the agent and ensemble are configured together,
+	// so a mismatch is a programming error.
+	Apply(arm int)
+}
+
+// BandwidthAware is implemented by prefetchers that consume a DRAM
+// bandwidth-utilization signal (Pythia's distinguishing input). The core
+// model feeds it periodically.
+type BandwidthAware interface {
+	SetBandwidthUtil(frac float64)
+}
+
+// Null is the no-prefetching baseline.
+type Null struct{}
+
+// Name implements Prefetcher.
+func (Null) Name() string { return "NoPrefetch" }
+
+// Operate implements Prefetcher.
+func (Null) Operate(Event) []uint64 { return nil }
+
+// Reset implements Prefetcher.
+func (Null) Reset() {}

@@ -1,0 +1,504 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// evAt builds a load event for line n (line number, not byte address).
+func evAt(pc uint64, lineNum uint64, cycle int64) Event {
+	return Event{PC: pc, Addr: lineNum * LineSize, Cycle: cycle}
+}
+
+func lines(addrs []uint64) []uint64 {
+	out := make([]uint64, len(addrs))
+	for i, a := range addrs {
+		out[i] = a / LineSize
+	}
+	return out
+}
+
+func TestEventLine(t *testing.T) {
+	e := Event{Addr: 0x12345}
+	if e.Line() != 0x12340 {
+		t.Errorf("Line = %#x", e.Line())
+	}
+}
+
+func TestNull(t *testing.T) {
+	var n Null
+	if n.Name() != "NoPrefetch" || n.Operate(evAt(1, 1, 0)) != nil {
+		t.Error("Null misbehaves")
+	}
+	n.Reset()
+}
+
+func TestNextLine(t *testing.T) {
+	p := &NextLine{Degree: 2}
+	got := lines(p.Operate(evAt(1, 100, 0)))
+	if len(got) != 2 || got[0] != 101 || got[1] != 102 {
+		t.Errorf("NextLine = %v", got)
+	}
+	p.Degree = 0
+	if out := p.Operate(evAt(1, 100, 0)); len(out) != 0 {
+		t.Errorf("disabled NextLine prefetched %v", out)
+	}
+}
+
+func TestStreamDetectsAscendingRun(t *testing.T) {
+	p := NewStream(64, 4)
+	var got []uint64
+	for i := uint64(0); i < 5; i++ {
+		got = p.Operate(evAt(9, 1000+i, 0))
+	}
+	if len(got) != 4 {
+		t.Fatalf("confident stream prefetched %d lines, want 4", len(got))
+	}
+	want := lines(got)
+	for i, l := range want {
+		if l != 1004+uint64(i)+1 {
+			t.Errorf("prefetch %d = line %d, want %d", i, l, 1005+uint64(i))
+		}
+	}
+}
+
+func TestStreamDetectsDescendingRun(t *testing.T) {
+	p := NewStream(64, 2)
+	var got []uint64
+	for i := 0; i < 5; i++ {
+		got = p.Operate(evAt(9, uint64(1000-i), 0))
+	}
+	gl := lines(got)
+	if len(gl) != 2 || gl[0] != 995 || gl[1] != 994 {
+		t.Errorf("descending prefetches = %v", gl)
+	}
+}
+
+func TestStreamIgnoresRandomAccesses(t *testing.T) {
+	p := NewStream(4, 4)
+	issued := 0
+	// Random jumps across many pages: trackers never gain confidence.
+	addrs := []uint64{10, 90000, 555, 123456, 777, 999999, 42, 31415}
+	for _, a := range addrs {
+		issued += len(p.Operate(evAt(1, a, 0)))
+	}
+	if issued != 0 {
+		t.Errorf("random accesses triggered %d prefetches", issued)
+	}
+}
+
+func TestStreamTrackerReplacementLRU(t *testing.T) {
+	p := NewStream(2, 1)
+	// Train two pages, then a third evicts the least recently used.
+	p.Operate(evAt(1, 64*0+1, 0))  // page A
+	p.Operate(evAt(1, 64*10+1, 0)) // page B
+	p.Operate(evAt(1, 64*0+2, 0))  // touch A again: B becomes LRU
+	p.Operate(evAt(1, 64*20+1, 0)) // page C evicts B
+	if p.lookup(10) != nil {
+		t.Error("LRU tracker (page B) not evicted")
+	}
+	if p.lookup(0) == nil || p.lookup(20) == nil {
+		t.Error("wrong tracker evicted")
+	}
+}
+
+func TestIPStrideLearnsStride(t *testing.T) {
+	p := NewIPStride(64, 3)
+	var got []uint64
+	for i := uint64(0); i < 4; i++ {
+		got = p.Operate(Event{PC: 7, Addr: 1000 + i*256})
+	}
+	if len(got) != 3 {
+		t.Fatalf("stride prefetches = %d, want 3", len(got))
+	}
+	base := uint64(1000 + 3*256)
+	for i, a := range got {
+		if a != base+uint64(i+1)*256 {
+			t.Errorf("prefetch %d = %d, want %d", i, a, base+uint64(i+1)*256)
+		}
+	}
+}
+
+func TestIPStrideSeparatesPCs(t *testing.T) {
+	p := NewIPStride(64, 1)
+	// Interleave two PCs with different strides; both should train.
+	var gotA, gotB []uint64
+	for i := uint64(0); i < 5; i++ {
+		gotA = append(gotA[:0], p.Operate(Event{PC: 1, Addr: 4096 + i*128})...)
+		gotB = append(gotB[:0], p.Operate(Event{PC: 2, Addr: (1 << 30) + i*8})...)
+	}
+	if len(gotA) != 1 || gotA[0] != 4096+4*128+128 {
+		t.Errorf("PC1 prefetch = %v", gotA)
+	}
+	if len(gotB) != 1 || gotB[0] != (1<<30)+4*8+8 {
+		t.Errorf("PC2 prefetch = %v", gotB)
+	}
+}
+
+func TestIPStrideStrideChangeResetsConfidence(t *testing.T) {
+	p := NewIPStride(8, 1)
+	for i := uint64(0); i < 4; i++ {
+		p.Operate(Event{PC: 3, Addr: 1000 + i*64})
+	}
+	// Change the stride: the immediate prefetch must stop.
+	if out := p.Operate(Event{PC: 3, Addr: 100000}); len(out) != 0 {
+		t.Errorf("prefetched %v right after stride break", out)
+	}
+}
+
+func TestTable7ArmsMatchPaper(t *testing.T) {
+	arms := Table7Arms()
+	if len(arms) != 11 {
+		t.Fatalf("got %d arms, want 11", len(arms))
+	}
+	// Spot-check against Table 7.
+	if arms[1] != (ArmConfig{}) {
+		t.Errorf("arm 1 = %+v, want all-off", arms[1])
+	}
+	if !arms[2].NextLine || arms[2].StrideDegree != 0 || arms[2].StreamDegree != 0 {
+		t.Errorf("arm 2 = %+v", arms[2])
+	}
+	if arms[10].StrideDegree != 15 || arms[10].StreamDegree != 15 {
+		t.Errorf("arm 10 = %+v", arms[10])
+	}
+	if arms[0].StreamDegree != 4 || arms[0].StrideDegree != 0 || arms[0].NextLine {
+		t.Errorf("arm 0 = %+v", arms[0])
+	}
+}
+
+func TestEnsembleApplyControlsComponents(t *testing.T) {
+	e := NewTable7Ensemble()
+	if e.NumArms() != 11 {
+		t.Fatal("wrong arm count")
+	}
+	e.Apply(1) // everything off
+	// Train a stream hard; nothing may be prefetched.
+	issued := 0
+	for i := uint64(0); i < 50; i++ {
+		issued += len(e.Operate(evAt(5, 2000+i, 0)))
+	}
+	if issued != 0 {
+		t.Errorf("arm 1 (all off) issued %d prefetches", issued)
+	}
+	e.Apply(9) // stream degree 15
+	var got []uint64
+	for i := uint64(50); i < 55; i++ {
+		got = e.Operate(evAt(5, 2000+i, 0))
+	}
+	if len(got) != 15 {
+		t.Errorf("arm 9 issued %d, want 15", len(got))
+	}
+	if e.CurrentArm() != 9 {
+		t.Error("CurrentArm wrong")
+	}
+}
+
+func TestEnsembleDedups(t *testing.T) {
+	e := NewEnsemble([]ArmConfig{{NextLine: true, StrideDegree: 4, StreamDegree: 4}})
+	// A unit-stride run: next-line, stream, and stride all propose line+1.
+	var got []uint64
+	for i := uint64(0); i < 6; i++ {
+		got = e.Operate(evAt(5, 3000+i, 0))
+	}
+	seen := map[uint64]bool{}
+	for _, a := range got {
+		l := a / LineSize
+		if seen[l] {
+			t.Fatalf("duplicate prefetch of line %d in %v", l, lines(got))
+		}
+		seen[l] = true
+	}
+}
+
+func TestEnsemblePanics(t *testing.T) {
+	assertPanics(t, func() { NewEnsemble(nil) })
+	e := NewTable7Ensemble()
+	assertPanics(t, func() { e.Apply(11) })
+	assertPanics(t, func() { e.Apply(-1) })
+}
+
+func TestArmConfigString(t *testing.T) {
+	s := (ArmConfig{NextLine: true, StrideDegree: 2, StreamDegree: 3}).String()
+	if s != "NL:on stride:2 stream:3" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBingoLearnsFootprint(t *testing.T) {
+	p := NewBingo(16)
+	// Region X: trigger at offset 0 from PC 9, then touch offsets 3, 7, 9.
+	regionA := uint64(1) << bingoRegionShift * 100
+	p.Operate(Event{PC: 9, Addr: regionA})
+	p.Operate(Event{PC: 9, Addr: regionA + 3*LineSize})
+	p.Operate(Event{PC: 9, Addr: regionA + 7*LineSize})
+	p.Operate(Event{PC: 9, Addr: regionA + 9*LineSize})
+	// Touch enough other regions to retire region A into history.
+	for k := uint64(1); k <= 20; k++ {
+		p.Operate(Event{PC: 50 + k, Addr: regionA + k*(1<<bingoRegionShift)})
+	}
+	// Recurrence: same PC triggers at the same offset in a new region.
+	regionB := regionA + 1000*(1<<bingoRegionShift)
+	got := p.Operate(Event{PC: 9, Addr: regionB})
+	gl := map[uint64]bool{}
+	for _, a := range got {
+		gl[(a-regionB)/LineSize] = true
+	}
+	for _, off := range []uint64{3, 7, 9} {
+		if !gl[off] {
+			t.Errorf("footprint offset %d not replayed; got %v", off, gl)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("replayed %d lines, want 3", len(got))
+	}
+}
+
+func TestBingoNoHistoryNoPrefetch(t *testing.T) {
+	p := NewBingo(16)
+	if out := p.Operate(Event{PC: 1, Addr: 0x100000}); len(out) != 0 {
+		t.Errorf("cold Bingo prefetched %v", out)
+	}
+}
+
+func TestMLOPSelectsDominantOffset(t *testing.T) {
+	p := NewMLOP()
+	// A +3-line pattern: after a round, offset 3 should be selected.
+	for i := uint64(0); i < mlopRoundLen+8; i++ {
+		p.Operate(evAt(1, 100+3*i, 0))
+	}
+	sel := p.Selected()
+	found := false
+	for _, off := range sel {
+		if off == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("selected offsets %v lack dominant +3", sel)
+	}
+	// And prefetches are issued with it.
+	got := lines(p.Operate(evAt(1, 100+3*(mlopRoundLen+9), 0)))
+	if len(got) == 0 {
+		t.Fatal("no prefetches after selection")
+	}
+}
+
+func TestMLOPNoSelectionOnRandom(t *testing.T) {
+	p := NewMLOP()
+	// Spread accesses far apart: no offset clears the threshold.
+	for i := uint64(0); i < mlopRoundLen+1; i++ {
+		p.Operate(evAt(1, i*10000, 0))
+	}
+	if len(p.Selected()) != 0 {
+		t.Errorf("random stream selected offsets %v", p.Selected())
+	}
+}
+
+func TestPythiaLearnsStream(t *testing.T) {
+	p := NewPythia(1)
+	// Long unit-stride run with immediate feedback: accuracy rewards
+	// should teach Pythia to keep prefetching ahead.
+	covered := 0
+	issued := 0
+	pending := map[uint64]bool{}
+	for i := uint64(0); i < 20000; i++ {
+		line := 5000 + i
+		if pending[line] {
+			covered++
+		}
+		out := p.Operate(evAt(3, line, int64(i*10)))
+		issued += len(out)
+		for _, a := range out {
+			pending[a/LineSize] = true
+		}
+	}
+	if issued == 0 {
+		t.Fatal("Pythia never prefetched")
+	}
+	if frac := float64(covered) / 20000; frac < 0.5 {
+		t.Errorf("Pythia covered only %.2f of a perfect stream", frac)
+	}
+}
+
+func TestPythiaBandwidthConservatism(t *testing.T) {
+	issueRate := func(bw float64) float64 {
+		p := NewPythia(7)
+		p.SetBandwidthUtil(bw)
+		issued := 0
+		// Random accesses: every prefetch is wasted and penalized.
+		rng := uint64(1)
+		for i := 0; i < 30000; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			line := rng % 1_000_000
+			issued += len(p.Operate(evAt(4, line, int64(i*10))))
+		}
+		return float64(issued) / 30000
+	}
+	low := issueRate(0.0)
+	high := issueRate(0.95)
+	if high >= low {
+		t.Errorf("bandwidth-constrained Pythia issues more (%.3f) than unconstrained (%.3f)",
+			high, low)
+	}
+}
+
+func TestPythiaActionCountsTrack(t *testing.T) {
+	p := NewPythia(1)
+	for i := uint64(0); i < 100; i++ {
+		p.Operate(evAt(1, i, 0))
+	}
+	total := int64(0)
+	for _, c := range p.ActionCounts() {
+		total += c
+	}
+	if total != 100 {
+		t.Errorf("action counts sum to %d, want 100", total)
+	}
+}
+
+func TestIPCPConstantStrideClass(t *testing.T) {
+	p := NewIPCP(64, 3)
+	var got []uint64
+	for i := uint64(0); i < 5; i++ {
+		got = p.Operate(evAt(11, 100+4*i, 0))
+	}
+	gl := lines(got)
+	if len(gl) != 3 || gl[0] != 116+4 || gl[1] != 116+8 || gl[2] != 116+12 {
+		t.Errorf("CS prefetches = %v", gl)
+	}
+}
+
+func TestIPCPGlobalStream(t *testing.T) {
+	p := NewIPCP(4, 2)
+	// Many different PCs all walking +1 lines: per-IP entries thrash (4
+	// entries, 16 PCs) but the global stream detector catches it.
+	issued := 0
+	for i := uint64(0); i < 400; i++ {
+		pc := 100 + i%16
+		issued += len(p.Operate(evAt(pc, 7000+i, 0)))
+	}
+	if issued == 0 {
+		t.Error("global stream never prefetched")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	ps := []Prefetcher{
+		NewStream(8, 4), NewIPStride(8, 4), NewTable7Ensemble(),
+		NewBingo(8), NewMLOP(), NewPythia(3), NewIPCP(8, 2),
+	}
+	for _, p := range ps {
+		for i := uint64(0); i < 200; i++ {
+			p.Operate(evAt(2, 100+i, 0))
+		}
+		p.Reset()
+		// After reset, a fresh single access must not prefetch (no
+		// confidence anywhere).
+		if out := p.Operate(evAt(3, 1_000_000, 0)); len(out) != 0 {
+			t.Errorf("%s prefetched %v right after Reset", p.Name(), out)
+		}
+	}
+}
+
+// Property: no prefetcher ever proposes the line it was triggered with.
+func TestQuickNoSelfPrefetch(t *testing.T) {
+	mk := func() []Prefetcher {
+		return []Prefetcher{
+			&NextLine{Degree: 2}, NewStream(8, 4), NewIPStride(8, 4),
+			NewBingo(8), NewMLOP(), NewPythia(3), NewIPCP(8, 2), NewTable7Ensemble(),
+		}
+	}
+	ps := mk()
+	f := func(pcRaw uint8, lineRaw uint16, seq []uint8) bool {
+		for _, p := range ps {
+			line := uint64(lineRaw) + 1
+			for _, s := range seq {
+				line += uint64(s % 5)
+				out := p.Operate(evAt(uint64(pcRaw)+1, line, 0))
+				for _, a := range out {
+					if a/LineSize == line {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func BenchmarkEnsembleOperate(b *testing.B) {
+	e := NewTable7Ensemble()
+	e.Apply(5)
+	for i := 0; i < b.N; i++ {
+		e.Operate(evAt(1, uint64(i), 0))
+	}
+}
+
+func BenchmarkPythiaOperate(b *testing.B) {
+	p := NewPythia(1)
+	for i := 0; i < b.N; i++ {
+		p.Operate(evAt(1, uint64(i), int64(i)))
+	}
+}
+
+func TestExtendedEnsemble(t *testing.T) {
+	e := NewExtendedEnsemble()
+	if e.NumArms() != 14 {
+		t.Fatalf("extended arms = %d, want 14", e.NumArms())
+	}
+	// The first 11 arms match Table 7 with L2 fills.
+	for i := 0; i < 11; i++ {
+		if e.Arm(i).LLCOnly {
+			t.Errorf("base arm %d marked LLC-only", i)
+		}
+	}
+	for i := 11; i < 14; i++ {
+		if !e.Arm(i).LLCOnly {
+			t.Errorf("extended arm %d not LLC-only", i)
+		}
+	}
+	e.Apply(12)
+	if !e.LLCOnly() || e.CurrentArm() != 12 {
+		t.Error("Apply(12) did not activate LLC-only mode")
+	}
+	// The underlying component configuration matches the base arm.
+	var got []uint64
+	for i := uint64(0); i < 5; i++ {
+		got = e.Operate(evAt(4, 9000+i, 0))
+	}
+	if len(got) != 15 { // arm 12 = stream degree 15
+		t.Errorf("arm 12 issued %d prefetches, want 15", len(got))
+	}
+	e.Apply(1)
+	if e.LLCOnly() {
+		t.Error("base arm still LLC-only")
+	}
+	assertPanics(t, func() { e.Apply(14) })
+	e.Reset()
+	if out := e.Operate(evAt(5, 1_000_000, 0)); len(out) != 0 {
+		t.Errorf("post-Reset prefetch: %v", out)
+	}
+	if e.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestExtArmConfigString(t *testing.T) {
+	a := ExtArmConfig{ArmConfig: ArmConfig{StreamDegree: 4}, LLCOnly: true}
+	if a.String() != "NL:off stride:0 stream:4 fill:LLC" {
+		t.Errorf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,245 @@
+package prefetch
+
+// This file implements the three lightweight, widely adopted prefetchers
+// the Bandit orchestrates (§5.2): a next-line prefetcher, a stream
+// prefetcher with direction-detecting trackers, and a PC-based stride
+// prefetcher. Their degrees are controlled through "programmable
+// registers" (exported setters), as in the POWER7.
+
+// NextLine prefetches the next Degree sequential lines after every access.
+type NextLine struct {
+	// Degree is the number of sequential lines to prefetch; 0 disables.
+	Degree int
+	out    []uint64
+}
+
+// Name implements Prefetcher.
+func (p *NextLine) Name() string { return "NextLine" }
+
+// Operate implements Prefetcher.
+func (p *NextLine) Operate(ev Event) []uint64 {
+	p.out = p.out[:0]
+	line := ev.Line()
+	for d := 1; d <= p.Degree; d++ {
+		p.out = append(p.out, line+uint64(d)*LineSize)
+	}
+	return p.out
+}
+
+// Reset implements Prefetcher.
+func (p *NextLine) Reset() {}
+
+// streamTracker watches one memory region for a monotonic access run.
+type streamTracker struct {
+	page     uint64
+	lastLine uint64
+	delta    int64 // detected line advance per access (signed)
+	conf     int   // saturating confidence
+	lastUse  int64
+	valid    bool
+}
+
+// Stream is a stream prefetcher: a table of trackers (64 in the paper's
+// configuration, Table 6), each watching a 4 KB region. A tracker detects
+// the run's line advance per access — +1 for dense sequential streams,
+// larger for strided runs — and once two consecutive advances agree it
+// prefetches Degree steps ahead of the run. Tracking the advance rate
+// (rather than assuming unit lines) keeps the streamer accurate on
+// strided code, where unit-line prefetching would fetch lines the program
+// never touches.
+type Stream struct {
+	// Degree is the prefetch depth per confident access; 0 disables.
+	Degree int
+
+	trackers []streamTracker
+	clock    int64
+	out      []uint64
+}
+
+// streamPageShift: trackers watch 4 KB regions.
+const streamPageShift = 12
+
+// NewStream builds a stream prefetcher with the given tracker count.
+func NewStream(trackers, degree int) *Stream {
+	if trackers < 1 {
+		trackers = 1
+	}
+	return &Stream{Degree: degree, trackers: make([]streamTracker, trackers)}
+}
+
+// Name implements Prefetcher.
+func (p *Stream) Name() string { return "Stream" }
+
+// Operate implements Prefetcher.
+func (p *Stream) Operate(ev Event) []uint64 {
+	p.out = p.out[:0]
+	p.clock++
+	line := ev.Line() / LineSize // line number
+	page := ev.Addr >> streamPageShift
+
+	t := p.lookup(page)
+	if t == nil {
+		t = p.victim()
+		*t = streamTracker{page: page, lastLine: line, lastUse: p.clock, valid: true}
+		return nil
+	}
+	t.lastUse = p.clock
+	delta := int64(line) - int64(t.lastLine)
+	if delta == 0 {
+		return nil
+	}
+	if delta == t.delta {
+		if t.conf < 3 {
+			t.conf++
+		}
+	} else {
+		t.delta = delta
+		t.conf = 1
+	}
+	t.lastLine = line
+	if t.conf < 2 || p.Degree == 0 {
+		return nil
+	}
+	for d := 1; d <= p.Degree; d++ {
+		target := int64(line) + t.delta*int64(d)
+		if target < 0 {
+			break
+		}
+		p.out = append(p.out, uint64(target)*LineSize)
+	}
+	return p.out
+}
+
+func (p *Stream) lookup(page uint64) *streamTracker {
+	for i := range p.trackers {
+		if p.trackers[i].valid && p.trackers[i].page == page {
+			return &p.trackers[i]
+		}
+	}
+	return nil
+}
+
+func (p *Stream) victim() *streamTracker {
+	v := &p.trackers[0]
+	for i := range p.trackers {
+		t := &p.trackers[i]
+		if !t.valid {
+			return t
+		}
+		if t.lastUse < v.lastUse {
+			v = t
+		}
+	}
+	return v
+}
+
+// Reset implements Prefetcher.
+func (p *Stream) Reset() {
+	for i := range p.trackers {
+		p.trackers[i] = streamTracker{}
+	}
+	p.clock = 0
+}
+
+// strideEntry is one PC's stride state.
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     int // saturating 0..3
+	lastUse  int64
+	valid    bool
+}
+
+// IPStride is the classic PC-based stride prefetcher (also the paper's
+// standalone baseline prefetcher): a table of per-PC entries (64 in the
+// ensemble configuration) detecting constant strides and prefetching
+// Degree strides ahead once confident.
+type IPStride struct {
+	// Degree is the prefetch depth; 0 disables.
+	Degree int
+
+	entries []strideEntry
+	clock   int64
+	out     []uint64
+}
+
+// NewIPStride builds a stride prefetcher with the given table size.
+func NewIPStride(entries, degree int) *IPStride {
+	if entries < 1 {
+		entries = 1
+	}
+	return &IPStride{Degree: degree, entries: make([]strideEntry, entries)}
+}
+
+// Name implements Prefetcher.
+func (p *IPStride) Name() string { return "IPStride" }
+
+// Operate implements Prefetcher.
+func (p *IPStride) Operate(ev Event) []uint64 {
+	p.out = p.out[:0]
+	p.clock++
+	e := p.lookup(ev.PC)
+	if e == nil {
+		e = p.victim()
+		*e = strideEntry{pc: ev.PC, lastAddr: ev.Addr, lastUse: p.clock, valid: true}
+		return nil
+	}
+	e.lastUse = p.clock
+	stride := int64(ev.Addr) - int64(e.lastAddr)
+	e.lastAddr = ev.Addr
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 1
+		return nil
+	}
+	if e.conf < 2 || p.Degree == 0 {
+		return nil
+	}
+	for d := 1; d <= p.Degree; d++ {
+		target := int64(ev.Addr) + e.stride*int64(d)
+		if target < 0 {
+			break
+		}
+		p.out = append(p.out, uint64(target))
+	}
+	return p.out
+}
+
+func (p *IPStride) lookup(pc uint64) *strideEntry {
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].pc == pc {
+			return &p.entries[i]
+		}
+	}
+	return nil
+}
+
+func (p *IPStride) victim() *strideEntry {
+	v := &p.entries[0]
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			return e
+		}
+		if e.lastUse < v.lastUse {
+			v = e
+		}
+	}
+	return v
+}
+
+// Reset implements Prefetcher.
+func (p *IPStride) Reset() {
+	for i := range p.entries {
+		p.entries[i] = strideEntry{}
+	}
+	p.clock = 0
+}

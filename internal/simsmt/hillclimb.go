@@ -1,0 +1,106 @@
+package simsmt
+
+// HillClimb is Choi & Yeung's learning-based resource-distribution
+// controller (§3.2): it searches for the per-thread occupancy threshold
+// (here the thread-0 share of every gated structure) by trial epochs —
+// measure the base share, then share+δ, then share−δ, each for one epoch,
+// and move to whichever performed best.
+//
+// The paper defines δ in IQ entries (δ = 2, Table 6); with a 97-entry IQ
+// that is a share step of 2/97.
+type HillClimb struct {
+	// Delta is the share perturbation per trial.
+	Delta float64
+
+	base   float64
+	phase  int // 0: base, 1: +δ, 2: −δ
+	perf   [3]float64
+	epochs int64
+}
+
+// NewHillClimb builds a controller starting from an even split, with the
+// paper's δ of 2 IQ entries.
+func NewHillClimb() *HillClimb {
+	return &HillClimb{Delta: 2.0 / 97.0, base: 0.5}
+}
+
+// Share returns the share to apply for the current trial epoch.
+func (h *HillClimb) Share() float64 {
+	switch h.phase {
+	case 1:
+		return clampShare(h.base + h.Delta)
+	case 2:
+		return clampShare(h.base - h.Delta)
+	default:
+		return clampShare(h.base)
+	}
+}
+
+// EpochEnd records the epoch's performance (sum IPC) and advances the
+// trial schedule. After the three trials it commits the best share as the
+// new base.
+func (h *HillClimb) EpochEnd(perf float64) {
+	h.perf[h.phase] = perf
+	h.epochs++
+	h.phase++
+	if h.phase < 3 {
+		return
+	}
+	best := 0
+	for i := 1; i < 3; i++ {
+		if h.perf[i] > h.perf[best] {
+			best = i
+		}
+	}
+	switch best {
+	case 1:
+		h.base = clampShare(h.base + h.Delta)
+	case 2:
+		h.base = clampShare(h.base - h.Delta)
+	}
+	h.phase = 0
+}
+
+// Epochs returns the number of completed epochs.
+func (h *HillClimb) Epochs() int64 { return h.epochs }
+
+// Base returns the committed (non-trial) share.
+func (h *HillClimb) Base() float64 { return h.base }
+
+// Snapshot captures the controller state for per-arm save/restore (§5.3:
+// "every time the arm changes, the Hill Climbing threshold of the old arm
+// is saved, and the one for the new arm is restored").
+type Snapshot struct {
+	Base  float64
+	Phase int
+	Perf  [3]float64
+}
+
+// Save captures the controller state.
+func (h *HillClimb) Save() Snapshot {
+	return Snapshot{Base: h.base, Phase: h.phase, Perf: h.perf}
+}
+
+// Restore reinstates a previously saved state.
+func (h *HillClimb) Restore(s Snapshot) {
+	h.base = s.Base
+	h.phase = s.Phase
+	h.perf = s.Perf
+}
+
+// Reset returns the controller to the even split.
+func (h *HillClimb) Reset() {
+	h.base = 0.5
+	h.phase = 0
+	h.perf = [3]float64{}
+}
+
+func clampShare(s float64) float64 {
+	if s < 0.1 {
+		return 0.1
+	}
+	if s > 0.9 {
+		return 0.9
+	}
+	return s
+}

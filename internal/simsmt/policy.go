@@ -1,0 +1,158 @@
+// Package simsmt implements the cycle-driven 2-way SMT pipeline model for
+// the instruction-fetch use case — the substitute for Gem5 v20 with the
+// SecSMT SMT patches (§6.1, Table 5).
+//
+// The pipeline has dynamically shared structures (IQ, ROB, LQ, SQ, IRF,
+// FRF), a fetch stage steered by the fetch Priority & Gating (PG) policy
+// design space of §3.3, Choi & Yeung's Hill-Climbing occupancy-threshold
+// controller, rename-stage stall/idle accounting (Fig. 15), and a bandit
+// runner that selects the PG policy on top of Hill Climbing (§5.3).
+package simsmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Priority is a thread fetch priority policy (§3.2).
+type Priority uint8
+
+// Fetch priority policies.
+const (
+	// PriorityIC is ICount: prefer the thread with fewer IQ entries.
+	PriorityIC Priority = iota
+	// PriorityBrC is Branch Count: fewer branches in the ROB.
+	PriorityBrC
+	// PriorityLSQC is LSQ Count: fewer LQ+SQ entries.
+	PriorityLSQC
+	// PriorityRR is Round Robin: alternate without metrics.
+	PriorityRR
+)
+
+// String implements fmt.Stringer using the paper's mnemonics.
+func (p Priority) String() string {
+	switch p {
+	case PriorityIC:
+		return "IC"
+	case PriorityBrC:
+		return "BrC"
+	case PriorityLSQC:
+		return "LSQC"
+	case PriorityRR:
+		return "RR"
+	default:
+		return fmt.Sprintf("prio(%d)", uint8(p))
+	}
+}
+
+// Gating-mask structure indices (the b3 b2 b1 b0 bits of §3.3).
+const (
+	GateIQ = iota
+	GateLSQ
+	GateROB
+	GateIRF
+	numGates
+)
+
+// Policy is one fetch Priority & Gating policy X_b3b2b1b0: the fetch
+// priority plus which structures' occupancies trigger fetch gating.
+type Policy struct {
+	// Priority is the fetch priority policy.
+	Priority Priority
+	// Gate[i] enables occupancy gating on structure i (GateIQ..GateIRF).
+	Gate [numGates]bool
+}
+
+// String renders the paper's mnemonic, e.g. "IC_1011".
+func (p Policy) String() string {
+	var b strings.Builder
+	b.WriteString(p.Priority.String())
+	b.WriteByte('_')
+	for i := 0; i < numGates; i++ {
+		if p.Gate[i] {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// ParsePolicy parses a mnemonic like "LSQC_1111".
+func ParsePolicy(s string) (Policy, error) {
+	parts := strings.SplitN(s, "_", 2)
+	if len(parts) != 2 || len(parts[1]) != numGates {
+		return Policy{}, fmt.Errorf("simsmt: bad policy %q", s)
+	}
+	var p Policy
+	switch parts[0] {
+	case "IC":
+		p.Priority = PriorityIC
+	case "BrC":
+		p.Priority = PriorityBrC
+	case "LSQC":
+		p.Priority = PriorityLSQC
+	case "RR":
+		p.Priority = PriorityRR
+	default:
+		return Policy{}, fmt.Errorf("simsmt: bad priority in %q", s)
+	}
+	for i, c := range parts[1] {
+		switch c {
+		case '1':
+			p.Gate[i] = true
+		case '0':
+		default:
+			return Policy{}, fmt.Errorf("simsmt: bad gating bits in %q", s)
+		}
+	}
+	return p, nil
+}
+
+// mustPolicy parses a known-good mnemonic.
+func mustPolicy(s string) Policy {
+	p, err := ParsePolicy(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Named policies from the paper.
+var (
+	// ChoiPolicy is IC_1011: ICount priority, gating on IQ, ROB, and IRF
+	// (Choi & Yeung's configuration).
+	ChoiPolicy = mustPolicy("IC_1011")
+	// ICountPolicy is IC_0000: plain ICount with no gating (Tullsen).
+	ICountPolicy = mustPolicy("IC_0000")
+)
+
+// AllPolicies returns the full 64-policy design space (4 priorities × 2^4
+// gating masks), ordered priority-major.
+func AllPolicies() []Policy {
+	var out []Policy
+	for prio := PriorityIC; prio <= PriorityRR; prio++ {
+		for mask := 0; mask < 1<<numGates; mask++ {
+			p := Policy{Priority: prio}
+			for b := 0; b < numGates; b++ {
+				// Mnemonic bit order is b3..b0 = IQ,LSQ,ROB,IRF.
+				p.Gate[b] = mask&(1<<(numGates-1-b)) != 0
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Table1Arms returns the six pruned fetch PG policies the Bandit selects
+// among (Table 1; §6.3).
+func Table1Arms() []Policy {
+	return []Policy{
+		mustPolicy("IC_0000"),
+		mustPolicy("BrC_1000"),
+		mustPolicy("IC_1110"),
+		mustPolicy("IC_1111"),
+		mustPolicy("LSQC_1111"),
+		mustPolicy("RR_1111"),
+	}
+}

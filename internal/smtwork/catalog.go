@@ -1,0 +1,168 @@
+package smtwork
+
+import "fmt"
+
+// Profiles returns the 22 SPEC17-styled thread profiles used to build the
+// 2-thread mixes (§6.2). The knob values encode each application's
+// documented pipeline character: lbm's store-queue appetite, mcf's
+// pointer-chasing ROB clog, the game engines' cache-resident branchy
+// integer code, and the FP suite's long-latency, high-ILP loops.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "gcc", LoadFrac: 0.24, StoreFrac: 0.12, BranchFrac: 0.20,
+			MispredictProb: 0.06, L1HitProb: 0.92, L2HitProb: 0.06,
+			DepProb: 0.5, DepDistMean: 5,
+		},
+		{
+			Name: "mcf", LoadFrac: 0.34, StoreFrac: 0.08, BranchFrac: 0.16,
+			MispredictProb: 0.08, L1HitProb: 0.55, L2HitProb: 0.15,
+			LoadChainProb: 0.5, DepProb: 0.5, DepDistMean: 4,
+		},
+		{
+			Name: "lbm", LoadFrac: 0.26, StoreFrac: 0.28, BranchFrac: 0.02, FPFrac: 0.30,
+			MispredictProb: 0.01, L1HitProb: 0.70, L2HitProb: 0.10, MemLat: 380,
+			StoreDrainDRAMProb: 0.85, DepProb: 0.3, DepDistMean: 16, FPLat: 5,
+		},
+		{
+			Name: "cactuBSSN", LoadFrac: 0.28, StoreFrac: 0.12, BranchFrac: 0.03, FPFrac: 0.40,
+			MispredictProb: 0.01, L1HitProb: 0.80, L2HitProb: 0.14,
+			DepProb: 0.45, DepDistMean: 10, FPLat: 8,
+		},
+		{
+			Name: "xalancbmk", LoadFrac: 0.30, StoreFrac: 0.10, BranchFrac: 0.22,
+			MispredictProb: 0.05, L1HitProb: 0.85, L2HitProb: 0.10,
+			LoadChainProb: 0.3, DepProb: 0.55, DepDistMean: 4,
+		},
+		{
+			Name: "deepsjeng", LoadFrac: 0.22, StoreFrac: 0.10, BranchFrac: 0.18,
+			MispredictProb: 0.09, L1HitProb: 0.97, L2HitProb: 0.02,
+			DepProb: 0.5, DepDistMean: 6,
+		},
+		{
+			Name: "leela", LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.16,
+			MispredictProb: 0.11, L1HitProb: 0.97, L2HitProb: 0.02,
+			DepProb: 0.55, DepDistMean: 5,
+		},
+		{
+			Name: "exchange2", LoadFrac: 0.16, StoreFrac: 0.10, BranchFrac: 0.22,
+			MispredictProb: 0.04, L1HitProb: 0.995, L2HitProb: 0.005,
+			DepProb: 0.45, DepDistMean: 8,
+		},
+		{
+			Name: "wrf", LoadFrac: 0.28, StoreFrac: 0.10, BranchFrac: 0.06, FPFrac: 0.36,
+			MispredictProb: 0.02, L1HitProb: 0.85, L2HitProb: 0.10,
+			DepProb: 0.4, DepDistMean: 12, FPLat: 5,
+		},
+		{
+			Name: "fotonik3d", LoadFrac: 0.30, StoreFrac: 0.12, BranchFrac: 0.03, FPFrac: 0.34,
+			MispredictProb: 0.01, L1HitProb: 0.72, L2HitProb: 0.12,
+			StoreDrainDRAMProb: 0.35, DepProb: 0.3, DepDistMean: 16, FPLat: 5,
+		},
+		{
+			Name: "roms", LoadFrac: 0.30, StoreFrac: 0.12, BranchFrac: 0.05, FPFrac: 0.32,
+			MispredictProb: 0.02, L1HitProb: 0.78, L2HitProb: 0.12,
+			StoreDrainDRAMProb: 0.3, DepProb: 0.35, DepDistMean: 14, FPLat: 5,
+		},
+		{
+			Name: "xz", LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.16,
+			MispredictProb: 0.07, L1HitProb: 0.82, L2HitProb: 0.10,
+			DepProb: 0.5, DepDistMean: 5,
+		},
+		{
+			Name: "perlbench", LoadFrac: 0.26, StoreFrac: 0.14, BranchFrac: 0.20,
+			MispredictProb: 0.04, L1HitProb: 0.95, L2HitProb: 0.04,
+			DepProb: 0.5, DepDistMean: 6,
+		},
+		{
+			Name: "x264", LoadFrac: 0.28, StoreFrac: 0.12, BranchFrac: 0.08,
+			MispredictProb: 0.03, L1HitProb: 0.90, L2HitProb: 0.07,
+			DepProb: 0.35, DepDistMean: 12,
+		},
+		{
+			Name: "omnetpp", LoadFrac: 0.30, StoreFrac: 0.12, BranchFrac: 0.18,
+			MispredictProb: 0.05, L1HitProb: 0.75, L2HitProb: 0.12,
+			LoadChainProb: 0.35, DepProb: 0.5, DepDistMean: 5,
+		},
+		{
+			Name: "bwaves", LoadFrac: 0.32, StoreFrac: 0.08, BranchFrac: 0.04, FPFrac: 0.38,
+			MispredictProb: 0.01, L1HitProb: 0.80, L2HitProb: 0.12,
+			StoreDrainDRAMProb: 0.25, DepProb: 0.3, DepDistMean: 18, FPLat: 6,
+		},
+		{
+			Name: "pop2", LoadFrac: 0.28, StoreFrac: 0.12, BranchFrac: 0.08, FPFrac: 0.30,
+			MispredictProb: 0.02, L1HitProb: 0.84, L2HitProb: 0.10,
+			DepProb: 0.4, DepDistMean: 10, FPLat: 5,
+		},
+		{
+			Name: "cam4", LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.10, FPFrac: 0.28,
+			MispredictProb: 0.03, L1HitProb: 0.86, L2HitProb: 0.08,
+			DepProb: 0.45, DepDistMean: 9, FPLat: 5,
+		},
+		{
+			Name: "imagick", LoadFrac: 0.24, StoreFrac: 0.10, BranchFrac: 0.08, FPFrac: 0.34,
+			MispredictProb: 0.02, L1HitProb: 0.97, L2HitProb: 0.02,
+			DepProb: 0.4, DepDistMean: 12, FPLat: 5,
+		},
+		{
+			Name: "nab", LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.08, FPFrac: 0.34,
+			MispredictProb: 0.02, L1HitProb: 0.90, L2HitProb: 0.06,
+			DepProb: 0.45, DepDistMean: 8, FPLat: 6,
+		},
+		{
+			Name: "blender", LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.12, FPFrac: 0.22,
+			MispredictProb: 0.04, L1HitProb: 0.88, L2HitProb: 0.08,
+			DepProb: 0.45, DepDistMean: 8, FPLat: 5,
+		},
+		{
+			Name: "parest", LoadFrac: 0.28, StoreFrac: 0.10, BranchFrac: 0.08, FPFrac: 0.30,
+			MispredictProb: 0.02, L1HitProb: 0.88, L2HitProb: 0.08,
+			DepProb: 0.45, DepDistMean: 9, FPLat: 6,
+		},
+	}
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("smtwork: unknown profile %q", name)
+}
+
+// Mix is a 2-thread workload.
+type Mix struct {
+	A, B Profile
+}
+
+// Name returns "a-b".
+func (m Mix) Name() string { return m.A.Name + "-" + m.B.Name }
+
+// Mixes returns all unordered 2-thread combinations of distinct profiles
+// (231 mixes from 22 apps; the paper uses 226 — the near-complete pairing
+// is the same experiment at our catalog size).
+func Mixes() []Mix {
+	ps := Profiles()
+	var out []Mix
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			out = append(out, Mix{A: ps[i], B: ps[j]})
+		}
+	}
+	return out
+}
+
+// TuneMixes returns the tune-set mixes: all pairs from the first 10
+// profiles (45 mixes; the paper tunes on 43 mixes from 10 applications).
+func TuneMixes() []Mix {
+	ps := Profiles()[:10]
+	var out []Mix
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			out = append(out, Mix{A: ps[i], B: ps[j]})
+		}
+	}
+	return out
+}

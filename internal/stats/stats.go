@@ -1,0 +1,249 @@
+// Package stats provides the small statistical toolkit used by the
+// evaluation harness: geometric means (the paper's headline aggregate),
+// normalization helpers, summary statistics, and text/CSV rendering for
+// regenerating the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// GeoMean returns the geometric mean of xs. All elements must be positive;
+// non-positive elements make the result NaN (callers are expected to feed
+// IPC ratios, which are positive by construction). Empty input returns 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// Median returns the median of xs (the average of the two middle elements
+// for even lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile of xs (0 <= p <= 100) using linear
+// interpolation between closest ranks. xs is not modified. Empty input
+// returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ratios divides each element of num by the corresponding element of den.
+// It panics if the lengths differ or a denominator is zero.
+func Ratios(num, den []float64) []float64 {
+	if len(num) != len(den) {
+		panic(fmt.Sprintf("stats: Ratios length mismatch %d vs %d", len(num), len(den)))
+	}
+	out := make([]float64, len(num))
+	for i := range num {
+		if den[i] == 0 {
+			panic(fmt.Sprintf("stats: Ratios zero denominator at index %d", i))
+		}
+		out[i] = num[i] / den[i]
+	}
+	return out
+}
+
+// Normalize scales each element of xs by 1/base. It panics if base is zero.
+func Normalize(xs []float64, base float64) []float64 {
+	if base == 0 {
+		panic("stats: Normalize by zero base")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Summary bundles the min / max / geometric-mean triple the paper reports in
+// Tables 8 and 9 (as percentages of the best-static-arm IPC).
+type Summary struct {
+	Min   float64
+	Max   float64
+	GMean float64
+}
+
+// Summarize computes the Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{Min: Min(xs), Max: Max(xs), GMean: GeoMean(xs)}
+}
+
+// AsPercent returns the summary with every field multiplied by 100, matching
+// the paper's "% of best static arm" presentation.
+func (s Summary) AsPercent() Summary {
+	return Summary{Min: s.Min * 100, Max: s.Max * 100, GMean: s.GMean * 100}
+}
+
+// String renders the summary as "min=.. max=.. gmean=.." with one decimal.
+func (s Summary) String() string {
+	return fmt.Sprintf("min=%.1f max=%.1f gmean=%.1f", s.Min, s.Max, s.GMean)
+}
+
+// SpeedupPercent converts a ratio r into the "+x%" convention the paper
+// uses: 1.026 -> 2.6.
+func SpeedupPercent(r float64) float64 { return (r - 1) * 100 }
+
+// ArgMax returns the index of the maximum element of xs, breaking ties in
+// favor of the lowest index. It returns -1 for an empty slice.
+func ArgMax(xs []float64) int {
+	best := -1
+	bestV := math.Inf(-1)
+	for i, x := range xs {
+		if x > bestV {
+			bestV = x
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum element of xs, breaking ties in
+// favor of the lowest index. It returns -1 for an empty slice.
+func ArgMin(xs []float64) int {
+	best := -1
+	bestV := math.Inf(1)
+	for i, x := range xs {
+		if x < bestV {
+			bestV = x
+			best = i
+		}
+	}
+	return best
+}
+
+// MovingAverage is a fixed-window moving average, mirroring the moving
+// average buffer the paper borrows from the POWER7 adaptive prefetcher for
+// the Periodic heuristic. The zero value is not usable; construct with
+// NewMovingAverage.
+type MovingAverage struct {
+	buf  []float64
+	next int
+	n    int
+	sum  float64
+}
+
+// NewMovingAverage returns a moving average over a window of size. It
+// panics if size <= 0.
+func NewMovingAverage(size int) *MovingAverage {
+	if size <= 0 {
+		panic("stats: moving average window must be positive")
+	}
+	return &MovingAverage{buf: make([]float64, size)}
+}
+
+// Push adds x to the window, evicting the oldest sample when full.
+func (m *MovingAverage) Push(x float64) {
+	if m.n == len(m.buf) {
+		m.sum -= m.buf[m.next]
+	} else {
+		m.n++
+	}
+	m.buf[m.next] = x
+	m.sum += x
+	m.next = (m.next + 1) % len(m.buf)
+}
+
+// Value returns the current average, or 0 when no samples have been pushed.
+func (m *MovingAverage) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Len returns the number of samples currently in the window.
+func (m *MovingAverage) Len() int { return m.n }
+
+// Reset empties the window.
+func (m *MovingAverage) Reset() {
+	m.n = 0
+	m.next = 0
+	m.sum = 0
+	for i := range m.buf {
+		m.buf[i] = 0
+	}
+}

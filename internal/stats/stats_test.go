@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Sum([]float64{1.5, 2.5}); got != 4 {
+		t.Errorf("Sum = %v, want 4", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if got := GeoMean([]float64{2, 8}); !almostEq(got, 4, 1e-12) {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{1, 1, 1}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("GeoMean(ones) = %v, want 1", got)
+	}
+	if got := GeoMean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with negative = %v, want NaN", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max not infinite")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	// Input must not be modified.
+	if xs[0] != 5 {
+		t.Error("Median modified input")
+	}
+	even := []float64{1, 2, 3, 4}
+	if got := Median(even); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	if got := Percentile(even, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(even, 100); got != 4 {
+		t.Errorf("P100 = %v", got)
+	}
+}
+
+func TestRatiosNormalize(t *testing.T) {
+	r := Ratios([]float64{2, 9}, []float64{4, 3})
+	if r[0] != 0.5 || r[1] != 3 {
+		t.Errorf("Ratios = %v", r)
+	}
+	n := Normalize([]float64{2, 4}, 2)
+	if n[0] != 1 || n[1] != 2 {
+		t.Errorf("Normalize = %v", n)
+	}
+	assertPanics(t, func() { Ratios([]float64{1}, []float64{}) })
+	assertPanics(t, func() { Ratios([]float64{1}, []float64{0}) })
+	assertPanics(t, func() { Normalize([]float64{1}, 0) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestSummary(t *testing.T) {
+	s := Summarize([]float64{0.95, 1.0, 1.05})
+	if s.Min != 0.95 || s.Max != 1.05 {
+		t.Errorf("Summary = %+v", s)
+	}
+	p := s.AsPercent()
+	if !almostEq(p.Min, 95, 1e-9) || !almostEq(p.Max, 105, 1e-9) {
+		t.Errorf("AsPercent = %+v", p)
+	}
+	if !strings.Contains(s.String(), "gmean=") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSpeedupPercent(t *testing.T) {
+	if got := SpeedupPercent(1.026); !almostEq(got, 2.6, 1e-9) {
+		t.Errorf("SpeedupPercent = %v", got)
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	xs := []float64{1, 5, 5, 0}
+	if ArgMax(xs) != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first of ties)", ArgMax(xs))
+	}
+	if ArgMin(xs) != 3 {
+		t.Errorf("ArgMin = %d", ArgMin(xs))
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Error("empty ArgMax/ArgMin != -1")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(3)
+	if m.Value() != 0 || m.Len() != 0 {
+		t.Error("fresh moving average not empty")
+	}
+	m.Push(3)
+	if m.Value() != 3 {
+		t.Errorf("Value = %v", m.Value())
+	}
+	m.Push(6)
+	m.Push(9)
+	if m.Value() != 6 {
+		t.Errorf("Value = %v, want 6", m.Value())
+	}
+	m.Push(12) // evicts 3
+	if m.Value() != 9 {
+		t.Errorf("Value = %v, want 9", m.Value())
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	m.Reset()
+	if m.Value() != 0 || m.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	assertPanics(t, func() { NewMovingAverage(0) })
+}
+
+// Property: geometric mean lies between min and max for positive inputs.
+func TestQuickGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)/1000 + 0.001 // strictly positive
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: geometric mean is multiplicative: GeoMean(k*xs) = k*GeoMean(xs).
+func TestQuickGeoMeanScaling(t *testing.T) {
+	f := func(raw []uint16, kRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := float64(kRaw)/100 + 0.01
+		xs := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)/1000 + 0.001
+			scaled[i] = xs[i] * k
+		}
+		a, b := GeoMean(scaled), k*GeoMean(xs)
+		return almostEq(a, b, 1e-6*math.Max(1, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: moving average always lies between min and max of the window
+// contents (here approximated by min/max of everything pushed).
+func TestQuickMovingAverageBounds(t *testing.T) {
+	f := func(raw []int16, sizeRaw uint8) bool {
+		size := int(sizeRaw%16) + 1
+		m := NewMovingAverage(size)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			x := float64(v)
+			m.Push(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			if m.Value() < lo-1e-9 || m.Value() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,305 @@
+package trace
+
+import "fmt"
+
+// App is a named synthetic application: a factory for its generator.
+type App struct {
+	// Name is the application name (styled after the original suite's
+	// benchmark names).
+	Name string
+	// Suite is the application suite ("SPEC06", "SPEC17", "PARSEC",
+	// "Ligra", "CloudSuite").
+	Suite string
+	// New builds a fresh generator for the app with the given seed.
+	New func(seed uint64) Generator
+}
+
+// Suite names, in the order the paper's figures group them.
+var SuiteOrder = []string{"SPEC06", "SPEC17", "PARSEC", "Ligra", "CloudSuite"}
+
+// Shape presets. Memory intensity: heavy ~1 filler/mem, moderate ~3,
+// light ~6.
+func heavyShape(storeFrac float64) Shape {
+	return Shape{ALUPerMem: 1, FPFrac: 0.1, BranchFrac: 0.1, MispredictProb: 0.02, StoreFrac: storeFrac}
+}
+
+func moderateShape(storeFrac float64) Shape {
+	return Shape{ALUPerMem: 3, FPFrac: 0.15, BranchFrac: 0.15, MispredictProb: 0.04, StoreFrac: storeFrac}
+}
+
+func lightShape(storeFrac float64) Shape {
+	return Shape{ALUPerMem: 6, FPFrac: 0.2, BranchFrac: 0.15, MispredictProb: 0.05, StoreFrac: storeFrac}
+}
+
+func branchyShape(storeFrac float64) Shape {
+	return Shape{ALUPerMem: 4, FPFrac: 0.05, BranchFrac: 0.3, MispredictProb: 0.1, StoreFrac: storeFrac}
+}
+
+func fpShape(storeFrac float64) Shape {
+	return Shape{ALUPerMem: 3, FPFrac: 0.5, BranchFrac: 0.08, MispredictProb: 0.02, StoreFrac: storeFrac}
+}
+
+// fpSparseShape models compute-dense FP kernels (large-stride grid codes):
+// every access touches a fresh line, so a low memory intensity is what
+// keeps them latency-bound rather than bandwidth-saturated — the regime
+// where stride prefetching pays.
+func fpSparseShape(storeFrac float64) Shape {
+	return Shape{ALUPerMem: 12, FPFrac: 0.55, BranchFrac: 0.05, MispredictProb: 0.01, StoreFrac: storeFrac}
+}
+
+func serverShape(storeFrac float64) Shape {
+	return Shape{ALUPerMem: 5, FPFrac: 0.02, BranchFrac: 0.25, MispredictProb: 0.08,
+		StoreFrac: storeFrac, CodeFootprint: 8192}
+}
+
+// MCFPhaseLen is the phase length (instructions) of the mcf-style apps,
+// chosen so multi-million-instruction runs cross at least one coarse phase
+// boundary (the Fig. 7 adaptation scenario).
+const MCFPhaseLen = 1_500_000
+
+// app-building helpers; region keeps every app's data disjoint.
+
+func streamApp(name, suite string, region, nStreams, elem, lines int, shape Shape) App {
+	return App{Name: name, Suite: suite, New: func(seed uint64) Generator {
+		return newGen(name, seed, shape, StreamPattern(nStreams, elem, lines, region))
+	}}
+}
+
+func strideApp(name, suite string, region int, strides []int, shape Shape) App {
+	return App{Name: name, Suite: suite, New: func(seed uint64) Generator {
+		return newGen(name, seed, shape, StridePattern(strides, 4096, region))
+	}}
+}
+
+func chaseApp(name, suite string, region, wsLines int, shape Shape) App {
+	return App{Name: name, Suite: suite, New: func(seed uint64) Generator {
+		return newGen(name, seed, shape, ChasePattern(wsLines, region))
+	}}
+}
+
+func gatherApp(name, suite string, region, wsLines, perIdx int, shape Shape) App {
+	return App{Name: name, Suite: suite, New: func(seed uint64) Generator {
+		return newGen(name, seed, shape, GatherPattern(wsLines, perIdx, region))
+	}}
+}
+
+func serverApp(name, suite string, region, hot, cold int, hotProb float64, shape Shape) App {
+	return App{Name: name, Suite: suite, New: func(seed uint64) Generator {
+		return newGen(name, seed, shape, ServerPattern(hot, cold, hotProb, region))
+	}}
+}
+
+// mixApp combines several access patterns. The parts constructor runs once
+// per New call (patterns hold mutable walker state), but it receives region
+// indices that were fixed when the catalog entry was built, so every
+// generator instance of an app touches identical addresses.
+func mixApp(name, suite string, shape Shape, weights []float64, regions []int,
+	parts func(regions []int) []memFunc) App {
+	return App{Name: name, Suite: suite, New: func(seed uint64) Generator {
+		return newGen(name, seed, shape, MixPattern(weights, parts(regions)...))
+	}}
+}
+
+// phaseApp alternates two full sub-apps every MCFPhaseLen instructions.
+func phaseApp(name, suite string, a, b App) App {
+	return App{Name: name, Suite: suite, New: func(seed uint64) Generator {
+		return NewPhaseGen(name, MCFPhaseLen, a.New(seed), b.New(seed+1))
+	}}
+}
+
+// Catalog returns every synthetic application, grouped and ordered by
+// suite. Region indices are fixed per app so traces are stable across
+// calls.
+func Catalog() []App {
+	r := 0
+	next := func() int { r++; return r }
+	take := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = next()
+		}
+		return out
+	}
+
+	var apps []App
+	add := func(a App) { apps = append(apps, a) }
+
+	// --- SPEC06-style ---------------------------------------------------
+	add(mixApp("gcc06", "SPEC06", branchyShape(0.25), []float64{0.5, 0.3, 0.2},
+		take(3),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				StridePattern([]int{64, 128, 8}, 2048, rg[0]),
+				ChasePattern(8192, rg[1]),
+				StreamPattern(2, 8, 128, rg[2]),
+			}
+		}))
+	{
+		chasePart := chaseApp("mcf06.chase", "SPEC06", next(), 65536, heavyShape(0.15))
+		stridePart := strideApp("mcf06.stride", "SPEC06", next(), []int{128, 256}, heavyShape(0.15))
+		add(phaseApp("mcf06", "SPEC06", chasePart, stridePart))
+	}
+	add(streamApp("lbm06", "SPEC06", next(), 8, 16, 512, heavyShape(0.5)))
+	add(streamApp("libquantum", "SPEC06", next(), 1, 8, 8192, heavyShape(0.1)))
+	add(chaseApp("omnetpp06", "SPEC06", next(), 16384, moderateShape(0.3)))
+	add(strideApp("cactusADM", "SPEC06", next(), []int{256, 512, 1024}, fpSparseShape(0.3)))
+	add(mixApp("soplex", "SPEC06", moderateShape(0.2), []float64{0.6, 0.4},
+		take(2),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				StridePattern([]int{8, 16, 64}, 4096, rg[0]),
+				GatherPattern(32768, 2, rg[1]),
+			}
+		}))
+	add(streamApp("milc", "SPEC06", next(), 4, 16, 1024, fpShape(0.35)))
+	add(streamApp("leslie3d", "SPEC06", next(), 6, 8, 768, fpShape(0.3)))
+	add(strideApp("GemsFDTD", "SPEC06", next(), []int{512, 2048}, fpSparseShape(0.3)))
+	add(mixApp("bzip2", "SPEC06", moderateShape(0.3), []float64{0.5, 0.5},
+		take(2),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				StreamPattern(2, 4, 256, rg[0]),
+				ServerPattern(2048, 65536, 0.6, rg[1]),
+			}
+		}))
+	add(mixApp("sphinx3", "SPEC06", lightShape(0.1), []float64{0.7, 0.3},
+		take(2),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				StreamPattern(3, 8, 512, rg[0]),
+				GatherPattern(16384, 1, rg[1]),
+			}
+		}))
+
+	// --- SPEC17-style ---------------------------------------------------
+	add(mixApp("gcc17", "SPEC17", branchyShape(0.25), []float64{0.5, 0.3, 0.2},
+		take(3),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				StridePattern([]int{64, 8, 192}, 2048, rg[0]),
+				ChasePattern(12288, rg[1]),
+				StreamPattern(1, 8, 256, rg[2]),
+			}
+		}))
+	{
+		chasePart := chaseApp("mcf17.chase", "SPEC17", next(), 98304, heavyShape(0.2))
+		streamPart := streamApp("mcf17.stream", "SPEC17", next(), 2, 8, 1024, heavyShape(0.2))
+		add(phaseApp("mcf17", "SPEC17", chasePart, streamPart))
+	}
+	add(streamApp("lbm17", "SPEC17", next(), 8, 16, 512, heavyShape(0.5)))
+	add(strideApp("cactuBSSN", "SPEC17", next(), []int{256, 768, 1536}, fpSparseShape(0.3)))
+	add(chaseApp("xalancbmk", "SPEC17", next(), 24576, branchyShape(0.2)))
+	add(serverApp("deepsjeng", "SPEC17", next(), 1024, 16384, 0.85, branchyShape(0.25)))
+	add(serverApp("leela", "SPEC17", next(), 512, 8192, 0.9, branchyShape(0.2)))
+	add(serverApp("exchange2", "SPEC17", next(), 256, 1024, 0.98, lightShape(0.3)))
+	add(streamApp("wrf", "SPEC17", next(), 5, 8, 640, fpShape(0.3)))
+	add(streamApp("fotonik3d", "SPEC17", next(), 6, 16, 2048, fpShape(0.25)))
+	add(streamApp("roms", "SPEC17", next(), 4, 8, 1536, fpShape(0.3)))
+	add(mixApp("xz", "SPEC17", moderateShape(0.35), []float64{0.4, 0.6},
+		take(2),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				StreamPattern(2, 4, 384, rg[0]),
+				ServerPattern(4096, 131072, 0.5, rg[1]),
+			}
+		}))
+	add(serverApp("perlbench", "SPEC17", next(), 2048, 32768, 0.8, branchyShape(0.3)))
+	add(strideApp("x264", "SPEC17", next(), []int{16, 64, 320}, moderateShape(0.3)))
+	add(chaseApp("omnetpp17", "SPEC17", next(), 20480, moderateShape(0.3)))
+	add(streamApp("bwaves", "SPEC17", next(), 8, 8, 2048, fpShape(0.2)))
+	add(streamApp("pop2", "SPEC17", next(), 4, 8, 512, fpShape(0.3)))
+	add(strideApp("cam4", "SPEC17", next(), []int{128, 384}, fpSparseShape(0.3)))
+	add(strideApp("imagick", "SPEC17", next(), []int{4, 8, 16}, lightShape(0.2)))
+	add(mixApp("nab", "SPEC17", fpShape(0.2), []float64{0.6, 0.4},
+		take(2),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				ChasePattern(4096, rg[0]),
+				StreamPattern(2, 8, 256, rg[1]),
+			}
+		}))
+	add(mixApp("blender", "SPEC17", moderateShape(0.25), []float64{0.4, 0.3, 0.3},
+		take(3),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				StreamPattern(3, 8, 256, rg[0]),
+				StridePattern([]int{128, 512}, 2048, rg[1]),
+				GatherPattern(24576, 1, rg[2]),
+			}
+		}))
+	add(strideApp("parest", "SPEC17", next(), []int{8, 24, 96}, fpShape(0.25)))
+
+	// --- PARSEC-style ---------------------------------------------------
+	add(chaseApp("canneal", "PARSEC", next(), 131072, moderateShape(0.2)))
+	add(streamApp("streamcluster", "PARSEC", next(), 2, 4, 8192, heavyShape(0.1)))
+	add(strideApp("facesim", "PARSEC", next(), []int{64, 192, 448}, fpSparseShape(0.35)))
+	add(gatherApp("fluidanimate", "PARSEC", next(), 65536, 2, fpShape(0.35)))
+
+	// --- Ligra-style ----------------------------------------------------
+	add(gatherApp("ligra-bfs", "Ligra", next(), 262144, 3, heavyShape(0.1)))
+	add(mixApp("ligra-pagerank", "Ligra", heavyShape(0.3), []float64{0.4, 0.6},
+		take(2),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				StreamPattern(2, 8, 4096, rg[0]),
+				GatherPattern(196608, 2, rg[1]),
+			}
+		}))
+	add(gatherApp("ligra-components", "Ligra", next(), 229376, 2, heavyShape(0.25)))
+	add(mixApp("ligra-bc", "Ligra", heavyShape(0.2), []float64{0.3, 0.7},
+		take(2),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				StreamPattern(1, 8, 2048, rg[0]),
+				GatherPattern(131072, 3, rg[1]),
+			}
+		}))
+
+	// --- CloudSuite-style -----------------------------------------------
+	add(serverApp("cassandra", "CloudSuite", next(), 8192, 1<<20, 0.6, serverShape(0.3)))
+	add(serverApp("classification", "CloudSuite", next(), 4096, 1<<19, 0.5, serverShape(0.2)))
+	add(serverApp("cloud9", "CloudSuite", next(), 16384, 1<<20, 0.7, serverShape(0.3)))
+	add(mixApp("nutch", "CloudSuite", serverShape(0.25), []float64{0.6, 0.4},
+		take(2),
+		func(rg []int) []memFunc {
+			return []memFunc{
+				ServerPattern(8192, 1<<19, 0.55, rg[0]),
+				ChasePattern(49152, rg[1]),
+			}
+		}))
+
+	return apps
+}
+
+// BySuite returns the catalog apps belonging to suite.
+func BySuite(suite string) []App {
+	var out []App
+	for _, a := range Catalog() {
+		if a.Suite == suite {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByName returns the named catalog app.
+func ByName(name string) (App, error) {
+	for _, a := range Catalog() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("trace: unknown app %q", name)
+}
+
+// TuneSet returns the SPEC-style apps, mirroring the paper's choice of a
+// SPEC-only tune set so adaptability is tested on unseen suites (§6.3).
+func TuneSet() []App {
+	var out []App
+	for _, a := range Catalog() {
+		if a.Suite == "SPEC06" || a.Suite == "SPEC17" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

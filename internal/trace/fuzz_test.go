@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReaderRobustness feeds arbitrary bytes to the trace reader: it must
+// either reject the input with an error or decode records, but never
+// panic or loop forever.
+func FuzzReaderRobustness(f *testing.F) {
+	// Seed corpus: a valid small trace, a truncated one, and garbage.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		inst := Inst{PC: uint64(i * 4), Kind: KindLoad, Addr: uint64(i * 64)}
+		if err := w.Write(&inst); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("MBTR"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected header: fine
+		}
+		var inst Inst
+		for n := 0; n < 1_000_000; n++ {
+			if err := r.Read(&inst); err != nil {
+				if !errors.Is(err, io.EOF) && err.Error() == "" {
+					t.Fatal("empty error")
+				}
+				return
+			}
+			if inst.Kind >= numKinds {
+				t.Fatalf("decoded invalid kind %d", inst.Kind)
+			}
+		}
+		t.Fatal("reader failed to terminate on bounded input")
+	})
+}
+
+// FuzzCodecRoundTrip encodes fuzz-derived instruction streams and checks
+// bit-exact decoding.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(64), uint8(2), uint8(16))
+	f.Fuzz(func(t *testing.T, pcBase, addrBase uint64, kindSeed, count uint8) {
+		n := int(count)%64 + 1
+		in := make([]Inst, n)
+		for i := range in {
+			kind := Kind((kindSeed + uint8(i)) % uint8(numKinds))
+			in[i] = Inst{PC: pcBase + uint64(i)*4, Kind: kind}
+			if kind == KindLoad || kind == KindStore {
+				in[i].Addr = addrBase + uint64(i)*64
+			}
+			if kind == KindBranch {
+				in[i].Mispredict = i%3 == 0
+			}
+			if kind == KindLoad {
+				in[i].DependsOnPrev = i%2 == 0
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if err := w.Write(&in[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("decoded %d of %d", len(out), len(in))
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("record %d: %+v != %+v", i, in[i], out[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,103 @@
+// Package trace defines the instruction-trace abstraction consumed by the
+// trace-driven core model (internal/cpu) and provides deterministic
+// synthetic workload generators standing in for the paper's trace suites
+// (SPEC06/SPEC17 from DPC-3, CloudSuite from CRC-2, PARSEC and Ligra from
+// the Pythia release).
+//
+// Real traces are unavailable offline, so each named application is a
+// parameterized generator reproducing the *memory-access character* that
+// drives prefetcher choice in the paper: dominant stride/stream patterns,
+// pointer chasing, gather-style irregularity, working-set size, branch
+// behaviour, and coarse program phases (the property behind Fig. 7's mcf
+// phase change). Generators are infinite, deterministic streams given a
+// seed; the simulator imposes the instruction budget.
+//
+// The package also provides a compact binary trace codec (Writer/Reader)
+// so workloads can be captured to files and replayed, mirroring the
+// trace-driven methodology of ChampSim.
+package trace
+
+import "fmt"
+
+// Kind classifies an instruction for the timing model.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	// KindALU is a short-latency non-memory instruction.
+	KindALU Kind = iota
+	// KindFP is a long-latency arithmetic instruction.
+	KindFP
+	// KindLoad reads memory at Inst.Addr.
+	KindLoad
+	// KindStore writes memory at Inst.Addr.
+	KindStore
+	// KindBranch is a conditional branch; Inst.Mispredict carries the
+	// workload model's misprediction outcome.
+	KindBranch
+	numKinds = iota
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindALU:
+		return "alu"
+	case KindFP:
+		return "fp"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Inst is one dynamic instruction.
+//
+// The branch predictor is folded into the workload model: Mispredict marks
+// the branches a realistic predictor would miss, so the core model charges
+// a redirect penalty without simulating predictor state. This keeps the
+// trace format self-contained, the way ChampSim traces carry branch
+// outcomes.
+type Inst struct {
+	// PC is the instruction address.
+	PC uint64
+	// Addr is the byte address touched by loads and stores (0 otherwise).
+	Addr uint64
+	// Kind classifies the instruction.
+	Kind Kind
+	// Mispredict marks a mispredicted branch (KindBranch only).
+	Mispredict bool
+	// DependsOnPrev marks a load whose address depends on the previous
+	// load's value (pointer chasing); the core serializes it behind that
+	// load.
+	DependsOnPrev bool
+}
+
+// Generator produces an infinite deterministic instruction stream.
+type Generator interface {
+	// Name identifies the workload.
+	Name() string
+	// Next fills in the next instruction.
+	Next(i *Inst)
+}
+
+// LineSize is the cache-line size in bytes, shared across the project.
+const LineSize = 64
+
+// Line returns addr's cache-line address (addr with the offset cleared).
+func Line(addr uint64) uint64 { return addr &^ uint64(LineSize-1) }
+
+// CollectN drains n instructions from g into a slice. Intended for tests
+// and tools; simulations stream instead.
+func CollectN(g Generator, n int) []Inst {
+	out := make([]Inst, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindALU: "alu", KindFP: "fp", KindLoad: "load",
+		KindStore: "store", KindBranch: "branch", Kind(99): "kind(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestLine(t *testing.T) {
+	if Line(0x1234) != 0x1200 {
+		t.Errorf("Line(0x1234) = %#x", Line(0x1234))
+	}
+	if Line(0x1240) != 0x1240 {
+		t.Errorf("Line(0x1240) = %#x", Line(0x1240))
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, app := range Catalog() {
+		a := CollectN(app.New(42), 500)
+		b := CollectN(app.New(42), 500)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: instruction %d differs: %+v vs %+v", app.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestGeneratorsProduceSaneStreams(t *testing.T) {
+	for _, app := range Catalog() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			g := app.New(1)
+			if g.Name() == "" {
+				t.Error("empty generator name")
+			}
+			const n = 20000
+			var mem, branches, deps int
+			for k := 0; k < n; k++ {
+				var i Inst
+				g.Next(&i)
+				switch i.Kind {
+				case KindLoad, KindStore:
+					mem++
+					if i.Addr == 0 {
+						t.Fatalf("memory op with zero address at %d", k)
+					}
+				case KindBranch:
+					branches++
+					if i.Addr != 0 {
+						t.Fatalf("branch with address at %d", k)
+					}
+				case KindALU, KindFP:
+					if i.Addr != 0 {
+						t.Fatalf("non-mem op with address at %d", k)
+					}
+				default:
+					t.Fatalf("invalid kind %d at %d", i.Kind, k)
+				}
+				if i.DependsOnPrev {
+					deps++
+					if i.Kind != KindLoad {
+						t.Fatalf("DependsOnPrev on non-load at %d", k)
+					}
+				}
+				if i.PC == 0 {
+					t.Fatalf("zero PC at %d", k)
+				}
+			}
+			memFrac := float64(mem) / n
+			if memFrac < 0.05 || memFrac > 0.8 {
+				t.Errorf("memory fraction = %.3f outside plausible range", memFrac)
+			}
+		})
+	}
+}
+
+func TestCatalogStructure(t *testing.T) {
+	apps := Catalog()
+	if len(apps) < 40 {
+		t.Fatalf("catalog has %d apps, want >= 40", len(apps))
+	}
+	names := map[string]bool{}
+	suites := map[string]int{}
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Errorf("duplicate app name %q", a.Name)
+		}
+		names[a.Name] = true
+		suites[a.Suite]++
+	}
+	for _, s := range SuiteOrder {
+		if suites[s] == 0 {
+			t.Errorf("suite %s has no apps", s)
+		}
+	}
+	if got := len(BySuite("Ligra")); got != 4 {
+		t.Errorf("Ligra suite has %d apps, want 4", got)
+	}
+	if _, err := ByName("lbm17"); err != nil {
+		t.Errorf("ByName(lbm17): %v", err)
+	}
+	if _, err := ByName("no-such-app"); err == nil {
+		t.Error("ByName accepted unknown app")
+	}
+	tune := TuneSet()
+	for _, a := range tune {
+		if a.Suite != "SPEC06" && a.Suite != "SPEC17" {
+			t.Errorf("tune set contains non-SPEC app %s (%s)", a.Name, a.Suite)
+		}
+	}
+	if len(tune) < 30 {
+		t.Errorf("tune set has %d apps", len(tune))
+	}
+}
+
+// The apps must differ in which access pattern dominates, otherwise the
+// bandit's arm choice would be degenerate. Spot-check three signatures.
+func TestPatternSignatures(t *testing.T) {
+	uniqueLineFrac := func(name string) float64 {
+		app, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := app.New(7)
+		lines := map[uint64]bool{}
+		memOps := 0
+		for k := 0; k < 50000; k++ {
+			var i Inst
+			g.Next(&i)
+			if i.Kind == KindLoad || i.Kind == KindStore {
+				memOps++
+				lines[Line(i.Addr)] = true
+			}
+		}
+		return float64(len(lines)) / float64(memOps)
+	}
+	stream := uniqueLineFrac("libquantum") // sequential: ~1 new line per 8 accesses
+	chase := uniqueLineFrac("canneal")     // random lines: nearly every access distinct
+	server := uniqueLineFrac("exchange2")  // hot-set reuse: few distinct lines
+	if !(server < stream && stream < chase) {
+		t.Errorf("line-uniqueness ordering violated: server=%.3f stream=%.3f chase=%.3f",
+			server, stream, chase)
+	}
+	if chase < 0.5 {
+		t.Errorf("chase uniqueness = %.3f, want high", chase)
+	}
+}
+
+// Sequential streams must advance line addresses monotonically per stream
+// so stream prefetchers can latch on.
+func TestStreamPatternMonotonicPerPC(t *testing.T) {
+	g := newGen("s", 3, Shape{ALUPerMem: 0}, StreamPattern(4, 16, 128, 900))
+	last := map[uint64]uint64{}
+	for k := 0; k < 10000; k++ {
+		var i Inst
+		g.Next(&i)
+		if prev, ok := last[i.PC]; ok && i.Addr < prev {
+			t.Fatalf("stream for pc %#x went backwards: %#x -> %#x", i.PC, prev, i.Addr)
+		}
+		last[i.PC] = i.Addr
+	}
+	if len(last) != 4 {
+		t.Errorf("expected 4 stream PCs, got %d", len(last))
+	}
+}
+
+// Stride walkers must produce their configured constant stride per PC
+// (within a lap).
+func TestStridePatternConstantStride(t *testing.T) {
+	g := newGen("st", 3, Shape{ALUPerMem: 0}, StridePattern([]int{256}, 4096, 901))
+	var prev uint64
+	seen := 0
+	for k := 0; k < 2000; k++ {
+		var i Inst
+		g.Next(&i)
+		if prev != 0 && i.Addr > prev {
+			// Within a lap every delta is the configured stride; at a lap
+			// boundary the walker jumps ahead by a gap larger than a page.
+			if d := i.Addr - prev; d != 256 && d < 4096 {
+				t.Fatalf("stride = %d, want 256 or a lap jump", d)
+			} else if d == 256 {
+				seen++
+			}
+		}
+		prev = i.Addr
+	}
+	if seen == 0 {
+		t.Fatal("no stride deltas observed")
+	}
+}
+
+// The chase pattern must visit every working-set line (single-cycle
+// permutation) and mark loads dependent.
+func TestChasePatternCoversRing(t *testing.T) {
+	const ws = 512
+	g := newGen("c", 3, Shape{ALUPerMem: 0}, ChasePattern(ws, 902))
+	seen := map[uint64]bool{}
+	for k := 0; k < ws; k++ {
+		var i Inst
+		g.Next(&i)
+		if !i.DependsOnPrev {
+			t.Fatal("chase load not marked dependent")
+		}
+		seen[Line(i.Addr)] = true
+	}
+	if len(seen) != ws {
+		t.Errorf("chase visited %d distinct lines in %d steps, want %d", len(seen), ws, ws)
+	}
+}
+
+func TestPhaseGenSwitches(t *testing.T) {
+	a := newGen("a", 1, Shape{ALUPerMem: 0}, StreamPattern(1, 64, 1024, 903))
+	b := newGen("b", 1, Shape{ALUPerMem: 0}, ChasePattern(256, 904))
+	p := NewPhaseGen("ph", 100, a, b)
+	if p.Phase() != 0 {
+		t.Fatal("initial phase != 0")
+	}
+	for k := 0; k < 100; k++ {
+		var i Inst
+		p.Next(&i)
+	}
+	if p.Phase() != 1 {
+		t.Fatal("phase did not advance after phaseLen")
+	}
+	for k := 0; k < 100; k++ {
+		var i Inst
+		p.Next(&i)
+	}
+	if p.Phase() != 0 {
+		t.Fatal("phase did not wrap")
+	}
+}
+
+func TestPhaseGenPanics(t *testing.T) {
+	assertPanics(t, func() { NewPhaseGen("x", 10) })
+	assertPanics(t, func() {
+		NewPhaseGen("x", 0, newGen("a", 1, Shape{}, ChasePattern(8, 905)))
+	})
+}
+
+func TestMixPatternPanicsOnMismatch(t *testing.T) {
+	assertPanics(t, func() { MixPattern([]float64{1}, nil, nil) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	app, _ := ByName("lbm17")
+	g := app.New(1)
+	var i Inst
+	for k := 0; k < b.N; k++ {
+		g.Next(&i)
+	}
+}

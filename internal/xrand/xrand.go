@@ -1,0 +1,166 @@
+// Package xrand provides a small, fast, deterministic random number
+// generator used throughout the simulator and the bandit agent.
+//
+// Determinism across Go releases matters for this project: every experiment
+// in EXPERIMENTS.md must regenerate the exact same rows given the same
+// seeds. Rather than depend on the (frozen but large) math/rand generator,
+// we use SplitMix64 for seeding and xoshiro256** for the stream, both of
+// which are tiny, well-studied, and trivially portable. The generator is
+// also a reasonable stand-in for the cheap LFSR-style entropy a hardware
+// agent would use for its epsilon-greedy coin flips.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator (xoshiro256**).
+// It is not safe for concurrent use; give each goroutine its own Rand.
+// The zero value is not usable; construct with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, as recommended
+// by the xoshiro authors. Two generators with the same seed produce
+// identical streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm = splitMix64(&sm)
+		r.s[i] = sm
+	}
+	// xoshiro must not be seeded with all zeros; SplitMix64 cannot produce
+	// four consecutive zeros, but guard anyway for safety.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// splitMix64 advances the SplitMix64 state and returns the next output.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded output.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	lo = a * b
+	hi = a1*b1 + t>>32 + (t&mask32+a0*b1)>>32
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p. p outside [0,1] saturates.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the polar (Marsaglia) method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability p: the number of failures before the first success. For
+// p >= 1 it returns 0; p <= 0 panics (the distribution is undefined).
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 {
+		panic("xrand: Geometric called with p <= 0")
+	}
+	if p >= 1 {
+		return 0
+	}
+	u := r.Float64()
+	if u == 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log(1-u) / math.Log(1-p)))
+}
+
+// Fork derives an independent generator from this one. The child stream is
+// decorrelated from the parent by reseeding through SplitMix64.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64())
+}
