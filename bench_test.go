@@ -27,7 +27,42 @@ func benchOptions() harness.Options {
 	o.EpochLen = 4 * 1024
 	o.RREpochs = 4
 	o.MaxMixes = 4
+	// The suite benches the experiments themselves, so runs stay serial;
+	// the *Parallel variants below measure the worker-pool speedup.
+	o.Workers = 1
 	return o
+}
+
+// --- Parallel-engine benches ------------------------------------------
+//
+// The serial benchmarks above fix Workers=1; these two rerun the
+// heaviest experiments with the default worker pool (one worker per
+// CPU), so `go test -bench 'Table8|Fig5'` shows the serial-vs-parallel
+// wall-clock side by side. cmd/mab-report -parbench records the same
+// comparison to BENCH_parallel.json.
+
+func BenchmarkTable8Parallel(b *testing.B) {
+	o := benchOptions()
+	o.MaxApps = 1
+	o.Workers = 0 // default pool: one worker per CPU
+	for i := 0; i < b.N; i++ {
+		res := harness.Table8(o)
+		b.ReportMetric(res.Algos["DUCB"].GMean, "ducb_gmean_%")
+	}
+}
+
+func BenchmarkFig5Parallel(b *testing.B) {
+	o := benchOptions()
+	o.MaxMixes = 2
+	o.SMTCycles = 150_000
+	o.EpochLen = 2048
+	o.Workers = 0 // default pool: one worker per CPU
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig5(o)
+		if len(res.Rows) > 0 {
+			b.ReportMetric(res.Rows[0].BestDelta*100, "best_vs_choi_%")
+		}
+	}
 }
 
 func BenchmarkFig2TemporalHomogeneity(b *testing.B) {

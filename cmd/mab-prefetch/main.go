@@ -1,14 +1,19 @@
-// Command mab-prefetch runs a single prefetching simulation: one
-// application from the synthetic catalog, one prefetcher configuration,
-// and prints IPC plus hierarchy statistics. It is the interactive probe
-// for the prefetching use case (the batch experiments live in
-// mab-report).
+// Command mab-prefetch runs prefetching simulations: one or more
+// applications from the synthetic catalog under one prefetcher
+// configuration, printing IPC plus hierarchy statistics. It is the
+// interactive probe for the prefetching use case (the batch experiments
+// live in mab-report).
 //
 // Usage:
 //
 //	mab-prefetch -app lbm17 -pf bandit [-insts 4000000] [-mtps 2400]
 //	             [-algo ducb|ucb|eps|single|periodic|static:N]
 //	             [-trace] [-list]
+//	mab-prefetch -app lbm17,mcf06,bfs -j 4
+//	mab-prefetch -app all -j 0
+//
+// With a comma-separated -app list (or "all"), the simulations fan out
+// across -j worker goroutines and the reports print in input order.
 package main
 
 import (
@@ -21,12 +26,24 @@ import (
 	"microbandit/internal/core"
 	"microbandit/internal/cpu"
 	"microbandit/internal/mem"
+	"microbandit/internal/par"
 	"microbandit/internal/prefetch"
 	"microbandit/internal/trace"
 )
 
+// runConfig carries the per-run flag values into the worker pool.
+type runConfig struct {
+	pfName    string
+	algo      string
+	insts     int64
+	stepL2    int
+	seed      uint64
+	showTrace bool
+	memCfg    mem.Config
+}
+
 func main() {
-	appName := flag.String("app", "lbm17", "application from the synthetic catalog")
+	appNames := flag.String("app", "lbm17", "application(s): a catalog name, a comma-separated list, or \"all\"")
 	pfName := flag.String("pf", "bandit", "prefetcher: none, stride, bingo, mlop, pythia, bandit")
 	algo := flag.String("algo", "ducb", "bandit algorithm: ducb, ucb, eps, single, periodic, static:N")
 	insts := flag.Int64("insts", 4_000_000, "instructions to simulate")
@@ -36,6 +53,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	showTrace := flag.Bool("trace", false, "print the arm exploration trace")
 	list := flag.Bool("list", false, "list catalog applications and exit")
+	workers := flag.Int("j", 0, "worker goroutines for multi-app runs (0 = one per CPU)")
 	flag.Parse()
 
 	if *list {
@@ -45,25 +63,66 @@ func main() {
 		return
 	}
 
-	app, err := trace.ByName(*appName)
-	if err != nil {
-		fatal(err)
+	var apps []trace.App
+	if *appNames == "all" {
+		apps = trace.Catalog()
+	} else {
+		for _, name := range strings.Split(*appNames, ",") {
+			app, err := trace.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			apps = append(apps, app)
+		}
 	}
+
 	memCfg := mem.DefaultConfig()
 	if *altCache {
 		memCfg = mem.AltCacheConfig()
 	}
 	memCfg.MTPS = *mtps
+	cfg := runConfig{
+		pfName: *pfName, algo: *algo, insts: *insts, stepL2: *stepL2,
+		seed: *seed, showTrace: *showTrace, memCfg: memCfg,
+	}
 
-	hier := mem.NewHierarchy(memCfg)
-	c := cpu.New(cpu.DefaultConfig(), hier, app.New(*seed))
+	// Validate the configuration once before fanning out.
+	if _, err := simulate(apps[0], cfg, true); err != nil {
+		fatal(err)
+	}
+	// Each app is an independent simulation with its own hierarchy and
+	// seed; reports come back in input order regardless of worker count.
+	type out struct {
+		report string
+		err    error
+	}
+	outs := par.Run(*workers, apps, func(app trace.App) out {
+		report, err := simulate(app, cfg, false)
+		return out{report, err}
+	})
+	for i, o := range outs {
+		if o.err != nil {
+			fatal(o.err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(o.report)
+	}
+}
+
+// simulate runs one app and returns its formatted report. dryRun only
+// checks that the prefetcher/algorithm configuration parses.
+func simulate(app trace.App, cfg runConfig, dryRun bool) (string, error) {
+	hier := mem.NewHierarchy(cfg.memCfg)
+	c := cpu.New(cpu.DefaultConfig(), hier, app.New(cfg.seed))
 
 	var (
 		l2   prefetch.Prefetcher
 		ctrl core.Controller
 		tun  prefetch.Tunable
 	)
-	switch strings.ToLower(*pfName) {
+	switch strings.ToLower(cfg.pfName) {
 	case "none":
 		l2 = prefetch.Null{}
 	case "stride":
@@ -73,56 +132,61 @@ func main() {
 	case "mlop":
 		l2 = prefetch.NewMLOP()
 	case "pythia":
-		l2 = prefetch.NewPythia(*seed)
+		l2 = prefetch.NewPythia(cfg.seed)
 	case "bandit":
 		ens := prefetch.NewTable7Ensemble()
-		pol, err := banditPolicy(*algo, ens.NumArms())
+		pol, err := banditPolicy(cfg.algo, ens.NumArms())
 		if err != nil {
-			fatal(err)
+			return "", err
 		}
 		if pol != nil {
 			ctrl = core.MustNew(core.Config{
 				Arms: ens.NumArms(), Policy: pol, Normalize: true,
-				Seed: *seed, RecordTrace: true,
+				Seed: cfg.seed, RecordTrace: true,
 			})
 		} else {
 			// static:N
-			n, _ := strconv.Atoi(strings.TrimPrefix(*algo, "static:"))
+			n, _ := strconv.Atoi(strings.TrimPrefix(cfg.algo, "static:"))
 			ctrl = core.FixedArm(n)
 		}
 		l2, tun = ens, ens
 	default:
-		fatal(fmt.Errorf("unknown prefetcher %q", *pfName))
+		return "", fmt.Errorf("unknown prefetcher %q", cfg.pfName)
+	}
+	if dryRun {
+		return "", nil
 	}
 
 	r := cpu.NewRunner(c, l2, ctrl, tun)
-	r.StepL2 = *stepL2
-	if *showTrace {
+	r.StepL2 = cfg.stepL2
+	if cfg.showTrace {
 		r.RecordArms()
 	}
-	r.Run(*insts)
+	r.Run(cfg.insts)
 
+	var b strings.Builder
 	st := hier.Stats()
 	cl := hier.Classify()
-	fmt.Printf("app=%s prefetcher=%s insts=%d cycles=%d\n", app.Name, *pfName, c.Insts(), c.Cycles())
-	fmt.Printf("IPC: %.4f\n", c.IPC())
-	fmt.Printf("L2 demand accesses: %d   LLC misses: %d   DRAM reads: %d\n",
+	fmt.Fprintf(&b, "app=%s prefetcher=%s insts=%d cycles=%d\n", app.Name, cfg.pfName, c.Insts(), c.Cycles())
+	fmt.Fprintf(&b, "IPC: %.4f\n", c.IPC())
+	fmt.Fprintf(&b, "L2 demand accesses: %d   LLC misses: %d   DRAM reads: %d\n",
 		st.L2Demand, st.LLCMisses, hier.DRAM().Reads())
-	fmt.Printf("prefetches issued: %d   timely: %d   late: %d   wrong: %d   dropped: %d\n",
+	fmt.Fprintf(&b, "prefetches issued: %d   timely: %d   late: %d   wrong: %d   dropped: %d\n",
 		st.PrefIssued, cl.Timely, cl.Late, cl.Wrong, st.PrefDropped)
 	if ctrl != nil {
-		fmt.Printf("bandit steps: %d\n", r.Steps())
+		fmt.Fprintf(&b, "bandit steps: %d\n", r.Steps())
 	}
-	if *showTrace {
-		fmt.Println("arm trace (cycle:arm):")
+	if cfg.showTrace {
+		b.WriteString("arm trace (cycle:arm):\n")
 		for _, s := range r.ArmTrace {
-			fmt.Printf("  %d:%d", s.Cycle, s.Arm)
+			fmt.Fprintf(&b, "  %d:%d", s.Cycle, s.Arm)
 		}
-		fmt.Println()
+		b.WriteByte('\n')
 		if agent, ok := ctrl.(*core.Agent); ok {
-			fmt.Printf("final rTable: %v\n", agent.Rewards())
+			fmt.Fprintf(&b, "final rTable: %v\n", agent.Rewards())
 		}
 	}
+	return b.String(), nil
 }
 
 // banditPolicy parses the -algo flag; returns (nil, nil) for static:N.

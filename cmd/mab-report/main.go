@@ -2,20 +2,26 @@
 //
 // Usage:
 //
-//	mab-report [-preset smoke|quick|full] [-exp id] [-list] [-seed n]
+//	mab-report [-preset smoke|quick|full] [-exp id] [-list] [-seed n] [-j n]
+//	mab-report -parbench BENCH_parallel.json [-preset quick] [-j n]
 //
 // With no -exp it runs every experiment in paper order; -list prints the
 // experiment registry (ids match DESIGN.md's per-experiment index).
+// -parbench times the heaviest experiments serial vs parallel and writes
+// the wall-clock comparison as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"microbandit/internal/harness"
+	"microbandit/internal/par"
 )
 
 func main() {
@@ -24,6 +30,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	csvDir := flag.String("csvdir", "", "also write per-experiment CSV files into this directory")
+	workers := flag.Int("j", 0, "worker goroutines per experiment (0 = one per CPU, 1 = serial)")
+	parBench := flag.String("parbench", "", "time Table8 and Fig5 serial vs parallel, write JSON here")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +54,15 @@ func main() {
 		os.Exit(2)
 	}
 	o.Seed = *seed
+	o.Workers = *workers
+
+	if *parBench != "" {
+		if err := runParBench(*parBench, *preset, o); err != nil {
+			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -89,4 +106,74 @@ func runOne(e harness.Experiment, o harness.Options, csvDir string) string {
 		fmt.Fprintf(os.Stderr, "mab-report: writing %s: %v\n", path, err)
 	}
 	return text
+}
+
+// parBenchEntry is one experiment's serial-vs-parallel timing.
+type parBenchEntry struct {
+	Experiment string  `json:"experiment"`
+	SerialS    float64 `json:"serial_s"`
+	ParallelS  float64 `json:"parallel_s"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"output_identical"`
+}
+
+// parBenchReport is the BENCH_parallel.json schema.
+type parBenchReport struct {
+	Preset  string          `json:"preset"`
+	CPUs    int             `json:"cpus"`
+	Workers int             `json:"workers"`
+	Entries []parBenchEntry `json:"entries"`
+}
+
+// runParBench times the two heaviest experiments (the Fig. 5 policy
+// sweep and the Table 8 static-arm oracle) serial vs parallel and
+// writes the comparison to path. It also cross-checks that both modes
+// rendered identical bytes — the engine's determinism contract.
+func runParBench(path, preset string, o harness.Options) error {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	rep := parBenchReport{
+		Preset:  preset,
+		CPUs:    runtime.NumCPU(),
+		Workers: workers,
+	}
+	for _, id := range []string{"table8", "fig5"} {
+		serial := o
+		serial.Workers = 1
+		parallel := o
+		parallel.Workers = workers
+
+		fmt.Printf("timing %s serial...\n", id)
+		t0 := time.Now()
+		textS, _, ok := harness.RunWithCSV(id, serial)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		serialS := time.Since(t0).Seconds()
+
+		fmt.Printf("timing %s parallel (j=%d)...\n", id, workers)
+		t0 = time.Now()
+		textP, _, _ := harness.RunWithCSV(id, parallel)
+		parallelS := time.Since(t0).Seconds()
+
+		e := parBenchEntry{
+			Experiment: id,
+			SerialS:    serialS,
+			ParallelS:  parallelS,
+			Identical:  textS == textP,
+		}
+		if parallelS > 0 {
+			e.Speedup = serialS / parallelS
+		}
+		fmt.Printf("%s: serial %.1fs, parallel %.1fs, speedup %.2fx, identical=%v\n",
+			id, e.SerialS, e.ParallelS, e.Speedup, e.Identical)
+		rep.Entries = append(rep.Entries, e)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,13 +1,17 @@
-// Command mab-smt runs a single SMT instruction-fetch simulation: one
-// 2-thread mix, one fetch PG controller (bandit, Choi, ICount, or any
-// static policy), and prints per-thread IPC plus the rename-stage
+// Command mab-smt runs SMT instruction-fetch simulations: one or more
+// 2-thread mixes under one fetch PG controller (bandit, Choi, ICount, or
+// any static policy), printing per-thread IPC plus the rename-stage
 // breakdown. The batch experiments live in mab-report.
 //
 // Usage:
 //
 //	mab-smt -mix gcc-lbm -ctrl bandit [-cycles 3000000]
 //	mab-smt -mix mcf-lbm -ctrl policy:LSQC_1111
+//	mab-smt -mix gcc-lbm,mcf-lbm,x264-bwaves -j 4
 //	mab-smt -list
+//
+// With a comma-separated -mix list, the simulations fan out across -j
+// worker goroutines and the reports print in input order.
 package main
 
 import (
@@ -16,12 +20,24 @@ import (
 	"os"
 	"strings"
 
+	"microbandit/internal/par"
 	"microbandit/internal/simsmt"
 	"microbandit/internal/smtwork"
 )
 
+// runConfig carries the per-run flag values into the worker pool.
+type runConfig struct {
+	ctrlName   string
+	cycles     int64
+	epoch      int64
+	rrEpochs   int
+	mainEpochs int
+	seed       uint64
+	showTrace  bool
+}
+
 func main() {
-	mixName := flag.String("mix", "gcc-lbm", "2-thread mix as appA-appB")
+	mixNames := flag.String("mix", "gcc-lbm", "2-thread mix(es) as appA-appB, comma-separated")
 	ctrlName := flag.String("ctrl", "bandit", "controller: bandit, choi, icount, or policy:<mnemonic>")
 	cycles := flag.Int64("cycles", 3_000_000, "cycles to simulate")
 	epoch := flag.Int64("epoch", 16*1024, "Hill Climbing epoch length in cycles")
@@ -30,6 +46,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	showTrace := flag.Bool("trace", false, "print the arm exploration trace")
 	list := flag.Bool("list", false, "list thread profiles and exit")
+	workers := flag.Int("j", 0, "worker goroutines for multi-mix runs (0 = one per CPU)")
 	flag.Parse()
 
 	if *list {
@@ -40,68 +57,103 @@ func main() {
 		return
 	}
 
-	parts := strings.SplitN(*mixName, "-", 2)
-	if len(parts) != 2 {
-		fatal(fmt.Errorf("mix must be appA-appB, got %q", *mixName))
-	}
-	a, err := smtwork.ByName(parts[0])
-	if err != nil {
-		fatal(err)
-	}
-	b, err := smtwork.ByName(parts[1])
-	if err != nil {
-		fatal(err)
-	}
-
-	sim := simsmt.NewSim(a, b, *seed)
-	var runner *simsmt.Runner
-	switch {
-	case *ctrlName == "bandit":
-		runner = simsmt.NewRunner(sim, simsmt.NewBanditAgent(*seed), simsmt.Table1Arms(), true)
-	case *ctrlName == "choi":
-		runner = simsmt.NewFixedRunner(sim, simsmt.ChoiPolicy, true)
-	case *ctrlName == "icount":
-		runner = simsmt.NewFixedRunner(sim, simsmt.ICountPolicy, false)
-	case strings.HasPrefix(*ctrlName, "policy:"):
-		p, err := simsmt.ParsePolicy(strings.TrimPrefix(*ctrlName, "policy:"))
+	var mixes []smtwork.Mix
+	for _, name := range strings.Split(*mixNames, ",") {
+		name = strings.TrimSpace(name)
+		parts := strings.SplitN(name, "-", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("mix must be appA-appB, got %q", name))
+		}
+		a, err := smtwork.ByName(parts[0])
 		if err != nil {
 			fatal(err)
 		}
+		b, err := smtwork.ByName(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		mixes = append(mixes, smtwork.Mix{A: a, B: b})
+	}
+
+	cfg := runConfig{
+		ctrlName: *ctrlName, cycles: *cycles, epoch: *epoch,
+		rrEpochs: *rrEpochs, mainEpochs: *mainEpochs,
+		seed: *seed, showTrace: *showTrace,
+	}
+	// Each mix is an independent simulation with its own state and seed;
+	// reports come back in input order regardless of worker count.
+	type out struct {
+		report string
+		err    error
+	}
+	outs := par.Run(*workers, mixes, func(mix smtwork.Mix) out {
+		report, err := simulate(mix, cfg)
+		return out{report, err}
+	})
+	for i, o := range outs {
+		if o.err != nil {
+			fatal(o.err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(o.report)
+	}
+}
+
+// simulate runs one mix and returns its formatted report.
+func simulate(mix smtwork.Mix, cfg runConfig) (string, error) {
+	sim := simsmt.NewSim(mix.A, mix.B, cfg.seed)
+	var runner *simsmt.Runner
+	switch {
+	case cfg.ctrlName == "bandit":
+		runner = simsmt.NewRunner(sim, simsmt.NewBanditAgent(cfg.seed), simsmt.Table1Arms(), true)
+	case cfg.ctrlName == "choi":
+		runner = simsmt.NewFixedRunner(sim, simsmt.ChoiPolicy, true)
+	case cfg.ctrlName == "icount":
+		runner = simsmt.NewFixedRunner(sim, simsmt.ICountPolicy, false)
+	case strings.HasPrefix(cfg.ctrlName, "policy:"):
+		p, err := simsmt.ParsePolicy(strings.TrimPrefix(cfg.ctrlName, "policy:"))
+		if err != nil {
+			return "", err
+		}
 		runner = simsmt.NewFixedRunner(sim, p, true)
 	default:
-		fatal(fmt.Errorf("unknown controller %q", *ctrlName))
+		return "", fmt.Errorf("unknown controller %q", cfg.ctrlName)
 	}
-	runner.EpochLen = *epoch
-	runner.RREpochs = *rrEpochs
-	runner.MainEpochs = *mainEpochs
-	if *showTrace {
+	runner.EpochLen = cfg.epoch
+	runner.RREpochs = cfg.rrEpochs
+	runner.MainEpochs = cfg.mainEpochs
+	if cfg.showTrace {
 		runner.RecordArms()
 	}
-	runner.RunCycles(*cycles)
+	runner.RunCycles(cfg.cycles)
 
-	fmt.Printf("mix=%s ctrl=%s cycles=%d policy=%s\n",
-		*mixName, *ctrlName, sim.Cycle(), sim.Policy())
-	fmt.Printf("thread0 (%s): %d uops   thread1 (%s): %d uops\n",
-		a.Name, sim.Committed(0), b.Name, sim.Committed(1))
-	fmt.Printf("sum IPC: %.4f   hill-climb share: %.3f\n", sim.SumIPC(), sim.Share())
+	var b strings.Builder
+	fmt.Fprintf(&b, "mix=%s ctrl=%s cycles=%d policy=%s\n",
+		mix.Name(), cfg.ctrlName, sim.Cycle(), sim.Policy())
+	fmt.Fprintf(&b, "thread0 (%s): %d uops   thread1 (%s): %d uops\n",
+		mix.A.Name, sim.Committed(0), mix.B.Name, sim.Committed(1))
+	fmt.Fprintf(&b, "sum IPC: %.4f   hill-climb share: %.3f\n", sim.SumIPC(), sim.Share())
 	rs := sim.RenameStats()
 	total := float64(rs.Total())
-	fmt.Printf("rename: running %.1f%%  idle %.1f%%  stalled %.1f%% "+
+	fmt.Fprintf(&b, "rename: running %.1f%%  idle %.1f%%  stalled %.1f%% "+
 		"(ROB %.1f%%, IQ %.1f%%, LQ %.1f%%, SQ %.1f%%, RF %.1f%%)\n",
 		pct(rs.Running, total), pct(rs.Idle, total), pct(rs.Stalled(), total),
 		pct(rs.StallROB, total), pct(rs.StallIQ, total), pct(rs.StallLQ, total),
 		pct(rs.StallSQ, total), pct(rs.StallRF, total))
-	if *showTrace {
-		fmt.Println("arm trace (cycle:arm):")
+	if cfg.showTrace {
+		b.WriteString("arm trace (cycle:arm):\n")
 		for _, s := range runner.ArmTrace {
-			fmt.Printf("  %d:%d", s.Cycle, s.Arm)
+			fmt.Fprintf(&b, "  %d:%d", s.Cycle, s.Arm)
 		}
-		fmt.Println()
+		b.WriteByte('\n')
 		arms := simsmt.Table1Arms()
 		for i, p := range arms {
-			fmt.Printf("  arm %d = %s\n", i, p)
+			fmt.Fprintf(&b, "  arm %d = %s\n", i, p)
 		}
 	}
+	return b.String(), nil
 }
 
 func pct(n int64, total float64) float64 {

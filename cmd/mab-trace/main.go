@@ -7,18 +7,25 @@
 // Usage:
 //
 //	mab-trace record -app lbm17 -insts 2000000 -out lbm17.mbt
+//	mab-trace record -app lbm17,mcf06,bfs -j 4
 //	mab-trace replay -in lbm17.mbt -insts 4000000 -pf bandit
 //	mab-trace info -in lbm17.mbt
+//
+// With a comma-separated -app list (or "all"), record writes one
+// <app>.mbt per application, fanning the recordings out across -j worker
+// goroutines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"microbandit/internal/core"
 	"microbandit/internal/cpu"
 	"microbandit/internal/mem"
+	"microbandit/internal/par"
 	"microbandit/internal/prefetch"
 	"microbandit/internal/trace"
 )
@@ -46,46 +53,80 @@ func usage() {
 
 func record(args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	appName := fs.String("app", "lbm17", "application to record")
+	appNames := fs.String("app", "lbm17", "application(s) to record: a name, a comma-separated list, or \"all\"")
 	insts := fs.Int64("insts", 2_000_000, "instructions to record")
-	out := fs.String("out", "", "output trace file (default <app>.mbt)")
+	out := fs.String("out", "", "output trace file (single app only; default <app>.mbt)")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("j", 0, "worker goroutines for multi-app recording (0 = one per CPU)")
 	_ = fs.Parse(args)
 
-	app, err := trace.ByName(*appName)
-	if err != nil {
-		fatal(err)
+	var apps []trace.App
+	if *appNames == "all" {
+		apps = trace.Catalog()
+	} else {
+		for _, name := range strings.Split(*appNames, ",") {
+			app, err := trace.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			apps = append(apps, app)
+		}
 	}
-	path := *out
-	if path == "" {
-		path = app.Name + ".mbt"
+	if *out != "" && len(apps) > 1 {
+		fatal(fmt.Errorf("-out only applies to a single app; got %d", len(apps)))
 	}
+
+	// Each recording owns its generator and output file; reports print in
+	// input order regardless of worker count.
+	type result struct {
+		report string
+		err    error
+	}
+	results := par.Run(*workers, apps, func(app trace.App) result {
+		path := *out
+		if path == "" {
+			path = app.Name + ".mbt"
+		}
+		report, err := recordOne(app, path, *insts, *seed)
+		return result{report, err}
+	})
+	for _, r := range results {
+		if r.err != nil {
+			fatal(r.err)
+		}
+		fmt.Print(r.report)
+	}
+}
+
+// recordOne writes one application's trace file and returns the report
+// line.
+func recordOne(app trace.App, path string, insts int64, seed uint64) (string, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
 	defer f.Close()
 	w, err := trace.NewWriter(f, app.Name)
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
-	g := app.New(*seed)
+	g := app.New(seed)
 	var inst trace.Inst
-	for i := int64(0); i < *insts; i++ {
+	for i := int64(0); i < insts; i++ {
 		g.Next(&inst)
 		if err := w.Write(&inst); err != nil {
-			fatal(err)
+			return "", err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		fatal(err)
+		return "", err
 	}
 	st, err := f.Stat()
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
-	fmt.Printf("recorded %d instructions of %s to %s (%d bytes, %.2f B/inst)\n",
-		w.Count(), app.Name, path, st.Size(), float64(st.Size())/float64(w.Count()))
+	return fmt.Sprintf("recorded %d instructions of %s to %s (%d bytes, %.2f B/inst)\n",
+		w.Count(), app.Name, path, st.Size(), float64(st.Size())/float64(w.Count())), nil
 }
 
 func replay(args []string) {

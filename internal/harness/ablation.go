@@ -45,21 +45,36 @@ func (r AblationResult) Render() string {
 func AblationNormalization(o Options) AblationResult {
 	apps := o.apps(trace.TuneSet())
 	memCfg := mem.DefaultConfig()
-	run := func(normalize bool) float64 {
-		var ratios []float64
-		for _, app := range apps {
-			best, _ := o.bestStaticPrefetch(app, memCfg)
-			if best <= 0 {
+	// The static oracle ignores Normalize, so one sweep serves both rows.
+	best, _ := o.bestStaticPrefetchAll(apps, memCfg)
+
+	variants := []bool{true, false}
+	type job struct{ varIdx, appIdx int }
+	jobs := make([]job, 0, len(variants)*len(apps))
+	for vi := range variants {
+		for ai := range apps {
+			jobs = append(jobs, job{vi, ai})
+		}
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		app := apps[j.appIdx]
+		normalize := variants[j.varIdx]
+		ctrl := core.MustNew(core.Config{
+			Arms:      core.PrefetchArms,
+			Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+			Normalize: normalize,
+			Seed:      o.subSeed("abl-norm", app.Name),
+		})
+		return o.runPrefetchCtrl(app, fmt.Sprintf("norm-%v", normalize), ctrl, memCfg).IPC
+	})
+
+	gmean := func(vi int) float64 {
+		ratios := make([]float64, 0, len(apps))
+		for ai := range apps {
+			if best[ai] <= 0 {
 				continue
 			}
-			ctrl := core.MustNew(core.Config{
-				Arms:      core.PrefetchArms,
-				Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
-				Normalize: normalize,
-				Seed:      o.subSeed("abl-norm", app.Name),
-			})
-			res := o.runPrefetchCtrl(app, fmt.Sprintf("norm-%v", normalize), ctrl, memCfg)
-			ratios = append(ratios, res.IPC/best)
+			ratios = append(ratios, ipcs[vi*len(apps)+ai]/best[ai])
 		}
 		return stats.GeoMean(ratios)
 	}
@@ -67,8 +82,8 @@ func AblationNormalization(o Options) AblationResult {
 		Title:  "Ablation: reward normalization by r_avg (§4.3 mod 1)",
 		Metric: "gmean IPC / best static",
 		Rows: []AblationRow{
-			{Config: "DUCB + normalization", Value: run(true)},
-			{Config: "DUCB, raw rewards", Value: run(false)},
+			{Config: "DUCB + normalization", Value: gmean(0)},
+			{Config: "DUCB, raw rewards", Value: gmean(1)},
 		},
 	}
 }
@@ -83,47 +98,70 @@ func AblationRRRestart(o Options) AblationResult {
 	if instsPerCore < 50_000 {
 		instsPerCore = 50_000
 	}
-	run := func(prob float64, coordinated bool) float64 {
-		var sums []float64
-		for _, app := range apps {
-			shared := mem.NewShared(memCfg, 4)
-			coord := core.NewCoordinator()
-			var runners []*cpu.Runner
-			for coreID := 0; coreID < 4; coreID++ {
-				seed := o.subSeed("abl-rr", app.Name, fmt.Sprint(coreID),
-					fmt.Sprint(prob), fmt.Sprint(coordinated))
-				hier := mem.NewCoreHierarchy(memCfg, shared)
-				c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
-				ens := prefetch.NewTable7Ensemble()
-				ctrl := core.MustNew(core.Config{
-					Arms:          ens.NumArms(),
-					Policy:        core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
-					Normalize:     true,
-					RRRestartProb: prob,
-					Seed:          seed,
-				})
-				if coordinated {
-					// §8 future work: serialize sibling exploration.
-					coord.Add(ctrl)
-				}
-				r := cpu.NewRunner(c, ens, ctrl, ens)
-				r.StepL2 = o.StepL2
-				runners = append(runners, r)
+	// One job is one full 4-core simulation: its cores share an LLC/DRAM
+	// pool (and possibly a Coordinator), so they stay on one goroutine.
+	run4 := func(app trace.App, prob float64, coordinated bool) float64 {
+		shared := mem.NewShared(memCfg, 4)
+		coord := core.NewCoordinator()
+		runners := make([]*cpu.Runner, 0, 4)
+		for coreID := 0; coreID < 4; coreID++ {
+			seed := o.subSeed("abl-rr", app.Name, fmt.Sprint(coreID),
+				fmt.Sprint(prob), fmt.Sprint(coordinated))
+			hier := mem.NewCoreHierarchy(memCfg, shared)
+			c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+			ens := prefetch.NewTable7Ensemble()
+			ctrl := core.MustNew(core.Config{
+				Arms:          ens.NumArms(),
+				Policy:        core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+				Normalize:     true,
+				RRRestartProb: prob,
+				Seed:          seed,
+			})
+			if coordinated {
+				// §8 future work: serialize sibling exploration.
+				coord.Add(ctrl)
 			}
-			cpu.RunMultiCore(runners, instsPerCore)
-			sums = append(sums, cpu.SumIPC(runners))
+			r := cpu.NewRunner(c, ens, ctrl, ens)
+			r.StepL2 = o.StepL2
+			runners = append(runners, r)
 		}
-		return stats.GeoMean(sums)
+		cpu.RunMultiCore(runners, instsPerCore)
+		return cpu.SumIPC(runners)
+	}
+
+	configs := []struct {
+		label       string
+		prob        float64
+		coordinated bool
+	}{
+		{"rr_restart_prob = 0", 0, false},
+		{"rr_restart_prob = 0.001", core.RRRestartProb4Core, false},
+		{"rr_restart_prob = 0.01", 0.01, false},
+		{"rr_restart_prob = 0.01, coordinated", 0.01, true},
+	}
+	type job struct{ cfgIdx, appIdx int }
+	jobs := make([]job, 0, len(configs)*len(apps))
+	for ci := range configs {
+		for ai := range apps {
+			jobs = append(jobs, job{ci, ai})
+		}
+	}
+	sums := runJobs(o, jobs, func(j job) float64 {
+		cfg := configs[j.cfgIdx]
+		return run4(apps[j.appIdx], cfg.prob, cfg.coordinated)
+	})
+
+	rows := make([]AblationRow, 0, len(configs))
+	for ci, cfg := range configs {
+		rows = append(rows, AblationRow{
+			Config: cfg.label,
+			Value:  stats.GeoMean(sums[ci*len(apps) : (ci+1)*len(apps)]),
+		})
 	}
 	return AblationResult{
 		Title:  "Ablation: round-robin restart under 4-core interference (§4.3 mod 2 + §8 coordination)",
 		Metric: "gmean sum-IPC",
-		Rows: []AblationRow{
-			{Config: "rr_restart_prob = 0", Value: run(0, false)},
-			{Config: "rr_restart_prob = 0.001", Value: run(core.RRRestartProb4Core, false)},
-			{Config: "rr_restart_prob = 0.01", Value: run(0.01, false)},
-			{Config: "rr_restart_prob = 0.01, coordinated", Value: run(0.01, true)},
-		},
+		Rows:   rows,
 	}
 }
 
@@ -131,25 +169,33 @@ func AblationRRRestart(o Options) AblationResult {
 // (§5.3: the longer step gives Hill Climbing time to converge per arm).
 func AblationStepRR(o Options) AblationResult {
 	mixes := o.mixes(smtwork.TuneMixes())
-	run := func(rrEpochs int) float64 {
-		var ipcs []float64
-		for _, mix := range mixes {
-			seed := o.subSeed("abl-step", mix.Name(), fmt.Sprint(rrEpochs))
-			sim := simsmt.NewSim(mix.A, mix.B, seed)
-			r := simsmt.NewRunner(sim, simsmt.NewBanditAgent(seed), simsmt.Table1Arms(), true)
-			r.EpochLen = o.EpochLen
-			r.RREpochs = rrEpochs
-			r.MainEpochs = o.MainEpochs
-			r.RunCycles(o.SMTCycles)
-			ipcs = append(ipcs, sim.SumIPC())
+	rrs := []int{1, 2, o.RREpochs, 4 * o.RREpochs}
+
+	type job struct{ rrIdx, mixIdx int }
+	jobs := make([]job, 0, len(rrs)*len(mixes))
+	for ri := range rrs {
+		for mi := range mixes {
+			jobs = append(jobs, job{ri, mi})
 		}
-		return stats.GeoMean(ipcs)
 	}
-	var rows []AblationRow
-	for _, rr := range []int{1, 2, o.RREpochs, 4 * o.RREpochs} {
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		mix := mixes[j.mixIdx]
+		rrEpochs := rrs[j.rrIdx]
+		seed := o.subSeed("abl-step", mix.Name(), fmt.Sprint(rrEpochs))
+		sim := simsmt.NewSim(mix.A, mix.B, seed)
+		r := simsmt.NewRunner(sim, simsmt.NewBanditAgent(seed), simsmt.Table1Arms(), true)
+		r.EpochLen = o.EpochLen
+		r.RREpochs = rrEpochs
+		r.MainEpochs = o.MainEpochs
+		r.RunCycles(o.SMTCycles)
+		return sim.SumIPC()
+	})
+
+	rows := make([]AblationRow, 0, len(rrs))
+	for ri, rr := range rrs {
 		rows = append(rows, AblationRow{
 			Config: fmt.Sprintf("bandit step-RR = %d epochs", rr),
-			Value:  run(rr),
+			Value:  stats.GeoMean(ipcs[ri*len(mixes) : (ri+1)*len(mixes)]),
 		})
 	}
 	return AblationResult{
@@ -167,7 +213,8 @@ func AblationGamma(o Options) AblationResult {
 		return AblationResult{Title: "Ablation: gamma (mcf unavailable)"}
 	}
 	memCfg := mem.DefaultConfig()
-	run := func(gamma float64) float64 {
+	gammas := []float64{0.9, 0.99, 0.999, 0.9999, 1.0}
+	ipcs := runJobs(o, gammas, func(gamma float64) float64 {
 		var p core.Policy
 		if gamma >= 1 {
 			p = core.NewUCB(core.PrefetchC)
@@ -179,14 +226,15 @@ func AblationGamma(o Options) AblationResult {
 			Seed: o.subSeed("abl-gamma", fmt.Sprint(gamma)),
 		})
 		return o.runPrefetchCtrl(app, fmt.Sprintf("g%.4f", gamma), ctrl, memCfg).IPC
-	}
-	var rows []AblationRow
-	for _, g := range []float64{0.9, 0.99, 0.999, 0.9999, 1.0} {
+	})
+
+	rows := make([]AblationRow, 0, len(gammas))
+	for gi, g := range gammas {
 		label := fmt.Sprintf("gamma = %.4f", g)
 		if g >= 1 {
 			label = "gamma = 1 (UCB)"
 		}
-		rows = append(rows, AblationRow{Config: label, Value: run(g)})
+		rows = append(rows, AblationRow{Config: label, Value: ipcs[gi]})
 	}
 	return AblationResult{
 		Title:  "Ablation: DUCB forgetting factor on the phase-changing mcf trace",
@@ -208,26 +256,39 @@ func AblationArms(o Options) AblationResult {
 		{"3 arms (off / stream-4 / max)", []prefetch.ArmConfig{full[1], full[0], full[10]}},
 		{"2 arms (off / stream-4)", []prefetch.ArmConfig{full[1], full[0]}},
 	}
-	var rows []AblationRow
-	for _, set := range sets {
-		var ipcs []float64
-		for _, app := range apps {
-			seed := o.subSeed("abl-arms", app.Name, set.name)
-			hier := mem.NewHierarchy(memCfg)
-			c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
-			ens := prefetch.NewEnsemble(set.arms)
-			ctrl := core.MustNew(core.Config{
-				Arms:      ens.NumArms(),
-				Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
-				Normalize: true,
-				Seed:      seed,
-			})
-			r := cpu.NewRunner(c, ens, ctrl, ens)
-			r.StepL2 = o.StepL2
-			r.Run(o.Insts)
-			ipcs = append(ipcs, c.IPC())
+
+	type job struct{ setIdx, appIdx int }
+	jobs := make([]job, 0, len(sets)*len(apps))
+	for si := range sets {
+		for ai := range apps {
+			jobs = append(jobs, job{si, ai})
 		}
-		rows = append(rows, AblationRow{Config: set.name, Value: stats.GeoMean(ipcs)})
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		app := apps[j.appIdx]
+		set := sets[j.setIdx]
+		seed := o.subSeed("abl-arms", app.Name, set.name)
+		hier := mem.NewHierarchy(memCfg)
+		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		ens := prefetch.NewEnsemble(set.arms)
+		ctrl := core.MustNew(core.Config{
+			Arms:      ens.NumArms(),
+			Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+			Normalize: true,
+			Seed:      seed,
+		})
+		r := cpu.NewRunner(c, ens, ctrl, ens)
+		r.StepL2 = o.StepL2
+		r.Run(o.Insts)
+		return c.IPC()
+	})
+
+	rows := make([]AblationRow, 0, len(sets))
+	for si, set := range sets {
+		rows = append(rows, AblationRow{
+			Config: set.name,
+			Value:  stats.GeoMean(ipcs[si*len(apps) : (si+1)*len(apps)]),
+		})
 	}
 	return AblationResult{
 		Title:  "Ablation: arm-set size (Table 7 vs pruned subsets)",
@@ -242,42 +303,55 @@ func AblationArms(o Options) AblationResult {
 func AblationTargetLevel(o Options) AblationResult {
 	apps := append(o.apps(trace.BySuite("Ligra")), o.apps(trace.BySuite("CloudSuite"))...)
 	memCfg := mem.DefaultConfig()
-	run := func(extended bool) float64 {
-		var ipcs []float64
-		for _, app := range apps {
-			seed := o.subSeed("abl-target", app.Name, fmt.Sprint(extended))
-			hier := mem.NewHierarchy(memCfg)
-			c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
-			var tun prefetch.Tunable
-			if extended {
-				tun = prefetch.NewExtendedEnsemble()
-			} else {
-				tun = prefetch.NewTable7Ensemble()
-			}
-			ctrl := core.MustNew(core.Config{
-				Arms:      tun.NumArms(),
-				Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
-				Normalize: true,
-				Seed:      seed,
-			})
-			r := cpu.NewRunner(c, tun, ctrl, tun)
-			r.StepL2 = o.StepL2
-			r.Run(o.Insts)
-			ipcs = append(ipcs, c.IPC())
+
+	variants := []bool{false, true}
+	type job struct{ varIdx, appIdx int }
+	jobs := make([]job, 0, len(variants)*len(apps))
+	for vi := range variants {
+		for ai := range apps {
+			jobs = append(jobs, job{vi, ai})
 		}
-		return stats.GeoMean(ipcs)
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		app := apps[j.appIdx]
+		extended := variants[j.varIdx]
+		seed := o.subSeed("abl-target", app.Name, fmt.Sprint(extended))
+		hier := mem.NewHierarchy(memCfg)
+		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		var tun prefetch.Tunable
+		if extended {
+			tun = prefetch.NewExtendedEnsemble()
+		} else {
+			tun = prefetch.NewTable7Ensemble()
+		}
+		ctrl := core.MustNew(core.Config{
+			Arms:      tun.NumArms(),
+			Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+			Normalize: true,
+			Seed:      seed,
+		})
+		r := cpu.NewRunner(c, tun, ctrl, tun)
+		r.StepL2 = o.StepL2
+		r.Run(o.Insts)
+		return c.IPC()
+	})
+
+	gmean := func(vi int) float64 {
+		return stats.GeoMean(ipcs[vi*len(apps) : (vi+1)*len(apps)])
 	}
 	return AblationResult{
 		Title:  "Ablation: §9 target-cache-level arms (LLC-only fills) on big-footprint apps",
 		Metric: "gmean IPC",
 		Rows: []AblationRow{
-			{Config: "11 arms, L2 fills", Value: run(false)},
-			{Config: "14 arms incl. LLC-only fills", Value: run(true)},
+			{Config: "11 arms, L2 fills", Value: gmean(0)},
+			{Config: "14 arms incl. LLC-only fills", Value: gmean(1)},
 		},
 	}
 }
 
-// RenderAblations runs and renders every ablation.
+// RenderAblations runs and renders every ablation. The ablations run one
+// after another — each fans its own runs out through the worker pool, so
+// nesting another pool here would only oversubscribe it.
 func RenderAblations(o Options) string {
 	var b strings.Builder
 	for _, r := range []AblationResult{

@@ -48,12 +48,21 @@ func Extras(o Options) ExtrasResult {
 	memCfg := mem.DefaultConfig()
 	res := ExtrasResult{MetaLevels: map[string]int{}}
 
-	var bop, bandit, flat, meta []float64
-	for _, app := range apps {
+	// One job per app: the dependent runs (base gates everything, the
+	// meta level reads back from the controller) stay together on one
+	// goroutine; parallelism comes from independent apps.
+	type appOut struct {
+		ok              bool // base IPC was positive
+		bop, flat, meta float64
+		level           int
+		metaOK          bool
+	}
+	outs := runJobs(o, apps, func(app trace.App) appOut {
 		base := o.runPrefetch(app, PfNone, memCfg).IPC
 		if base <= 0 {
-			continue
+			return appOut{}
 		}
+		out := appOut{ok: true}
 
 		// BOP: single learned offset, degree 1.
 		seed := o.subSeed("extras", app.Name)
@@ -62,21 +71,38 @@ func Extras(o Options) ExtrasResult {
 		r := cpu.NewRunner(c, prefetch.NewBOP(), nil, nil)
 		r.StepL2 = o.StepL2
 		r.Run(o.Insts)
-		bop = append(bop, c.IPC()/base)
+		out.bop = c.IPC() / base
 
 		// Paper-default (flat) Bandit.
-		flatRun := o.runPrefetch(app, PfBandit, memCfg)
-		bandit = append(bandit, flatRun.IPC/base)
-		flat = append(flat, flatRun.IPC/base)
+		out.flat = o.runPrefetch(app, PfBandit, memCfg).IPC / base
 
 		// Hierarchical bandit over hyperparameter variants.
 		mctrl, err := core.NewDUCBSweepMeta(core.PrefetchArms, metaPairs, true, seed)
 		if err != nil {
+			return out
+		}
+		out.meta = o.runPrefetchCtrl(app, "meta", mctrl, memCfg).IPC / base
+		out.level = mctrl.BestLevel()
+		out.metaOK = true
+		return out
+	})
+
+	bop := make([]float64, 0, len(apps))
+	bandit := make([]float64, 0, len(apps))
+	flat := make([]float64, 0, len(apps))
+	meta := make([]float64, 0, len(apps))
+	for ai, app := range apps {
+		out := outs[ai]
+		if !out.ok {
 			continue
 		}
-		mres := o.runPrefetchCtrl(app, "meta", mctrl, memCfg)
-		meta = append(meta, mres.IPC/base)
-		res.MetaLevels[app.Name] = mctrl.BestLevel()
+		bop = append(bop, out.bop)
+		bandit = append(bandit, out.flat)
+		flat = append(flat, out.flat)
+		if out.metaOK {
+			meta = append(meta, out.meta)
+			res.MetaLevels[app.Name] = out.level
+		}
 	}
 	res.BOPNorm = stats.GeoMean(bop)
 	res.BanditNorm = stats.GeoMean(bandit)
@@ -85,18 +111,26 @@ func Extras(o Options) ExtrasResult {
 
 	// §8 SMT comparison: ARPA's efficiency-proportional partitioning vs
 	// Choi's hill-climbed threshold vs the Bandit on top of Hill Climbing.
-	var arpa, choi, banditSMT []float64
-	for _, mix := range o.mixes(smtwork.TuneMixes()) {
+	mixes := o.mixes(smtwork.TuneMixes())
+	smtRuns := runJobs(o, mixes, func(mix smtwork.Mix) [3]float64 {
 		seed := o.subSeed("extras-arpa", mix.Name())
 		simA := simsmt.NewSim(mix.A, mix.B, seed)
 		ra := simsmt.NewARPARunner(simA, simsmt.ChoiPolicy)
 		ra.EpochLen = o.EpochLen
 		ra.RunCycles(o.SMTCycles)
-		arpa = append(arpa, simA.SumIPC())
-
-		choi = append(choi, o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC)
-		banditSMT = append(banditSMT,
-			o.runSMTCtrl(mix, "bandit", simsmt.NewBanditAgent(seed)).SumIPC)
+		return [3]float64{
+			simA.SumIPC(),
+			o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC,
+			o.runSMTCtrl(mix, "bandit", simsmt.NewBanditAgent(seed)).SumIPC,
+		}
+	})
+	arpa := make([]float64, 0, len(mixes))
+	choi := make([]float64, 0, len(mixes))
+	banditSMT := make([]float64, 0, len(mixes))
+	for _, run := range smtRuns {
+		arpa = append(arpa, run[0])
+		choi = append(choi, run[1])
+		banditSMT = append(banditSMT, run[2])
 	}
 	res.ARPAIPC = stats.GeoMean(arpa)
 	res.ChoiIPC = stats.GeoMean(choi)

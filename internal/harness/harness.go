@@ -19,6 +19,7 @@ import (
 	"microbandit/internal/core"
 	"microbandit/internal/cpu"
 	"microbandit/internal/mem"
+	"microbandit/internal/par"
 	"microbandit/internal/prefetch"
 	"microbandit/internal/simsmt"
 	"microbandit/internal/smtwork"
@@ -46,6 +47,29 @@ type Options struct {
 
 	// Seed is the base seed; every run derives a stable sub-seed.
 	Seed uint64
+
+	// Workers bounds the experiment engine's worker pool: independent
+	// simulation runs fan out across this many goroutines. 0 (the
+	// default) means runtime.GOMAXPROCS(0); 1 forces serial execution.
+	// Results are assembled in input order, so rendered output is
+	// byte-identical at every worker count.
+	Workers int
+}
+
+// workers resolves the pool size for runJobs.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return par.DefaultWorkers()
+}
+
+// runJobs fans an experiment's independent runs across the option's
+// worker pool, returning results in input order. Every job must derive
+// its own seed (Options.subSeed) and construct all simulation state
+// locally; nothing may be shared across jobs.
+func runJobs[J, R any](o Options, jobs []J, fn func(J) R) []R {
+	return par.Run(o.workers(), jobs, fn)
 }
 
 // Smoke returns the smallest preset: seconds-scale, used by unit tests
@@ -107,13 +131,16 @@ func (o Options) mixes(all []smtwork.Mix) []smtwork.Mix {
 	return out
 }
 
-// subSeed derives a stable per-run seed.
+// subSeed derives a stable per-run seed. A separator byte is folded in
+// after every part so distinct part lists hash distinctly
+// (subSeed("ab","c") != subSeed("a","bc")).
 func (o Options) subSeed(parts ...string) uint64 {
 	h := o.Seed*0x9e3779b97f4a7c15 + 0x1234
 	for _, p := range parts {
 		for _, c := range []byte(p) {
 			h = (h ^ uint64(c)) * 1099511628211
 		}
+		h = (h ^ 0x1f) * 1099511628211
 	}
 	return h
 }
@@ -206,20 +233,6 @@ func (o Options) runPrefetchCtrl(app trace.App, name string, ctrl core.Controlle
 	}
 }
 
-// bestStaticPrefetch runs every Table 7 arm statically and returns the
-// best IPC (the §6.4 oracle).
-func (o Options) bestStaticPrefetch(app trace.App, memCfg mem.Config) (bestIPC float64, bestArm int) {
-	arms := prefetch.NewTable7Ensemble().NumArms()
-	bestIPC, bestArm = -1, -1
-	for arm := 0; arm < arms; arm++ {
-		res := o.runPrefetchCtrl(app, fmt.Sprintf("static-%d", arm), core.FixedArm(arm), memCfg)
-		if res.IPC > bestIPC {
-			bestIPC, bestArm = res.IPC, arm
-		}
-	}
-	return bestIPC, bestArm
-}
-
 // ---------------------------------------------------------------------
 // SMT machinery
 
@@ -253,18 +266,10 @@ func (o Options) runSMTCtrl(mix smtwork.Mix, kind string, ctrl core.Controller) 
 	return SMTRun{Mix: mix.Name(), Kind: kind, SumIPC: sim.SumIPC(), Rename: sim.RenameStats()}
 }
 
-// bestStaticSMT runs every Table 1 arm statically (with Hill Climbing)
-// and returns the best sum-IPC.
-func (o Options) bestStaticSMT(mix smtwork.Mix) (bestIPC float64, bestArm int) {
-	bestIPC, bestArm = -1, -1
-	for arm, p := range simsmt.Table1Arms() {
-		res := o.runSMTFixed(mix, fmt.Sprintf("static-%d", arm), p, true)
-		if res.SumIPC > bestIPC {
-			bestIPC, bestArm = res.SumIPC, arm
-		}
-	}
-	return bestIPC, bestArm
-}
+// banditAlgoOrder lists the banditAlgorithms keys in the papers' column
+// order; parallel runners iterate this instead of the map so job lists
+// are deterministic.
+var banditAlgoOrder = []string{"Single", "Periodic", "eps-Greedy", "UCB", "DUCB"}
 
 // smtBanditPolicies builds the per-algorithm controllers compared in
 // Table 9 (and Table 8 for prefetching, with the prefetch

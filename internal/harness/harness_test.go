@@ -71,6 +71,21 @@ func TestSubSeedStable(t *testing.T) {
 	}
 }
 
+func TestSubSeedPartBoundaries(t *testing.T) {
+	// Parts must be hashed with a separator: concatenations that split
+	// differently are different seeds.
+	o := Options{Seed: 9}
+	if o.subSeed("ab", "c") == o.subSeed("a", "bc") {
+		t.Error(`subSeed("ab","c") collides with subSeed("a","bc")`)
+	}
+	if o.subSeed("abc") == o.subSeed("ab", "c") {
+		t.Error(`subSeed("abc") collides with subSeed("ab","c")`)
+	}
+	if o.subSeed("a", "") == o.subSeed("a") {
+		t.Error("trailing empty part must change the seed")
+	}
+}
+
 func TestFig2TemporalHomogeneity(t *testing.T) {
 	o := tiny()
 	o.MaxApps = 2

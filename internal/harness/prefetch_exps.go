@@ -33,8 +33,12 @@ type Fig2Result struct {
 
 // Fig2 profiles Pythia's action selections on the SPEC-style apps.
 func Fig2(o Options) Fig2Result {
-	var res Fig2Result
-	for _, app := range o.apps(trace.TuneSet()) {
+	apps := o.apps(trace.TuneSet())
+	type out struct {
+		row Fig2Row
+		ok  bool
+	}
+	rows := runJobs(o, apps, func(app trace.App) out {
 		seed := o.subSeed("fig2", app.Name)
 		hier := mem.NewHierarchy(mem.DefaultConfig())
 		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
@@ -49,11 +53,18 @@ func Fig2(o Options) Fig2Result {
 			total += v
 		}
 		if total == 0 {
-			continue
+			return out{}
 		}
 		top1 := float64(counts[0]) / float64(total)
 		top2 := float64(counts[0]+counts[1]) / float64(total)
-		res.Rows = append(res.Rows, Fig2Row{App: app.Name, Top1Frac: top1, Top2Frac: top2})
+		return out{row: Fig2Row{App: app.Name, Top1Frac: top1, Top2Frac: top2}, ok: true}
+	})
+
+	res := Fig2Result{Rows: make([]Fig2Row, 0, len(apps))}
+	for _, r := range rows {
+		if r.ok {
+			res.Rows = append(res.Rows, r.row)
+		}
 	}
 	var s1, s2 float64
 	for _, r := range res.Rows {
@@ -77,6 +88,39 @@ func (r Fig2Result) Render() string {
 }
 
 // ---------------------------------------------------------------------
+// Shared static-arm oracle sweep
+
+// bestStaticPrefetchAll runs every Table 7 arm statically for every app —
+// one flat parallel sweep — and returns each app's best IPC and arm (the
+// §6.4 oracle). Ties resolve toward the lower arm index, matching a
+// serial ascending scan.
+func (o Options) bestStaticPrefetchAll(apps []trace.App, memCfg mem.Config) (bestIPC []float64, bestArm []int) {
+	arms := prefetch.NewTable7Ensemble().NumArms()
+	type job struct{ appIdx, arm int }
+	jobs := make([]job, 0, len(apps)*arms)
+	for ai := range apps {
+		for arm := 0; arm < arms; arm++ {
+			jobs = append(jobs, job{ai, arm})
+		}
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		return o.runPrefetchCtrl(apps[j.appIdx], fmt.Sprintf("static-%d", j.arm),
+			core.FixedArm(j.arm), memCfg).IPC
+	})
+	bestIPC = make([]float64, len(apps))
+	bestArm = make([]int, len(apps))
+	for ai := range apps {
+		bestIPC[ai], bestArm[ai] = -1, -1
+		for arm := 0; arm < arms; arm++ {
+			if ipc := ipcs[ai*arms+arm]; ipc > bestIPC[ai] {
+				bestIPC[ai], bestArm[ai] = ipc, arm
+			}
+		}
+	}
+	return bestIPC, bestArm
+}
+
+// ---------------------------------------------------------------------
 // Table 8 — bandit algorithms vs the best static arm (prefetch tune set)
 
 // Table8Result holds, per algorithm, the min/max/gmean IPC as a
@@ -91,20 +135,34 @@ type Table8Result struct {
 func Table8(o Options) Table8Result {
 	apps := o.apps(trace.TuneSet())
 	memCfg := mem.DefaultConfig()
-	algoRatios := map[string][]float64{}
+	arms := prefetch.NewTable7Ensemble().NumArms()
+	best, _ := o.bestStaticPrefetchAll(apps, memCfg)
 
-	for _, app := range apps {
-		best, _ := o.bestStaticPrefetch(app, memCfg)
-		if best <= 0 {
+	cols := append([]string{"Pythia"}, banditAlgoOrder...)
+	type job struct{ appIdx, col int }
+	jobs := make([]job, 0, len(apps)*len(cols))
+	for ai := range apps {
+		for ci := range cols {
+			jobs = append(jobs, job{ai, ci})
+		}
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		app := apps[j.appIdx]
+		name := cols[j.col]
+		if name == "Pythia" {
+			return o.runPrefetch(app, PfPythia, memCfg).IPC
+		}
+		mk := banditAlgorithms(o.subSeed("t8", app.Name), arms, false)[name]
+		return o.runPrefetchCtrl(app, name, mk(), memCfg).IPC
+	})
+
+	algoRatios := make(map[string][]float64, len(cols))
+	for ai := range apps {
+		if best[ai] <= 0 {
 			continue
 		}
-		py := o.runPrefetch(app, PfPythia, memCfg)
-		algoRatios["Pythia"] = append(algoRatios["Pythia"], py.IPC/best)
-
-		arms := prefetch.NewTable7Ensemble().NumArms()
-		for name, mk := range banditAlgorithms(o.subSeed("t8", app.Name), arms, false) {
-			res := o.runPrefetchCtrl(app, name, mk(), memCfg)
-			algoRatios[name] = append(algoRatios[name], res.IPC/best)
+		for ci, name := range cols {
+			algoRatios[name] = append(algoRatios[name], ipcs[ai*len(cols)+ci]/best[ai])
 		}
 	}
 
@@ -173,16 +231,27 @@ func singleCoreComparison(o Options, title string, memCfg mem.Config) Fig8Result
 	}
 	apps := o.apps(trace.Catalog())
 
-	base := map[string]float64{}
-	for _, app := range apps {
-		base[app.Name] = o.runPrefetch(app, PfNone, memCfg).IPC
+	// One job per (prefetcher, app); the no-prefetch baseline leads the
+	// job list so base[i] = ipcs[i].
+	kinds := append([]PfKind{PfNone}, fig8Kinds...)
+	type job struct{ kindIdx, appIdx int }
+	jobs := make([]job, 0, len(kinds)*len(apps))
+	for ki := range kinds {
+		for ai := range apps {
+			jobs = append(jobs, job{ki, ai})
+		}
 	}
-	for _, kind := range fig8Kinds {
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		return o.runPrefetch(apps[j.appIdx], kinds[j.kindIdx], memCfg).IPC
+	})
+
+	base := ipcs[:len(apps)]
+	for ki, kind := range fig8Kinds {
+		row := ipcs[(ki+1)*len(apps) : (ki+2)*len(apps)]
 		perSuite := map[string][]float64{}
-		var all []float64
-		for _, app := range apps {
-			r := o.runPrefetch(app, kind, memCfg)
-			n := r.IPC / base[app.Name]
+		all := make([]float64, 0, len(apps))
+		for ai, app := range apps {
+			n := row[ai] / base[ai]
 			perSuite[app.Suite] = append(perSuite[app.Suite], n)
 			all = append(all, n)
 		}
@@ -242,19 +311,30 @@ func Fig9(o Options) Fig9Result {
 	apps := o.apps(trace.Catalog())
 	memCfg := mem.DefaultConfig()
 
+	kinds := append([]PfKind{PfNone}, fig8Kinds...)
+	type job struct{ kindIdx, appIdx int }
+	jobs := make([]job, 0, len(kinds)*len(apps))
+	for ki := range kinds {
+		for ai := range apps {
+			jobs = append(jobs, job{ki, ai})
+		}
+	}
+	runs := runJobs(o, jobs, func(j job) PrefetchRun {
+		return o.runPrefetch(apps[j.appIdx], kinds[j.kindIdx], memCfg)
+	})
+
 	var baseMisses int64
-	for _, app := range apps {
-		baseMisses += o.runPrefetch(app, PfNone, memCfg).Stats.LLCMisses
+	for _, r := range runs[:len(apps)] {
+		baseMisses += r.Stats.LLCMisses
 	}
 	if baseMisses == 0 {
 		baseMisses = 1
 	}
-	var res Fig9Result
-	for _, kind := range fig8Kinds {
+	res := Fig9Result{Rows: make([]Fig9Row, 0, len(fig8Kinds))}
+	for ki, kind := range fig8Kinds {
 		var misses int64
 		var cl mem.Classification
-		for _, app := range apps {
-			r := o.runPrefetch(app, kind, memCfg)
+		for _, r := range runs[(ki+1)*len(apps) : (ki+2)*len(apps)] {
 			misses += r.Stats.LLCMisses
 			cl.Timely += r.Class.Timely
 			cl.Late += r.Class.Late
@@ -296,17 +376,37 @@ type Fig10Result struct {
 func Fig10(o Options) Fig10Result {
 	res := Fig10Result{MTPS: []float64{150, 600, 2400, 9600}}
 	apps := o.apps(trace.Catalog())
-	for _, mtps := range res.MTPS {
+
+	kinds := []PfKind{PfNone, PfPythia, PfBandit}
+	type job struct{ mtpsIdx, appIdx, kindIdx int }
+	jobs := make([]job, 0, len(res.MTPS)*len(apps)*len(kinds))
+	for mi := range res.MTPS {
+		for ai := range apps {
+			for ki := range kinds {
+				jobs = append(jobs, job{mi, ai, ki})
+			}
+		}
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
 		memCfg := mem.DefaultConfig()
-		memCfg.MTPS = mtps
-		var py, bd []float64
-		for _, app := range apps {
-			base := o.runPrefetch(app, PfNone, memCfg).IPC
+		memCfg.MTPS = res.MTPS[j.mtpsIdx]
+		return o.runPrefetch(apps[j.appIdx], kinds[j.kindIdx], memCfg).IPC
+	})
+
+	res.Pythia = make([]float64, 0, len(res.MTPS))
+	res.Bandit = make([]float64, 0, len(res.MTPS))
+	i := 0
+	for range res.MTPS {
+		py := make([]float64, 0, len(apps))
+		bd := make([]float64, 0, len(apps))
+		for range apps {
+			base, p, b := ipcs[i], ipcs[i+1], ipcs[i+2]
+			i += 3
 			if base <= 0 {
 				continue
 			}
-			py = append(py, o.runPrefetch(app, PfPythia, memCfg).IPC/base)
-			bd = append(bd, o.runPrefetch(app, PfBandit, memCfg).IPC/base)
+			py = append(py, p/base)
+			bd = append(bd, b/base)
 		}
 		res.Pythia = append(res.Pythia, stats.GeoMean(py))
 		res.Bandit = append(res.Bandit, stats.GeoMean(bd))
@@ -352,32 +452,49 @@ func Fig12(o Options) Fig12Result {
 		{"Stride_Bandit", l1Stride, PfBandit},
 	}
 
-	base := map[string]float64{}
-	for _, app := range apps {
-		base[app.Name] = o.runPrefetch(app, PfNone, memCfg).IPC
+	// comboIdx -1 is the no-prefetch baseline.
+	type job struct{ comboIdx, appIdx int }
+	jobs := make([]job, 0, (len(combos)+1)*len(apps))
+	for ci := -1; ci < len(combos); ci++ {
+		for ai := range apps {
+			jobs = append(jobs, job{ci, ai})
+		}
 	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		app := apps[j.appIdx]
+		if j.comboIdx < 0 {
+			return o.runPrefetch(app, PfNone, memCfg).IPC
+		}
+		cb := combos[j.comboIdx]
+		seed := o.subSeed("fig12", app.Name, cb.name)
+		hier := mem.NewHierarchy(memCfg)
+		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
 
-	var res Fig12Result
-	for _, cb := range combos {
-		var norm []float64
-		for _, app := range apps {
-			seed := o.subSeed("fig12", app.Name, cb.name)
-			hier := mem.NewHierarchy(memCfg)
-			c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		var l2 prefetch.Prefetcher
+		var ctrl core.Controller
+		var tun prefetch.Tunable
+		if cb.l2 == "ipcpL2" {
+			l2 = prefetch.NewIPCP(64, 4)
+		} else {
+			l2, ctrl, tun = pfSetup(cb.l2, seed)
+		}
+		r := cpu.NewRunner(c, l2, ctrl, tun)
+		r.L1Pf = cb.l1(seed)
+		r.StepL2 = o.StepL2
+		r.Run(o.Insts)
+		return c.IPC()
+	})
 
-			var l2 prefetch.Prefetcher
-			var ctrl core.Controller
-			var tun prefetch.Tunable
-			if cb.l2 == "ipcpL2" {
-				l2 = prefetch.NewIPCP(64, 4)
-			} else {
-				l2, ctrl, tun = pfSetup(cb.l2, seed)
-			}
-			r := cpu.NewRunner(c, l2, ctrl, tun)
-			r.L1Pf = cb.l1(seed)
-			r.StepL2 = o.StepL2
-			r.Run(o.Insts)
-			norm = append(norm, c.IPC()/base[app.Name])
+	base := ipcs[:len(apps)]
+	res := Fig12Result{
+		Kinds: make([]string, 0, len(combos)),
+		Norm:  make([]float64, 0, len(combos)),
+	}
+	for ci, cb := range combos {
+		row := ipcs[(ci+1)*len(apps) : (ci+2)*len(apps)]
+		norm := make([]float64, 0, len(apps))
+		for ai := range apps {
+			norm = append(norm, row[ai]/base[ai])
 		}
 		res.Kinds = append(res.Kinds, cb.name)
 		res.Norm = append(res.Norm, stats.GeoMean(norm))
@@ -422,9 +539,12 @@ func Fig14(o Options) Fig14Result {
 		instsPerCore = 50_000
 	}
 
+	// run4 is one job: the four cores of a workload share an LLC/DRAM
+	// pool and must advance in lockstep, so they stay on one goroutine;
+	// parallelism comes from independent (workload, prefetcher) pairs.
 	run4 := func(w fig14Workload, kind PfKind) float64 {
 		shared := mem.NewShared(memCfg, 4)
-		var runners []*cpu.Runner
+		runners := make([]*cpu.Runner, 0, 4)
 		for coreID := 0; coreID < 4; coreID++ {
 			app := w.apps[coreID]
 			seed := o.subSeed("fig14", w.name, app.Name, string(kind), fmt.Sprint(coreID))
@@ -471,18 +591,27 @@ func Fig14(o Options) Fig14Result {
 	}
 
 	eval := func(loads []fig14Workload) []float64 {
-		base := map[string]float64{}
-		for _, w := range loads {
-			base[w.name] = run4(w, PfNone)
+		kinds := append([]PfKind{PfNone}, fig8Kinds...)
+		type job struct{ kindIdx, wIdx int }
+		jobs := make([]job, 0, len(kinds)*len(loads))
+		for ki := range kinds {
+			for wi := range loads {
+				jobs = append(jobs, job{ki, wi})
+			}
 		}
-		var out []float64
-		for _, kind := range fig8Kinds {
-			var norm []float64
-			for _, w := range loads {
-				if base[w.name] <= 0 {
+		sums := runJobs(o, jobs, func(j job) float64 {
+			return run4(loads[j.wIdx], kinds[j.kindIdx])
+		})
+		base := sums[:len(loads)]
+		out := make([]float64, 0, len(fig8Kinds))
+		for ki := range fig8Kinds {
+			row := sums[(ki+1)*len(loads) : (ki+2)*len(loads)]
+			norm := make([]float64, 0, len(loads))
+			for wi := range loads {
+				if base[wi] <= 0 {
 					continue
 				}
-				norm = append(norm, run4(w, kind)/base[w.name])
+				norm = append(norm, row[wi]/base[wi])
 			}
 			out = append(out, stats.GeoMean(norm))
 		}
@@ -539,50 +668,58 @@ type Fig7Panel struct {
 // Fig7Prefetch produces the prefetch-side exploration panels (cactus and
 // mcf under BestStatic, Single, UCB, and DUCB).
 func Fig7Prefetch(o Options) []Fig7Panel {
-	var panels []Fig7Panel
 	memCfg := mem.DefaultConfig()
+	var apps []trace.App
 	for _, appName := range []string{"cactusADM", "mcf06"} {
-		app, err := trace.ByName(appName)
-		if err != nil {
-			continue
-		}
-		_, bestArm := o.bestStaticPrefetch(app, memCfg)
-		configs := []struct {
-			name string
-			ctrl func() core.Controller
-		}{
-			{"BestStatic", func() core.Controller { return core.FixedArm(bestArm) }},
-			{"Single", func() core.Controller {
-				return core.MustNew(core.Config{Arms: core.PrefetchArms,
-					Policy: core.NewSingle(), Normalize: true, Seed: o.subSeed("f7", appName)})
-			}},
-			{"UCB", func() core.Controller {
-				return core.MustNew(core.Config{Arms: core.PrefetchArms,
-					Policy: core.NewUCB(core.PrefetchC), Normalize: true, Seed: o.subSeed("f7", appName)})
-			}},
-			{"DUCB", func() core.Controller {
-				return core.MustNew(core.Config{Arms: core.PrefetchArms,
-					Policy: core.NewDUCB(core.PrefetchC, core.PrefetchGamma), Normalize: true,
-					Seed: o.subSeed("f7", appName)})
-			}},
-		}
-		for _, cfg := range configs {
-			seed := o.subSeed("fig7", appName, cfg.name)
-			hier := mem.NewHierarchy(memCfg)
-			c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
-			ens := prefetch.NewTable7Ensemble()
-			r := cpu.NewRunner(c, ens, cfg.ctrl(), ens)
-			r.StepL2 = o.StepL2
-			r.RecordArms()
-			r.Run(o.Insts)
-			panel := Fig7Panel{Algo: cfg.name, App: appName, IPC: c.IPC()}
-			for _, s := range r.ArmTrace {
-				panel.Arms = append(panel.Arms, ArmPoint{Cycle: s.Cycle, Arm: s.Arm})
-			}
-			panels = append(panels, panel)
+		if app, err := trace.ByName(appName); err == nil {
+			apps = append(apps, app)
 		}
 	}
-	return panels
+	// Phase 1: the static oracle that defines the BestStatic panel.
+	_, bestArm := o.bestStaticPrefetchAll(apps, memCfg)
+
+	// Phase 2: the exploration-trace runs, one job per (app, algorithm).
+	algos := []string{"BestStatic", "Single", "UCB", "DUCB"}
+	type job struct{ appIdx, algoIdx int }
+	jobs := make([]job, 0, len(apps)*len(algos))
+	for ai := range apps {
+		for gi := range algos {
+			jobs = append(jobs, job{ai, gi})
+		}
+	}
+	return runJobs(o, jobs, func(j job) Fig7Panel {
+		app := apps[j.appIdx]
+		name := algos[j.algoIdx]
+		var ctrl core.Controller
+		switch name {
+		case "BestStatic":
+			ctrl = core.FixedArm(bestArm[j.appIdx])
+		case "Single":
+			ctrl = core.MustNew(core.Config{Arms: core.PrefetchArms,
+				Policy: core.NewSingle(), Normalize: true, Seed: o.subSeed("f7", app.Name)})
+		case "UCB":
+			ctrl = core.MustNew(core.Config{Arms: core.PrefetchArms,
+				Policy: core.NewUCB(core.PrefetchC), Normalize: true, Seed: o.subSeed("f7", app.Name)})
+		default: // DUCB
+			ctrl = core.MustNew(core.Config{Arms: core.PrefetchArms,
+				Policy: core.NewDUCB(core.PrefetchC, core.PrefetchGamma), Normalize: true,
+				Seed: o.subSeed("f7", app.Name)})
+		}
+		seed := o.subSeed("fig7", app.Name, name)
+		hier := mem.NewHierarchy(memCfg)
+		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		ens := prefetch.NewTable7Ensemble()
+		r := cpu.NewRunner(c, ens, ctrl, ens)
+		r.StepL2 = o.StepL2
+		r.RecordArms()
+		r.Run(o.Insts)
+		panel := Fig7Panel{Algo: name, App: app.Name, IPC: c.IPC()}
+		panel.Arms = make([]ArmPoint, 0, len(r.ArmTrace))
+		for _, s := range r.ArmTrace {
+			panel.Arms = append(panel.Arms, ArmPoint{Cycle: s.Cycle, Arm: s.Arm})
+		}
+		return panel
+	})
 }
 
 // RenderFig7 plots the exploration panels as text.

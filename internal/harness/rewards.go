@@ -30,30 +30,55 @@ func RewardMetrics(o Options) RewardMetricsResult {
 	if soloCycles < 50_000 {
 		soloCycles = 50_000
 	}
-	// Solo baselines are per profile, shared across modes.
-	solo := map[string]float64{}
-	soloOf := func(p smtwork.Profile) float64 {
-		if v, ok := solo[p.Name]; ok {
-			return v
+	// Phase 1: solo baselines, one per unique profile (first-seen order),
+	// shared read-only across modes.
+	var profiles []smtwork.Profile
+	seen := map[string]bool{}
+	for _, mix := range mixes {
+		for _, p := range []smtwork.Profile{mix.A, mix.B} {
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				profiles = append(profiles, p)
+			}
 		}
-		v := simsmt.SoloIPC(p, o.subSeed("solo", p.Name), soloCycles)
-		solo[p.Name] = v
-		return v
+	}
+	soloIPCs := runJobs(o, profiles, func(p smtwork.Profile) float64 {
+		return simsmt.SoloIPC(p, o.subSeed("solo", p.Name), soloCycles)
+	})
+	solo := make(map[string]float64, len(profiles))
+	for pi, p := range profiles {
+		solo[p.Name] = soloIPCs[pi]
 	}
 
-	for _, mode := range modes {
-		var sum, wgt, har, fair []float64
-		for _, mix := range mixes {
-			seed := o.subSeed("reward", mix.Name(), mode.String())
-			sim := simsmt.NewSim(mix.A, mix.B, seed)
-			r := simsmt.NewRunner(sim, simsmt.NewBanditAgent(seed), simsmt.Table1Arms(), true)
-			r.EpochLen = o.EpochLen
-			r.RREpochs = o.RREpochs
-			r.MainEpochs = o.MainEpochs
-			r.Reward = mode
-			r.Solo = [2]float64{soloOf(mix.A), soloOf(mix.B)}
-			r.RunCycles(o.SMTCycles)
-			m := simsmt.Evaluate(sim, r.Solo)
+	// Phase 2: one job per (mode, mix).
+	type job struct{ modeIdx, mixIdx int }
+	jobs := make([]job, 0, len(modes)*len(mixes))
+	for di := range modes {
+		for mi := range mixes {
+			jobs = append(jobs, job{di, mi})
+		}
+	}
+	metrics := runJobs(o, jobs, func(j job) simsmt.WeightedMetrics {
+		mode := modes[j.modeIdx]
+		mix := mixes[j.mixIdx]
+		seed := o.subSeed("reward", mix.Name(), mode.String())
+		sim := simsmt.NewSim(mix.A, mix.B, seed)
+		r := simsmt.NewRunner(sim, simsmt.NewBanditAgent(seed), simsmt.Table1Arms(), true)
+		r.EpochLen = o.EpochLen
+		r.RREpochs = o.RREpochs
+		r.MainEpochs = o.MainEpochs
+		r.Reward = mode
+		r.Solo = [2]float64{solo[mix.A.Name], solo[mix.B.Name]}
+		r.RunCycles(o.SMTCycles)
+		return simsmt.Evaluate(sim, r.Solo)
+	})
+
+	for di, mode := range modes {
+		sum := make([]float64, 0, len(mixes))
+		wgt := make([]float64, 0, len(mixes))
+		har := make([]float64, 0, len(mixes))
+		fair := make([]float64, 0, len(mixes))
+		for _, m := range metrics[di*len(mixes) : (di+1)*len(mixes)] {
 			if m.SumIPC <= 0 || m.Weighted <= 0 || m.Harmonic <= 0 {
 				continue
 			}

@@ -32,9 +32,9 @@ type Fig5Result struct {
 // Fig5 sweeps all 64 policies over the tune mixes. Policies here are
 // static (no bandit), so Hill Climbing converges quickly and half the
 // usual cycle budget suffices — this sweep is by far the largest run
-// count in the harness (64 × mixes).
+// count in the harness (64 × mixes) and the biggest beneficiary of the
+// worker pool.
 func Fig5(o Options) Fig5Result {
-	var res Fig5Result
 	half := o
 	half.SMTCycles = o.SMTCycles / 2
 	if half.SMTCycles < 200_000 {
@@ -42,16 +42,36 @@ func Fig5(o Options) Fig5Result {
 	}
 	o = half
 	policies := simsmt.AllPolicies()
-	for _, mix := range o.mixes(smtwork.TuneMixes()) {
-		choi := o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC
+	mixes := o.mixes(smtwork.TuneMixes())
+
+	// policyIdx -1 is the Choi reference run for that mix.
+	type job struct{ mixIdx, policyIdx int }
+	jobs := make([]job, 0, len(mixes)*(len(policies)+1))
+	for mi := range mixes {
+		for pi := -1; pi < len(policies); pi++ {
+			jobs = append(jobs, job{mi, pi})
+		}
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		mix := mixes[j.mixIdx]
+		if j.policyIdx < 0 {
+			return o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC
+		}
+		p := policies[j.policyIdx]
+		return o.runSMTFixed(mix, p.String(), p, true).SumIPC
+	})
+
+	res := Fig5Result{Rows: make([]Fig5Row, 0, len(mixes))}
+	stride := len(policies) + 1
+	for mi, mix := range mixes {
+		choi := ipcs[mi*stride]
 		if choi <= 0 {
 			continue
 		}
 		bestD, worstD := -2.0, 2.0
 		bestP := ""
-		for _, p := range policies {
-			ipc := o.runSMTFixed(mix, p.String(), p, true).SumIPC
-			d := ipc/choi - 1
+		for pi, p := range policies {
+			d := ipcs[mi*stride+1+pi]/choi - 1
 			if d > bestD {
 				bestD, bestP = d, p.String()
 			}
@@ -79,6 +99,39 @@ func (r Fig5Result) Render() string {
 }
 
 // ---------------------------------------------------------------------
+// Shared static-arm oracle sweep
+
+// bestStaticSMTAll runs every Table 1 arm statically (with Hill
+// Climbing) for every mix — one flat parallel sweep — and returns each
+// mix's best sum-IPC and arm. Ties resolve toward the lower arm index,
+// matching a serial ascending scan.
+func (o Options) bestStaticSMTAll(mixes []smtwork.Mix) (bestIPC []float64, bestArm []int) {
+	arms := simsmt.Table1Arms()
+	type job struct{ mixIdx, arm int }
+	jobs := make([]job, 0, len(mixes)*len(arms))
+	for mi := range mixes {
+		for arm := range arms {
+			jobs = append(jobs, job{mi, arm})
+		}
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		return o.runSMTFixed(mixes[j.mixIdx], fmt.Sprintf("static-%d", j.arm),
+			arms[j.arm], true).SumIPC
+	})
+	bestIPC = make([]float64, len(mixes))
+	bestArm = make([]int, len(mixes))
+	for mi := range mixes {
+		bestIPC[mi], bestArm[mi] = -1, -1
+		for arm := range arms {
+			if ipc := ipcs[mi*len(arms)+arm]; ipc > bestIPC[mi] {
+				bestIPC[mi], bestArm[mi] = ipc, arm
+			}
+		}
+	}
+	return bestIPC, bestArm
+}
+
+// ---------------------------------------------------------------------
 // Table 9 — bandit algorithms vs best static arm (SMT tune set)
 
 // Table9Result mirrors Table8Result with the Choi column added.
@@ -91,18 +144,34 @@ type Table9Result struct {
 // best static Table 1 arm on the tune mixes.
 func Table9(o Options) Table9Result {
 	mixes := o.mixes(smtwork.TuneMixes())
-	ratios := map[string][]float64{}
-	for _, mix := range mixes {
-		best, _ := o.bestStaticSMT(mix)
-		if best <= 0 {
+	arms := len(simsmt.Table1Arms())
+	best, _ := o.bestStaticSMTAll(mixes)
+
+	cols := append([]string{"Choi"}, banditAlgoOrder...)
+	type job struct{ mixIdx, col int }
+	jobs := make([]job, 0, len(mixes)*len(cols))
+	for mi := range mixes {
+		for ci := range cols {
+			jobs = append(jobs, job{mi, ci})
+		}
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		mix := mixes[j.mixIdx]
+		name := cols[j.col]
+		if name == "Choi" {
+			return o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC
+		}
+		mk := banditAlgorithms(o.subSeed("t9", mix.Name()), arms, true)[name]
+		return o.runSMTCtrl(mix, name, mk()).SumIPC
+	})
+
+	ratios := make(map[string][]float64, len(cols))
+	for mi := range mixes {
+		if best[mi] <= 0 {
 			continue
 		}
-		choi := o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true)
-		ratios["Choi"] = append(ratios["Choi"], choi.SumIPC/best)
-		arms := len(simsmt.Table1Arms())
-		for name, mk := range banditAlgorithms(o.subSeed("t9", mix.Name()), arms, true) {
-			res := o.runSMTCtrl(mix, name, mk())
-			ratios[name] = append(ratios[name], res.SumIPC/best)
+		for ci, name := range cols {
+			ratios[name] = append(ratios[name], ipcs[mi*len(cols)+ci]/best[mi])
 		}
 	}
 	out := Table9Result{
@@ -149,17 +218,23 @@ type Fig13Result struct {
 // Fig13 runs Bandit, Choi, and ICount on every mix.
 func Fig13(o Options) Fig13Result {
 	mixes := o.mixes(smtwork.Mixes())
+	runs := runJobs(o, mixes, func(mix smtwork.Mix) [3]float64 {
+		return [3]float64{
+			o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC,
+			o.runSMTFixed(mix, "icount", simsmt.ICountPolicy, false).SumIPC,
+			o.runSMTCtrl(mix, "bandit",
+				simsmt.NewBanditAgent(o.subSeed("fig13", mix.Name()))).SumIPC,
+		}
+	})
+
 	type row struct {
 		name  string
 		ratio float64
 		vsIC  float64
 	}
-	var rows []row
-	for _, mix := range mixes {
-		choi := o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC
-		ic := o.runSMTFixed(mix, "icount", simsmt.ICountPolicy, false).SumIPC
-		bandit := o.runSMTCtrl(mix, "bandit",
-			simsmt.NewBanditAgent(o.subSeed("fig13", mix.Name()))).SumIPC
+	rows := make([]row, 0, len(mixes))
+	for mi, mix := range mixes {
+		choi, ic, bandit := runs[mi][0], runs[mi][1], runs[mi][2]
 		if choi <= 0 || ic <= 0 {
 			continue
 		}
@@ -168,7 +243,8 @@ func Fig13(o Options) Fig13Result {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio < rows[j].ratio })
 
 	var res Fig13Result
-	var ratios, vsIC []float64
+	ratios := make([]float64, 0, len(rows))
+	vsIC := make([]float64, 0, len(rows))
 	for _, r := range rows {
 		res.Mixes = append(res.Mixes, r.name)
 		res.Ratios = append(res.Ratios, r.ratio)
@@ -216,10 +292,27 @@ var Fig15StateOrder = []string{"ROB full", "IQ full", "LQ full", "SQ full", "RF 
 func Fig15(o Options) Fig15Result {
 	mixes := o.mixes(smtwork.Mixes())
 	res := Fig15Result{Fractions: map[string]map[string]float64{}}
-	accumulate := func(kind string, get func(mix smtwork.Mix) simsmt.RenameStats) {
+
+	kinds := []string{"Choi", "Bandit"}
+	type job struct{ kindIdx, mixIdx int }
+	jobs := make([]job, 0, len(kinds)*len(mixes))
+	for ki := range kinds {
+		for mi := range mixes {
+			jobs = append(jobs, job{ki, mi})
+		}
+	}
+	renames := runJobs(o, jobs, func(j job) simsmt.RenameStats {
+		mix := mixes[j.mixIdx]
+		if kinds[j.kindIdx] == "Choi" {
+			return o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).Rename
+		}
+		return o.runSMTCtrl(mix, "bandit",
+			simsmt.NewBanditAgent(o.subSeed("fig15", mix.Name()))).Rename
+	})
+
+	for ki, kind := range kinds {
 		var sum simsmt.RenameStats
-		for _, mix := range mixes {
-			rs := get(mix)
+		for _, rs := range renames[ki*len(mixes) : (ki+1)*len(mixes)] {
 			sum.StallROB += rs.StallROB
 			sum.StallIQ += rs.StallIQ
 			sum.StallLQ += rs.StallLQ
@@ -243,12 +336,6 @@ func Fig15(o Options) Fig15Result {
 			"running":  float64(sum.Running) / total,
 		}
 	}
-	accumulate("Choi", func(mix smtwork.Mix) simsmt.RenameStats {
-		return o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).Rename
-	})
-	accumulate("Bandit", func(mix smtwork.Mix) simsmt.RenameStats {
-		return o.runSMTCtrl(mix, "bandit", simsmt.NewBanditAgent(o.subSeed("fig15", mix.Name()))).Rename
-	})
 	return res
 }
 
@@ -272,45 +359,46 @@ func (r Fig15Result) Render() string {
 // Fig7SMT produces the SMT-side exploration panels (gcc-lbm and
 // cactuBSSN-lbm under BestStatic, Single, UCB, DUCB).
 func Fig7SMT(o Options) []Fig7Panel {
-	var panels []Fig7Panel
-	pairs := [][2]string{{"gcc", "lbm"}, {"cactuBSSN", "lbm"}}
-	for _, pair := range pairs {
+	var mixes []smtwork.Mix
+	for _, pair := range [][2]string{{"gcc", "lbm"}, {"cactuBSSN", "lbm"}} {
 		a, errA := smtwork.ByName(pair[0])
 		b, errB := smtwork.ByName(pair[1])
 		if errA != nil || errB != nil {
 			continue
 		}
-		mix := smtwork.Mix{A: a, B: b}
-		_, bestArm := o.bestStaticSMT(mix)
-		configs := []struct {
-			name string
-			run  func() ([]simsmt.ArmSample, float64)
-		}{
-			{"BestStatic", func() ([]simsmt.ArmSample, float64) {
-				arms := simsmt.Table1Arms()
-				res := o.runSMTFixed(mix, "best-static", arms[bestArm], true)
-				return []simsmt.ArmSample{{Cycle: 0, Arm: bestArm}}, res.SumIPC
-			}},
-			{"Single", func() ([]simsmt.ArmSample, float64) {
-				return o.runSMTTrace(mix, "Single")
-			}},
-			{"UCB", func() ([]simsmt.ArmSample, float64) {
-				return o.runSMTTrace(mix, "UCB")
-			}},
-			{"DUCB", func() ([]simsmt.ArmSample, float64) {
-				return o.runSMTTrace(mix, "DUCB")
-			}},
-		}
-		for _, cfg := range configs {
-			arms, ipc := cfg.run()
-			panel := Fig7Panel{Algo: cfg.name, App: mix.Name(), IPC: ipc}
-			for _, s := range arms {
-				panel.Arms = append(panel.Arms, ArmPoint{Cycle: s.Cycle, Arm: s.Arm})
-			}
-			panels = append(panels, panel)
+		mixes = append(mixes, smtwork.Mix{A: a, B: b})
+	}
+	// Phase 1: the static oracle that defines the BestStatic panel.
+	_, bestArm := o.bestStaticSMTAll(mixes)
+
+	// Phase 2: the exploration-trace runs, one job per (mix, algorithm).
+	algos := []string{"BestStatic", "Single", "UCB", "DUCB"}
+	type job struct{ mixIdx, algoIdx int }
+	jobs := make([]job, 0, len(mixes)*len(algos))
+	for mi := range mixes {
+		for gi := range algos {
+			jobs = append(jobs, job{mi, gi})
 		}
 	}
-	return panels
+	return runJobs(o, jobs, func(j job) Fig7Panel {
+		mix := mixes[j.mixIdx]
+		name := algos[j.algoIdx]
+		var arms []simsmt.ArmSample
+		var ipc float64
+		if name == "BestStatic" {
+			table := simsmt.Table1Arms()
+			res := o.runSMTFixed(mix, "best-static", table[bestArm[j.mixIdx]], true)
+			arms, ipc = []simsmt.ArmSample{{Cycle: 0, Arm: bestArm[j.mixIdx]}}, res.SumIPC
+		} else {
+			arms, ipc = o.runSMTTrace(mix, name)
+		}
+		panel := Fig7Panel{Algo: name, App: mix.Name(), IPC: ipc}
+		panel.Arms = make([]ArmPoint, 0, len(arms))
+		for _, s := range arms {
+			panel.Arms = append(panel.Arms, ArmPoint{Cycle: s.Cycle, Arm: s.Arm})
+		}
+		return panel
+	})
 }
 
 // runSMTTrace runs a mix under a named bandit algorithm with arm tracing.

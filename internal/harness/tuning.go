@@ -42,33 +42,47 @@ func Tuning(o Options) TuningResult {
 	gammas := []float64{0.99, core.PrefetchGamma}
 	stepScales := []float64{0.5, 1, 2}
 
-	var res TuningResult
+	type combo struct{ c, gamma, scale float64 }
+	combos := make([]combo, 0, len(cs)*len(gammas)*len(stepScales))
 	for _, c := range cs {
 		for _, gamma := range gammas {
 			for _, scale := range stepScales {
-				var ipcs []float64
-				for _, app := range apps {
-					oo := o
-					oo.StepL2 = int(float64(o.StepL2) * scale)
-					if oo.StepL2 < 50 {
-						oo.StepL2 = 50
-					}
-					ctrl := core.MustNew(core.Config{
-						Arms:      core.PrefetchArms,
-						Policy:    core.NewDUCB(c, gamma),
-						Normalize: true,
-						Seed:      oo.subSeed("tuning", app.Name, fmt.Sprint(c, gamma, scale)),
-					})
-					run := oo.runPrefetchCtrl(app, "tune", ctrl, memCfg)
-					ipcs = append(ipcs, run.IPC)
-				}
-				row := TuningRow{C: c, Gamma: gamma, StepScale: scale,
-					GMeanIPC: stats.GeoMean(ipcs)}
-				res.Rows = append(res.Rows, row)
-				if row.GMeanIPC > res.Best.GMeanIPC {
-					res.Best = row
-				}
+				combos = append(combos, combo{c, gamma, scale})
 			}
+		}
+	}
+
+	type job struct{ comboIdx, appIdx int }
+	jobs := make([]job, 0, len(combos)*len(apps))
+	for ci := range combos {
+		for ai := range apps {
+			jobs = append(jobs, job{ci, ai})
+		}
+	}
+	ipcs := runJobs(o, jobs, func(j job) float64 {
+		cb := combos[j.comboIdx]
+		app := apps[j.appIdx]
+		oo := o
+		oo.StepL2 = int(float64(o.StepL2) * cb.scale)
+		if oo.StepL2 < 50 {
+			oo.StepL2 = 50
+		}
+		ctrl := core.MustNew(core.Config{
+			Arms:      core.PrefetchArms,
+			Policy:    core.NewDUCB(cb.c, cb.gamma),
+			Normalize: true,
+			Seed:      oo.subSeed("tuning", app.Name, fmt.Sprint(cb.c, cb.gamma, cb.scale)),
+		})
+		return oo.runPrefetchCtrl(app, "tune", ctrl, memCfg).IPC
+	})
+
+	res := TuningResult{Rows: make([]TuningRow, 0, len(combos))}
+	for ci, cb := range combos {
+		row := TuningRow{C: cb.c, Gamma: cb.gamma, StepScale: cb.scale,
+			GMeanIPC: stats.GeoMean(ipcs[ci*len(apps) : (ci+1)*len(apps)])}
+		res.Rows = append(res.Rows, row)
+		if row.GMeanIPC > res.Best.GMeanIPC {
+			res.Best = row
 		}
 	}
 	return res

@@ -76,40 +76,46 @@ func (c *Cache) SizeBytes() int { return len(c.sets) * len(c.sets[0]) * (1 << li
 // set returns the set for a line address.
 func (c *Cache) set(lineAddr uint64) []cacheLine { return c.sets[lineAddr&c.mask] }
 
+// find returns the way holding lineAddr in set, or -1. The set indexing
+// and tag scan are hoisted here so Lookup, Contains, and Fill — which the
+// prefetch path calls back-to-back on the same line — share one shape the
+// compiler can inline instead of three hand-rolled loops.
+func find(set []cacheLine, lineAddr uint64) int {
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return i
+		}
+	}
+	return -1
+}
+
 // Lookup probes the cache with a demand access. On a hit it updates LRU
 // and the dirty/used bits and returns true.
 func (c *Cache) Lookup(lineAddr uint64, isWrite bool) bool {
 	c.clock++
 	set := c.set(lineAddr)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == lineAddr {
-			l.lastUse = c.clock
-			if isWrite {
-				l.dirty = true
-			}
-			if l.prefetched && !l.used {
-				l.used = true
-				c.stats.PrefUseful++
-			}
-			c.stats.Hits++
-			return true
-		}
+	w := find(set, lineAddr)
+	if w < 0 {
+		c.stats.Misses++
+		return false
 	}
-	c.stats.Misses++
-	return false
+	l := &set[w]
+	l.lastUse = c.clock
+	if isWrite {
+		l.dirty = true
+	}
+	if l.prefetched && !l.used {
+		l.used = true
+		c.stats.PrefUseful++
+	}
+	c.stats.Hits++
+	return true
 }
 
 // Contains probes without updating any state (used to drop redundant
 // prefetches).
 func (c *Cache) Contains(lineAddr uint64) bool {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			return true
-		}
-	}
-	return false
+	return find(c.set(lineAddr), lineAddr) >= 0
 }
 
 // Evicted describes a victim pushed out by Fill.
@@ -125,31 +131,36 @@ type Evicted struct {
 func (c *Cache) Fill(lineAddr uint64, prefetched, dirty bool) Evicted {
 	c.clock++
 	set := c.set(lineAddr)
-	// Already present: refresh (a racing demand fill may beat a prefetch).
+	// One pass finds both the present line and the LRU victim, instead of
+	// a presence scan followed by a victim scan.
+	hit, victim := -1, 0
 	for i := range set {
 		l := &set[i]
 		if l.valid && l.tag == lineAddr {
-			l.lastUse = c.clock
-			l.dirty = l.dirty || dirty
-			if l.prefetched && !prefetched {
-				// A demand fill of a prefetched line counts as a use.
-				if !l.used {
-					l.used = true
-					c.stats.PrefUseful++
-				}
-			}
-			return Evicted{}
-		}
-	}
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
+			hit = i
 			break
 		}
-		if set[i].lastUse < set[victim].lastUse {
+		if !set[victim].valid {
+			continue // an invalid way already wins victim selection
+		}
+		if !l.valid || l.lastUse < set[victim].lastUse {
 			victim = i
 		}
+	}
+	if hit >= 0 {
+		// Already present: refresh (a racing demand fill may beat a
+		// prefetch).
+		l := &set[hit]
+		l.lastUse = c.clock
+		l.dirty = l.dirty || dirty
+		if l.prefetched && !prefetched {
+			// A demand fill of a prefetched line counts as a use.
+			if !l.used {
+				l.used = true
+				c.stats.PrefUseful++
+			}
+		}
+		return Evicted{}
 	}
 	var ev Evicted
 	v := &set[victim]

@@ -1,0 +1,73 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPreservesInputOrder(t *testing.T) {
+	jobs := make([]int, 1000)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64, 5000} {
+		out := Run(workers, jobs, func(j int) int { return j * j })
+		if len(out) != len(jobs) {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if out := Run(8, nil, func(j int) int { return j }); out != nil {
+		t.Errorf("empty job list: got %v", out)
+	}
+	out := Run(8, []int{41}, func(j int) int { return j + 1 })
+	if len(out) != 1 || out[0] != 42 {
+		t.Errorf("single job: got %v", out)
+	}
+}
+
+func TestRunExecutesEveryJobOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	jobs := make([]int, n)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	Run(16, jobs, func(j int) struct{} {
+		counts[j].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestDo(t *testing.T) {
+	out := make([]int, 100)
+	tasks := make([]func(), len(out))
+	for i := range tasks {
+		i := i
+		tasks[i] = func() { out[i] = i + 1 }
+	}
+	Do(4, tasks)
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

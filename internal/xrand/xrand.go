@@ -8,6 +8,13 @@
 // which are tiny, well-studied, and trivially portable. The generator is
 // also a reasonable stand-in for the cheap LFSR-style entropy a hardware
 // agent would use for its epsilon-greedy coin flips.
+//
+// Rand is deliberately not safe for concurrent use, and the parallel
+// experiment engine (internal/par, internal/harness) leans on that: every
+// worker-pool job constructs its own Rand from a stable per-run sub-seed,
+// so results are byte-identical at any worker count. Do not "fix" this by
+// adding locks or sharing a Rand across goroutines — a shared stream would
+// make output depend on scheduling order.
 package xrand
 
 import "math"
