@@ -8,23 +8,25 @@
 //
 //	mab-prefetch -app lbm17 -pf bandit [-insts 4000000] [-mtps 2400]
 //	             [-algo ducb|ucb|eps|single|periodic|static:N]
-//	             [-trace] [-list]
+//	             [-faults noise:0.5,stuckarm:1] [-trace] [-list]
 //	mab-prefetch -app lbm17,mcf06,bfs -j 4
 //	mab-prefetch -app all -j 0
 //
 // With a comma-separated -app list (or "all"), the simulations fan out
-// across -j worker goroutines and the reports print in input order.
+// across -j worker goroutines and the reports print in input order. A
+// failing app is reported on stderr without taking down its siblings.
+// Bad flag values exit 2 with the valid choices.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"microbandit/internal/core"
 	"microbandit/internal/cpu"
+	"microbandit/internal/fault"
 	"microbandit/internal/mem"
 	"microbandit/internal/par"
 	"microbandit/internal/prefetch"
@@ -40,17 +42,19 @@ type runConfig struct {
 	seed      uint64
 	showTrace bool
 	memCfg    mem.Config
+	faults    fault.Set
 }
 
 func main() {
 	appNames := flag.String("app", "lbm17", "application(s): a catalog name, a comma-separated list, or \"all\"")
-	pfName := flag.String("pf", "bandit", "prefetcher: none, stride, bingo, mlop, pythia, bandit")
-	algo := flag.String("algo", "ducb", "bandit algorithm: ducb, ucb, eps, single, periodic, static:N")
+	pfName := flag.String("pf", "bandit", "prefetcher: "+strings.Join(prefetch.Names(), ", "))
+	algo := flag.String("algo", "ducb", "bandit algorithm: "+strings.Join(core.AlgoNames(), ", "))
 	insts := flag.Int64("insts", 4_000_000, "instructions to simulate")
 	mtps := flag.Float64("mtps", 2400, "DRAM channel rate (mega-transfers/s)")
 	altCache := flag.Bool("altcache", false, "use the Fig. 11 cache hierarchy (1MB L2 / 1.5MB LLC)")
 	stepL2 := flag.Int("step", 1000, "bandit step length in L2 demand accesses")
 	seed := flag.Uint64("seed", 1, "random seed")
+	faultSpec := flag.String("faults", "", "inject faults: comma-separated kind:intensity[:seed] ("+strings.Join(fault.KindNames(), ", ")+")")
 	showTrace := flag.Bool("trace", false, "print the arm exploration trace")
 	list := flag.Bool("list", false, "list catalog applications and exit")
 	workers := flag.Int("j", 0, "worker goroutines for multi-app runs (0 = one per CPU)")
@@ -63,6 +67,25 @@ func main() {
 		return
 	}
 
+	// Validate every flag before any simulation starts: bad values exit 2
+	// with usage, never a mid-run panic.
+	if *insts <= 0 {
+		usageErr(fmt.Errorf("-insts must be positive, got %d", *insts))
+	}
+	if *stepL2 <= 0 {
+		usageErr(fmt.Errorf("-step must be positive, got %d", *stepL2))
+	}
+	if *mtps <= 0 {
+		usageErr(fmt.Errorf("-mtps must be positive, got %g", *mtps))
+	}
+	if *workers < 0 {
+		usageErr(fmt.Errorf("-j must be >= 0, got %d", *workers))
+	}
+	faults, err := fault.ParseSet(*faultSpec)
+	if err != nil {
+		usageErr(fmt.Errorf("-faults: %v", err))
+	}
+
 	var apps []trace.App
 	if *appNames == "all" {
 		apps = trace.Catalog()
@@ -70,7 +93,7 @@ func main() {
 		for _, name := range strings.Split(*appNames, ",") {
 			app, err := trace.ByName(strings.TrimSpace(name))
 			if err != nil {
-				fatal(err)
+				usageErr(fmt.Errorf("%v (valid: %s, or \"all\")", err, catalogNames()))
 			}
 			apps = append(apps, app)
 		}
@@ -83,75 +106,62 @@ func main() {
 	memCfg.MTPS = *mtps
 	cfg := runConfig{
 		pfName: *pfName, algo: *algo, insts: *insts, stepL2: *stepL2,
-		seed: *seed, showTrace: *showTrace, memCfg: memCfg,
+		seed: *seed, showTrace: *showTrace, memCfg: memCfg, faults: faults,
 	}
 
-	// Validate the configuration once before fanning out.
+	// Validate the prefetcher/algorithm configuration once before fanning
+	// out.
 	if _, err := simulate(apps[0], cfg, true); err != nil {
-		fatal(err)
+		usageErr(err)
 	}
 	// Each app is an independent simulation with its own hierarchy and
-	// seed; reports come back in input order regardless of worker count.
-	type out struct {
-		report string
-		err    error
-	}
-	outs := par.Run(*workers, apps, func(app trace.App) out {
-		report, err := simulate(app, cfg, false)
-		return out{report, err}
+	// seed; reports come back in input order regardless of worker count. A
+	// failing or panicking run becomes a per-job error; the siblings'
+	// reports still print and the process exits 1.
+	reports, errs := par.RunErr(*workers, apps, func(app trace.App) (string, error) {
+		return simulate(app, cfg, false)
 	})
-	for i, o := range outs {
-		if o.err != nil {
-			fatal(o.err)
+	failed := 0
+	for i, report := range reports {
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "mab-prefetch: %s: %v\n", apps[i].Name, errs[i])
+			continue
 		}
 		if i > 0 {
 			fmt.Println()
 		}
-		fmt.Print(o.report)
+		fmt.Print(report)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mab-prefetch: %d of %d runs failed; results above are partial\n", failed, len(apps))
+		os.Exit(1)
 	}
 }
 
 // simulate runs one app and returns its formatted report. dryRun only
 // checks that the prefetcher/algorithm configuration parses.
 func simulate(app trace.App, cfg runConfig, dryRun bool) (string, error) {
+	seed := cfg.seed
 	hier := mem.NewHierarchy(cfg.memCfg)
-	c := cpu.New(cpu.DefaultConfig(), hier, app.New(cfg.seed))
+	if bf := fault.Bandwidth(cfg.faults, seed); bf != nil {
+		hier.DRAM().SetBandwidthFault(bf)
+	}
+	gen := fault.Generator(app.New(seed), cfg.faults, seed)
+	c := cpu.New(cpu.DefaultConfig(), hier, gen)
 
-	var (
-		l2   prefetch.Prefetcher
-		ctrl core.Controller
-		tun  prefetch.Tunable
-	)
-	switch strings.ToLower(cfg.pfName) {
-	case "none":
-		l2 = prefetch.Null{}
-	case "stride":
-		l2 = prefetch.NewIPStride(64, 4)
-	case "bingo":
-		l2 = prefetch.NewBingo(64)
-	case "mlop":
-		l2 = prefetch.NewMLOP()
-	case "pythia":
-		l2 = prefetch.NewPythia(cfg.seed)
-	case "bandit":
-		ens := prefetch.NewTable7Ensemble()
-		pol, err := banditPolicy(cfg.algo, ens.NumArms())
+	l2, tun, err := prefetch.NewByName(cfg.pfName, seed)
+	if err != nil {
+		return "", err
+	}
+	var ctrl core.Controller
+	if tun != nil {
+		ctrl, err = core.ParseAlgo(cfg.algo, tun.NumArms(), seed, true)
 		if err != nil {
 			return "", err
 		}
-		if pol != nil {
-			ctrl = core.MustNew(core.Config{
-				Arms: ens.NumArms(), Policy: pol, Normalize: true,
-				Seed: cfg.seed, RecordTrace: true,
-			})
-		} else {
-			// static:N
-			n, _ := strconv.Atoi(strings.TrimPrefix(cfg.algo, "static:"))
-			ctrl = core.FixedArm(n)
-		}
-		l2, tun = ens, ens
-	default:
-		return "", fmt.Errorf("unknown prefetcher %q", cfg.pfName)
+		ctrl = fault.Controller(ctrl, cfg.faults, seed)
+		tun = fault.Tunable(tun, cfg.faults, seed)
 	}
 	if dryRun {
 		return "", nil
@@ -168,6 +178,9 @@ func simulate(app trace.App, cfg runConfig, dryRun bool) (string, error) {
 	st := hier.Stats()
 	cl := hier.Classify()
 	fmt.Fprintf(&b, "app=%s prefetcher=%s insts=%d cycles=%d\n", app.Name, cfg.pfName, c.Insts(), c.Cycles())
+	if len(cfg.faults) > 0 {
+		fmt.Fprintf(&b, "faults: %s\n", cfg.faults.String())
+	}
 	fmt.Fprintf(&b, "IPC: %.4f\n", c.IPC())
 	fmt.Fprintf(&b, "L2 demand accesses: %d   LLC misses: %d   DRAM reads: %d\n",
 		st.L2Demand, st.LLCMisses, hier.DRAM().Reads())
@@ -189,31 +202,18 @@ func simulate(app trace.App, cfg runConfig, dryRun bool) (string, error) {
 	return b.String(), nil
 }
 
-// banditPolicy parses the -algo flag; returns (nil, nil) for static:N.
-func banditPolicy(name string, arms int) (core.Policy, error) {
-	switch {
-	case name == "ducb":
-		return core.NewDUCB(core.PrefetchC, core.PrefetchGamma), nil
-	case name == "ucb":
-		return core.NewUCB(core.PrefetchC), nil
-	case name == "eps":
-		return core.NewEpsilonGreedy(0.05), nil
-	case name == "single":
-		return core.NewSingle(), nil
-	case name == "periodic":
-		return core.NewPeriodic(8, 4), nil
-	case strings.HasPrefix(name, "static:"):
-		n, err := strconv.Atoi(strings.TrimPrefix(name, "static:"))
-		if err != nil || n < 0 || n >= arms {
-			return nil, fmt.Errorf("bad static arm in %q (have %d arms)", name, arms)
-		}
-		return nil, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
+// catalogNames returns the valid -app values for error messages.
+func catalogNames() string {
+	var names []string
+	for _, a := range trace.Catalog() {
+		names = append(names, a.Name)
 	}
+	return strings.Join(names, ", ")
 }
 
-func fatal(err error) {
+// usageErr reports a bad flag value and exits 2.
+func usageErr(err error) {
 	fmt.Fprintln(os.Stderr, "mab-prefetch:", err)
-	os.Exit(1)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -3,12 +3,20 @@
 // Usage:
 //
 //	mab-report [-preset smoke|quick|full] [-exp id] [-list] [-seed n] [-j n]
+//	mab-report -robust [-faults noise:0.5,stuckarm:1:7]
 //	mab-report -parbench BENCH_parallel.json [-preset quick] [-j n]
 //
 // With no -exp it runs every experiment in paper order; -list prints the
 // experiment registry (ids match DESIGN.md's per-experiment index).
-// -parbench times the heaviest experiments serial vs parallel and writes
-// the wall-clock comparison as JSON.
+// -robust runs the fault-injection robustness sweep, optionally with a
+// custom -faults sweep (comma-separated kind:intensity[:seed] specs, one
+// sweep row each). -parbench times the heaviest experiments serial vs
+// parallel and writes the wall-clock comparison as JSON.
+//
+// Failed experiment jobs (including recovered panics) never crash the
+// report: the affected experiment renders partial results, an error
+// appendix lists the failures, and the process exits 1. Bad flag values
+// exit 2.
 package main
 
 import (
@@ -18,8 +26,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
+	"microbandit/internal/fault"
 	"microbandit/internal/harness"
 	"microbandit/internal/par"
 )
@@ -31,6 +41,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	csvDir := flag.String("csvdir", "", "also write per-experiment CSV files into this directory")
 	workers := flag.Int("j", 0, "worker goroutines per experiment (0 = one per CPU, 1 = serial)")
+	robust := flag.Bool("robust", false, "run the fault-injection robustness sweep")
+	faultSpec := flag.String("faults", "", "with -robust: custom sweep as comma-separated kind:intensity[:seed] ("+strings.Join(fault.KindNames(), ", ")+")")
 	parBench := flag.String("parbench", "", "time Table8 and Fig5 serial vs parallel, write JSON here")
 	flag.Parse()
 
@@ -50,11 +62,22 @@ func main() {
 	case "full":
 		o = harness.Full()
 	default:
-		fmt.Fprintf(os.Stderr, "mab-report: unknown preset %q\n", *preset)
+		fmt.Fprintf(os.Stderr, "mab-report: unknown preset %q (valid: smoke, quick, full)\n", *preset)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "mab-report: -j must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *faultSpec != "" && !*robust {
+		fmt.Fprintln(os.Stderr, "mab-report: -faults requires -robust")
 		os.Exit(2)
 	}
 	o.Seed = *seed
 	o.Workers = *workers
+	// Collect per-job failures instead of crashing: experiments render
+	// partial results and the appendix below lists what failed.
+	o.Errs = harness.NewErrorLog()
 
 	if *parBench != "" {
 		if err := runParBench(*parBench, *preset, o); err != nil {
@@ -71,6 +94,26 @@ func main() {
 		}
 	}
 
+	if *robust {
+		sweep := harness.DefaultFaultSweep()
+		if *faultSpec != "" {
+			set, err := fault.ParseSet(*faultSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mab-report: -faults: %v\n", err)
+				os.Exit(2)
+			}
+			sweep = set
+		}
+		start := time.Now()
+		r := harness.RobustWith(o, sweep)
+		fmt.Print(r.Render())
+		if *csvDir != "" {
+			writeCSV(*csvDir, "robust", r.CSV())
+		}
+		fmt.Printf("(robust: %.1fs)\n", time.Since(start).Seconds())
+		exitAfterAppendix(o.Errs)
+	}
+
 	if *expID != "" {
 		e, ok := harness.Find(*expID)
 		if !ok {
@@ -81,13 +124,40 @@ func main() {
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Desc)
 		fmt.Print(runOne(e, o, *csvDir))
 		fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
-		return
+		exitAfterAppendix(o.Errs)
 	}
+	anyFailed := false
 	for _, e := range harness.Experiments() {
 		start := time.Now()
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Desc)
 		fmt.Print(runOne(e, o, *csvDir))
+		if o.Errs.Len() > 0 {
+			anyFailed = true
+			fmt.Print(harness.RenderFailures(o.Errs.Drain()))
+		}
 		fmt.Printf("(%s: %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if anyFailed {
+		os.Exit(1)
+	}
+}
+
+// exitAfterAppendix prints the error appendix for any collected failures
+// and exits: 0 for a clean run, 1 for a partial one.
+func exitAfterAppendix(errs *harness.ErrorLog) {
+	if errs.Len() == 0 {
+		os.Exit(0)
+	}
+	fmt.Print(harness.RenderFailures(errs.Drain()))
+	os.Exit(1)
+}
+
+// writeCSV writes one experiment's CSV file, reporting but not dying on
+// I/O errors.
+func writeCSV(dir, id, csv string) {
+	path := filepath.Join(dir, id+".csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mab-report: writing %s: %v\n", path, err)
 	}
 }
 
@@ -101,10 +171,7 @@ func runOne(e harness.Experiment, o harness.Options, csvDir string) string {
 	if !ok {
 		return e.Run(o)
 	}
-	path := filepath.Join(csvDir, e.ID+".csv")
-	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "mab-report: writing %s: %v\n", path, err)
-	}
+	writeCSV(csvDir, e.ID, csv)
 	return text
 }
 

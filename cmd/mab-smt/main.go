@@ -11,7 +11,9 @@
 //	mab-smt -list
 //
 // With a comma-separated -mix list, the simulations fan out across -j
-// worker goroutines and the reports print in input order.
+// worker goroutines and the reports print in input order. A failing mix
+// is reported on stderr without taking down its siblings. Bad flag
+// values exit 2 with the valid choices.
 package main
 
 import (
@@ -57,20 +59,38 @@ func main() {
 		return
 	}
 
+	// Validate every flag before any simulation starts: bad values exit 2
+	// with usage, never a mid-run panic.
+	if *cycles <= 0 {
+		usageErr(fmt.Errorf("-cycles must be positive, got %d", *cycles))
+	}
+	if *epoch <= 0 {
+		usageErr(fmt.Errorf("-epoch must be positive, got %d", *epoch))
+	}
+	if *rrEpochs <= 0 || *mainEpochs <= 0 {
+		usageErr(fmt.Errorf("-rrepochs and -mainepochs must be positive, got %d and %d", *rrEpochs, *mainEpochs))
+	}
+	if *workers < 0 {
+		usageErr(fmt.Errorf("-j must be >= 0, got %d", *workers))
+	}
+	if err := validateCtrl(*ctrlName); err != nil {
+		usageErr(err)
+	}
+
 	var mixes []smtwork.Mix
 	for _, name := range strings.Split(*mixNames, ",") {
 		name = strings.TrimSpace(name)
 		parts := strings.SplitN(name, "-", 2)
 		if len(parts) != 2 {
-			fatal(fmt.Errorf("mix must be appA-appB, got %q", name))
+			usageErr(fmt.Errorf("mix must be appA-appB, got %q", name))
 		}
 		a, err := smtwork.ByName(parts[0])
 		if err != nil {
-			fatal(err)
+			usageErr(fmt.Errorf("%v (valid: %s)", err, profileNames()))
 		}
 		b, err := smtwork.ByName(parts[1])
 		if err != nil {
-			fatal(err)
+			usageErr(fmt.Errorf("%v (valid: %s)", err, profileNames()))
 		}
 		mixes = append(mixes, smtwork.Mix{A: a, B: b})
 	}
@@ -81,23 +101,40 @@ func main() {
 		seed: *seed, showTrace: *showTrace,
 	}
 	// Each mix is an independent simulation with its own state and seed;
-	// reports come back in input order regardless of worker count.
-	type out struct {
-		report string
-		err    error
-	}
-	outs := par.Run(*workers, mixes, func(mix smtwork.Mix) out {
-		report, err := simulate(mix, cfg)
-		return out{report, err}
+	// reports come back in input order regardless of worker count. A
+	// failing or panicking run becomes a per-job error; the siblings'
+	// reports still print and the process exits 1.
+	reports, errs := par.RunErr(*workers, mixes, func(mix smtwork.Mix) (string, error) {
+		return simulate(mix, cfg)
 	})
-	for i, o := range outs {
-		if o.err != nil {
-			fatal(o.err)
+	failed := 0
+	for i, report := range reports {
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "mab-smt: %s: %v\n", mixes[i].Name(), errs[i])
+			continue
 		}
 		if i > 0 {
 			fmt.Println()
 		}
-		fmt.Print(o.report)
+		fmt.Print(report)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mab-smt: %d of %d runs failed; results above are partial\n", failed, len(mixes))
+		os.Exit(1)
+	}
+}
+
+// validateCtrl checks the -ctrl flag before fan-out.
+func validateCtrl(name string) error {
+	switch {
+	case name == "bandit", name == "choi", name == "icount":
+		return nil
+	case strings.HasPrefix(name, "policy:"):
+		_, err := simsmt.ParsePolicy(strings.TrimPrefix(name, "policy:"))
+		return err
+	default:
+		return fmt.Errorf("unknown controller %q (valid: bandit, choi, icount, policy:<mnemonic>)", name)
 	}
 }
 
@@ -156,6 +193,15 @@ func simulate(mix smtwork.Mix, cfg runConfig) (string, error) {
 	return b.String(), nil
 }
 
+// profileNames returns the valid mix components for error messages.
+func profileNames() string {
+	var names []string
+	for _, p := range smtwork.Profiles() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
 func pct(n int64, total float64) float64 {
 	if total == 0 {
 		return 0
@@ -163,7 +209,9 @@ func pct(n int64, total float64) float64 {
 	return float64(n) / total * 100
 }
 
-func fatal(err error) {
+// usageErr reports a bad flag value and exits 2.
+func usageErr(err error) {
 	fmt.Fprintln(os.Stderr, "mab-smt:", err)
-	os.Exit(1)
+	flag.Usage()
+	os.Exit(2)
 }

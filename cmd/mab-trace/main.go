@@ -60,6 +60,12 @@ func record(args []string) {
 	workers := fs.Int("j", 0, "worker goroutines for multi-app recording (0 = one per CPU)")
 	_ = fs.Parse(args)
 
+	if *insts <= 0 {
+		usageErr(fs, fmt.Errorf("-insts must be positive, got %d", *insts))
+	}
+	if *workers < 0 {
+		usageErr(fs, fmt.Errorf("-j must be >= 0, got %d", *workers))
+	}
 	var apps []trace.App
 	if *appNames == "all" {
 		apps = trace.Catalog()
@@ -67,13 +73,13 @@ func record(args []string) {
 		for _, name := range strings.Split(*appNames, ",") {
 			app, err := trace.ByName(strings.TrimSpace(name))
 			if err != nil {
-				fatal(err)
+				usageErr(fs, fmt.Errorf("%v (valid: %s, or \"all\")", err, catalogNames()))
 			}
 			apps = append(apps, app)
 		}
 	}
 	if *out != "" && len(apps) > 1 {
-		fatal(fmt.Errorf("-out only applies to a single app; got %d", len(apps)))
+		usageErr(fs, fmt.Errorf("-out only applies to a single app; got %d", len(apps)))
 	}
 
 	// Each recording owns its generator and output file; reports print in
@@ -138,7 +144,15 @@ func replay(args []string) {
 	_ = fs.Parse(args)
 
 	if *in == "" {
-		fatal(fmt.Errorf("replay needs -in"))
+		usageErr(fs, fmt.Errorf("replay needs -in"))
+	}
+	if *insts <= 0 {
+		usageErr(fs, fmt.Errorf("-insts must be positive, got %d", *insts))
+	}
+	switch *pf {
+	case "none", "stride", "bandit":
+	default:
+		usageErr(fs, fmt.Errorf("unknown prefetcher %q (valid: none, stride, bandit)", *pf))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -191,7 +205,7 @@ func info(args []string) {
 	in := fs.String("in", "", "input trace file")
 	_ = fs.Parse(args)
 	if *in == "" {
-		fatal(fmt.Errorf("info needs -in"))
+		usageErr(fs, fmt.Errorf("info needs -in"))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -223,4 +237,21 @@ func info(args []string) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mab-trace:", err)
 	os.Exit(1)
+}
+
+// catalogNames returns the valid -app values for error messages.
+func catalogNames() string {
+	var names []string
+	for _, a := range trace.Catalog() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// usageErr reports a bad flag value and exits 2 with the subcommand's
+// usage.
+func usageErr(fs *flag.FlagSet, err error) {
+	fmt.Fprintln(os.Stderr, "mab-trace:", err)
+	fs.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the CLI-facing algorithm registry: one place that maps the
+// flag names the tools accept ("-algo ducb", "-algo static:3") to
+// configured controllers, so every command validates against the same
+// list and prints the same valid names on a bad flag.
+
+// AlgoNames returns the algorithm names ParseAlgo accepts, in display
+// order. "static:N" stands for any fixed arm index.
+func AlgoNames() []string {
+	return []string{"ducb", "ucb", "eps", "single", "periodic", "static:N"}
+}
+
+// ParseAlgo builds a controller for the named bandit algorithm over the
+// given arm count, using the paper's prefetching hyperparameters
+// (Table 6: c = PrefetchC, gamma = PrefetchGamma). "static:N" returns
+// FixedArm(N). recordTrace enables per-step arm recording on the agent
+// algorithms (FixedArm has no trace). Unknown names and out-of-range
+// static arms return an error listing the valid names.
+func ParseAlgo(name string, arms int, seed uint64, recordTrace bool) (Controller, error) {
+	var policy Policy
+	switch {
+	case name == "ducb":
+		policy = NewDUCB(PrefetchC, PrefetchGamma)
+	case name == "ucb":
+		policy = NewUCB(PrefetchC)
+	case name == "eps":
+		policy = NewEpsilonGreedy(0.05)
+	case name == "single":
+		policy = NewSingle()
+	case name == "periodic":
+		policy = NewPeriodic(8, 4)
+	case strings.HasPrefix(name, "static:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "static:"))
+		if err != nil || n < 0 || n >= arms {
+			return nil, fmt.Errorf("bad static arm in %q (have %d arms)", name, arms)
+		}
+		return FixedArm(n), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (valid: %s)",
+			name, strings.Join(AlgoNames(), ", "))
+	}
+	return MustNew(Config{
+		Arms: arms, Policy: policy, Normalize: true,
+		Seed: seed, RecordTrace: recordTrace,
+	}), nil
+}

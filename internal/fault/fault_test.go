@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"microbandit/internal/core"
+	"microbandit/internal/prefetch"
+	"microbandit/internal/trace"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"noise:0.5", Spec{Noise, 0.5, 1}},
+		{"stuckarm:1:42", Spec{StuckArm, 1, 42}},
+		{"delay:0.25:0x10", Spec{Delay, 0.25, 16}},
+		{"bwcollapse:0", Spec{BWCollapse, 0, 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "noise", "noise:", "noise:x", "noise:2", "noise:-0.1",
+		"noise:NaN", "noise:0.5:x", "noise:0.5:1:2", "martian:0.5",
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseSetRoundTrip(t *testing.T) {
+	in := "noise:0.5:7,stuckarm:0.25,delay:1:3"
+	set, err := ParseSet(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("got %d specs, want 3", len(set))
+	}
+	set2, err := ParseSet(set.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", set.String(), err)
+	}
+	for i := range set {
+		if set[i] != set2[i] {
+			t.Errorf("spec %d: %+v != %+v", i, set[i], set2[i])
+		}
+	}
+	if _, err := ParseSet("noise:0.5,noise:0.1"); err == nil {
+		t.Error("duplicate kind: expected error")
+	}
+	if set, err := ParseSet("  "); err != nil || set != nil {
+		t.Errorf("blank set: got %v, %v", set, err)
+	}
+}
+
+// recorder captures the rewards a wrapped controller delivers.
+type recorder struct {
+	arm     int
+	rewards []float64
+}
+
+func (r *recorder) Step() int         { return r.arm }
+func (r *recorder) Reward(v float64)  { r.rewards = append(r.rewards, v) }
+func (r *recorder) InInitialRR() bool { return false }
+
+func TestControllerCleanPassthrough(t *testing.T) {
+	rec := &recorder{}
+	if got := Controller(rec, nil, 1); got != core.Controller(rec) {
+		t.Error("empty set must return the inner controller unchanged")
+	}
+	// Intensity 0 is also clean.
+	fs := Set{{Kind: Noise, Intensity: 0, Seed: 1}}
+	if got := Controller(rec, fs, 1); got != core.Controller(rec) {
+		t.Error("zero-intensity set must return the inner controller unchanged")
+	}
+}
+
+func TestControllerDelayShiftsRewards(t *testing.T) {
+	rec := &recorder{}
+	// delay intensity 0 -> 1 + round(0) = 1 step of delay... use 1/7 for 2.
+	fs := Set{{Kind: Delay, Intensity: 1.0 / 7.0, Seed: 1}}
+	c := Controller(rec, fs, 9)
+	for i := 1; i <= 6; i++ {
+		c.Reward(float64(i))
+	}
+	// delay = 1 + round(7 * 1/7) = 2: warm-up re-delivers reward 1 twice,
+	// then the stream lags two steps behind.
+	want := []float64{1, 1, 1, 2, 3, 4}
+	if len(rec.rewards) != len(want) {
+		t.Fatalf("delivered %d rewards, want %d", len(rec.rewards), len(want))
+	}
+	for i := range want {
+		if rec.rewards[i] != want[i] {
+			t.Errorf("reward %d = %v, want %v (all: %v)", i, rec.rewards[i], want[i], rec.rewards)
+		}
+	}
+}
+
+func TestControllerNoiseDeterministic(t *testing.T) {
+	fs := Set{{Kind: Noise, Intensity: 0.5, Seed: 3}}
+	run := func() []float64 {
+		rec := &recorder{}
+		c := Controller(rec, fs, 77)
+		for i := 0; i < 32; i++ {
+			c.Reward(1)
+		}
+		return rec.rewards
+	}
+	a, b := run(), run()
+	perturbed := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seeds produced different noise at step %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != 1 {
+			perturbed = true
+		}
+		if a[i] < 0.5-1e-9 || a[i] > 1.5+1e-9 {
+			t.Errorf("noise at step %d outside amplitude bounds: %v", i, a[i])
+		}
+	}
+	if !perturbed {
+		t.Error("noise fault left every reward untouched")
+	}
+}
+
+func TestControllerQuantize(t *testing.T) {
+	rec := &recorder{}
+	fs := Set{{Kind: Quantize, Intensity: 0.5, Seed: 1}}
+	c := Controller(rec, fs, 1)
+	c.Reward(0.61)
+	c.Reward(0.24)
+	if rec.rewards[0] != 0.5 || rec.rewards[1] != 0 {
+		t.Errorf("quantized rewards = %v, want [0.5 0]", rec.rewards)
+	}
+}
+
+func TestControllerPanic(t *testing.T) {
+	rec := &recorder{}
+	fs := Set{{Kind: Panic, Intensity: 1, Seed: 5}}
+	c := Controller(rec, fs, 5)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic fault at intensity 1 never fired")
+		}
+		if !strings.Contains(v.(string), "injected panic") {
+			t.Errorf("unexpected panic value %v", v)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		c.Reward(1)
+	}
+}
+
+func TestTunableStuck(t *testing.T) {
+	ens := prefetch.NewTable7Ensemble()
+	// prob 0 via empty set: passthrough.
+	if got := Tunable(ens, nil, 1); got != prefetch.Tunable(ens) {
+		t.Error("empty set must return the inner tunable unchanged")
+	}
+	stuck := Tunable(ens, Set{{Kind: StuckArm, Intensity: 1, Seed: 2}}, 2)
+	if stuck == prefetch.Tunable(ens) {
+		t.Fatal("stuck-arm set must wrap the tunable")
+	}
+	// With probability 1 every Apply is dropped; NumArms still passes
+	// through and Apply never panics even for arms the ensemble has.
+	if stuck.NumArms() != ens.NumArms() {
+		t.Error("NumArms must pass through")
+	}
+	for arm := 0; arm < stuck.NumArms(); arm++ {
+		stuck.Apply(arm)
+	}
+}
+
+func TestGeneratorPhaseStorm(t *testing.T) {
+	app, err := trace.ByName("lbm17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Set{{Kind: PhaseStorm, Intensity: 1, Seed: 4}}
+	clean := app.New(11)
+	stormy := Generator(app.New(11), fs, 11)
+	if stormy.Name() != clean.Name() {
+		t.Error("Name must pass through")
+	}
+	var ci, si trace.Inst
+	diverged := false
+	for i := 0; i < 40_000; i++ {
+		clean.Next(&ci)
+		stormy.Next(&si)
+		if ci.Kind != si.Kind || ci.PC != si.PC {
+			t.Fatalf("storm changed instruction structure at %d", i)
+		}
+		if ci.Addr != si.Addr {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("phase storm at intensity 1 never relocated the stream within 40k insts")
+	}
+}
+
+func TestBandwidthCollapse(t *testing.T) {
+	if Bandwidth(nil, 1) != nil {
+		t.Error("empty set must yield a nil bandwidth fault")
+	}
+	bf := Bandwidth(Set{{Kind: BWCollapse, Intensity: 0.5, Seed: 6}}, 6)
+	if bf == nil {
+		t.Fatal("bwcollapse set must yield a fault")
+	}
+	collapsed, total := 0, 512
+	for w := 0; w < total; w++ {
+		cycle := int64(w) << bwWindowShift
+		s := bf.PeriodScale(cycle)
+		if s != 1 && s != bwScale {
+			t.Fatalf("window %d: scale %v is neither 1 nor %v", w, s, bwScale)
+		}
+		// Purity: same cycle, same answer; and stable within a window.
+		if bf.PeriodScale(cycle) != s || bf.PeriodScale(cycle+100) != s {
+			t.Fatalf("window %d: PeriodScale is not a pure window function", w)
+		}
+		if s == bwScale {
+			collapsed++
+		}
+	}
+	frac := float64(collapsed) / float64(total)
+	if math.Abs(frac-0.5) > 0.15 {
+		t.Errorf("collapse fraction %v far from intensity 0.5", frac)
+	}
+}

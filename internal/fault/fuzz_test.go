@@ -1,0 +1,35 @@
+package fault
+
+import "testing"
+
+// FuzzParseSpec asserts the CLI spec parser never panics and that every
+// accepted spec round-trips exactly through String.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("noise:0.5:1")
+	f.Add("stuckarm:1")
+	f.Add("delay:0.25:0xff")
+	f.Add("bwcollapse:0:18446744073709551615")
+	f.Add("phasestorm:1e-3:010")
+	f.Add("panic::")
+	f.Add(":::")
+	f.Add("noise:+0.5:07")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if spec.Intensity < 0 || spec.Intensity > 1 {
+			t.Fatalf("accepted out-of-range intensity: %+v from %q", spec, s)
+		}
+		if !knownKind(spec.Kind) {
+			t.Fatalf("accepted unknown kind: %+v from %q", spec, s)
+		}
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("String() %q of accepted spec does not re-parse: %v", spec.String(), err)
+		}
+		if again != spec {
+			t.Fatalf("round-trip mismatch: %+v -> %q -> %+v", spec, spec.String(), again)
+		}
+	})
+}

@@ -165,6 +165,9 @@ func RunWithCSV(id string, o Options) (text, csv string, ok bool) {
 	case "fig15":
 		r := Fig15(o)
 		return r.Render(), r.CSV(), true
+	case "robust":
+		r := Robust(o)
+		return r.Render(), r.CSV(), true
 	default:
 		return "", "", false
 	}

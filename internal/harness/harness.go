@@ -54,6 +54,13 @@ type Options struct {
 	// Results are assembled in input order, so rendered output is
 	// byte-identical at every worker count.
 	Workers int
+
+	// Errs, when non-nil, collects failed jobs (including recovered
+	// panics) so experiments render partial results and the CLI appends
+	// an error appendix. When nil, a failed job panics on the
+	// coordinating goroutine with full job attribution — never from
+	// inside a worker.
+	Errs *ErrorLog
 }
 
 // workers resolves the pool size for runJobs.
@@ -68,8 +75,28 @@ func (o Options) workers() int {
 // worker pool, returning results in input order. Every job must derive
 // its own seed (Options.subSeed) and construct all simulation state
 // locally; nothing may be shared across jobs.
+//
+// Jobs run with panic recovery: a panicking job yields its zero-valued
+// result slot and is recorded in Options.Errs (or, with no log
+// installed, re-panicked once all jobs finish — with the job index and
+// original panic value, from the coordinating goroutine). Sibling jobs
+// always run to completion, so experiments degrade to partial results
+// instead of taking the whole engine down.
 func runJobs[J, R any](o Options, jobs []J, fn func(J) R) []R {
-	return par.Run(o.workers(), jobs, fn)
+	results, errs := par.RunErr(o.workers(), jobs, func(j J) (R, error) {
+		return fn(j), nil
+	})
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if o.Errs != nil {
+			o.Errs.add(err)
+			continue
+		}
+		panic(err)
+	}
+	return results
 }
 
 // Smoke returns the smallest preset: seconds-scale, used by unit tests

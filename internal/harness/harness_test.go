@@ -437,7 +437,7 @@ func TestTuningSweep(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
+	if len(exps) != 19 {
 		t.Fatalf("got %d experiments", len(exps))
 	}
 	ids := map[string]bool{}

@@ -58,6 +58,8 @@ func Experiments() []Experiment {
 			Run: func(o Options) string { return RewardMetrics(o).Render() }},
 		{ID: "tuning", Desc: "Hyperparameter tuning sweep (§6.3)",
 			Run: func(o Options) string { return Tuning(o).Render() }},
+		{ID: "robust", Desc: "Fault-injection robustness sweep (graceful degradation, §4.3)",
+			Run: func(o Options) string { return Robust(o).Render() }},
 	}
 }
 

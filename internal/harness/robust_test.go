@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"microbandit/internal/fault"
+	"microbandit/internal/par"
+)
+
+// smokeRobust trims the determinism preset further: the robustness sweep
+// multiplies apps by algorithms by sweep points, so the test uses one app
+// per suite and a two-point sweep.
+func smokeRobust() Options {
+	o := smokeDeterminism()
+	o.MaxApps = 1
+	o.Insts = 100_000
+	o.StepL2 = 100
+	return o
+}
+
+// testSweep is the trimmed fault sweep the tests run.
+func testSweep() []fault.Spec {
+	return []fault.Spec{
+		{Kind: fault.Noise, Intensity: 0.5, Seed: 1},
+		{Kind: fault.StuckArm, Intensity: 0.5, Seed: 1},
+	}
+}
+
+// TestRobustDeterministicAcrossWorkers is the tentpole determinism
+// contract: the fault-injected sweep renders byte-identical text and CSV
+// at Workers=1 and Workers=8.
+func TestRobustDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial := smokeRobust()
+	serial.Workers = 1
+	parallel := smokeRobust()
+	parallel.Workers = 8
+
+	rs := RobustWith(serial, testSweep())
+	rp := RobustWith(parallel, testSweep())
+	if rs.Render() != rp.Render() {
+		t.Errorf("rendered output differs between Workers=1 and Workers=8\n--- serial ---\n%s\n--- parallel ---\n%s",
+			rs.Render(), rp.Render())
+	}
+	if rs.CSV() != rp.CSV() {
+		t.Errorf("CSV differs between Workers=1 and Workers=8\n--- serial ---\n%s\n--- parallel ---\n%s",
+			rs.CSV(), rp.CSV())
+	}
+}
+
+// TestRobustFaultsDegradeButSurvive checks the sweep produces full
+// surviving-run counts and sane percentages for non-crashing faults.
+func TestRobustFaultsDegradeButSurvive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := RobustWith(smokeRobust(), testSweep())
+	if len(r.Pct) != 2 || r.Apps == 0 {
+		t.Fatalf("unexpected shape: %d rows, %d apps", len(r.Pct), r.Apps)
+	}
+	for ai, ipc := range r.CleanIPC {
+		if !(ipc > 0) {
+			t.Errorf("clean gmean IPC for %s is %v", r.Algos[ai], ipc)
+		}
+	}
+	for si := range r.Pct {
+		for ai := range r.Algos {
+			if got := r.Survived[si][ai]; got != r.Apps {
+				t.Errorf("%v/%s: %d of %d runs survived", r.Sweep[si], r.Algos[ai], got, r.Apps)
+			}
+			pct := r.Pct[si][ai]
+			if math.IsNaN(pct) || pct <= 0 || pct > 400 {
+				t.Errorf("%v/%s: implausible pct %v", r.Sweep[si], r.Algos[ai], pct)
+			}
+		}
+	}
+}
+
+// TestRobustPanicPartial is the graceful-degradation contract end to end:
+// an injected-panic sweep point must yield a partial table plus collected
+// job failures — never a crash.
+func TestRobustPanicPartial(t *testing.T) {
+	o := smokeRobust()
+	o.Workers = 4
+	o.Errs = NewErrorLog()
+	sweep := []fault.Spec{{Kind: fault.Panic, Intensity: 1, Seed: 1}}
+	r := RobustWith(o, sweep)
+
+	// Every faulted run panicked: the panic row has no survivors and the
+	// clean baseline is intact.
+	for ai := range r.Algos {
+		if r.Survived[0][ai] != 0 {
+			t.Errorf("%s: %d panicking runs reported as survived", r.Algos[ai], r.Survived[0][ai])
+		}
+		if !(r.CleanIPC[ai] > 0) {
+			t.Errorf("%s: clean baseline lost: %v", r.Algos[ai], r.CleanIPC[ai])
+		}
+	}
+	text := r.Render()
+	if !strings.Contains(text, "-") {
+		t.Errorf("partial table lacks empty-cell markers:\n%s", text)
+	}
+
+	wantFails := len(r.Algos) * r.Apps
+	if got := o.Errs.Len(); got != wantFails {
+		t.Fatalf("collected %d failures, want %d", got, wantFails)
+	}
+	fails := o.Errs.Drain()
+	for i, f := range fails {
+		if f.Job < 0 {
+			t.Errorf("failure %d has no job attribution: %v", i, f.Err)
+		}
+		var pe *par.PanicError
+		if !errors.As(f.Err, &pe) {
+			t.Errorf("failure %d is not a recovered panic: %v", i, f.Err)
+		}
+		if i > 0 && fails[i-1].Job > f.Job {
+			t.Errorf("failures not sorted by job: %d after %d", f.Job, fails[i-1].Job)
+		}
+	}
+	if o.Errs.Len() != 0 {
+		t.Errorf("Drain did not clear the log")
+	}
+	appendix := RenderFailures(fails)
+	if !strings.Contains(appendix, "results above are partial") {
+		t.Errorf("appendix missing partial-results banner:\n%s", appendix)
+	}
+	if !strings.Contains(appendix, "injected panic") {
+		t.Errorf("appendix missing original panic value:\n%s", appendix)
+	}
+}
+
+// TestRunJobsPanicsWithoutLog: with no ErrorLog installed the engine
+// re-panics with job attribution from the coordinating goroutine.
+func TestRunJobsPanicsWithoutLog(t *testing.T) {
+	o := Smoke()
+	o.Workers = 2
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("runJobs swallowed the failure")
+		}
+		err, ok := v.(error)
+		if !ok {
+			t.Fatalf("recovered %T, want error", v)
+		}
+		var je *par.JobError
+		if !errors.As(err, &je) || je.Index != 2 {
+			t.Fatalf("recovered %v, want *JobError for job 2", err)
+		}
+	}()
+	runJobs(o, []int{0, 1, 2, 3}, func(j int) int {
+		if j == 2 {
+			panic("kaboom")
+		}
+		return j
+	})
+}

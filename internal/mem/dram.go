@@ -13,11 +13,28 @@ type DRAM struct {
 	period   float64 // core cycles needed to stream one 64B line
 	nextFree float64 // cycle at which the channel is next available
 
+	// fault, when non-nil, transiently degrades the channel (the
+	// robustness experiments' bandwidth-collapse bursts). The clean path
+	// pays only a nil check.
+	fault BandwidthFault
+
 	reads      int64
 	writes     int64
 	busyCycles float64
 	queued     int64 // requests that waited on the channel
 }
+
+// BandwidthFault transiently degrades the channel: PeriodScale returns
+// the multiplier (>= 1) applied to the per-line streaming period for a
+// transfer issued at the given cycle. Implementations must be pure
+// functions of the cycle so the degradation pattern does not depend on
+// request interleaving (the experiment engine's determinism contract).
+type BandwidthFault interface {
+	PeriodScale(cycle int64) float64
+}
+
+// SetBandwidthFault installs a channel-degradation fault (nil clears it).
+func (d *DRAM) SetBandwidthFault(f BandwidthFault) { d.fault = f }
 
 // NewDRAM builds a channel for a core running at freqGHz with a transfer
 // rate of mtps mega-transfers/s (8 bytes per transfer, DDR-style) and the
@@ -51,14 +68,20 @@ func (d *DRAM) Write(cycle int64) int64 {
 }
 
 func (d *DRAM) schedule(cycle int64) int64 {
+	period := d.period
+	if d.fault != nil {
+		if s := d.fault.PeriodScale(cycle); s > 1 {
+			period *= s
+		}
+	}
 	start := float64(cycle)
 	if d.nextFree > start {
 		start = d.nextFree
 		d.queued++
 	}
-	d.nextFree = start + d.period
-	d.busyCycles += d.period
-	return int64(start) + d.latency + int64(d.period)
+	d.nextFree = start + period
+	d.busyCycles += period
+	return int64(start) + d.latency + int64(period)
 }
 
 // Reads returns the number of line reads serviced.

@@ -1,0 +1,38 @@
+package mem
+
+import "testing"
+
+// constScale is a BandwidthFault with a fixed period multiplier.
+type constScale float64
+
+func (c constScale) PeriodScale(int64) float64 { return float64(c) }
+
+func TestDRAMBandwidthFault(t *testing.T) {
+	clean := NewDRAM(2400, 4, 160)
+	faulted := NewDRAM(2400, 4, 160)
+	faulted.SetBandwidthFault(constScale(8))
+
+	// Back-to-back reads queue on the channel; an 8x period stretch must
+	// push completions out by ~8x the streaming component.
+	var lastClean, lastFaulted int64
+	for i := 0; i < 64; i++ {
+		lastClean = clean.Read(0)
+		lastFaulted = faulted.Read(0)
+	}
+	if lastFaulted <= lastClean {
+		t.Fatalf("faulted completion %d not later than clean %d", lastFaulted, lastClean)
+	}
+	streamClean := float64(lastClean - clean.latency)
+	streamFaulted := float64(lastFaulted - faulted.latency)
+	if ratio := streamFaulted / streamClean; ratio < 7 || ratio > 9 {
+		t.Errorf("streaming slowdown %.2f, want ~8", ratio)
+	}
+
+	// Scale 1 (or clearing the fault) restores clean behaviour.
+	faulted.Reset()
+	faulted.SetBandwidthFault(nil)
+	clean.Reset()
+	if got, want := faulted.Read(0), clean.Read(0); got != want {
+		t.Errorf("cleared fault: completion %d != clean %d", got, want)
+	}
+}

@@ -1,8 +1,13 @@
 package par
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunPreservesInputOrder(t *testing.T) {
@@ -70,4 +75,168 @@ func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
 	}
+}
+
+// ---------------------------------------------------------------------
+// RunErr / RunCtx
+
+func TestRunErrResultsAndErrors(t *testing.T) {
+	jobs := []int{1, 2, 3, 4, 5}
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		results, errs := RunErr(workers, jobs, func(j int) (int, error) {
+			if j%2 == 0 {
+				return 0, boom
+			}
+			return j * 10, nil
+		})
+		for i, j := range jobs {
+			if j%2 == 0 {
+				var je *JobError
+				if !errors.As(errs[i], &je) {
+					t.Fatalf("workers=%d: errs[%d] = %v, want *JobError", workers, i, errs[i])
+				}
+				if je.Index != i || !errors.Is(je, boom) {
+					t.Errorf("workers=%d: job error %v lacks index/cause", workers, je)
+				}
+			} else {
+				if errs[i] != nil || results[i] != j*10 {
+					t.Errorf("workers=%d: job %d: result %d err %v", workers, i, results[i], errs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunErrPanicAttribution is the engine-hardening contract: a
+// panicking job must be reported with its job index and original panic
+// value, on both the serial (workers=1) and pooled (workers=8) paths,
+// without crashing the process or losing sibling results.
+func TestRunErrPanicAttribution(t *testing.T) {
+	jobs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 8} {
+		results, errs := RunErr(workers, jobs, func(j int) (int, error) {
+			if j == 3 || j == 6 {
+				panic(fmt.Sprintf("deliberate failure in job value %d", j))
+			}
+			return j + 100, nil
+		})
+		for i := range jobs {
+			if i == 3 || i == 6 {
+				var je *JobError
+				if !errors.As(errs[i], &je) {
+					t.Fatalf("workers=%d: errs[%d] = %v, want *JobError", workers, i, errs[i])
+				}
+				if je.Index != i {
+					t.Errorf("workers=%d: attributed to job %d, want %d", workers, je.Index, i)
+				}
+				var pe *PanicError
+				if !errors.As(je, &pe) {
+					t.Fatalf("workers=%d: cause %v is not a *PanicError", workers, je.Err)
+				}
+				want := fmt.Sprintf("deliberate failure in job value %d", i)
+				if pe.Value != want {
+					t.Errorf("workers=%d: panic value %v, want %q", workers, pe.Value, want)
+				}
+				if len(pe.Stack) == 0 {
+					t.Errorf("workers=%d: panic stack not captured", workers)
+				}
+				if !strings.Contains(errs[i].Error(), fmt.Sprintf("job %d", i)) {
+					t.Errorf("workers=%d: error text %q lacks job index", workers, errs[i].Error())
+				}
+			} else if errs[i] != nil || results[i] != i+100 {
+				t.Errorf("workers=%d: sibling job %d lost: result %d err %v", workers, i, results[i], errs[i])
+			}
+		}
+	}
+}
+
+func TestRunCtxRetryBounded(t *testing.T) {
+	var calls [4]atomic.Int32
+	jobs := []int{0, 1, 2, 3}
+	results, errs := RunCtx(context.Background(), CtxOpts{Workers: 2, Retries: 2}, jobs,
+		func(_ context.Context, j int) (int, error) {
+			n := calls[j].Add(1)
+			switch {
+			case j == 1 && n < 3:
+				return 0, errors.New("transient")
+			case j == 2:
+				return 0, errors.New("permanent")
+			}
+			return j, nil
+		})
+	if errs[0] != nil || errs[1] != nil || errs[3] != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if results[1] != 1 {
+		t.Errorf("transient job result %d, want 1", results[1])
+	}
+	if got := calls[1].Load(); got != 3 {
+		t.Errorf("transient job tried %d times, want 3", got)
+	}
+	var je *JobError
+	if !errors.As(errs[2], &je) || je.Attempts != 3 {
+		t.Fatalf("permanent job error %v, want *JobError after 3 attempts", errs[2])
+	}
+	if got := calls[2].Load(); got != 3 {
+		t.Errorf("permanent job tried %d times, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestRunCtxTimeout(t *testing.T) {
+	jobs := []int{0, 1}
+	start := time.Now()
+	results, errs := RunCtx(context.Background(), CtxOpts{Workers: 2, Timeout: 20 * time.Millisecond}, jobs,
+		func(ctx context.Context, j int) (int, error) {
+			if j == 1 {
+				<-ctx.Done() // hang until the per-job deadline
+				return 0, ctx.Err()
+			}
+			return 7, nil
+		})
+	if errs[0] != nil || results[0] != 7 {
+		t.Fatalf("fast job failed: %v", errs[0])
+	}
+	if !errors.Is(errs[1], context.DeadlineExceeded) {
+		t.Fatalf("slow job error %v, want deadline exceeded", errs[1])
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout did not bound the batch: %v", elapsed)
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any job starts
+	jobs := make([]int, 16)
+	var ran atomic.Int32
+	_, errs := RunCtx(ctx, CtxOpts{Workers: 4, Retries: 5}, jobs,
+		func(context.Context, int) (int, error) {
+			ran.Add(1)
+			return 0, errors.New("should be retried if reached")
+		})
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("job %d error %v, want context.Canceled", i, err)
+		}
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d jobs ran after cancellation", ran.Load())
+	}
+}
+
+// TestRunCtxAbandonedPanicIsContained: a timed-out attempt that later
+// panics must not crash the process.
+func TestRunCtxAbandonedPanicIsContained(t *testing.T) {
+	release := make(chan struct{})
+	_, errs := RunCtx(context.Background(), CtxOpts{Workers: 1, Timeout: 10 * time.Millisecond}, []int{0},
+		func(_ context.Context, _ int) (int, error) {
+			<-release
+			panic("late panic in abandoned attempt")
+		})
+	if !errors.Is(errs[0], context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", errs[0])
+	}
+	close(release)
+	time.Sleep(20 * time.Millisecond) // give the abandoned goroutine time to panic+recover
 }

@@ -1,0 +1,43 @@
+package prefetch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the CLI-facing prefetcher registry, mirroring
+// core.AlgoNames/ParseAlgo: every command resolves "-pf" through
+// NewByName so bad flags fail the same way everywhere, with the valid
+// names in the message.
+
+// Names returns the prefetcher names NewByName accepts, in display
+// order.
+func Names() []string {
+	return []string{"none", "stride", "bingo", "mlop", "pythia", "bandit"}
+}
+
+// NewByName constructs the named prefetcher configuration (names are
+// case-insensitive). "bandit" returns the Table 7 ensemble as both the
+// prefetcher and the tunable; the caller attaches its controller. The
+// other names return tun == nil. Unknown names return an error listing
+// the valid ones.
+func NewByName(name string, seed uint64) (l2 Prefetcher, tun Tunable, err error) {
+	switch strings.ToLower(name) {
+	case "none":
+		return Null{}, nil, nil
+	case "stride":
+		return NewIPStride(64, 4), nil, nil
+	case "bingo":
+		return NewBingo(64), nil, nil
+	case "mlop":
+		return NewMLOP(), nil, nil
+	case "pythia":
+		return NewPythia(seed), nil, nil
+	case "bandit":
+		ens := NewTable7Ensemble()
+		return ens, ens, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown prefetcher %q (valid: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}
