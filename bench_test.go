@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"microbandit/internal/harness"
+	"microbandit/internal/obs"
 )
 
 // benchOptions is the compact preset used by the benchmark suite: small
@@ -308,6 +309,34 @@ func BenchmarkTuningSweep(b *testing.B) {
 // agent performs once per bandit step).
 func BenchmarkAgentStep(b *testing.B) {
 	agent := newBenchAgent()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arm := agent.Step()
+		agent.Reward(1.0 + float64(arm)*0.01)
+	}
+}
+
+// BenchmarkAgentStepTelemetryOff is the zero-cost-when-disabled contract
+// for the obs layer: the telemetry hooks are compiled into the agent but
+// no recorder is attached, so the per-step cost and allocation count must
+// match BenchmarkAgentStep (`go test -bench AgentStep` shows the pair
+// side by side).
+func BenchmarkAgentStepTelemetryOff(b *testing.B) {
+	agent := newBenchAgent()
+	agent.SetRecorder(nil, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arm := agent.Step()
+		agent.Reward(1.0 + float64(arm)*0.01)
+	}
+}
+
+// BenchmarkAgentStepTelemetryNop attaches the drop-everything recorder,
+// bounding the cost of the emission path itself (event construction plus
+// the interface call) independent of any real sink.
+func BenchmarkAgentStepTelemetryNop(b *testing.B) {
+	agent := newBenchAgent()
+	agent.SetRecorder(obs.Nop{}, 100)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		arm := agent.Step()

@@ -9,6 +9,7 @@
 //	mab-prefetch -app lbm17 -pf bandit [-insts 4000000] [-mtps 2400]
 //	             [-algo ducb|ucb|eps|single|periodic|static:N]
 //	             [-faults noise:0.5,stuckarm:1] [-trace] [-list]
+//	             [-telemetry out.jsonl] [-telemetry-every 100]
 //	mab-prefetch -app lbm17,mcf06,bfs -j 4
 //	mab-prefetch -app all -j 0
 //
@@ -28,6 +29,7 @@ import (
 	"microbandit/internal/cpu"
 	"microbandit/internal/fault"
 	"microbandit/internal/mem"
+	"microbandit/internal/obs"
 	"microbandit/internal/par"
 	"microbandit/internal/prefetch"
 	"microbandit/internal/trace"
@@ -43,6 +45,7 @@ type runConfig struct {
 	showTrace bool
 	memCfg    mem.Config
 	faults    fault.Set
+	obsEvery  int
 }
 
 func main() {
@@ -56,6 +59,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	faultSpec := flag.String("faults", "", "inject faults: comma-separated kind:intensity[:seed] ("+strings.Join(fault.KindNames(), ", ")+")")
 	showTrace := flag.Bool("trace", false, "print the arm exploration trace")
+	telemetry := flag.String("telemetry", "", "write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
+	telemetryEvery := flag.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
 	list := flag.Bool("list", false, "list catalog applications and exit")
 	workers := flag.Int("j", 0, "worker goroutines for multi-app runs (0 = one per CPU)")
 	flag.Parse()
@@ -80,6 +85,9 @@ func main() {
 	}
 	if *workers < 0 {
 		usageErr(fmt.Errorf("-j must be >= 0, got %d", *workers))
+	}
+	if *telemetryEvery <= 0 {
+		usageErr(fmt.Errorf("-telemetry-every must be positive, got %d", *telemetryEvery))
 	}
 	faults, err := fault.ParseSet(*faultSpec)
 	if err != nil {
@@ -107,19 +115,38 @@ func main() {
 	cfg := runConfig{
 		pfName: *pfName, algo: *algo, insts: *insts, stepL2: *stepL2,
 		seed: *seed, showTrace: *showTrace, memCfg: memCfg, faults: faults,
+		obsEvery: *telemetryEvery,
 	}
 
 	// Validate the prefetcher/algorithm configuration once before fanning
 	// out.
-	if _, err := simulate(apps[0], cfg, true); err != nil {
+	if _, err := simulate(apps[0], cfg, true, nil); err != nil {
 		usageErr(err)
+	}
+	// Telemetry slots are claimed by app index, so the assembled stream
+	// is byte-identical at every -j value.
+	var collector *obs.Collector
+	if *telemetry != "" {
+		collector = obs.NewCollector(*telemetryEvery)
 	}
 	// Each app is an independent simulation with its own hierarchy and
 	// seed; reports come back in input order regardless of worker count. A
 	// failing or panicking run becomes a per-job error; the siblings'
 	// reports still print and the process exits 1.
-	reports, errs := par.RunErr(*workers, apps, func(app trace.App) (string, error) {
-		return simulate(app, cfg, false)
+	type jobIn struct {
+		i   int
+		app trace.App
+	}
+	jobs := make([]jobIn, len(apps))
+	for i, app := range apps {
+		jobs[i] = jobIn{i, app}
+	}
+	reports, errs := par.RunErr(*workers, jobs, func(j jobIn) (string, error) {
+		var rec obs.Recorder
+		if collector != nil {
+			rec = collector.Slot(j.i, j.app.Name)
+		}
+		return simulate(j.app, cfg, false, rec)
 	})
 	failed := 0
 	for i, report := range reports {
@@ -133,6 +160,12 @@ func main() {
 		}
 		fmt.Print(report)
 	}
+	if collector != nil {
+		if err := obs.WriteFiles(*telemetry, *telemetryEvery, collector.Events()); err != nil {
+			fmt.Fprintf(os.Stderr, "mab-prefetch: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mab-prefetch: %d of %d runs failed; results above are partial\n", failed, len(apps))
 		os.Exit(1)
@@ -140,8 +173,9 @@ func main() {
 }
 
 // simulate runs one app and returns its formatted report. dryRun only
-// checks that the prefetcher/algorithm configuration parses.
-func simulate(app trace.App, cfg runConfig, dryRun bool) (string, error) {
+// checks that the prefetcher/algorithm configuration parses. rec, when
+// non-nil, receives the run's telemetry stream.
+func simulate(app trace.App, cfg runConfig, dryRun bool, rec obs.Recorder) (string, error) {
 	seed := cfg.seed
 	hier := mem.NewHierarchy(cfg.memCfg)
 	if bf := fault.Bandwidth(cfg.faults, seed); bf != nil {
@@ -160,11 +194,19 @@ func simulate(app trace.App, cfg runConfig, dryRun bool) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		// Attach telemetry before the fault wrapper so the stream
+		// reports the agent's decisions, not the fault's corruptions.
+		obs.Attach(ctrl, rec, cfg.obsEvery)
 		ctrl = fault.Controller(ctrl, cfg.faults, seed)
 		tun = fault.Tunable(tun, cfg.faults, seed)
 	}
 	if dryRun {
 		return "", nil
+	}
+	if rec != nil {
+		for _, spec := range cfg.faults {
+			rec.Record(obs.Event{Kind: obs.KindFault, Label: spec.String()})
+		}
 	}
 
 	r := cpu.NewRunner(c, l2, ctrl, tun)
@@ -172,7 +214,15 @@ func simulate(app trace.App, cfg runConfig, dryRun bool) (string, error) {
 	if cfg.showTrace {
 		r.RecordArms()
 	}
+	if rec != nil {
+		r.Obs = rec
+		r.ObsEvery = cfg.obsEvery
+	}
 	r.Run(cfg.insts)
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: r.Steps(),
+			Fields: map[string]float64{"ipc": c.IPC()}})
+	}
 
 	var b strings.Builder
 	st := hier.Stats()

@@ -4,7 +4,9 @@
 //
 //	mab-report [-preset smoke|quick|full] [-exp id] [-list] [-seed n] [-j n]
 //	mab-report -robust [-faults noise:0.5,stuckarm:1:7]
+//	mab-report -robust -telemetry out.jsonl [-telemetry-every 100]
 //	mab-report -parbench BENCH_parallel.json [-preset quick] [-j n]
+//	mab-report -exp fig8 -pprof profdir
 //
 // With no -exp it runs every experiment in paper order; -list prints the
 // experiment registry (ids match DESIGN.md's per-experiment index).
@@ -26,11 +28,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"microbandit/internal/fault"
 	"microbandit/internal/harness"
+	"microbandit/internal/obs"
 	"microbandit/internal/par"
 )
 
@@ -44,6 +49,9 @@ func main() {
 	robust := flag.Bool("robust", false, "run the fault-injection robustness sweep")
 	faultSpec := flag.String("faults", "", "with -robust: custom sweep as comma-separated kind:intensity[:seed] ("+strings.Join(fault.KindNames(), ", ")+")")
 	parBench := flag.String("parbench", "", "time Table8 and Fig5 serial vs parallel, write JSON here")
+	telemetry := flag.String("telemetry", "", "with -robust: write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
+	telemetryEvery := flag.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
+	pprofDir := flag.String("pprof", "", "capture cpu.pprof, heap.pprof, and runtime metrics into this directory")
 	flag.Parse()
 
 	if *list {
@@ -73,24 +81,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mab-report: -faults requires -robust")
 		os.Exit(2)
 	}
+	if *telemetry != "" && !*robust {
+		fmt.Fprintln(os.Stderr, "mab-report: -telemetry requires -robust")
+		os.Exit(2)
+	}
+	if *telemetryEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "mab-report: -telemetry-every must be positive, got %d\n", *telemetryEvery)
+		os.Exit(2)
+	}
 	o.Seed = *seed
 	o.Workers = *workers
 	// Collect per-job failures instead of crashing: experiments render
 	// partial results and the appendix below lists what failed.
 	o.Errs = harness.NewErrorLog()
 
+	// Profiling spans every simulation below; exits go through exit() so
+	// the capture flushes (os.Exit skips defers).
+	profStop = startProfiling(*pprofDir)
+
 	if *parBench != "" {
 		if err := runParBench(*parBench, *preset, o); err != nil {
 			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -104,11 +124,22 @@ func main() {
 			}
 			sweep = set
 		}
+		var collector *obs.Collector
+		if *telemetry != "" {
+			collector = obs.NewCollector(*telemetryEvery)
+			o.Obs = collector
+		}
 		start := time.Now()
 		r := harness.RobustWith(o, sweep)
 		fmt.Print(r.Render())
 		if *csvDir != "" {
 			writeCSV(*csvDir, "robust", r.CSV())
+		}
+		if collector != nil {
+			if err := obs.WriteFiles(*telemetry, *telemetryEvery, collector.Events()); err != nil {
+				fmt.Fprintf(os.Stderr, "mab-report: telemetry: %v\n", err)
+				exit(1)
+			}
 		}
 		fmt.Printf("(robust: %.1fs)\n", time.Since(start).Seconds())
 		exitAfterAppendix(o.Errs)
@@ -138,18 +169,101 @@ func main() {
 		fmt.Printf("(%s: %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 	if anyFailed {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
+}
+
+// profStop finalizes the -pprof capture; replaced by startProfiling.
+var profStop = func() {}
+
+// exit flushes the profiling capture before terminating: os.Exit skips
+// deferred calls, so every post-simulation exit path must come through
+// here.
+func exit(code int) {
+	profStop()
+	os.Exit(code)
 }
 
 // exitAfterAppendix prints the error appendix for any collected failures
 // and exits: 0 for a clean run, 1 for a partial one.
 func exitAfterAppendix(errs *harness.ErrorLog) {
 	if errs.Len() == 0 {
-		os.Exit(0)
+		exit(0)
 	}
 	fmt.Print(harness.RenderFailures(errs.Drain()))
-	os.Exit(1)
+	exit(1)
+}
+
+// startProfiling begins a CPU profile in dir and returns the stop
+// function that finalizes cpu.pprof, captures heap.pprof, and dumps the
+// runtime/metrics registry as JSON. An empty dir is a no-op capture.
+func startProfiling(dir string) func() {
+	if dir == "" {
+		return func() {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "mab-report: -pprof: %v\n", err)
+		os.Exit(1)
+	}
+	cpuF, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mab-report: -pprof: %v\n", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		fmt.Fprintf(os.Stderr, "mab-report: -pprof: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		if heapF, err := os.Create(filepath.Join(dir, "heap.pprof")); err == nil {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(heapF); err != nil {
+				fmt.Fprintf(os.Stderr, "mab-report: -pprof heap: %v\n", err)
+			}
+			heapF.Close()
+		} else {
+			fmt.Fprintf(os.Stderr, "mab-report: -pprof heap: %v\n", err)
+		}
+		writeRuntimeMetrics(filepath.Join(dir, "runtime-metrics.json"))
+	}
+}
+
+// writeRuntimeMetrics samples every runtime/metrics entry and writes the
+// scalar values (histograms are summarized by their sample count) as a
+// JSON object keyed by metric name.
+func writeRuntimeMetrics(path string) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			total := uint64(0)
+			for _, c := range s.Value.Float64Histogram().Counts {
+				total += c
+			}
+			out[s.Name+":samples"] = total
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mab-report: -pprof metrics: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mab-report: -pprof metrics: %v\n", err)
+	}
 }
 
 // writeCSV writes one experiment's CSV file, reporting but not dying on

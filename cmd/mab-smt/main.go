@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mab-smt -mix gcc-lbm -ctrl bandit [-cycles 3000000]
+//	        [-telemetry out.jsonl] [-telemetry-every 100]
 //	mab-smt -mix mcf-lbm -ctrl policy:LSQC_1111
 //	mab-smt -mix gcc-lbm,mcf-lbm,x264-bwaves -j 4
 //	mab-smt -list
@@ -22,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"microbandit/internal/obs"
 	"microbandit/internal/par"
 	"microbandit/internal/simsmt"
 	"microbandit/internal/smtwork"
@@ -36,6 +38,7 @@ type runConfig struct {
 	mainEpochs int
 	seed       uint64
 	showTrace  bool
+	obsEvery   int
 }
 
 func main() {
@@ -47,6 +50,8 @@ func main() {
 	mainEpochs := flag.Int("mainepochs", 2, "bandit step length during the main loop, in epochs")
 	seed := flag.Uint64("seed", 1, "random seed")
 	showTrace := flag.Bool("trace", false, "print the arm exploration trace")
+	telemetry := flag.String("telemetry", "", "write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
+	telemetryEvery := flag.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
 	list := flag.Bool("list", false, "list thread profiles and exit")
 	workers := flag.Int("j", 0, "worker goroutines for multi-mix runs (0 = one per CPU)")
 	flag.Parse()
@@ -73,6 +78,9 @@ func main() {
 	if *workers < 0 {
 		usageErr(fmt.Errorf("-j must be >= 0, got %d", *workers))
 	}
+	if *telemetryEvery <= 0 {
+		usageErr(fmt.Errorf("-telemetry-every must be positive, got %d", *telemetryEvery))
+	}
 	if err := validateCtrl(*ctrlName); err != nil {
 		usageErr(err)
 	}
@@ -98,14 +106,32 @@ func main() {
 	cfg := runConfig{
 		ctrlName: *ctrlName, cycles: *cycles, epoch: *epoch,
 		rrEpochs: *rrEpochs, mainEpochs: *mainEpochs,
-		seed: *seed, showTrace: *showTrace,
+		seed: *seed, showTrace: *showTrace, obsEvery: *telemetryEvery,
+	}
+	// Telemetry slots are claimed by mix index, so the assembled stream
+	// is byte-identical at every -j value.
+	var collector *obs.Collector
+	if *telemetry != "" {
+		collector = obs.NewCollector(*telemetryEvery)
 	}
 	// Each mix is an independent simulation with its own state and seed;
 	// reports come back in input order regardless of worker count. A
 	// failing or panicking run becomes a per-job error; the siblings'
 	// reports still print and the process exits 1.
-	reports, errs := par.RunErr(*workers, mixes, func(mix smtwork.Mix) (string, error) {
-		return simulate(mix, cfg)
+	type jobIn struct {
+		i   int
+		mix smtwork.Mix
+	}
+	jobs := make([]jobIn, len(mixes))
+	for i, mix := range mixes {
+		jobs[i] = jobIn{i, mix}
+	}
+	reports, errs := par.RunErr(*workers, jobs, func(j jobIn) (string, error) {
+		var rec obs.Recorder
+		if collector != nil {
+			rec = collector.Slot(j.i, j.mix.Name())
+		}
+		return simulate(j.mix, cfg, rec)
 	})
 	failed := 0
 	for i, report := range reports {
@@ -118,6 +144,12 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Print(report)
+	}
+	if collector != nil {
+		if err := obs.WriteFiles(*telemetry, *telemetryEvery, collector.Events()); err != nil {
+			fmt.Fprintf(os.Stderr, "mab-smt: telemetry: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mab-smt: %d of %d runs failed; results above are partial\n", failed, len(mixes))
@@ -138,13 +170,16 @@ func validateCtrl(name string) error {
 	}
 }
 
-// simulate runs one mix and returns its formatted report.
-func simulate(mix smtwork.Mix, cfg runConfig) (string, error) {
+// simulate runs one mix and returns its formatted report. rec, when
+// non-nil, receives the run's telemetry stream.
+func simulate(mix smtwork.Mix, cfg runConfig, rec obs.Recorder) (string, error) {
 	sim := simsmt.NewSim(mix.A, mix.B, cfg.seed)
 	var runner *simsmt.Runner
 	switch {
 	case cfg.ctrlName == "bandit":
-		runner = simsmt.NewRunner(sim, simsmt.NewBanditAgent(cfg.seed), simsmt.Table1Arms(), true)
+		agent := simsmt.NewBanditAgent(cfg.seed)
+		obs.Attach(agent, rec, cfg.obsEvery)
+		runner = simsmt.NewRunner(sim, agent, simsmt.Table1Arms(), true)
 	case cfg.ctrlName == "choi":
 		runner = simsmt.NewFixedRunner(sim, simsmt.ChoiPolicy, true)
 	case cfg.ctrlName == "icount":
@@ -164,7 +199,15 @@ func simulate(mix smtwork.Mix, cfg runConfig) (string, error) {
 	if cfg.showTrace {
 		runner.RecordArms()
 	}
+	if rec != nil {
+		runner.Obs = rec
+		runner.ObsEvery = cfg.obsEvery
+	}
 	runner.RunCycles(cfg.cycles)
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindRunEnd, Cycle: sim.Cycle(),
+			Fields: map[string]float64{"sum_ipc": sim.SumIPC()}})
+	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "mix=%s ctrl=%s cycles=%d policy=%s\n",

@@ -10,10 +10,19 @@
 //	mab-trace record -app lbm17,mcf06,bfs -j 4
 //	mab-trace replay -in lbm17.mbt -insts 4000000 -pf bandit
 //	mab-trace info -in lbm17.mbt
+//	mab-trace run -app lbm17,mcf06 -telemetry out.jsonl -telemetry-every 100 -j 8
+//	mab-trace -telemetry out.jsonl -telemetry-every 100
 //
 // With a comma-separated -app list (or "all"), record writes one
 // <app>.mbt per application, fanning the recordings out across -j worker
 // goroutines.
+//
+// The run mode simulates catalog applications under the bandit
+// prefetcher directly (no trace file round trip) and is the quickest
+// path to a telemetry stream: -telemetry writes the JSONL event stream
+// plus timeline.csv and regret.csv next to it, byte-identical at every
+// -j value. Invoking mab-trace with bare flags (no subcommand) is
+// shorthand for run.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"microbandit/internal/core"
 	"microbandit/internal/cpu"
 	"microbandit/internal/mem"
+	"microbandit/internal/obs"
 	"microbandit/internal/par"
 	"microbandit/internal/prefetch"
 	"microbandit/internal/trace"
@@ -34,21 +44,131 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
-	switch os.Args[1] {
-	case "record":
+	switch {
+	case os.Args[1] == "record":
 		record(os.Args[2:])
-	case "replay":
+	case os.Args[1] == "replay":
 		replay(os.Args[2:])
-	case "info":
+	case os.Args[1] == "info":
 		info(os.Args[2:])
+	case os.Args[1] == "run":
+		run(os.Args[2:])
+	case strings.HasPrefix(os.Args[1], "-"):
+		// Bare flags: shorthand for the run mode.
+		run(os.Args[1:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mab-trace {record|replay|info} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mab-trace {record|replay|info|run} [flags]")
 	os.Exit(2)
+}
+
+// run simulates catalog applications under the Table 7 bandit
+// prefetcher, emitting telemetry when -telemetry is set. Each app is an
+// independent job claiming the telemetry slot matching its input index,
+// so the assembled stream does not depend on -j.
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	appNames := fs.String("app", "lbm17,mcf06", "application(s): a catalog name, a comma-separated list, or \"all\"")
+	insts := fs.Int64("insts", 1_000_000, "instructions to simulate per app")
+	stepL2 := fs.Int("step", 500, "bandit step length in L2 demand accesses")
+	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("j", 0, "worker goroutines (0 = one per CPU)")
+	telemetry := fs.String("telemetry", "", "write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
+	telemetryEvery := fs.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
+	_ = fs.Parse(args)
+
+	if *insts <= 0 {
+		usageErr(fs, fmt.Errorf("-insts must be positive, got %d", *insts))
+	}
+	if *stepL2 <= 0 {
+		usageErr(fs, fmt.Errorf("-step must be positive, got %d", *stepL2))
+	}
+	if *workers < 0 {
+		usageErr(fs, fmt.Errorf("-j must be >= 0, got %d", *workers))
+	}
+	if *telemetryEvery <= 0 {
+		usageErr(fs, fmt.Errorf("-telemetry-every must be positive, got %d", *telemetryEvery))
+	}
+	var apps []trace.App
+	if *appNames == "all" {
+		apps = trace.Catalog()
+	} else {
+		for _, name := range strings.Split(*appNames, ",") {
+			app, err := trace.ByName(strings.TrimSpace(name))
+			if err != nil {
+				usageErr(fs, fmt.Errorf("%v (valid: %s, or \"all\")", err, catalogNames()))
+			}
+			apps = append(apps, app)
+		}
+	}
+
+	var collector *obs.Collector
+	if *telemetry != "" {
+		collector = obs.NewCollector(*telemetryEvery)
+	}
+	type jobIn struct {
+		i   int
+		app trace.App
+	}
+	jobs := make([]jobIn, len(apps))
+	for i, app := range apps {
+		jobs[i] = jobIn{i, app}
+	}
+	reports, errs := par.RunErr(*workers, jobs, func(j jobIn) (string, error) {
+		var rec obs.Recorder
+		if collector != nil {
+			rec = collector.Slot(j.i, j.app.Name)
+		}
+		return runOne(j.app, *insts, *stepL2, *seed, *telemetryEvery, rec)
+	})
+	failed := 0
+	for i, report := range reports {
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "mab-trace: %s: %v\n", apps[i].Name, errs[i])
+			continue
+		}
+		fmt.Print(report)
+	}
+	if collector != nil {
+		if err := obs.WriteFiles(*telemetry, *telemetryEvery, collector.Events()); err != nil {
+			fatal(fmt.Errorf("telemetry: %w", err))
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mab-trace: %d of %d runs failed; results above are partial\n", failed, len(apps))
+		os.Exit(1)
+	}
+}
+
+// runOne simulates one app under the bandit prefetcher and returns its
+// report line.
+func runOne(app trace.App, insts int64, stepL2 int, seed uint64, every int, rec obs.Recorder) (string, error) {
+	hier := mem.NewHierarchy(mem.DefaultConfig())
+	c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+	ens := prefetch.NewTable7Ensemble()
+	agent := core.MustNew(core.Config{
+		Arms: ens.NumArms(), Policy: core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+		Normalize: true, Seed: seed,
+	})
+	obs.Attach(agent, rec, every)
+	runner := cpu.NewRunner(c, ens, agent, ens)
+	runner.StepL2 = stepL2
+	if rec != nil {
+		runner.Obs = rec
+		runner.ObsEvery = every
+	}
+	runner.Run(insts)
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: runner.Steps(),
+			Fields: map[string]float64{"ipc": c.IPC()}})
+	}
+	return fmt.Sprintf("ran %s: %d insts, %d cycles, IPC %.4f, %d bandit steps\n",
+		app.Name, c.Insts(), c.Cycles(), c.IPC(), runner.Steps()), nil
 }
 
 func record(args []string) {
@@ -141,6 +261,8 @@ func replay(args []string) {
 	insts := fs.Int64("insts", 4_000_000, "instructions to simulate (trace loops if shorter)")
 	pf := fs.String("pf", "none", "prefetcher: none, stride, bandit")
 	seed := fs.Uint64("seed", 1, "bandit seed")
+	telemetry := fs.String("telemetry", "", "write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
+	telemetryEvery := fs.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
 	_ = fs.Parse(args)
 
 	if *in == "" {
@@ -148,6 +270,9 @@ func replay(args []string) {
 	}
 	if *insts <= 0 {
 		usageErr(fs, fmt.Errorf("-insts must be positive, got %d", *insts))
+	}
+	if *telemetryEvery <= 0 {
+		usageErr(fs, fmt.Errorf("-telemetry-every must be positive, got %d", *telemetryEvery))
 	}
 	switch *pf {
 	case "none", "stride", "bandit":
@@ -194,8 +319,26 @@ func replay(args []string) {
 	default:
 		fatal(fmt.Errorf("unknown prefetcher %q", *pf))
 	}
+	var rec obs.Recorder
+	var collector *obs.Collector
+	if *telemetry != "" {
+		collector = obs.NewCollector(*telemetryEvery)
+		rec = collector.Slot(0, r.TraceName())
+		obs.Attach(ctrl, rec, *telemetryEvery)
+	}
 	runner := cpu.NewRunner(c, l2, ctrl, tun)
+	if rec != nil {
+		runner.Obs = rec
+		runner.ObsEvery = *telemetryEvery
+	}
 	runner.Run(*insts)
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: runner.Steps(),
+			Fields: map[string]float64{"ipc": c.IPC()}})
+		if err := obs.WriteFiles(*telemetry, *telemetryEvery, collector.Events()); err != nil {
+			fatal(fmt.Errorf("telemetry: %w", err))
+		}
+	}
 	fmt.Printf("replayed %s: %d insts, %d cycles, IPC %.4f\n",
 		r.TraceName(), c.Insts(), c.Cycles(), c.IPC())
 }

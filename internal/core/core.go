@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 
+	"microbandit/internal/obs"
 	"microbandit/internal/xrand"
 )
 
@@ -122,6 +123,14 @@ type Config struct {
 	// exploration arithmetic accordingly, emulating the 8-byte-per-arm
 	// hardware storage format (§5.4).
 	HardwarePrecision bool
+	// Obs receives telemetry events (arm choices, rewards, state
+	// snapshots, §4.3 restarts). nil — the default — disables emission
+	// entirely; the hot path then costs one nil check per call.
+	Obs obs.Recorder
+	// ObsEvery is the rTable/nTable snapshot cadence in completed
+	// bandit steps (0 disables snapshots; the other events are
+	// unaffected). Only meaningful with a non-nil Obs.
+	ObsEvery int
 }
 
 // Validate checks the configuration.
@@ -235,12 +244,16 @@ func (a *Agent) Step() int {
 		if a.restartPermission == nil || a.restartPermission() {
 			a.queueRoundRobin()
 			a.restarts++
+			if a.cfg.Obs != nil {
+				a.cfg.Obs.Record(obs.Event{Kind: obs.KindRestart, Step: int64(a.steps)})
+			}
 		}
 	}
 
 	var arm int
+	forced := len(a.forced) > 0
 	switch {
-	case len(a.forced) > 0:
+	case forced:
 		arm = a.forced[0]
 		a.forced = a.forced[1:]
 		if !initialRR {
@@ -256,6 +269,9 @@ func (a *Agent) Step() int {
 	if a.cfg.RecordTrace {
 		a.trace = append(a.trace, arm)
 	}
+	if a.cfg.Obs != nil {
+		a.cfg.Obs.Record(obs.Event{Kind: obs.KindArm, Step: int64(a.steps), Arm: arm, Forced: forced})
+	}
 	return arm
 }
 
@@ -269,6 +285,7 @@ func (a *Agent) Reward(rStep float64) {
 
 	initialRR := a.steps < a.cfg.Arms
 	arm := a.currentArm
+	raw := rStep
 
 	if a.cfg.Normalize && a.normalized {
 		rStep = a.normalizeReward(rStep)
@@ -282,6 +299,9 @@ func (a *Agent) Reward(rStep float64) {
 	} else {
 		a.cfg.Policy.UpdateReward(a.tables, arm, rStep)
 	}
+	if a.cfg.Obs != nil {
+		a.cfg.Obs.Record(obs.Event{Kind: obs.KindReward, Step: int64(a.steps), Arm: arm, Value: rStep, Raw: raw})
+	}
 	a.steps++
 
 	// §4.3 modification 1: once the initial round-robin phase finishes,
@@ -294,10 +314,30 @@ func (a *Agent) Reward(rStep float64) {
 	if a.cfg.HardwarePrecision {
 		a.quantize()
 	}
+
+	if a.cfg.Obs != nil && a.cfg.ObsEvery > 0 && a.steps%a.cfg.ObsEvery == 0 {
+		a.cfg.Obs.Record(obs.Event{
+			Kind:   obs.KindSnapshot,
+			Step:   int64(a.steps),
+			RTable: append([]float64(nil), a.tables.R...),
+			NTable: append([]float64(nil), a.tables.N...),
+			NTotal: a.tables.NTotal,
+			RAvg:   a.rAvg,
+		})
+	}
 }
 
-// normalizeReward rescales rStep by the stored round-robin average.
+// normalizeReward rescales rStep by the stored round-robin average. A
+// degenerate average — zero, negative, or non-finite, as produced by an
+// all-miss warmup or a stuck-arm fault during the round-robin phase —
+// falls back to the unnormalized reward instead of dividing by it:
+// computeNormalization pins rAvg to 1 in those cases, and the explicit
+// guard here keeps the fallback even if rAvg is corrupted later (e.g.
+// by a fault injector poking exported state).
 func (a *Agent) normalizeReward(rStep float64) float64 {
+	if !(a.rAvg > 0) || math.IsInf(a.rAvg, 0) {
+		return rStep
+	}
 	return rStep / a.rAvg
 }
 
@@ -352,6 +392,15 @@ func (a *Agent) RAvg() float64 { return a.rAvg }
 // Trace returns the recorded per-step arm choices (nil unless
 // Config.RecordTrace is set).
 func (a *Agent) Trace() []int { return a.trace }
+
+// SetRecorder attaches (or, with nil, detaches) a telemetry recorder
+// after construction, with the given snapshot cadence. It exists so
+// registry-built agents (ParseAlgo, NewByName-style factories) can be
+// instrumented without widening every constructor signature.
+func (a *Agent) SetRecorder(rec obs.Recorder, every int) {
+	a.cfg.Obs = rec
+	a.cfg.ObsEvery = every
+}
 
 // Potentials returns the current per-arm potentials if the policy exposes
 // them, else nil.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"microbandit/internal/xrand"
@@ -137,6 +138,43 @@ func TestNormalizationDegenerateAverage(t *testing.T) {
 	// The agent must keep operating.
 	a.Step()
 	a.Reward(0.5)
+}
+
+// TestNormalizationAllZeroRRPhase is the §4.3 division-guard regression
+// test: a fault (stuck arm, collapsed bandwidth) can zero every reward
+// of the initial round-robin phase, making the round-robin average 0.
+// The agent must fall back to unnormalized rewards — every learned
+// value stays finite and the post-RR rewards pass through unscaled.
+func TestNormalizationAllZeroRRPhase(t *testing.T) {
+	a := MustNew(ducbConfig(7, 4))
+	for i := 0; i < 4; i++ {
+		a.Step()
+		a.Reward(0)
+	}
+	// Recovery: rewards return; with rAvg pinned to 1 they must reach
+	// the tables unnormalized.
+	post := []float64{0.5, 1.25, 2.0, 0.75}
+	for _, r := range post {
+		arm := a.Step()
+		a.Reward(r)
+		for _, v := range append(a.Rewards(), a.Counts()...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite table value %v after rewarding arm %d with %v", v, arm, r)
+			}
+		}
+	}
+	if got := a.RAvg(); got != 1 {
+		t.Errorf("rAvg = %v, want fallback 1 after all-zero RR phase", got)
+	}
+
+	// Belt and braces: even if rAvg is corrupted after normalization
+	// completes, normalizeReward must refuse to divide by it.
+	for _, bad := range []float64{0, -2, math.NaN(), math.Inf(1)} {
+		a.rAvg = bad
+		if got := a.normalizeReward(3); got != 3 {
+			t.Errorf("normalizeReward(3) with rAvg=%v = %v, want passthrough 3", bad, got)
+		}
+	}
 }
 
 // The paper's motivation for normalization: with it, scaling all rewards

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"microbandit/internal/obs"
+)
 
 // MetaAgent is the hierarchical extension sketched in the paper's future
 // work (§9): during tuning the authors observed that different DUCB
@@ -23,6 +27,9 @@ type MetaAgent struct {
 
 	current int  // low-level agent selected for the open step
 	inStep  bool // Step called, Reward pending
+
+	rec     obs.Recorder // meta-switch telemetry; nil = disabled
+	started bool         // a level has been selected at least once
 }
 
 // NewMetaAgent builds a hierarchical agent. highCfg configures the
@@ -75,7 +82,12 @@ func (m *MetaAgent) Step() int {
 		panic("core: MetaAgent Step called twice without Reward")
 	}
 	m.inStep = true
+	prev := m.current
 	m.current = m.high.Step()
+	if m.rec != nil && (!m.started || m.current != prev) {
+		m.rec.Record(obs.Event{Kind: obs.KindMetaSwitch, Step: int64(m.high.StepsTaken()), Arm: m.current})
+	}
+	m.started = true
 	arm := 0
 	for i, l := range m.low {
 		a := l.Step()
@@ -122,6 +134,16 @@ func (m *MetaAgent) InInitialRR() bool {
 // currently rates best.
 func (m *MetaAgent) BestLevel() int { return m.high.BestArm() }
 
+// SetRecorder attaches a telemetry recorder: the high-level selector
+// emits its arm/reward/snapshot events (its arms are the low-level
+// agent indices) and the MetaAgent itself emits a KindMetaSwitch event
+// whenever the driving level changes. Low-level agents stay silent to
+// keep the stream single-voiced.
+func (m *MetaAgent) SetRecorder(rec obs.Recorder, every int) {
+	m.rec = rec
+	m.high.SetRecorder(rec, every)
+}
+
 // Reset restores all levels to their initial state.
 func (m *MetaAgent) Reset() {
 	m.high.Reset()
@@ -130,6 +152,7 @@ func (m *MetaAgent) Reset() {
 	}
 	m.current = 0
 	m.inStep = false
+	m.started = false
 }
 
 // NewDUCBSweepMeta builds the §9 configuration directly: one low-level

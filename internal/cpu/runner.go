@@ -4,6 +4,7 @@ import (
 	"microbandit/internal/core"
 	"microbandit/internal/hw"
 	"microbandit/internal/mem"
+	"microbandit/internal/obs"
 	"microbandit/internal/prefetch"
 )
 
@@ -57,6 +58,26 @@ type Runner struct {
 	ArmTrace    []ArmSample
 	recordArms  bool
 	rewardCount int64
+
+	// Obs, when non-nil, receives KindInterval substrate measurements
+	// (interval IPC, MPKI, prefetch accuracy/coverage, DRAM bandwidth
+	// utilization) every ObsEvery bandit steps. For non-learning runs
+	// (Ctrl == nil) the interval is ObsEvery windows of StepL2 demand
+	// accesses, so conventional prefetchers report on the same scale.
+	Obs      obs.Recorder
+	ObsEvery int
+
+	obsSteps int64 // completed telemetry windows
+	obsLast  obsBaseline
+}
+
+// obsBaseline is the cumulative-counter snapshot an interval diffs
+// against.
+type obsBaseline struct {
+	insts, cycles int64
+	stats         mem.Stats
+	class         mem.Classification
+	busy          float64
 }
 
 // ArmSample is one entry of the exploration trace (Fig. 7).
@@ -149,6 +170,15 @@ func (r *Runner) onL2Access(pc, addr uint64, hit bool, cycle int64) {
 	}
 
 	if r.Ctrl == nil || r.Tunable == nil {
+		// Non-learning run: telemetry windows still advance on the same
+		// StepL2-access scale so conventional prefetchers are comparable.
+		if r.Obs != nil {
+			r.stepAccesses++
+			if r.stepAccesses >= r.StepL2 {
+				r.stepAccesses = 0
+				r.obsWindow(cycle)
+			}
+		}
 		return
 	}
 	r.stepAccesses++
@@ -164,6 +194,7 @@ func (r *Runner) onL2Access(pc, addr uint64, hit bool, cycle int64) {
 	}
 	r.Ctrl.Reward(ipc)
 	r.rewardCount++
+	r.obsWindow(cycle)
 	arm := r.Ctrl.Step()
 	r.pendingArm = arm
 	r.pendingActivate = cycle + r.SelectLatency
@@ -172,4 +203,52 @@ func (r *Runner) onL2Access(pc, addr uint64, hit bool, cycle int64) {
 	r.stepAccesses = 0
 	r.stepStartInsts = r.Core.Insts()
 	r.stepStartCycle = r.Core.Cycles()
+}
+
+// obsWindow closes one telemetry window and, every ObsEvery windows,
+// emits a KindInterval event with substrate measurements computed as
+// deltas against the previous emission. All rates guard their
+// denominators: an empty interval reports 0, never NaN/Inf.
+func (r *Runner) obsWindow(cycle int64) {
+	if r.Obs == nil || r.ObsEvery <= 0 {
+		return
+	}
+	r.obsSteps++
+	if r.obsSteps%int64(r.ObsEvery) != 0 {
+		return
+	}
+	cur := obsBaseline{
+		insts:  r.Core.Insts(),
+		cycles: r.Core.Cycles(),
+		stats:  r.Hier.Stats(),
+		class:  r.Hier.Classify(),
+		busy:   r.Hier.DRAM().BusyCycles(),
+	}
+	last := r.obsLast
+	r.obsLast = cur
+
+	ratio := func(num, den float64) float64 {
+		if den <= 0 {
+			return 0
+		}
+		return num / den
+	}
+	dInsts := float64(cur.insts - last.insts)
+	dCycles := float64(cur.cycles - last.cycles)
+	dMisses := float64(cur.stats.LLCMisses - last.stats.LLCMisses)
+	dTimely := float64(cur.class.Timely - last.class.Timely)
+	dLate := float64(cur.class.Late - last.class.Late)
+	dWrong := float64(cur.class.Wrong - last.class.Wrong)
+	bwUtil := ratio(cur.busy-last.busy, dCycles)
+	if bwUtil > 1 {
+		bwUtil = 1
+	}
+	r.Obs.Record(obs.Event{Kind: obs.KindInterval, Step: r.obsSteps, Cycle: cycle,
+		Fields: map[string]float64{
+			"ipc":           ratio(dInsts, dCycles),
+			"mpki":          ratio(dMisses, dInsts/1000),
+			"pref_accuracy": ratio(dTimely+dLate, dTimely+dLate+dWrong),
+			"pref_coverage": ratio(dTimely, dTimely+dMisses),
+			"dram_bw_util":  bwUtil,
+		}})
 }

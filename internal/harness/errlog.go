@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"microbandit/internal/par"
+	"microbandit/internal/stats"
 )
 
 // ErrorLog collects per-job failures from the experiment engine so
@@ -63,7 +64,10 @@ func (l *ErrorLog) Drain() []JobFailure {
 }
 
 // RenderFailures formats an error appendix for a drained failure list.
-// It returns "" for an empty list.
+// It returns "" for an empty list. The appendix is one failure per line:
+// an error whose text embeds newlines (panic values are arbitrary
+// strings) is rendered in its quoted Go form so it cannot masquerade as
+// additional appendix entries.
 func RenderFailures(fails []JobFailure) string {
 	if len(fails) == 0 {
 		return ""
@@ -71,7 +75,23 @@ func RenderFailures(fails []JobFailure) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "error appendix: %d job(s) failed; results above are partial\n", len(fails))
 	for _, f := range fails {
-		fmt.Fprintf(&b, "  %v\n", f.Err)
+		msg := f.Err.Error()
+		if strings.ContainsAny(msg, "\n\r") {
+			msg = fmt.Sprintf("%q", msg)
+		}
+		fmt.Fprintf(&b, "  %s\n", msg)
+	}
+	return b.String()
+}
+
+// FailuresCSV renders the drained failure list as CSV (job,error), with
+// every cell routed through the shared quoting helper so commas and
+// newlines in panic messages stay inside their cell.
+func FailuresCSV(fails []JobFailure) string {
+	var b strings.Builder
+	stats.WriteCSVRow(&b, "job", "error")
+	for _, f := range fails {
+		stats.WriteCSVRow(&b, fmt.Sprintf("%d", f.Job), f.Err.Error())
 	}
 	return b.String()
 }

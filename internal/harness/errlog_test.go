@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRenderFailuresNewlineSafe: a panic value with embedded newlines
+// (and commas) must stay inside its own appendix entry — one failure
+// per line, always.
+func TestRenderFailuresNewlineSafe(t *testing.T) {
+	fails := []JobFailure{
+		{Job: 0, Err: errors.New("plain failure")},
+		{Job: 1, Err: fmt.Errorf("panic: bad state\ngoroutine 7 [running]:\nmain.go:12")},
+		{Job: 2, Err: errors.New("spec noise:0.5:7, intensity out of range")},
+	}
+	out := RenderFailures(fails)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	// Banner + one line per failure; the multi-line error is quoted into
+	// a single line rather than spilling.
+	if len(lines) != 1+len(fails) {
+		t.Fatalf("appendix has %d lines, want %d:\n%s", len(lines), 1+len(fails), out)
+	}
+	if !strings.Contains(out, `"panic: bad state\ngoroutine 7 [running]:\nmain.go:12"`) {
+		t.Errorf("multi-line error not quoted:\n%s", out)
+	}
+}
+
+// TestFailuresCSVParseable: the CSV form routes panic text through the
+// shared quoting helper and round-trips through encoding/csv.
+func TestFailuresCSVParseable(t *testing.T) {
+	fails := []JobFailure{
+		{Job: 3, Err: errors.New("boom, with commas\nand a newline")},
+	}
+	out := FailuresCSV(fails)
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("FailuresCSV output does not parse: %v\n%s", err, out)
+	}
+	want := [][]string{
+		{"job", "error"},
+		{"3", "boom, with commas\nand a newline"},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("rows:\n got %q\nwant %q", rows, want)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"microbandit/internal/core"
 	"microbandit/internal/cpu"
 	"microbandit/internal/mem"
+	"microbandit/internal/obs"
 	"microbandit/internal/par"
 	"microbandit/internal/prefetch"
 	"microbandit/internal/simsmt"
@@ -61,6 +62,13 @@ type Options struct {
 	// coordinating goroutine with full job attribution — never from
 	// inside a worker.
 	Errs *ErrorLog
+
+	// Obs, when non-nil, collects telemetry from telemetry-capable
+	// experiments (currently RobustWith): every run claims the
+	// Collector slot matching its job index, so the assembled event
+	// stream is byte-identical at every Workers count. The Collector's
+	// Every field sets the snapshot/interval cadence in bandit steps.
+	Obs *obs.Collector
 }
 
 // workers resolves the pool size for runJobs.

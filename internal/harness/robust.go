@@ -8,6 +8,7 @@ import (
 	"microbandit/internal/cpu"
 	"microbandit/internal/fault"
 	"microbandit/internal/mem"
+	"microbandit/internal/obs"
 	"microbandit/internal/prefetch"
 	"microbandit/internal/stats"
 	"microbandit/internal/trace"
@@ -92,7 +93,13 @@ func RobustWith(o Options, sweep []fault.Spec) RobustResult {
 		if j.sweepIdx >= 0 {
 			fs = fault.Set{sweep[j.sweepIdx]}
 		}
-		return o.runPrefetchFaulted(apps[j.appIdx], RobustAlgos[j.algoIdx], fs, memCfg)
+		var rec obs.Recorder
+		if o.Obs != nil {
+			idx := (j.sweepIdx+1)*len(RobustAlgos)*len(apps) + j.algoIdx*len(apps) + j.appIdx
+			label := fmt.Sprintf("robust/%s/%s/%s", apps[j.appIdx].Name, RobustAlgos[j.algoIdx], fs.String())
+			rec = o.Obs.Slot(idx, label)
+		}
+		return o.runPrefetchFaulted(apps[j.appIdx], RobustAlgos[j.algoIdx], fs, memCfg, rec)
 	})
 
 	nA, nP := len(RobustAlgos), len(apps)
@@ -123,7 +130,9 @@ func RobustWith(o Options, sweep []fault.Spec) RobustResult {
 			for pi := range apps {
 				cleanIPC := at(-1, ai, pi)
 				faultIPC := at(si, ai, pi)
-				if cleanIPC <= 0 || faultIPC <= 0 {
+				// The negated comparisons also exclude NaN (which passes
+				// `<= 0`): a corrupted measurement is a failed run.
+				if !(cleanIPC > 0) || !(faultIPC > 0) || math.IsInf(faultIPC, 0) {
 					continue // failed or degenerate run: excluded, reported via Survived
 				}
 				ratios = append(ratios, faultIPC/cleanIPC)
@@ -142,7 +151,10 @@ func RobustWith(o Options, sweep []fault.Spec) RobustResult {
 // runPrefetchFaulted simulates one app with the Table 7 ensemble under
 // the named algorithm, with the fault set injected around the clean
 // substrates. An empty set is exactly the clean runPrefetchCtrl path.
-func (o Options) runPrefetchFaulted(app trace.App, algo string, fs fault.Set, memCfg mem.Config) float64 {
+// rec, when non-nil, receives the run's telemetry: fault activations,
+// the agent's arm/reward/snapshot stream, interval measurements, and a
+// closing KindRunEnd with the headline IPC.
+func (o Options) runPrefetchFaulted(app trace.App, algo string, fs fault.Set, memCfg mem.Config, rec obs.Recorder) float64 {
 	seed := o.subSeed("robust", app.Name, algo, fs.String())
 	hier := mem.NewHierarchy(memCfg)
 	if bf := fault.Bandwidth(fs, seed); bf != nil {
@@ -151,12 +163,33 @@ func (o Options) runPrefetchFaulted(app trace.App, algo string, fs fault.Set, me
 	gen := fault.Generator(app.New(seed), fs, seed)
 	c := cpu.New(cpu.DefaultConfig(), hier, gen)
 	ens := prefetch.NewTable7Ensemble()
-	ctrl := fault.Controller(robustController(algo, seed, ens.NumArms()), fs, seed)
+	inner := robustController(algo, seed, ens.NumArms())
+	every := 0
+	if rec != nil {
+		every = o.Obs.Every
+		// Attach before the fault wrapper: the wrapper hides the agent's
+		// SetRecorder, and the telemetry should report what the agent
+		// decided, not what the fault corrupted it into.
+		obs.Attach(inner, rec, every)
+		for _, spec := range fs {
+			rec.Record(obs.Event{Kind: obs.KindFault, Label: spec.String()})
+		}
+	}
+	ctrl := fault.Controller(inner, fs, seed)
 	tun := fault.Tunable(ens, fs, seed)
 	r := cpu.NewRunner(c, ens, ctrl, tun)
 	r.StepL2 = o.StepL2
+	if rec != nil {
+		r.Obs = rec
+		r.ObsEvery = every
+	}
 	r.Run(o.Insts)
-	return c.IPC()
+	ipc := c.IPC()
+	if rec != nil {
+		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: r.Steps(),
+			Fields: map[string]float64{"ipc": ipc}})
+	}
+	return ipc
 }
 
 // robustController builds one comparison column's controller.

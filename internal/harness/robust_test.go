@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"strings"
 	"testing"
 
 	"microbandit/internal/fault"
+	"microbandit/internal/obs"
 	"microbandit/internal/par"
 )
 
@@ -53,6 +55,43 @@ func TestRobustDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRobustTelemetryDeterministicAcrossWorkers extends the determinism
+// contract to the telemetry stream: with a Collector installed, the
+// assembled JSONL bytes and both derived CSVs must be byte-identical at
+// Workers=1 and Workers=8 (run under -race in CI; the Collector's slot
+// table is the only shared structure).
+func TestRobustTelemetryDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(workers int) (jsonl []byte, timeline, regret string) {
+		o := smokeRobust()
+		o.Workers = workers
+		o.Obs = obs.NewCollector(50)
+		RobustWith(o, testSweep())
+		events := o.Obs.Events()
+		if len(events) == 0 {
+			t.Fatal("collector captured no events")
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, events); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		return buf.Bytes(), obs.TimelineCSV(events), obs.RegretCSV(events, 50)
+	}
+	j1, t1, r1 := run(1)
+	j8, t8, r8 := run(8)
+	if !bytes.Equal(j1, j8) {
+		t.Errorf("JSONL stream differs between Workers=1 and Workers=8")
+	}
+	if t1 != t8 {
+		t.Errorf("timeline.csv differs between Workers=1 and Workers=8")
+	}
+	if r1 != r8 {
+		t.Errorf("regret.csv differs between Workers=1 and Workers=8")
+	}
+}
+
 // TestRobustFaultsDegradeButSurvive checks the sweep produces full
 // surviving-run counts and sane percentages for non-crashing faults.
 func TestRobustFaultsDegradeButSurvive(t *testing.T) {
@@ -76,6 +115,41 @@ func TestRobustFaultsDegradeButSurvive(t *testing.T) {
 			pct := r.Pct[si][ai]
 			if math.IsNaN(pct) || pct <= 0 || pct > 400 {
 				t.Errorf("%v/%s: implausible pct %v", r.Sweep[si], r.Algos[ai], pct)
+			}
+		}
+	}
+}
+
+// TestRobustIntensityOneDefined is the GeoMean-guard regression test:
+// at intensity 1.0 a stuck arm or collapsed DRAM bandwidth can drive a
+// faulted run's IPC — and so its percent-of-clean ratio — to 0, and the
+// robustness result must still report defined values everywhere: no
+// NaN, no ±Inf, in either the struct or the rendered table/CSV.
+func TestRobustIntensityOneDefined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sweep := []fault.Spec{
+		{Kind: fault.StuckArm, Intensity: 1, Seed: 1},
+		{Kind: fault.BWCollapse, Intensity: 1, Seed: 1},
+	}
+	r := RobustWith(smokeRobust(), sweep)
+	for si := range r.Pct {
+		for ai := range r.Algos {
+			pct := r.Pct[si][ai]
+			if r.Survived[si][ai] == 0 {
+				continue // empty cell is rendered as "-", which is fine
+			}
+			if math.IsNaN(pct) || math.IsInf(pct, 0) || pct < 0 {
+				t.Errorf("%v/%s: undefined pct %v with %d survivors",
+					r.Sweep[si], r.Algos[ai], pct, r.Survived[si][ai])
+			}
+		}
+	}
+	for _, out := range []string{r.Render(), r.CSV()} {
+		for _, bad := range []string{"NaN", "Inf"} {
+			if strings.Contains(out, bad) {
+				t.Errorf("rendered output contains %s:\n%s", bad, out)
 			}
 		}
 	}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"microbandit/internal/stats"
+)
+
+// This file is the in-memory aggregator: it folds a (possibly multi-run)
+// event stream into the inspection artifacts the paper reads off the
+// agent — arm-selection timelines (Fig. 7 / Fig. 11 style) and
+// regret-vs-best-static plus exploration-fraction series. Both render as
+// CSV through the shared stats quoting helper, so run labels carrying
+// commas (e.g. fault-spec lists) stay parseable.
+
+// TimelineCSV renders the arm-selection timeline of every run in the
+// stream: one row per arm change, consecutive selections of the same arm
+// collapsed (matching the runners' ArmTrace convention). Columns:
+// run, step, arm, forced.
+func TimelineCSV(events []Event) string {
+	var b strings.Builder
+	stats.WriteCSVRow(&b, "run", "step", "arm", "forced")
+	run := ""
+	lastArm, haveArm := 0, false
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindRunStart:
+			run = ev.Label
+			haveArm = false
+		case KindArm:
+			if haveArm && ev.Arm == lastArm {
+				continue
+			}
+			lastArm, haveArm = ev.Arm, true
+			forced := "0"
+			if ev.Forced {
+				forced = "1"
+			}
+			stats.WriteCSVRow(&b, run, fmt.Sprintf("%d", ev.Step),
+				fmt.Sprintf("%d", ev.Arm), forced)
+		}
+	}
+	return b.String()
+}
+
+// regretRun accumulates one run's reward stream for RegretCSV.
+type regretRun struct {
+	label   string
+	arms    []int
+	rewards []float64 // raw (pre-normalization) step rewards
+}
+
+// RegretCSV renders, for every run, the cumulative regret against the
+// empirical best static arm and the exploration fraction, sampled every
+// `every` steps (plus the final step). The best static arm is the arm
+// with the highest mean raw reward over the whole run — the same oracle
+// the paper's Tables 8/9 normalize against, estimated from the observed
+// stream. Columns: run, step, arm_best_static, cum_reward, cum_regret,
+// explore_frac (fraction of steps spent off the best static arm).
+func RegretCSV(events []Event, every int) string {
+	if every <= 0 {
+		every = 1
+	}
+	var runs []regretRun
+	cur := -1
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindRunStart:
+			runs = append(runs, regretRun{label: ev.Label})
+			cur = len(runs) - 1
+		case KindReward:
+			if cur < 0 {
+				// Reward stream with no run envelope (e.g. a bare
+				// agent): attribute to an unlabeled run.
+				runs = append(runs, regretRun{})
+				cur = 0
+			}
+			r := &runs[cur]
+			r.arms = append(r.arms, ev.Arm)
+			r.rewards = append(r.rewards, ev.Raw)
+		}
+	}
+
+	var b strings.Builder
+	stats.WriteCSVRow(&b, "run", "step", "arm_best_static", "cum_reward", "cum_regret", "explore_frac")
+	for _, r := range runs {
+		if len(r.rewards) == 0 {
+			continue
+		}
+		best, bestMean := bestStaticArm(r.arms, r.rewards)
+		cum, offBest := 0.0, 0
+		for i := range r.rewards {
+			cum += r.rewards[i]
+			if r.arms[i] != best {
+				offBest++
+			}
+			step := i + 1
+			if step%every != 0 && step != len(r.rewards) {
+				continue
+			}
+			regret := bestMean*float64(step) - cum
+			stats.WriteCSVRow(&b, r.label,
+				fmt.Sprintf("%d", step),
+				fmt.Sprintf("%d", best),
+				fmt.Sprintf("%.6g", cum),
+				fmt.Sprintf("%.6g", regret),
+				fmt.Sprintf("%.6g", float64(offBest)/float64(step)))
+		}
+	}
+	return b.String()
+}
+
+// bestStaticArm returns the arm with the highest mean raw reward and
+// that mean, ties broken by the lowest arm index.
+func bestStaticArm(arms []int, rewards []float64) (int, float64) {
+	sum := map[int]float64{}
+	n := map[int]int{}
+	maxArm := 0
+	for i, a := range arms {
+		sum[a] += rewards[i]
+		n[a]++
+		if a > maxArm {
+			maxArm = a
+		}
+	}
+	best, bestMean := 0, 0.0
+	haveBest := false
+	for a := 0; a <= maxArm; a++ {
+		if n[a] == 0 {
+			continue
+		}
+		mean := sum[a] / float64(n[a])
+		if !haveBest || mean > bestMean {
+			best, bestMean, haveBest = a, mean, true
+		}
+	}
+	return best, bestMean
+}
+
+// WriteFiles persists a telemetry stream: the raw JSONL events at path,
+// plus timeline.csv and regret.csv next to it (in path's directory,
+// which is created if missing). every is the regret sampling cadence
+// (the CLIs pass their -telemetry-every value).
+func WriteFiles(path string, every int, events []Event) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "timeline.csv"), []byte(TimelineCSV(events)), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "regret.csv"), []byte(RegretCSV(events, every)), 0o644)
+}

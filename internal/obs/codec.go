@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file is the JSONL event codec: one JSON object per line, fields
+// in fixed struct order, zero-valued fields omitted. encoding/json is
+// deterministic for this shape (struct fields encode in declaration
+// order, map keys sort), so equal event streams always produce equal
+// bytes — the property the Workers=1-vs-N tests pin down.
+
+// Marshal encodes one event as a single JSON line (no trailing newline).
+// Non-finite floats cannot be represented in JSON; rather than losing
+// the whole line, Marshal squashes NaN to 0 and ±Inf to ±MaxFloat64
+// before encoding. Emitters only produce finite values (simulated IPC,
+// rewards, counts), so the squash is a safety net, not a code path.
+func Marshal(ev Event) ([]byte, error) {
+	sanitizeEvent(&ev)
+	return json.Marshal(ev)
+}
+
+// Unmarshal decodes one JSONL line into an Event. Unknown JSON fields
+// are ignored; a non-object line is an error.
+func Unmarshal(line []byte) (Event, error) {
+	var ev Event
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// sanitizeEvent replaces non-finite floats with JSON-encodable values.
+func sanitizeEvent(ev *Event) {
+	ev.Value = finite(ev.Value)
+	ev.Raw = finite(ev.Raw)
+	ev.NTotal = finite(ev.NTotal)
+	ev.RAvg = finite(ev.RAvg)
+	sanitizeSlice(ev.RTable)
+	sanitizeSlice(ev.NTable)
+	for k, v := range ev.Fields {
+		if f := finite(v); f != v {
+			ev.Fields[k] = f
+		}
+	}
+}
+
+func sanitizeSlice(xs []float64) {
+	for i, x := range xs {
+		if f := finite(x); f != x {
+			xs[i] = f
+		}
+	}
+}
+
+// finite maps NaN to 0 and ±Inf to ±MaxFloat64.
+func finite(x float64) float64 {
+	switch {
+	case math.IsNaN(x):
+		return 0
+	case math.IsInf(x, 1):
+		return math.MaxFloat64
+	case math.IsInf(x, -1):
+		return -math.MaxFloat64
+	default:
+		return x
+	}
+}
+
+// WriteJSONL writes events to w, one JSON object per line, buffered.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	for i, ev := range events {
+		line, err := Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("obs: encoding event %d: %w", i, err)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes an entire JSONL stream. Blank lines are skipped; a
+// malformed line returns an error naming its 1-based line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := Unmarshal(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzEventCodec fuzzes the JSONL event codec: Unmarshal must never
+// panic on arbitrary input, and any line it accepts must survive a
+// Marshal/Unmarshal round trip unchanged (idempotent normalization:
+// unknown JSON fields are dropped on first decode, so the second decode
+// must reproduce the first exactly).
+func FuzzEventCodec(f *testing.F) {
+	seeds := []Event{
+		{Kind: KindRunStart, Label: "robust/lbm17/DUCB/noise:0.5:7"},
+		{Kind: KindArm, Step: 3, Arm: 1, Forced: true},
+		{Kind: KindReward, Step: 3, Arm: 1, Value: 1.5, Raw: 0.75},
+		{Kind: KindSnapshot, Step: 100, RTable: []float64{1, 2}, NTable: []float64{3, 4}, NTotal: 7, RAvg: 0.9},
+		{Kind: KindInterval, Step: 100, Cycle: 1 << 40, Fields: map[string]float64{"ipc": 1.2}},
+		{Kind: KindRestart, Step: 55},
+		{Kind: KindMetaSwitch, Step: 10, Arm: 2},
+		{Kind: KindFault, Label: "stuckarm:1:9"},
+		{Kind: KindRunEnd, Step: 9, Fields: map[string]float64{"ipc": 0.4}},
+	}
+	for _, ev := range seeds {
+		line, err := Marshal(ev)
+		if err != nil {
+			f.Fatalf("seed %v: %v", ev, err)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"ev":"arm","step":-1,"arm":-7,"unknown":[1,2]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"ev":"snapshot","rtable":[1e308,-1e308,0.1]}`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		ev, err := Unmarshal(line)
+		if err != nil {
+			return // malformed input: rejected, not crashed
+		}
+		enc, err := Marshal(ev)
+		if err != nil {
+			t.Fatalf("Marshal of decoded event failed: %v (event %#v)", err, ev)
+		}
+		ev2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-Unmarshal failed: %v (line %s)", err, enc)
+		}
+		// Marshal sanitizes non-finite floats, and JSON cannot carry
+		// them, so a decoded event is always finite and the round trip
+		// must be exact.
+		if !reflect.DeepEqual(sanitized(ev), ev2) {
+			t.Fatalf("round trip changed event:\n in  %#v\n out %#v", ev, ev2)
+		}
+	})
+}
+
+// sanitized returns ev after the codec's non-finite squash, with empty
+// slices/maps canonicalized to nil (omitempty drops them on encode) —
+// the form a round trip preserves.
+func sanitized(ev Event) Event {
+	sanitizeEvent(&ev)
+	if len(ev.RTable) == 0 {
+		ev.RTable = nil
+	}
+	if len(ev.NTable) == 0 {
+		ev.NTable = nil
+	}
+	if len(ev.Fields) == 0 {
+		ev.Fields = nil
+	}
+	return ev
+}

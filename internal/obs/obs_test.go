@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBufferRecordsInOrder(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 5; i++ {
+		b.Record(Event{Kind: KindArm, Step: int64(i), Arm: i % 2})
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", b.Len())
+	}
+	for i, ev := range b.Events() {
+		if ev.Step != int64(i) {
+			t.Fatalf("event %d has step %d", i, ev.Step)
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+}
+
+// TestCollectorSlotOrder claims slots from concurrent goroutines in a
+// scrambled order and checks the assembled stream is in slot order —
+// the determinism contract the Workers=1-vs-N tests rely on.
+func TestCollectorSlotOrder(t *testing.T) {
+	c := NewCollector(10)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := n - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := c.Slot(i, "run")
+			b.Record(Event{Kind: KindReward, Step: int64(i)})
+		}(i)
+	}
+	wg.Wait()
+	if c.Runs() != n {
+		t.Fatalf("Runs = %d, want %d", c.Runs(), n)
+	}
+	events := c.Events()
+	if len(events) != 2*n {
+		t.Fatalf("got %d events, want %d", len(events), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		if events[2*i].Kind != KindRunStart {
+			t.Fatalf("slot %d does not start with run_start: %v", i, events[2*i].Kind)
+		}
+		if got := events[2*i+1].Step; got != int64(i) {
+			t.Fatalf("slot %d carries step %d", i, got)
+		}
+	}
+}
+
+func TestCollectorDoubleClaimPanics(t *testing.T) {
+	c := NewCollector(1)
+	c.Slot(3, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Slot(3) did not panic")
+		}
+	}()
+	c.Slot(3, "b")
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Kind: KindRunStart, Label: "robust/lbm17/DUCB/noise:0.5:7"},
+		{Kind: KindArm, Step: 12, Arm: 3, Forced: true},
+		{Kind: KindReward, Step: 12, Arm: 3, Value: 1.25, Raw: 0.8},
+		{Kind: KindSnapshot, Step: 100, RTable: []float64{1, 0.5}, NTable: []float64{7, 3}, NTotal: 10, RAvg: 0.75},
+		{Kind: KindInterval, Step: 100, Cycle: 12345, Fields: map[string]float64{"ipc": 1.2, "mpki": 3.4}},
+		{Kind: KindRunEnd, Step: 200, Fields: map[string]float64{"ipc": 1.1}},
+	}
+	for _, ev := range evs {
+		line, err := Marshal(ev)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", ev, err)
+		}
+		got, err := Unmarshal(line)
+		if err != nil {
+			t.Fatalf("Unmarshal(%s): %v", line, err)
+		}
+		if !reflect.DeepEqual(got, ev) {
+			t.Fatalf("round trip changed event:\n in  %#v\n out %#v", ev, got)
+		}
+	}
+}
+
+func TestMarshalSanitizesNonFinite(t *testing.T) {
+	ev := Event{
+		Kind:   KindSnapshot,
+		Value:  math.NaN(),
+		Raw:    math.Inf(1),
+		RTable: []float64{math.Inf(-1), 1},
+		Fields: map[string]float64{"x": math.NaN()},
+	}
+	line, err := Marshal(ev)
+	if err != nil {
+		t.Fatalf("Marshal with non-finite floats: %v", err)
+	}
+	got, err := Unmarshal(line)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Value != 0 || got.Raw != math.MaxFloat64 || got.RTable[0] != -math.MaxFloat64 || got.Fields["x"] != 0 {
+		t.Fatalf("sanitization wrong: %#v", got)
+	}
+}
+
+func TestJSONLWriteRead(t *testing.T) {
+	events := []Event{
+		{Kind: KindRunStart, Label: "a"},
+		{Kind: KindReward, Step: 1, Arm: 2, Raw: 0.5},
+		{Kind: KindRunEnd, Step: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(events) {
+		t.Fatalf("got %d lines, want %d", n, len(events))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("read back %#v, want %#v", got, events)
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"ev\":\"arm\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 decode error", err)
+	}
+}
+
+// sampleStream is a two-run stream exercising the aggregators: run A
+// explores arms 0/1 and settles on 1; run B never leaves arm 0.
+func sampleStream() []Event {
+	return []Event{
+		{Kind: KindRunStart, Label: "A, with comma"},
+		{Kind: KindArm, Step: 0, Arm: 0, Forced: true},
+		{Kind: KindReward, Step: 0, Arm: 0, Raw: 1.0},
+		{Kind: KindArm, Step: 1, Arm: 1, Forced: true},
+		{Kind: KindReward, Step: 1, Arm: 1, Raw: 2.0},
+		{Kind: KindArm, Step: 2, Arm: 1},
+		{Kind: KindReward, Step: 2, Arm: 1, Raw: 2.0},
+		{Kind: KindArm, Step: 3, Arm: 1},
+		{Kind: KindReward, Step: 3, Arm: 1, Raw: 2.0},
+		{Kind: KindRunEnd, Step: 4, Fields: map[string]float64{"ipc": 1.75}},
+		{Kind: KindRunStart, Label: "B"},
+		{Kind: KindArm, Step: 0, Arm: 0},
+		{Kind: KindReward, Step: 0, Arm: 0, Raw: 1.0},
+		{Kind: KindArm, Step: 1, Arm: 0},
+		{Kind: KindReward, Step: 1, Arm: 0, Raw: 1.0},
+		{Kind: KindRunEnd, Step: 2},
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	got := TimelineCSV(sampleStream())
+	rows := parseCSV(t, got)
+	// Header + A: arm0@0, arm1@1 (collapsed after) + B: arm0@0.
+	want := [][]string{
+		{"run", "step", "arm", "forced"},
+		{"A, with comma", "0", "0", "1"},
+		{"A, with comma", "1", "1", "1"},
+		{"B", "0", "0", "0"},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("timeline rows:\n got %v\nwant %v", rows, want)
+	}
+}
+
+func TestRegretCSV(t *testing.T) {
+	got := RegretCSV(sampleStream(), 2)
+	rows := parseCSV(t, got)
+	// Run A: 4 rewards, best static arm = 1 (mean 2.0); samples at steps
+	// 2 and 4. Step 4: cum = 7, regret = 2*4-7 = 1, explore = 1/4.
+	// Run B: 2 rewards, best arm 0, regret 0.
+	want := [][]string{
+		{"run", "step", "arm_best_static", "cum_reward", "cum_regret", "explore_frac"},
+		{"A, with comma", "2", "1", "3", "1", "0.5"},
+		{"A, with comma", "4", "1", "7", "1", "0.25"},
+		{"B", "2", "0", "2", "0", "0"},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("regret rows:\n got %v\nwant %v", rows, want)
+	}
+}
+
+func TestRegretCSVBareRewardStream(t *testing.T) {
+	events := []Event{
+		{Kind: KindReward, Step: 0, Arm: 0, Raw: 1},
+		{Kind: KindReward, Step: 1, Arm: 0, Raw: 1},
+	}
+	rows := parseCSV(t, RegretCSV(events, 1))
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header+2", len(rows))
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	// The target directory does not exist yet: WriteFiles creates it.
+	dir := t.TempDir() + "/nested/tel"
+	path := dir + "/out.jsonl"
+	if err := WriteFiles(path, 2, sampleStream()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"out.jsonl", "timeline.csv", "regret.csv"} {
+		data, err := os.ReadFile(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+		if strings.HasSuffix(name, ".csv") {
+			parseCSV(t, string(data))
+		}
+	}
+}
+
+// parseCSV asserts the CSV parses under encoding/csv and returns rows.
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse: %v\n%s", err, s)
+	}
+	return rows
+}

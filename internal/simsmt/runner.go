@@ -2,6 +2,7 @@ package simsmt
 
 import (
 	"microbandit/internal/core"
+	"microbandit/internal/obs"
 	"microbandit/internal/smtwork"
 )
 
@@ -51,6 +52,12 @@ type Runner struct {
 	// ArmTrace, when enabled, logs (cycle, arm) for Fig. 7.
 	ArmTrace   []ArmSample
 	recordArms bool
+
+	// Obs, when non-nil, receives a KindInterval event with the step's
+	// per-thread and summed IPC every ObsEvery completed bandit steps.
+	Obs      obs.Recorder
+	ObsEvery int
+	obsSteps int64
 }
 
 // ArmSample is one exploration-trace entry.
@@ -178,6 +185,18 @@ func (r *Runner) runEpoch() {
 		ipc[1] = float64(r.Sim.Committed(1)-r.stepStartCommits[1]) / float64(cycles)
 	}
 	r.Ctrl.Reward(r.Reward.Reward(ipc, r.Solo))
+	if r.Obs != nil && r.ObsEvery > 0 {
+		r.obsSteps++
+		if r.obsSteps%int64(r.ObsEvery) == 0 {
+			r.Obs.Record(obs.Event{Kind: obs.KindInterval, Step: r.obsSteps, Cycle: r.Sim.Cycle(),
+				Arm: r.curArm,
+				Fields: map[string]float64{
+					"ipc0":    ipc[0],
+					"ipc1":    ipc[1],
+					"sum_ipc": ipc[0] + ipc[1],
+				}})
+		}
+	}
 	r.saved[r.curArm] = r.HC.Save()
 	next := r.Ctrl.Step()
 	r.curArm = next

@@ -144,6 +144,8 @@ func LinePlot(title string, series []Series, rows, cols int) string {
 
 // SeriesCSV renders multiple series with a shared x column to CSV. Series
 // must have equal lengths; shorter series are padded with empty cells.
+// Rows go through the shared WriteCSVRow helper, so series names with
+// commas or quotes stay parseable.
 func SeriesCSV(xName string, series []Series) string {
 	maxLen := 0
 	for _, s := range series {
@@ -152,28 +154,25 @@ func SeriesCSV(xName string, series []Series) string {
 		}
 	}
 	var b strings.Builder
-	b.WriteString(xName)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, xName)
 	for _, s := range series {
-		b.WriteByte(',')
-		b.WriteString(s.Name)
+		header = append(header, s.Name)
 	}
-	b.WriteByte('\n')
+	WriteCSVRow(&b, header...)
+	row := make([]string, len(series)+1)
 	for i := 0; i < maxLen; i++ {
-		wroteX := false
+		row[0] = ""
+		if len(series) > 0 && i < len(series[0].X) {
+			row[0] = fmt.Sprintf("%g", series[0].X[i])
+		}
 		for si, s := range series {
-			if si == 0 {
-				if i < len(s.X) {
-					fmt.Fprintf(&b, "%g", s.X[i])
-					wroteX = true
-				}
-			}
-			b.WriteByte(',')
+			row[si+1] = ""
 			if i < len(s.Y) {
-				fmt.Fprintf(&b, "%g", s.Y[i])
+				row[si+1] = fmt.Sprintf("%g", s.Y[i])
 			}
 		}
-		_ = wroteX
-		b.WriteByte('\n')
+		WriteCSVRow(&b, row...)
 	}
 	return b.String()
 }

@@ -27,21 +27,35 @@ func Sum(xs []float64) float64 {
 	return s
 }
 
-// GeoMean returns the geometric mean of xs. All elements must be positive;
-// non-positive elements make the result NaN (callers are expected to feed
-// IPC ratios, which are positive by construction). Empty input returns 0.
+// GeoMean returns the geometric mean of xs, defined for any input:
+// callers feed it IPC ratios that are positive by construction in clean
+// runs, but injected faults (a stuck prefetcher arm, collapsed DRAM
+// bandwidth) can drive a measurement to exactly 0. A zero element makes
+// the result 0 — the mathematical limit of the geometric mean — rather
+// than NaN; negative, NaN, and infinite elements are skipped so one
+// corrupt measurement cannot poison a whole summary cell. Empty input,
+// or input with no usable elements, returns 0.
 func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
+	logSum, n := 0.0, 0
+	hasZero := false
+	for _, x := range xs {
+		switch {
+		case x == 0:
+			hasZero = true
+		case x < 0 || math.IsNaN(x) || math.IsInf(x, 0):
+			// skip: undefined under a geometric mean
+		default:
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if hasZero {
 		return 0
 	}
-	logSum := 0.0
-	for _, x := range xs {
-		if x <= 0 {
-			return math.NaN()
-		}
-		logSum += math.Log(x)
+	if n == 0 {
+		return 0
 	}
-	return math.Exp(logSum / float64(len(xs)))
+	return math.Exp(logSum / float64(n))
 }
 
 // Min returns the minimum of xs, or +Inf for an empty slice.

@@ -31,8 +31,23 @@ func TestGeoMean(t *testing.T) {
 	if got := GeoMean([]float64{1, 1, 1}); !almostEq(got, 1, 1e-12) {
 		t.Errorf("GeoMean(ones) = %v, want 1", got)
 	}
-	if got := GeoMean([]float64{1, -1}); !math.IsNaN(got) {
-		t.Errorf("GeoMean with negative = %v, want NaN", got)
+	// Degenerate inputs must stay defined: faulted runs (stuck arm,
+	// collapsed bandwidth at intensity 1) can measure exactly 0, and a
+	// corrupt element must not poison the summary.
+	if got := GeoMean([]float64{2, 0, 8}); got != 0 {
+		t.Errorf("GeoMean with zero = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, -1}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("GeoMean skipping negative = %v, want 1", got)
+	}
+	if got := GeoMean([]float64{4, math.NaN(), 9}); !almostEq(got, 6, 1e-12) {
+		t.Errorf("GeoMean skipping NaN = %v, want 6", got)
+	}
+	if got := GeoMean([]float64{2, math.Inf(1)}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("GeoMean skipping +Inf = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{-1, math.NaN()}); got != 0 {
+		t.Errorf("GeoMean with no usable elements = %v, want 0", got)
 	}
 }
 

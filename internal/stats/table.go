@@ -99,30 +99,16 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// CSV returns the table in RFC-4180-ish CSV form (quotes only where
-// needed), including the header row. The title is not included.
+// CSV returns the table in RFC 4180 CSV form (quotes only where
+// needed), including the header row. The title is not included. All
+// quoting goes through the shared WriteCSVRow helper.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			if strings.ContainsAny(c, ",\"\n") {
-				b.WriteByte('"')
-				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
-				b.WriteByte('"')
-			} else {
-				b.WriteString(c)
-			}
-		}
-		b.WriteByte('\n')
-	}
 	if len(t.Headers) > 0 {
-		writeRow(t.Headers)
+		WriteCSVRow(&b, t.Headers...)
 	}
 	for _, r := range t.Rows {
-		writeRow(r)
+		WriteCSVRow(&b, r...)
 	}
 	return b.String()
 }
