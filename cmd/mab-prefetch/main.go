@@ -20,10 +20,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"microbandit/internal/core"
 	"microbandit/internal/cpu"
@@ -33,6 +37,7 @@ import (
 	"microbandit/internal/par"
 	"microbandit/internal/prefetch"
 	"microbandit/internal/trace"
+	"microbandit/internal/version"
 )
 
 // runConfig carries the per-run flag values into the worker pool.
@@ -63,8 +68,13 @@ func main() {
 	telemetryEvery := flag.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
 	list := flag.Bool("list", false, "list catalog applications and exit")
 	workers := flag.Int("j", 0, "worker goroutines for multi-app runs (0 = one per CPU)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("mab-prefetch", version.String())
+		return
+	}
 	if *list {
 		for _, a := range trace.Catalog() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Suite)
@@ -120,7 +130,7 @@ func main() {
 
 	// Validate the prefetcher/algorithm configuration once before fanning
 	// out.
-	if _, err := simulate(apps[0], cfg, true, nil); err != nil {
+	if _, err := simulate(context.Background(), apps[0], cfg, true, nil); err != nil {
 		usageErr(err)
 	}
 	// Telemetry slots are claimed by app index, so the assembled stream
@@ -129,6 +139,11 @@ func main() {
 	if *telemetry != "" {
 		collector = obs.NewCollector(*telemetryEvery)
 	}
+	// SIGINT/SIGTERM cancels the fan-out: in-flight simulations stop at
+	// the next 100k-instruction chunk, unstarted apps never run, and
+	// everything that did finish still prints (plus telemetry) below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	// Each app is an independent simulation with its own hierarchy and
 	// seed; reports come back in input order regardless of worker count. A
 	// failing or panicking run becomes a per-job error; the siblings'
@@ -141,18 +156,20 @@ func main() {
 	for i, app := range apps {
 		jobs[i] = jobIn{i, app}
 	}
-	reports, errs := par.RunErr(*workers, jobs, func(j jobIn) (string, error) {
+	reports, errs := par.RunCtx(ctx, par.CtxOpts{Workers: *workers}, jobs, func(ctx context.Context, j jobIn) (string, error) {
 		var rec obs.Recorder
 		if collector != nil {
 			rec = collector.Slot(j.i, j.app.Name)
 		}
-		return simulate(j.app, cfg, false, rec)
+		return simulate(ctx, j.app, cfg, false, rec)
 	})
 	failed := 0
 	for i, report := range reports {
 		if errs[i] != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "mab-prefetch: %s: %v\n", apps[i].Name, errs[i])
+			if !errors.Is(errs[i], context.Canceled) {
+				failed++
+				fmt.Fprintf(os.Stderr, "mab-prefetch: %s: %v\n", apps[i].Name, errs[i])
+			}
 			continue
 		}
 		if i > 0 {
@@ -166,6 +183,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "mab-prefetch: interrupted; results above are partial")
+		os.Exit(1)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mab-prefetch: %d of %d runs failed; results above are partial\n", failed, len(apps))
 		os.Exit(1)
@@ -174,8 +195,10 @@ func main() {
 
 // simulate runs one app and returns its formatted report. dryRun only
 // checks that the prefetcher/algorithm configuration parses. rec, when
-// non-nil, receives the run's telemetry stream.
-func simulate(app trace.App, cfg runConfig, dryRun bool, rec obs.Recorder) (string, error) {
+// non-nil, receives the run's telemetry stream. If ctx is canceled
+// mid-run the simulation stops at the next chunk boundary and the report
+// covers the instructions that did run, flagged as partial.
+func simulate(ctx context.Context, app trace.App, cfg runConfig, dryRun bool, rec obs.Recorder) (string, error) {
 	seed := cfg.seed
 	hier := mem.NewHierarchy(cfg.memCfg)
 	if bf := fault.Bandwidth(cfg.faults, seed); bf != nil {
@@ -218,7 +241,7 @@ func simulate(app trace.App, cfg runConfig, dryRun bool, rec obs.Recorder) (stri
 		r.Obs = rec
 		r.ObsEvery = cfg.obsEvery
 	}
-	r.Run(cfg.insts)
+	interrupted := r.RunCtx(ctx, cfg.insts) != nil
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: r.Steps(),
 			Fields: map[string]float64{"ipc": c.IPC()}})
@@ -228,6 +251,9 @@ func simulate(app trace.App, cfg runConfig, dryRun bool, rec obs.Recorder) (stri
 	st := hier.Stats()
 	cl := hier.Classify()
 	fmt.Fprintf(&b, "app=%s prefetcher=%s insts=%d cycles=%d\n", app.Name, cfg.pfName, c.Insts(), c.Cycles())
+	if interrupted {
+		fmt.Fprintf(&b, "INTERRUPTED after %d of %d instructions; statistics are partial\n", c.Insts(), cfg.insts)
+	}
 	if len(cfg.faults) > 0 {
 		fmt.Fprintf(&b, "faults: %s\n", cfg.faults.String())
 	}

@@ -22,21 +22,25 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/metrics"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"microbandit/internal/fault"
 	"microbandit/internal/harness"
 	"microbandit/internal/obs"
 	"microbandit/internal/par"
+	"microbandit/internal/version"
 )
 
 func main() {
@@ -52,8 +56,13 @@ func main() {
 	telemetry := flag.String("telemetry", "", "with -robust: write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
 	telemetryEvery := flag.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
 	pprofDir := flag.String("pprof", "", "capture cpu.pprof, heap.pprof, and runtime metrics into this directory")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("mab-report", version.String())
+		return
+	}
 	if *list {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
@@ -94,6 +103,13 @@ func main() {
 	// Collect per-job failures instead of crashing: experiments render
 	// partial results and the appendix below lists what failed.
 	o.Errs = harness.NewErrorLog()
+	// SIGINT/SIGTERM cancels the experiment engine: in-flight simulations
+	// stop at the next chunk boundary, canceled jobs land in the error
+	// appendix, and whatever finished still renders before the exit.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	o.Ctx = ctx
+	interrupted = func() bool { return ctx.Err() != nil }
 
 	// Profiling spans every simulation below; exits go through exit() so
 	// the capture flushes (os.Exit skips defers).
@@ -159,6 +175,9 @@ func main() {
 	}
 	anyFailed := false
 	for _, e := range harness.Experiments() {
+		if interrupted() {
+			break
+		}
 		start := time.Now()
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Desc)
 		fmt.Print(runOne(e, o, *csvDir))
@@ -177,10 +196,20 @@ func main() {
 // profStop finalizes the -pprof capture; replaced by startProfiling.
 var profStop = func() {}
 
+// interrupted reports whether SIGINT/SIGTERM canceled the run; replaced
+// in main once the signal context exists.
+var interrupted = func() bool { return false }
+
 // exit flushes the profiling capture before terminating: os.Exit skips
 // deferred calls, so every post-simulation exit path must come through
-// here.
+// here. An interrupted run never exits 0 — its results are partial.
 func exit(code int) {
+	if interrupted() {
+		fmt.Fprintln(os.Stderr, "mab-report: interrupted; results above are partial")
+		if code == 0 {
+			code = 1
+		}
+	}
 	profStop()
 	os.Exit(code)
 }

@@ -18,15 +18,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"microbandit/internal/obs"
 	"microbandit/internal/par"
 	"microbandit/internal/simsmt"
 	"microbandit/internal/smtwork"
+	"microbandit/internal/version"
 )
 
 // runConfig carries the per-run flag values into the worker pool.
@@ -54,8 +59,13 @@ func main() {
 	telemetryEvery := flag.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
 	list := flag.Bool("list", false, "list thread profiles and exit")
 	workers := flag.Int("j", 0, "worker goroutines for multi-mix runs (0 = one per CPU)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("mab-smt", version.String())
+		return
+	}
 	if *list {
 		for _, p := range smtwork.Profiles() {
 			fmt.Printf("%-12s load=%.2f store=%.2f branch=%.2f fp=%.2f\n",
@@ -114,6 +124,11 @@ func main() {
 	if *telemetry != "" {
 		collector = obs.NewCollector(*telemetryEvery)
 	}
+	// SIGINT/SIGTERM cancels the fan-out: in-flight simulations stop at
+	// the next epoch boundary, unstarted mixes never run, and everything
+	// that did finish still prints (plus telemetry) below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	// Each mix is an independent simulation with its own state and seed;
 	// reports come back in input order regardless of worker count. A
 	// failing or panicking run becomes a per-job error; the siblings'
@@ -126,18 +141,20 @@ func main() {
 	for i, mix := range mixes {
 		jobs[i] = jobIn{i, mix}
 	}
-	reports, errs := par.RunErr(*workers, jobs, func(j jobIn) (string, error) {
+	reports, errs := par.RunCtx(ctx, par.CtxOpts{Workers: *workers}, jobs, func(ctx context.Context, j jobIn) (string, error) {
 		var rec obs.Recorder
 		if collector != nil {
 			rec = collector.Slot(j.i, j.mix.Name())
 		}
-		return simulate(j.mix, cfg, rec)
+		return simulate(ctx, j.mix, cfg, rec)
 	})
 	failed := 0
 	for i, report := range reports {
 		if errs[i] != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "mab-smt: %s: %v\n", mixes[i].Name(), errs[i])
+			if !errors.Is(errs[i], context.Canceled) {
+				failed++
+				fmt.Fprintf(os.Stderr, "mab-smt: %s: %v\n", mixes[i].Name(), errs[i])
+			}
 			continue
 		}
 		if i > 0 {
@@ -150,6 +167,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mab-smt: telemetry: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "mab-smt: interrupted; results above are partial")
+		os.Exit(1)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mab-smt: %d of %d runs failed; results above are partial\n", failed, len(mixes))
@@ -171,8 +192,10 @@ func validateCtrl(name string) error {
 }
 
 // simulate runs one mix and returns its formatted report. rec, when
-// non-nil, receives the run's telemetry stream.
-func simulate(mix smtwork.Mix, cfg runConfig, rec obs.Recorder) (string, error) {
+// non-nil, receives the run's telemetry stream. If ctx is canceled
+// mid-run the simulation stops at the next epoch boundary and the
+// report covers the cycles that did run, flagged as partial.
+func simulate(ctx context.Context, mix smtwork.Mix, cfg runConfig, rec obs.Recorder) (string, error) {
 	sim := simsmt.NewSim(mix.A, mix.B, cfg.seed)
 	var runner *simsmt.Runner
 	switch {
@@ -203,7 +226,7 @@ func simulate(mix smtwork.Mix, cfg runConfig, rec obs.Recorder) (string, error) 
 		runner.Obs = rec
 		runner.ObsEvery = cfg.obsEvery
 	}
-	runner.RunCycles(cfg.cycles)
+	interrupted := runner.RunCyclesCtx(ctx, cfg.cycles) != nil
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Cycle: sim.Cycle(),
 			Fields: map[string]float64{"sum_ipc": sim.SumIPC()}})
@@ -212,6 +235,9 @@ func simulate(mix smtwork.Mix, cfg runConfig, rec obs.Recorder) (string, error) 
 	var b strings.Builder
 	fmt.Fprintf(&b, "mix=%s ctrl=%s cycles=%d policy=%s\n",
 		mix.Name(), cfg.ctrlName, sim.Cycle(), sim.Policy())
+	if interrupted {
+		fmt.Fprintf(&b, "INTERRUPTED after %d of %d cycles; statistics are partial\n", sim.Cycle(), cfg.cycles)
+	}
 	fmt.Fprintf(&b, "thread0 (%s): %d uops   thread1 (%s): %d uops\n",
 		mix.A.Name, sim.Committed(0), mix.B.Name, sim.Committed(1))
 	fmt.Fprintf(&b, "sum IPC: %.4f   hill-climb share: %.3f\n", sim.SumIPC(), sim.Share())

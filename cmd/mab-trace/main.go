@@ -26,10 +26,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"microbandit/internal/core"
 	"microbandit/internal/cpu"
@@ -38,6 +42,7 @@ import (
 	"microbandit/internal/par"
 	"microbandit/internal/prefetch"
 	"microbandit/internal/trace"
+	"microbandit/internal/version"
 )
 
 func main() {
@@ -45,6 +50,8 @@ func main() {
 		usage()
 	}
 	switch {
+	case os.Args[1] == "-version", os.Args[1] == "--version", os.Args[1] == "version":
+		fmt.Println("mab-trace", version.String())
 	case os.Args[1] == "record":
 		record(os.Args[2:])
 	case os.Args[1] == "replay":
@@ -62,8 +69,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mab-trace {record|replay|info|run} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mab-trace {record|replay|info|run|version} [flags]")
 	os.Exit(2)
+}
+
+// interruptCtx returns a context canceled by SIGINT/SIGTERM, so long
+// simulations stop at the next chunk boundary and still report the
+// partial statistics (plus telemetry) they accumulated.
+func interruptCtx() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 // run simulates catalog applications under the Table 7 bandit
@@ -118,18 +132,22 @@ func run(args []string) {
 	for i, app := range apps {
 		jobs[i] = jobIn{i, app}
 	}
-	reports, errs := par.RunErr(*workers, jobs, func(j jobIn) (string, error) {
+	ctx, stop := interruptCtx()
+	defer stop()
+	reports, errs := par.RunCtx(ctx, par.CtxOpts{Workers: *workers}, jobs, func(ctx context.Context, j jobIn) (string, error) {
 		var rec obs.Recorder
 		if collector != nil {
 			rec = collector.Slot(j.i, j.app.Name)
 		}
-		return runOne(j.app, *insts, *stepL2, *seed, *telemetryEvery, rec)
+		return runOne(ctx, j.app, *insts, *stepL2, *seed, *telemetryEvery, rec)
 	})
 	failed := 0
 	for i, report := range reports {
 		if errs[i] != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "mab-trace: %s: %v\n", apps[i].Name, errs[i])
+			if !errors.Is(errs[i], context.Canceled) {
+				failed++
+				fmt.Fprintf(os.Stderr, "mab-trace: %s: %v\n", apps[i].Name, errs[i])
+			}
 			continue
 		}
 		fmt.Print(report)
@@ -139,6 +157,10 @@ func run(args []string) {
 			fatal(fmt.Errorf("telemetry: %w", err))
 		}
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "mab-trace: interrupted; results above are partial")
+		os.Exit(1)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mab-trace: %d of %d runs failed; results above are partial\n", failed, len(apps))
 		os.Exit(1)
@@ -146,8 +168,9 @@ func run(args []string) {
 }
 
 // runOne simulates one app under the bandit prefetcher and returns its
-// report line.
-func runOne(app trace.App, insts int64, stepL2 int, seed uint64, every int, rec obs.Recorder) (string, error) {
+// report line. An interrupted run reports the instructions that did run,
+// flagged as partial.
+func runOne(ctx context.Context, app trace.App, insts int64, stepL2 int, seed uint64, every int, rec obs.Recorder) (string, error) {
 	hier := mem.NewHierarchy(mem.DefaultConfig())
 	c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
 	ens := prefetch.NewTable7Ensemble()
@@ -162,13 +185,17 @@ func runOne(app trace.App, insts int64, stepL2 int, seed uint64, every int, rec 
 		runner.Obs = rec
 		runner.ObsEvery = every
 	}
-	runner.Run(insts)
+	interrupted := runner.RunCtx(ctx, insts) != nil
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: runner.Steps(),
 			Fields: map[string]float64{"ipc": c.IPC()}})
 	}
-	return fmt.Sprintf("ran %s: %d insts, %d cycles, IPC %.4f, %d bandit steps\n",
-		app.Name, c.Insts(), c.Cycles(), c.IPC(), runner.Steps()), nil
+	note := ""
+	if interrupted {
+		note = " [interrupted; partial]"
+	}
+	return fmt.Sprintf("ran %s: %d insts, %d cycles, IPC %.4f, %d bandit steps%s\n",
+		app.Name, c.Insts(), c.Cycles(), c.IPC(), runner.Steps(), note), nil
 }
 
 func record(args []string) {
@@ -203,30 +230,37 @@ func record(args []string) {
 	}
 
 	// Each recording owns its generator and output file; reports print in
-	// input order regardless of worker count.
-	type result struct {
-		report string
-		err    error
-	}
-	results := par.Run(*workers, apps, func(app trace.App) result {
+	// input order regardless of worker count. An interrupt abandons
+	// in-flight recordings and removes their partial files — a truncated
+	// trace would silently shorten every later replay.
+	ctx, stop := interruptCtx()
+	defer stop()
+	reports, errs := par.RunCtx(ctx, par.CtxOpts{Workers: *workers}, apps, func(ctx context.Context, app trace.App) (string, error) {
 		path := *out
 		if path == "" {
 			path = app.Name + ".mbt"
 		}
-		report, err := recordOne(app, path, *insts, *seed)
-		return result{report, err}
+		return recordOne(ctx, app, path, *insts, *seed)
 	})
-	for _, r := range results {
-		if r.err != nil {
-			fatal(r.err)
+	for i, report := range reports {
+		if errs[i] != nil {
+			if errors.Is(errs[i], context.Canceled) {
+				continue
+			}
+			fatal(errs[i])
 		}
-		fmt.Print(r.report)
+		fmt.Print(report)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "mab-trace: interrupted; unfinished recordings were removed")
+		os.Exit(1)
 	}
 }
 
 // recordOne writes one application's trace file and returns the report
-// line.
-func recordOne(app trace.App, path string, insts int64, seed uint64) (string, error) {
+// line. On cancellation the partial file is removed and ctx's error
+// returned.
+func recordOne(ctx context.Context, app trace.App, path string, insts int64, seed uint64) (string, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err
@@ -239,6 +273,11 @@ func recordOne(app trace.App, path string, insts int64, seed uint64) (string, er
 	g := app.New(seed)
 	var inst trace.Inst
 	for i := int64(0); i < insts; i++ {
+		if i%65536 == 0 && ctx.Err() != nil {
+			f.Close()
+			os.Remove(path)
+			return "", ctx.Err()
+		}
 		g.Next(&inst)
 		if err := w.Write(&inst); err != nil {
 			return "", err
@@ -331,7 +370,9 @@ func replay(args []string) {
 		runner.Obs = rec
 		runner.ObsEvery = *telemetryEvery
 	}
-	runner.Run(*insts)
+	ctx, stop := interruptCtx()
+	defer stop()
+	interrupted := runner.RunCtx(ctx, *insts) != nil
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: runner.Steps(),
 			Fields: map[string]float64{"ipc": c.IPC()}})
@@ -339,8 +380,15 @@ func replay(args []string) {
 			fatal(fmt.Errorf("telemetry: %w", err))
 		}
 	}
-	fmt.Printf("replayed %s: %d insts, %d cycles, IPC %.4f\n",
-		r.TraceName(), c.Insts(), c.Cycles(), c.IPC())
+	note := ""
+	if interrupted {
+		note = " [interrupted; partial]"
+	}
+	fmt.Printf("replayed %s: %d insts, %d cycles, IPC %.4f%s\n",
+		r.TraceName(), c.Insts(), c.Cycles(), c.IPC(), note)
+	if interrupted {
+		os.Exit(1)
+	}
 }
 
 func info(args []string) {

@@ -218,6 +218,10 @@ func (a *Agent) InInitialRR() bool { return a.steps < a.cfg.Arms }
 // Restarts returns how many §4.3 round-robin restarts have triggered.
 func (a *Agent) Restarts() int { return a.restarts }
 
+// StepOpen reports whether a Step call is awaiting its Reward. A restored
+// snapshot taken between Step and Reward resumes with the step open.
+func (a *Agent) StepOpen() bool { return a.inStep }
+
 // RestartActive reports whether the agent is mid-way through a §4.3
 // restart sweep (forced arms pending after the initial round-robin
 // phase). Coordinators use it to serialize exploration across agents.

@@ -74,6 +74,9 @@ func (m *MetaAgent) Levels() int { return len(m.low) }
 // most recent) step.
 func (m *MetaAgent) CurrentLevel() int { return m.current }
 
+// StepOpen reports whether a Step call is awaiting its Reward.
+func (m *MetaAgent) StepOpen() bool { return m.inStep }
+
 // Step implements Controller: the high-level bandit picks a low-level
 // agent; that agent picks the hardware arm. Every other low-level agent
 // also opens a step so it can learn from the shared reward.

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"microbandit/internal/xrand"
+)
+
+// snapshotPolicies returns one fresh instance of every snapshotable
+// policy, keyed by a display name.
+func snapshotPolicies() map[string]func() Policy {
+	return map[string]func() Policy{
+		"eps":        func() Policy { return NewEpsilonGreedy(0.1) },
+		"ucb":        func() Policy { return NewUCB(0.04) },
+		"ducb":       func() Policy { return NewDUCB(PrefetchC, PrefetchGamma) },
+		"static":     func() Policy { return NewStatic(2) },
+		"single":     func() Policy { return NewSingle() },
+		"periodic":   func() Policy { return NewPeriodic(5, 3) },
+		"thompson":   func() Policy { return NewThompson(0.3) },
+		"d-thompson": func() Policy { return NewDiscountedThompson(0.3, 0.98) },
+	}
+}
+
+// stepReward is the deterministic reward stream used by the snapshot
+// tests: a fixed per-arm mean plus a step-dependent wobble.
+func stepReward(arm, step int) float64 {
+	return 0.5 + 0.1*float64(arm%3) + 0.01*float64(step%7)
+}
+
+// drive runs n Step/Reward pairs and returns the chosen arms.
+func drive(c Controller, startStep, n int) []int {
+	arms := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := c.Step()
+		arms[i] = a
+		c.Reward(stepReward(a, startStep+i))
+	}
+	return arms
+}
+
+func TestSnapshotRoundTripByteIdentical(t *testing.T) {
+	for name, mk := range snapshotPolicies() {
+		t.Run(name, func(t *testing.T) {
+			a := MustNew(Config{
+				Arms: 5, Policy: mk(), Normalize: true,
+				RRRestartProb: 0.05, Seed: 42, RecordTrace: true,
+			})
+			drive(a, 0, 40)
+			// Snapshot mid-step too: the open step must survive.
+			a.Step()
+
+			s1, err := a.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			b1, err := json.Marshal(s1)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			restored, err := RestoreAgentJSON(b1)
+			if err != nil {
+				t.Fatalf("RestoreAgentJSON: %v", err)
+			}
+			s2, err := restored.Snapshot()
+			if err != nil {
+				t.Fatalf("re-Snapshot: %v", err)
+			}
+			b2, err := json.Marshal(s2)
+			if err != nil {
+				t.Fatalf("re-Marshal: %v", err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("snapshot not byte-identical after restore:\n  %s\nvs\n  %s", b1, b2)
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreContinuation is the Snapshot→Restore→Step^n ≡ Step^n
+// property: after a restore the agent must follow the exact arm sequence
+// and land in the exact learned state the original would have reached.
+func TestSnapshotRestoreContinuation(t *testing.T) {
+	for name, mk := range snapshotPolicies() {
+		for _, prefix := range []int{0, 3, 17, 64} {
+			t.Run(fmt.Sprintf("%s/prefix%d", name, prefix), func(t *testing.T) {
+				cfg := Config{
+					Arms: 4, Policy: mk(), Normalize: true,
+					RRRestartProb: 0.02, Seed: 7, RecordTrace: true,
+					HardwarePrecision: prefix%2 == 0,
+				}
+				orig := MustNew(cfg)
+				drive(orig, 0, prefix)
+
+				snap, err := orig.Snapshot()
+				if err != nil {
+					t.Fatalf("Snapshot: %v", err)
+				}
+				data, err := json.Marshal(snap)
+				if err != nil {
+					t.Fatalf("Marshal: %v", err)
+				}
+				restored, err := RestoreAgentJSON(data)
+				if err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+
+				const n = 120
+				wantArms := drive(orig, prefix, n)
+				gotArms := drive(restored, prefix, n)
+				for i := range wantArms {
+					if gotArms[i] != wantArms[i] {
+						t.Fatalf("step %d after restore: arm %d, want %d", i, gotArms[i], wantArms[i])
+					}
+				}
+				if got, want := restored.Rewards(), orig.Rewards(); !equalF64(got, want) {
+					t.Fatalf("rTable diverged: %v vs %v", got, want)
+				}
+				if got, want := restored.Counts(), orig.Counts(); !equalF64(got, want) {
+					t.Fatalf("nTable diverged: %v vs %v", got, want)
+				}
+				if restored.Restarts() != orig.Restarts() {
+					t.Fatalf("restart count diverged: %d vs %d", restored.Restarts(), orig.Restarts())
+				}
+				if restored.RAvg() != orig.RAvg() {
+					t.Fatalf("rAvg diverged: %v vs %v", restored.RAvg(), orig.RAvg())
+				}
+			})
+		}
+	}
+}
+
+func TestMetaSnapshotRoundTripAndContinuation(t *testing.T) {
+	build := func() *MetaAgent {
+		return mustSweepMeta(t)
+	}
+	orig := build()
+	drive(orig, 0, 50)
+
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	b1, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	restored, err := RestoreMetaAgentJSON(b1)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// Byte identity.
+	s2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatalf("re-Snapshot: %v", err)
+	}
+	b2, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatalf("re-Marshal: %v", err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("meta snapshot not byte-identical:\n  %s\nvs\n  %s", b1, b2)
+	}
+
+	// Continuation.
+	want := drive(orig, 50, 100)
+	got := drive(restored, 50, 100)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("meta step %d after restore: arm %d, want %d", i, got[i], want[i])
+		}
+	}
+	if restored.CurrentLevel() != orig.CurrentLevel() {
+		t.Fatalf("current level diverged: %d vs %d", restored.CurrentLevel(), orig.CurrentLevel())
+	}
+}
+
+func mustSweepMeta(t *testing.T) *MetaAgent {
+	t.Helper()
+	m, err := NewDUCBSweepMeta(4, [][2]float64{{0.04, 0.999}, {0.01, 0.975}, {0.1, 0.99}}, true, 11)
+	if err != nil {
+		t.Fatalf("NewDUCBSweepMeta: %v", err)
+	}
+	return m
+}
+
+func TestRestoreTypedErrors(t *testing.T) {
+	a := MustNew(Config{Arms: 3, Policy: NewDUCB(0.04, 0.999), Seed: 1})
+	drive(a, 0, 10)
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	good, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+
+	t.Run("version mismatch", func(t *testing.T) {
+		s := *snap
+		s.V = SnapshotVersion + 1
+		if _, err := RestoreAgent(&s); err == nil {
+			t.Fatal("want error for future version")
+		} else {
+			var ve *VersionError
+			if !errors.As(err, &ve) {
+				t.Fatalf("want *VersionError, got %T: %v", err, err)
+			}
+		}
+	})
+
+	t.Run("malformed json", func(t *testing.T) {
+		if _, err := RestoreAgentJSON([]byte("{not json")); err == nil {
+			t.Fatal("want error for malformed JSON")
+		} else {
+			var se *SnapshotError
+			if !errors.As(err, &se) {
+				t.Fatalf("want *SnapshotError, got %T: %v", err, err)
+			}
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(good); cut += 7 {
+			if _, err := RestoreAgentJSON(good[:cut]); err == nil {
+				t.Fatalf("want error for truncation at %d bytes", cut)
+			}
+		}
+	})
+
+	t.Run("inconsistent tables", func(t *testing.T) {
+		s := *snap
+		s.R = s.R[:1]
+		var se *SnapshotError
+		if _, err := RestoreAgent(&s); !errors.As(err, &se) {
+			t.Fatalf("want *SnapshotError, got %v", err)
+		}
+	})
+
+	t.Run("unknown policy", func(t *testing.T) {
+		s := *snap
+		s.Policy = PolicySnapshot{Kind: "gradient-bandit"}
+		var se *SnapshotError
+		if _, err := RestoreAgent(&s); !errors.As(err, &se) {
+			t.Fatalf("want *SnapshotError, got %v", err)
+		}
+	})
+
+	t.Run("out of range forced arm", func(t *testing.T) {
+		s := *snap
+		s.Forced = []int{99}
+		var se *SnapshotError
+		if _, err := RestoreAgent(&s); !errors.As(err, &se) {
+			t.Fatalf("want *SnapshotError, got %v", err)
+		}
+	})
+
+	t.Run("nil snapshot", func(t *testing.T) {
+		if _, err := RestoreAgent(nil); err == nil {
+			t.Fatal("want error for nil snapshot")
+		}
+		if _, err := RestoreMetaAgent(nil); err == nil {
+			t.Fatal("want error for nil meta snapshot")
+		}
+	})
+}
+
+// TestSnapshotUnsnapshotablePolicy ensures a custom user policy produces
+// a typed error, not a panic.
+func TestSnapshotUnsnapshotablePolicy(t *testing.T) {
+	a := MustNew(Config{Arms: 2, Policy: customPolicy{}, Seed: 1})
+	var se *SnapshotError
+	if _, err := a.Snapshot(); !errors.As(err, &se) {
+		t.Fatalf("want *SnapshotError for custom policy, got %v", err)
+	}
+}
+
+type customPolicy struct{}
+
+func (customPolicy) Name() string                       { return "custom" }
+func (customPolicy) NextArm(*Tables, *xrand.Rand) int   { return 0 }
+func (customPolicy) UpdateSelections(t *Tables, a int)  { t.N[a]++; t.NTotal++ }
+func (customPolicy) UpdateReward(*Tables, int, float64) {}
+func (customPolicy) Reset()                             {}
+
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzAgentSnapshotCodec hammers the snapshot decoder with arbitrary
+// bytes: it must never panic, and any input it accepts must re-encode to
+// a snapshot it accepts again (decode is a retraction onto valid state).
+func FuzzAgentSnapshotCodec(f *testing.F) {
+	for name, mk := range snapshotPolicies() {
+		a := MustNew(Config{
+			Arms: 3, Policy: mk(), Normalize: true,
+			RRRestartProb: 0.01, Seed: 5, RecordTrace: name == "ducb",
+		})
+		drive(a, 0, 25)
+		if s, err := a.Snapshot(); err == nil {
+			if b, err := json.Marshal(s); err == nil {
+				f.Add(b)
+			}
+		}
+	}
+	f.Add([]byte(`{"v":1}`))
+	f.Add([]byte(`{"v":1,"arms":1,"policy":{"kind":"ucb"},"rtable":[0],"ntable":[0],"rng":[1,2,3,4]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := RestoreAgentJSON(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must be usable and re-snapshotable. A snapshot
+		// taken mid-step restores with the step still open: close it.
+		if a.StepOpen() {
+			a.Reward(1)
+		}
+		arm := a.Step()
+		if arm < 0 || arm >= a.Arms() {
+			t.Fatalf("restored agent chose arm %d of %d", arm, a.Arms())
+		}
+		a.Reward(1)
+		s, err := a.Snapshot()
+		if err != nil {
+			t.Fatalf("re-snapshot of accepted input: %v", err)
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted input: %v", err)
+		}
+		if _, err := RestoreAgentJSON(b); err != nil {
+			t.Fatalf("re-restore of accepted input: %v", err)
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"context"
+
 	"microbandit/internal/core"
 	"microbandit/internal/hw"
 	"microbandit/internal/mem"
@@ -111,13 +113,44 @@ func (r *Runner) Steps() int64 { return r.rewardCount }
 
 // Run simulates n instructions, driving the bandit protocol.
 func (r *Runner) Run(n int64) {
+	r.primeFirstArm()
+	r.Core.RunInsts(n)
+}
+
+// runCtxChunk is how many instructions RunCtx simulates between
+// cancellation checks: small enough that an interrupt lands within tens
+// of milliseconds, large enough that the check is free.
+const runCtxChunk = 100_000
+
+// RunCtx is Run with cooperative cancellation: the simulation proceeds
+// in chunks and stops at the first chunk boundary after ctx is done,
+// returning ctx's error. All statistics (IPC, hierarchy counters, arm
+// trace, telemetry) remain valid for the instructions that did run, so
+// callers can report partial results after an interrupt.
+func (r *Runner) RunCtx(ctx context.Context, n int64) error {
+	r.primeFirstArm()
+	for n > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := int64(runCtxChunk)
+		if chunk > n {
+			chunk = n
+		}
+		r.Core.RunInsts(chunk)
+		n -= chunk
+	}
+	return ctx.Err()
+}
+
+// primeFirstArm applies the episode's first arm immediately (no
+// selection latency) on the first call of a bandit-controlled run.
+func (r *Runner) primeFirstArm() {
 	if r.Ctrl != nil && r.Tunable != nil && r.rewardCount == 0 && !r.havePending && r.stepAccesses == 0 {
-		// First arm applies immediately at the start of the episode.
 		arm := r.Ctrl.Step()
 		r.Tunable.Apply(arm)
 		r.logArm(0, arm)
 	}
-	r.Core.RunInsts(n)
 }
 
 func (r *Runner) logArm(cycle int64, arm int) {

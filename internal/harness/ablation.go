@@ -187,7 +187,7 @@ func AblationStepRR(o Options) AblationResult {
 		r.EpochLen = o.EpochLen
 		r.RREpochs = rrEpochs
 		r.MainEpochs = o.MainEpochs
-		r.RunCycles(o.SMTCycles)
+		o.simCycles(r)
 		return sim.SumIPC()
 	})
 
@@ -279,7 +279,7 @@ func AblationArms(o Options) AblationResult {
 		})
 		r := cpu.NewRunner(c, ens, ctrl, ens)
 		r.StepL2 = o.StepL2
-		r.Run(o.Insts)
+		o.simInsts(r)
 		return c.IPC()
 	})
 
@@ -332,7 +332,7 @@ func AblationTargetLevel(o Options) AblationResult {
 		})
 		r := cpu.NewRunner(c, tun, ctrl, tun)
 		r.StepL2 = o.StepL2
-		r.Run(o.Insts)
+		o.simInsts(r)
 		return c.IPC()
 	})
 

@@ -70,7 +70,7 @@ func Extras(o Options) ExtrasResult {
 		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
 		r := cpu.NewRunner(c, prefetch.NewBOP(), nil, nil)
 		r.StepL2 = o.StepL2
-		r.Run(o.Insts)
+		o.simInsts(r)
 		out.bop = c.IPC() / base
 
 		// Paper-default (flat) Bandit.
@@ -117,7 +117,7 @@ func Extras(o Options) ExtrasResult {
 		simA := simsmt.NewSim(mix.A, mix.B, seed)
 		ra := simsmt.NewARPARunner(simA, simsmt.ChoiPolicy)
 		ra.EpochLen = o.EpochLen
-		ra.RunCycles(o.SMTCycles)
+		o.simCycles(ra)
 		return [3]float64{
 			simA.SumIPC(),
 			o.runSMTFixed(mix, "choi", simsmt.ChoiPolicy, true).SumIPC,

@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -69,7 +70,37 @@ type Options struct {
 	// stream is byte-identical at every Workers count. The Collector's
 	// Every field sets the snapshot/interval cadence in bandit steps.
 	Obs *obs.Collector
+
+	// Ctx, when non-nil, cancels the experiment engine cooperatively:
+	// once done, in-flight simulations stop at their next chunk or epoch
+	// boundary and report the statistics they accumulated, unstarted
+	// jobs land in Errs as cancellations, and the experiment renders
+	// partial results. Nil means run to completion.
+	Ctx context.Context
 }
+
+// ctx resolves the engine context for simulation runners.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// simInsts drives one prefetching runner for the option's instruction
+// budget under the engine context; on cancellation the runner's partial
+// statistics stay valid.
+func (o Options) simInsts(r *cpu.Runner) { _ = r.RunCtx(o.ctx(), o.Insts) }
+
+// cycleRunner is any SMT-side runner with cancellable cycle driving
+// (simsmt.Runner, simsmt.ARPARunner).
+type cycleRunner interface {
+	RunCyclesCtx(ctx context.Context, n int64) error
+}
+
+// simCycles drives one SMT runner for the option's cycle budget under
+// the engine context.
+func (o Options) simCycles(r cycleRunner) { _ = r.RunCyclesCtx(o.ctx(), o.SMTCycles) }
 
 // workers resolves the pool size for runJobs.
 func (o Options) workers() int {
@@ -91,9 +122,21 @@ func (o Options) workers() int {
 // always run to completion, so experiments degrade to partial results
 // instead of taking the whole engine down.
 func runJobs[J, R any](o Options, jobs []J, fn func(J) R) []R {
-	results, errs := par.RunErr(o.workers(), jobs, func(j J) (R, error) {
-		return fn(j), nil
-	})
+	var results []R
+	var errs []error
+	if o.Ctx != nil {
+		// Cancellable engine: once Ctx is done, running jobs finish early
+		// (their simulators observe the same context) and unstarted jobs
+		// come back as cancellation errors instead of running.
+		results, errs = par.RunCtx(o.Ctx, par.CtxOpts{Workers: o.workers()}, jobs,
+			func(_ context.Context, j J) (R, error) {
+				return fn(j), nil
+			})
+	} else {
+		results, errs = par.RunErr(o.workers(), jobs, func(j J) (R, error) {
+			return fn(j), nil
+		})
+	}
 	for _, err := range errs {
 		if err == nil {
 			continue
@@ -245,7 +288,7 @@ func (o Options) runPrefetch(app trace.App, kind PfKind, memCfg mem.Config) Pref
 	l2, ctrl, tun := pfSetup(kind, seed)
 	r := cpu.NewRunner(c, l2, ctrl, tun)
 	r.StepL2 = o.StepL2
-	r.Run(o.Insts)
+	o.simInsts(r)
 	return PrefetchRun{
 		App: app.Name, Suite: app.Suite, Kind: string(kind),
 		IPC: c.IPC(), Stats: hier.Stats(), Class: hier.Classify(),
@@ -261,7 +304,7 @@ func (o Options) runPrefetchCtrl(app trace.App, name string, ctrl core.Controlle
 	ens := prefetch.NewTable7Ensemble()
 	r := cpu.NewRunner(c, ens, ctrl, ens)
 	r.StepL2 = o.StepL2
-	r.Run(o.Insts)
+	o.simInsts(r)
 	return PrefetchRun{
 		App: app.Name, Suite: app.Suite, Kind: name,
 		IPC: c.IPC(), Stats: hier.Stats(), Class: hier.Classify(),
@@ -285,7 +328,7 @@ func (o Options) runSMTFixed(mix smtwork.Mix, kind string, policy simsmt.Policy,
 	sim := simsmt.NewSim(mix.A, mix.B, seed)
 	r := simsmt.NewFixedRunner(sim, policy, hc)
 	r.EpochLen = o.EpochLen
-	r.RunCycles(o.SMTCycles)
+	o.simCycles(r)
 	return SMTRun{Mix: mix.Name(), Kind: kind, SumIPC: sim.SumIPC(), Rename: sim.RenameStats()}
 }
 
@@ -297,7 +340,7 @@ func (o Options) runSMTCtrl(mix smtwork.Mix, kind string, ctrl core.Controller) 
 	r.EpochLen = o.EpochLen
 	r.RREpochs = o.RREpochs
 	r.MainEpochs = o.MainEpochs
-	r.RunCycles(o.SMTCycles)
+	o.simCycles(r)
 	return SMTRun{Mix: mix.Name(), Kind: kind, SumIPC: sim.SumIPC(), Rename: sim.RenameStats()}
 }
 

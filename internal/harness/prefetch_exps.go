@@ -44,7 +44,7 @@ func Fig2(o Options) Fig2Result {
 		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
 		py := prefetch.NewPythia(seed)
 		r := cpu.NewRunner(c, py, nil, nil)
-		r.Run(o.Insts)
+		o.simInsts(r)
 
 		counts := py.ActionCounts()
 		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
@@ -481,7 +481,7 @@ func Fig12(o Options) Fig12Result {
 		r := cpu.NewRunner(c, l2, ctrl, tun)
 		r.L1Pf = cb.l1(seed)
 		r.StepL2 = o.StepL2
-		r.Run(o.Insts)
+		o.simInsts(r)
 		return c.IPC()
 	})
 
@@ -712,7 +712,7 @@ func Fig7Prefetch(o Options) []Fig7Panel {
 		r := cpu.NewRunner(c, ens, ctrl, ens)
 		r.StepL2 = o.StepL2
 		r.RecordArms()
-		r.Run(o.Insts)
+		o.simInsts(r)
 		panel := Fig7Panel{Algo: name, App: app.Name, IPC: c.IPC()}
 		panel.Arms = make([]ArmPoint, 0, len(r.ArmTrace))
 		for _, s := range r.ArmTrace {

@@ -69,7 +69,7 @@ func RewardMetrics(o Options) RewardMetricsResult {
 		r.MainEpochs = o.MainEpochs
 		r.Reward = mode
 		r.Solo = [2]float64{solo[mix.A.Name], solo[mix.B.Name]}
-		r.RunCycles(o.SMTCycles)
+		o.simCycles(r)
 		return simsmt.Evaluate(sim, r.Solo)
 	})
 

@@ -183,7 +183,7 @@ func (o Options) runPrefetchFaulted(app trace.App, algo string, fs fault.Set, me
 		r.Obs = rec
 		r.ObsEvery = every
 	}
-	r.Run(o.Insts)
+	o.simInsts(r)
 	ipc := c.IPC()
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: r.Steps(),

@@ -412,7 +412,7 @@ func (o Options) runSMTTrace(mix smtwork.Mix, algo string) ([]simsmt.ArmSample, 
 	r.RREpochs = o.RREpochs
 	r.MainEpochs = o.MainEpochs
 	r.RecordArms()
-	r.RunCycles(o.SMTCycles)
+	o.simCycles(r)
 	return r.ArmTrace, sim.SumIPC()
 }
 

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"microbandit/internal/core"
+	"microbandit/internal/fault"
+)
+
+// CheckpointVersion is the checkpoint file schema version.
+const CheckpointVersion = 1
+
+// Session kinds in a checkpoint record.
+const (
+	ckptAgent = "agent"
+	ckptMeta  = "meta"
+	ckptFixed = "fixed"
+)
+
+// sessionCheckpoint is one serialized session: its spec, sequencing
+// state, and the agent snapshot. The agent payload is kept raw so the
+// envelope decodes without knowing the kind up front.
+type sessionCheckpoint struct {
+	ID       string          `json:"id"`
+	Spec     Spec            `json:"spec"`
+	Seq      uint64          `json:"seq"`
+	Open     bool            `json:"open,omitempty"`
+	Arm      int             `json:"arm,omitempty"`
+	Kind     string          `json:"kind"`
+	Agent    json.RawMessage `json:"agent,omitempty"`
+	FixedArm int             `json:"fixed_arm,omitempty"`
+}
+
+// checkpointFile is the on-disk layout. Sessions are sorted by id, so a
+// quiesced server checkpoints to identical bytes every time.
+type checkpointFile struct {
+	V        int                 `json:"v"`
+	NextID   uint64              `json:"next_id"`
+	Sessions []sessionCheckpoint `json:"sessions"`
+}
+
+// checkpointSession captures one session under its lock.
+//
+// Server-side fault wrappers (Spec.Faults) are intentionally not part of
+// the snapshot: they are rebuilt from the spec on restore, so their
+// private random streams restart. Fault-free sessions replay
+// deterministically across a restore; chaos-injected sessions resume with
+// a fresh fault stream.
+func checkpointSession(s *Session) (sessionCheckpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck := sessionCheckpoint{
+		ID: s.id, Spec: s.spec, Seq: s.seq, Open: s.open, Arm: s.arm,
+	}
+	switch a := s.agent.(type) {
+	case *core.Agent:
+		snap, err := a.Snapshot()
+		if err != nil {
+			return ck, fmt.Errorf("session %s: %w", s.id, err)
+		}
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return ck, fmt.Errorf("session %s: %w", s.id, err)
+		}
+		ck.Kind, ck.Agent = ckptAgent, data
+	case *core.MetaAgent:
+		snap, err := a.Snapshot()
+		if err != nil {
+			return ck, fmt.Errorf("session %s: %w", s.id, err)
+		}
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return ck, fmt.Errorf("session %s: %w", s.id, err)
+		}
+		ck.Kind, ck.Agent = ckptMeta, data
+	case core.FixedArm:
+		ck.Kind, ck.FixedArm = ckptFixed, int(a)
+	default:
+		return ck, fmt.Errorf("session %s: controller %T is not checkpointable", s.id, s.agent)
+	}
+	return ck, nil
+}
+
+// restoreSession rebuilds a session from its checkpoint record. The
+// agent resumes its exact snapshot state; the drive-path fault wrapper
+// (when the spec arms one) is rebuilt fresh from the spec.
+func restoreSession(ck sessionCheckpoint) (*Session, error) {
+	if ck.ID == "" {
+		return nil, &CheckpointError{Reason: "session record without an id"}
+	}
+	spec := ck.Spec
+	spec.normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, &CheckpointError{Reason: fmt.Sprintf("session %s: %v", ck.ID, err)}
+	}
+	var agent core.Controller
+	switch ck.Kind {
+	case ckptAgent:
+		a, err := core.RestoreAgentJSON(ck.Agent)
+		if err != nil {
+			return nil, &CheckpointError{Reason: fmt.Sprintf("session %s: %v", ck.ID, err)}
+		}
+		agent = a
+	case ckptMeta:
+		m, err := core.RestoreMetaAgentJSON(ck.Agent)
+		if err != nil {
+			return nil, &CheckpointError{Reason: fmt.Sprintf("session %s: %v", ck.ID, err)}
+		}
+		agent = m
+	case ckptFixed:
+		if ck.FixedArm < 0 || ck.FixedArm >= spec.Arms {
+			return nil, &CheckpointError{Reason: fmt.Sprintf("session %s: fixed arm %d outside [0,%d)", ck.ID, ck.FixedArm, spec.Arms)}
+		}
+		agent = core.FixedArm(ck.FixedArm)
+	default:
+		return nil, &CheckpointError{Reason: fmt.Sprintf("session %s: unknown kind %q", ck.ID, ck.Kind)}
+	}
+	if ck.Open && (ck.Arm < 0 || ck.Arm >= spec.Arms) {
+		return nil, &CheckpointError{Reason: fmt.Sprintf("session %s: open arm %d outside [0,%d)", ck.ID, ck.Arm, spec.Arms)}
+	}
+	set, err := fault.ParseSet(spec.Faults)
+	if err != nil {
+		return nil, &CheckpointError{Reason: fmt.Sprintf("session %s: %v", ck.ID, err)}
+	}
+	return &Session{
+		id: ck.ID, spec: spec,
+		agent: agent, drive: fault.Controller(agent, set, spec.Seed),
+		seq: ck.Seq, open: ck.Open, arm: ck.Arm,
+	}, nil
+}
+
+// Checkpoint serializes every live session, sorted by id. Sessions are
+// locked one at a time, so traffic on other sessions proceeds during a
+// checkpoint.
+func (st *Store) Checkpoint() ([]byte, error) {
+	file := checkpointFile{V: CheckpointVersion, NextID: st.nextID.Load()}
+	for _, id := range st.IDs() {
+		s, ok := st.Get(id)
+		if !ok {
+			continue // deleted between IDs() and now
+		}
+		ck, err := checkpointSession(s)
+		if err != nil {
+			return nil, err
+		}
+		file.Sessions = append(file.Sessions, ck)
+	}
+	return json.Marshal(file)
+}
+
+// WriteCheckpoint atomically persists the store to path: the file is
+// fully written and fsynced under a temporary name in the same
+// directory, then renamed over the target, so a crash mid-write never
+// leaves a truncated checkpoint behind.
+func (st *Store) WriteCheckpoint(path string) error {
+	data, err := st.Checkpoint()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// RestoreCheckpoint rebuilds a store from checkpoint bytes. Every error
+// path returns a typed *CheckpointError (or core's typed snapshot
+// errors wrapped in one); it never panics on hostile input.
+func RestoreCheckpoint(data []byte, shards int) (*Store, error) {
+	var file checkpointFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, &CheckpointError{Reason: fmt.Sprintf("decode: %v", err)}
+	}
+	if file.V != CheckpointVersion {
+		return nil, &CheckpointError{Reason: fmt.Sprintf("version %d (this build reads version %d)", file.V, CheckpointVersion)}
+	}
+	st := NewStore(shards)
+	st.nextID.Store(file.NextID)
+	for _, ck := range file.Sessions {
+		s, err := restoreSession(ck)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.insert(s); err != nil {
+			return nil, &CheckpointError{Reason: err.Error()}
+		}
+	}
+	return st, nil
+}
+
+// LoadCheckpoint reads and restores a checkpoint file.
+func LoadCheckpoint(path string, shards int) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return RestoreCheckpoint(data, shards)
+}

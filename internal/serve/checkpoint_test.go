@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microbandit/internal/core"
+)
+
+// ckptReward is a deterministic per-(session, arm, step) reward so replay
+// comparisons exercise real learning dynamics.
+func ckptReward(sess int, arm int, step uint64) float64 {
+	x := float64(sess+1)*0.13 + float64(arm)*0.31 + float64(step)*0.017
+	return 0.5 + 0.5*math.Sin(x)
+}
+
+// ckptSpecs is the session mix used by the replay tests: every
+// checkpointable controller shape, fault-free (fault streams are
+// intentionally not persisted, so only fault-free sessions promise exact
+// replay).
+func ckptSpecs() []Spec {
+	return []Spec{
+		{Algo: "ducb", Arms: 5, Seed: 11},
+		{Algo: "ucb", Arms: 3, Seed: 12},
+		{Algo: "eps", Arms: 4, Seed: 13},
+		{Algo: "single", Arms: 4, Seed: 14},
+		{Algo: "periodic", Arms: 3, Seed: 15},
+		{Algo: "static:1", Arms: 2, Seed: 16},
+		{Arms: 3, Seed: 17, MetaPairs: [][2]float64{{0.5, 0.99}, {1.0, 0.999}, {2.0, 1.0}}},
+	}
+}
+
+// driveSessions runs n full decisions on every session, returning the arm
+// sequence per session id.
+func driveSessions(t *testing.T, st *Store, ids []string, n int) map[string][]int {
+	t.Helper()
+	arms := make(map[string][]int, len(ids))
+	for si, id := range ids {
+		s, ok := st.Get(id)
+		if !ok {
+			t.Fatalf("session %s missing", id)
+		}
+		for i := 0; i < n; i++ {
+			seq, arm, err := s.Step()
+			if err != nil {
+				t.Fatalf("session %s step: %v", id, err)
+			}
+			if _, err := s.Reward(seq, ckptReward(si, arm, seq)); err != nil {
+				t.Fatalf("session %s reward: %v", id, err)
+			}
+			arms[id] = append(arms[id], arm)
+		}
+	}
+	return arms
+}
+
+// TestCheckpointReplayAcrossRestart is the acceptance-criteria test: run
+// a mixed session population, checkpoint mid-stream, keep driving the
+// original, then restore the checkpoint into a fresh store and verify the
+// restored sessions emit the identical arm sequences.
+func TestCheckpointReplayAcrossRestart(t *testing.T) {
+	st := NewStore(4)
+	var ids []string
+	for _, sp := range ckptSpecs() {
+		s, err := st.Create(sp)
+		if err != nil {
+			t.Fatalf("Create(%+v): %v", sp, err)
+		}
+		ids = append(ids, s.ID())
+	}
+	driveSessions(t, st, ids, 37)
+
+	// One session checkpointed with a step open (between Step and Reward).
+	openSess, err := st.Create(Spec{Algo: "ducb", Arms: 4, Seed: 99})
+	if err != nil {
+		t.Fatalf("Create open session: %v", err)
+	}
+	openSeq, openArm, err := openSess.Step()
+	if err != nil {
+		t.Fatalf("open step: %v", err)
+	}
+
+	data, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	// Continue the original store past the checkpoint.
+	want := driveSessions(t, st, ids, 120)
+
+	// Restart: restore into a fresh store with a different shard count
+	// (shard layout must not affect behavior).
+	st2, err := RestoreCheckpoint(data, 2)
+	if err != nil {
+		t.Fatalf("RestoreCheckpoint: %v", err)
+	}
+	if st2.Len() != len(ids)+1 {
+		t.Fatalf("restored %d sessions, want %d", st2.Len(), len(ids)+1)
+	}
+	got := driveSessions(t, st2, ids, 120)
+	for _, id := range ids {
+		w, g := want[id], got[id]
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("session %s diverges at decision %d: original %d, restored %d", id, i, w[i], g[i])
+			}
+		}
+	}
+
+	// The open decision survived the restart: a second step conflicts,
+	// the pending reward with the right seq lands.
+	restoredOpen, ok := st2.Get(openSess.ID())
+	if !ok {
+		t.Fatalf("open session %s missing after restore", openSess.ID())
+	}
+	info := restoredOpen.Info()
+	if !info.Open || info.Arm != openArm || info.Seq != openSeq {
+		t.Fatalf("restored open session info = %+v, want open arm %d seq %d", info, openArm, openSeq)
+	}
+	if _, _, err := restoredOpen.Step(); !isProtocol(err, CodeStepOpen) {
+		t.Fatalf("step on restored open session: %v, want %s", err, CodeStepOpen)
+	}
+	if _, err := restoredOpen.Reward(openSeq, 0.5); err != nil {
+		t.Fatalf("reward on restored open session: %v", err)
+	}
+
+	// Restored rewards advance agents identically to the originals: close
+	// the original open session the same way and compare the next arms.
+	if _, err := openSess.Reward(openSeq, 0.5); err != nil {
+		t.Fatalf("reward on original open session: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		s1, a1, err1 := openSess.Step()
+		s2, a2, err2 := restoredOpen.Step()
+		if err1 != nil || err2 != nil || s1 != s2 || a1 != a2 {
+			t.Fatalf("open-session continuation diverges at %d: (%d,%d,%v) vs (%d,%d,%v)", i, s1, a1, err1, s2, a2, err2)
+		}
+		r := ckptReward(0, a1, s1)
+		if _, err := openSess.Reward(s1, r); err != nil {
+			t.Fatalf("reward: %v", err)
+		}
+		if _, err := restoredOpen.Reward(s2, r); err != nil {
+			t.Fatalf("reward: %v", err)
+		}
+	}
+}
+
+// TestCheckpointNextIDSurvives verifies that ids allocated after a
+// restore don't collide with checkpointed sessions.
+func TestCheckpointNextIDSurvives(t *testing.T) {
+	st := NewStore(2)
+	for i := 0; i < 3; i++ {
+		if _, err := st.Create(Spec{Algo: "eps", Arms: 2}); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+	}
+	data, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st2, err := RestoreCheckpoint(data, 2)
+	if err != nil {
+		t.Fatalf("RestoreCheckpoint: %v", err)
+	}
+	s, err := st2.Create(Spec{Algo: "eps", Arms: 2})
+	if err != nil {
+		t.Fatalf("Create after restore: %v", err)
+	}
+	if s.ID() != "s-00000004" {
+		t.Fatalf("post-restore id = %q, want s-00000004", s.ID())
+	}
+}
+
+// TestCheckpointDeterministicBytes: a quiesced store checkpoints to
+// identical bytes every time, and a restore checkpoints back to the same
+// bytes.
+func TestCheckpointDeterministicBytes(t *testing.T) {
+	st := NewStore(4)
+	var ids []string
+	for _, sp := range ckptSpecs() {
+		s, err := st.Create(sp)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		ids = append(ids, s.ID())
+	}
+	driveSessions(t, st, ids, 25)
+
+	a, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	b, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("second Checkpoint: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated checkpoints differ")
+	}
+	st2, err := RestoreCheckpoint(a, 8)
+	if err != nil {
+		t.Fatalf("RestoreCheckpoint: %v", err)
+	}
+	c, err := st2.Checkpoint()
+	if err != nil {
+		t.Fatalf("restored Checkpoint: %v", err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("checkpoint of restored store differs from original")
+	}
+}
+
+func TestWriteCheckpointAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	st := NewStore(1)
+	if _, err := st.Create(Spec{Algo: "ucb", Arms: 2}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := st.WriteCheckpoint(path); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	// Overwrite works and leaves no temp droppings.
+	if err := st.WriteCheckpoint(path); err != nil {
+		t.Fatalf("second WriteCheckpoint: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ckpt.json" {
+		t.Fatalf("dir contents = %v, want only ckpt.json", entries)
+	}
+	if _, err := LoadCheckpoint(path, 0); err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+}
+
+// TestRestoreCheckpointTypedErrors: hostile checkpoint bytes produce
+// typed *CheckpointError values, never panics.
+func TestRestoreCheckpointTypedErrors(t *testing.T) {
+	st := NewStore(1)
+	s, err := st.Create(Spec{Algo: "ducb", Arms: 3, Seed: 2})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	seq, _, _ := s.Step()
+	s.Reward(seq, 1)
+	good, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"not json", []byte("definitely not json")},
+		{"truncated", good[:len(good)/2]},
+		{"wrong version", []byte(`{"v":999,"next_id":1,"sessions":[]}`)},
+		{"missing id", []byte(`{"v":1,"next_id":1,"sessions":[{"spec":{"arms":2},"kind":"fixed"}]}`)},
+		{"unknown kind", []byte(`{"v":1,"next_id":1,"sessions":[{"id":"s-1","spec":{"arms":2},"kind":"alien"}]}`)},
+		{"bad spec", []byte(`{"v":1,"next_id":1,"sessions":[{"id":"s-1","spec":{"arms":0},"kind":"fixed"}]}`)},
+		{"fixed arm out of range", []byte(`{"v":1,"next_id":1,"sessions":[{"id":"s-1","spec":{"arms":2,"algo":"static:0"},"kind":"fixed","fixed_arm":9}]}`)},
+		{"agent payload garbage", []byte(`{"v":1,"next_id":1,"sessions":[{"id":"s-1","spec":{"arms":2},"kind":"agent","agent":{"v":1}}]}`)},
+		{"open arm out of range", []byte(`{"v":1,"next_id":1,"sessions":[{"id":"s-1","spec":{"arms":2,"algo":"static:0"},"kind":"fixed","fixed_arm":0,"open":true,"arm":7}]}`)},
+		{"duplicate id", dupSessionCheckpoint(t, good)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := RestoreCheckpoint(c.data, 1)
+			var ce *CheckpointError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v (%T), want *CheckpointError", err, err)
+			}
+			if ce.Error() == "" {
+				t.Fatal("empty error string")
+			}
+		})
+	}
+}
+
+// dupSessionCheckpoint doubles the session list of a valid checkpoint so
+// the same id appears twice.
+func dupSessionCheckpoint(t *testing.T, good []byte) []byte {
+	t.Helper()
+	var file checkpointFile
+	if err := json.Unmarshal(good, &file); err != nil {
+		t.Fatalf("unmarshal good checkpoint: %v", err)
+	}
+	file.Sessions = append(file.Sessions, file.Sessions...)
+	data, err := json.Marshal(file)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}
+
+// TestCheckpointSkipsNothing: every session created is present in the
+// checkpoint (mixed kinds), and fault-armed sessions round-trip their
+// spec so the wrapper is rebuilt.
+func TestCheckpointFaultSpecRoundTrips(t *testing.T) {
+	st := NewStore(1)
+	s, err := st.Create(Spec{Algo: "ducb", Arms: 3, Seed: 4, Faults: "noise:0.3"})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		seq, _, err := s.Step()
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if _, err := s.Reward(seq, 0.5); err != nil {
+			t.Fatalf("reward: %v", err)
+		}
+	}
+	data, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st2, err := RestoreCheckpoint(data, 1)
+	if err != nil {
+		t.Fatalf("RestoreCheckpoint: %v", err)
+	}
+	s2, ok := st2.Get(s.ID())
+	if !ok {
+		t.Fatal("session missing after restore")
+	}
+	if s2.Spec().Faults != "noise:0.3" {
+		t.Fatalf("fault spec = %q after restore", s2.Spec().Faults)
+	}
+	if _, ok := s2.drive.(*core.Agent); ok {
+		t.Fatal("restored drive is the bare agent; fault wrapper not rebuilt")
+	}
+	// The restored session still serves.
+	seq, _, err := s2.Step()
+	if err != nil {
+		t.Fatalf("restored step: %v", err)
+	}
+	if _, err := s2.Reward(seq, 0.5); err != nil {
+		t.Fatalf("restored reward: %v", err)
+	}
+}

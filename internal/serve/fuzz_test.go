@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzSpecDecode throws arbitrary bytes at the session-create endpoint:
+// the handler must answer (2xx or a clean 4xx JSON envelope) without
+// panicking, and any accepted spec must actually serve a decision.
+func FuzzSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"algo":"ducb","arms":4,"seed":9}`))
+	f.Add([]byte(`{"arms":3,"meta_pairs":[[0.5,0.99],[1,0.999]]}`))
+	f.Add([]byte(`{"arms":2,"faults":"noise:0.5,delay:1"}`))
+	f.Add([]byte(`{"arms":-1}`))
+	f.Add([]byte(`{"arms":1e9}`))
+	f.Add([]byte(`{"algo":"static:1","arms":2}`))
+	f.Add([]byte(`{"arms":2} {"arms":3}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\x00\xff{"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		srv := New(Config{})
+		req := httptest.NewRequest("POST", "/v1/sessions", strings.NewReader(string(body)))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req) // must not panic (ServeHTTP recovers, but recorder surfaces 500)
+		switch w.Code {
+		case http.StatusCreated:
+			var cr createResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &cr); err != nil {
+				t.Fatalf("created but body %q: %v", w.Body.String(), err)
+			}
+			sess, ok := srv.Store().Get(cr.ID)
+			if !ok {
+				t.Fatalf("created id %q not in store", cr.ID)
+			}
+			seq, arm, err := sess.Step()
+			if err != nil {
+				t.Fatalf("accepted spec cannot step: %v", err)
+			}
+			if arm < 0 || arm >= sess.Spec().Arms {
+				t.Fatalf("arm %d outside [0,%d)", arm, sess.Spec().Arms)
+			}
+			if _, err := sess.Reward(seq, 0.5); err != nil {
+				t.Fatalf("accepted spec cannot reward: %v", err)
+			}
+		case http.StatusBadRequest:
+			var eb errorBody
+			if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Error.Code != CodeBadRequest {
+				t.Fatalf("bad request with body %q (%v)", w.Body.String(), err)
+			}
+		default:
+			t.Fatalf("unexpected status %d for %q", w.Code, body)
+		}
+	})
+}
+
+// FuzzRestoreCheckpoint throws arbitrary bytes at the checkpoint decoder:
+// it must return a typed *CheckpointError or a store whose sessions all
+// serve — never panic.
+func FuzzRestoreCheckpoint(f *testing.F) {
+	// A genuine checkpoint as the richest seed.
+	st := NewStore(2)
+	for _, sp := range []Spec{
+		{Algo: "ducb", Arms: 3, Seed: 1},
+		{Algo: "static:0", Arms: 2},
+		{Arms: 2, Seed: 3, MetaPairs: [][2]float64{{0.5, 0.99}, {1, 0.999}}},
+	} {
+		s, err := st.Create(sp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seq, _, _ := s.Step()
+		s.Reward(seq, 0.7)
+	}
+	good, err := st.Checkpoint()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{"v":1,"next_id":0,"sessions":[]}`))
+	f.Add([]byte(`{"v":2}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add(good[:len(good)/3])
+	f.Add([]byte(`{"v":1,"next_id":1,"sessions":[{"id":"s-1","spec":{"arms":2},"kind":"agent","agent":{"v":1,"arms":2}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := RestoreCheckpoint(data, 2)
+		if err != nil {
+			var ce *CheckpointError
+			if !errors.As(err, &ce) {
+				t.Fatalf("untyped error %T: %v", err, err)
+			}
+			return
+		}
+		// Whatever decoded must serve: every restored session can finish
+		// its open decision (if any) and then run a full one.
+		for _, id := range st.IDs() {
+			s, ok := st.Get(id)
+			if !ok {
+				continue
+			}
+			info := s.Info()
+			if info.Open {
+				if _, err := s.Reward(info.Seq, 0.5); err != nil {
+					t.Fatalf("session %s cannot close its open decision: %v", id, err)
+				}
+			}
+			seq, arm, err := s.Step()
+			if err != nil {
+				t.Fatalf("session %s cannot step: %v", id, err)
+			}
+			if arm < 0 || arm >= s.Spec().Arms {
+				t.Fatalf("session %s arm %d outside [0,%d)", id, arm, s.Spec().Arms)
+			}
+			if _, err := s.Reward(seq, 0.5); err != nil {
+				t.Fatalf("session %s cannot reward: %v", id, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"microbandit/internal/serve"
+)
+
+func TestRunSmoke(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	res, err := Run(context.Background(), Options{
+		Handler:  srv,
+		Workers:  4,
+		Duration: 150 * time.Millisecond,
+		Spec:     serve.Spec{Algo: "ducb", Arms: 8},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Decisions == 0 || res.DecisionsPerSec <= 0 {
+		t.Fatalf("no throughput: %+v", res)
+	}
+	if res.Requests < 2*res.Decisions {
+		t.Fatalf("requests %d < 2×decisions %d", res.Requests, res.Decisions)
+	}
+	if res.P50Us <= 0 || res.P99Us < res.P50Us || res.P999Us < res.P99Us {
+		t.Fatalf("percentiles not ordered: %+v", res)
+	}
+	if res.Workers != 4 || res.Arms != 8 {
+		t.Fatalf("echoed options wrong: %+v", res)
+	}
+	// Closed loop: no session may end the run with an open decision.
+	for _, id := range srv.Store().IDs() {
+		s, ok := srv.Store().Get(id)
+		if !ok {
+			continue
+		}
+		if s.Info().Open {
+			t.Fatalf("session %s left with an open decision", id)
+		}
+	}
+	if got := srv.Store().Len(); got != 4 {
+		t.Fatalf("sessions = %d, want 4", got)
+	}
+}
+
+func TestRunCanceledEarly(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Options{Handler: srv, Workers: 2, Duration: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel did not stop the run (took %v)", elapsed)
+	}
+	if res.Decisions == 0 {
+		t.Fatal("canceled run reported no partial work")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	srv := serve.New(serve.Config{})
+	if _, err := Run(context.Background(), Options{Handler: srv, Spec: serve.Spec{Arms: -1}}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	// 1..1000 µs uniformly.
+	for i := int64(1); i <= 1000; i++ {
+		h.record(i * 1000)
+	}
+	if q := h.quantile(0.5); q < 400_000 || q > 600_000 {
+		t.Fatalf("p50 = %v ns, want ~500µs", q)
+	}
+	if q := h.quantile(0.99); q < 950_000 || q > 1_050_000 {
+		t.Fatalf("p99 = %v ns, want ~990µs", q)
+	}
+	if h.max != 1_000_000 {
+		t.Fatalf("max = %d", h.max)
+	}
+	// Overflow and merge.
+	var h2 histogram
+	h2.record(500_000_000)
+	h.merge(&h2)
+	if h.count != 1001 || h.overflow != 1 || h.max != 500_000_000 {
+		t.Fatalf("merge: count %d overflow %d max %d", h.count, h.overflow, h.max)
+	}
+	if q := h.quantile(1.0); q != 500_000_000 {
+		t.Fatalf("p100 = %v", q)
+	}
+}

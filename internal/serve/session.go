@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"microbandit/internal/core"
+	"microbandit/internal/fault"
+)
+
+// MaxArms bounds the arm count a session spec may request. Specs cross a
+// trust boundary (HTTP, checkpoint files); an unbounded arm count would
+// let one request allocate arbitrary memory.
+const MaxArms = 4096
+
+// MaxMetaLevels bounds the hierarchical stack depth for the same reason.
+const MaxMetaLevels = 64
+
+// Spec describes the decision problem one session serves: the arm count,
+// the bandit algorithm driving it, and optional server-side fault
+// injection for chaos testing. It is the wire form of a core.Config (or a
+// §9 meta-agent stack) and round-trips through session checkpoints.
+type Spec struct {
+	// Algo is a core.ParseAlgo name ("ducb", "ucb", "eps", "single",
+	// "periodic", "static:N"). Empty defaults to "ducb".
+	Algo string `json:"algo,omitempty"`
+	// Arms is the number of actions, in [1, MaxArms].
+	Arms int `json:"arms"`
+	// Seed seeds the agent's private RNG (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// MetaPairs, with two or more (c, gamma) entries, builds the §9
+	// hierarchical DUCB sweep stack instead of a single agent; Algo is
+	// then ignored.
+	MetaPairs [][2]float64 `json:"meta_pairs,omitempty"`
+	// Faults arms server-side reward-channel fault injection, in
+	// fault.ParseSet form. Only the reward-channel kinds (noise,
+	// quantize, delay, panic) apply to a served session; the
+	// substrate kinds are rejected because a session has no simulated
+	// memory system or workload to fault.
+	Faults string `json:"faults,omitempty"`
+}
+
+// rewardChannelKinds are the fault kinds a served session can realize.
+var rewardChannelKinds = map[fault.Kind]bool{
+	fault.Noise: true, fault.Quantize: true, fault.Delay: true, fault.Panic: true,
+}
+
+// normalize applies spec defaults in place.
+func (sp *Spec) normalize() {
+	if sp.Algo == "" && len(sp.MetaPairs) == 0 {
+		sp.Algo = "ducb"
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+}
+
+// Validate checks the spec without building anything.
+func (sp Spec) Validate() error {
+	if sp.Arms < 1 || sp.Arms > MaxArms {
+		return fmt.Errorf("arms %d outside [1, %d]", sp.Arms, MaxArms)
+	}
+	if n := len(sp.MetaPairs); n == 1 || n > MaxMetaLevels {
+		return fmt.Errorf("meta_pairs needs 2..%d entries, got %d", MaxMetaLevels, n)
+	}
+	set, err := fault.ParseSet(sp.Faults)
+	if err != nil {
+		return err
+	}
+	for _, s := range set {
+		if !rewardChannelKinds[s.Kind] {
+			return fmt.Errorf("fault kind %q does not apply to a served session (valid: noise, quantize, delay, panic)", s.Kind)
+		}
+	}
+	return nil
+}
+
+// buildAgent constructs the spec's controller. The first return is the
+// snapshotable agent (a *core.Agent, *core.MetaAgent, or core.FixedArm);
+// the second is the controller the request path drives, which wraps the
+// agent with the spec's fault set when one is armed.
+func buildAgent(sp Spec) (agent, drive core.Controller, err error) {
+	if err := sp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(sp.MetaPairs) >= 2 {
+		m, err := core.NewDUCBSweepMeta(sp.Arms, sp.MetaPairs, true, sp.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		agent = m
+	} else {
+		agent, err = core.ParseAlgo(sp.Algo, sp.Arms, sp.Seed, false)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	set, err := fault.ParseSet(sp.Faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	return agent, fault.Controller(agent, set, sp.Seed), nil
+}
+
+// Session is one live decision loop: an agent plus the sequencing state
+// that makes the step/reward protocol safe over a lossy, retrying
+// transport. All access goes through its mutex; the store's shard locks
+// only guard the id → session map.
+//
+// The sequence protocol: every completed decision increments Seq, and a
+// step response carries the Seq of the decision it opens. A reward post
+// must quote that Seq; duplicates (the step already rewarded) and
+// out-of-order posts (a stale or future Seq) are rejected with typed
+// conflict errors, deterministically — the agent never sees them.
+type Session struct {
+	mu sync.Mutex
+
+	id    string
+	spec  Spec
+	agent core.Controller // snapshotable: *core.Agent, *core.MetaAgent, or core.FixedArm
+	drive core.Controller // agent, behind the spec's fault wrapper when armed
+
+	seq  uint64 // completed decisions
+	open bool   // step issued, reward pending
+	arm  int    // arm of the open step
+}
+
+// ID returns the session id.
+func (s *Session) ID() string { return s.id }
+
+// Spec returns the session's spec.
+func (s *Session) Spec() Spec { return s.spec }
+
+// SessionInfo is the read-model of a session returned by the API.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	Spec     Spec   `json:"spec"`
+	Seq      uint64 `json:"seq"`
+	Open     bool   `json:"open"`
+	Arm      int    `json:"arm"`
+	BestArm  int    `json:"best_arm"`
+	Restarts int    `json:"restarts,omitempty"`
+}
+
+// Info returns a consistent snapshot of the session's externally visible
+// state.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := SessionInfo{
+		ID: s.id, Spec: s.spec, Seq: s.seq, Open: s.open, Arm: s.arm,
+	}
+	switch a := s.agent.(type) {
+	case *core.Agent:
+		info.BestArm = a.BestArm()
+		info.Restarts = a.Restarts()
+	case *core.MetaAgent:
+		info.BestArm = a.BestLevel()
+	case core.FixedArm:
+		info.BestArm = int(a)
+	}
+	return info
+}
+
+// Step opens the next decision: it asks the agent for an arm and returns
+// it with the decision's sequence number. A second Step before the open
+// decision's reward is a protocol conflict, not an agent panic.
+func (s *Session) Step() (seq uint64, arm int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open {
+		return 0, 0, &ProtocolError{
+			Code: CodeStepOpen,
+			Msg:  fmt.Sprintf("decision %d is awaiting its reward", s.seq),
+		}
+	}
+	arm = s.drive.Step()
+	s.open = true
+	s.arm = arm
+	return s.seq, arm, nil
+}
+
+// Reward closes the decision identified by seq with the observed reward.
+// Duplicate and out-of-order posts are rejected deterministically: the
+// reward reaches the agent exactly once, in order, or not at all.
+func (s *Session) Reward(seq uint64, reward float64) (steps uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.open {
+		return 0, &ProtocolError{
+			Code: CodeNoOpenStep,
+			Msg:  fmt.Sprintf("no open decision (next step will be %d); duplicate reward?", s.seq),
+		}
+	}
+	if seq != s.seq {
+		return 0, &ProtocolError{
+			Code: CodeSeqMismatch,
+			Msg:  fmt.Sprintf("reward for decision %d, but decision %d is open", seq, s.seq),
+		}
+	}
+	s.drive.Reward(reward)
+	s.open = false
+	s.seq++
+	return s.seq, nil
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the store's default shard count.
+const DefaultShards = 64
+
+// Store is the sharded session table. Session ids hash onto a
+// power-of-two number of shards, each guarded by its own RWMutex, so
+// concurrent request handling contends only within a shard — the map
+// lock is never the bottleneck; per-session work serializes on the
+// session's own mutex.
+type Store struct {
+	shards []shard
+	mask   uint32
+	nextID atomic.Uint64
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*Session
+}
+
+// NewStore returns a store with at least the requested number of shards,
+// rounded up to a power of two. n <= 0 selects DefaultShards.
+func NewStore(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	st := &Store{shards: make([]shard, size), mask: uint32(size - 1)}
+	for i := range st.shards {
+		st.shards[i].m = make(map[string]*Session)
+	}
+	return st
+}
+
+// Shards returns the shard count.
+func (st *Store) Shards() int { return len(st.shards) }
+
+// shardFor hashes id onto its shard (FNV-1a).
+func (st *Store) shardFor(id string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &st.shards[h&st.mask]
+}
+
+// Create builds a session from spec under a fresh id and registers it.
+func (st *Store) Create(spec Spec) (*Session, error) {
+	spec.normalize()
+	agent, drive, err := buildAgent(spec)
+	if err != nil {
+		return nil, err
+	}
+	id := fmt.Sprintf("s-%08x", st.nextID.Add(1))
+	s := &Session{id: id, spec: spec, agent: agent, drive: drive}
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	sh.m[id] = s
+	sh.mu.Unlock()
+	return s, nil
+}
+
+// insert registers a fully built session (checkpoint restore). It fails
+// on a duplicate id.
+func (st *Store) insert(s *Session) error {
+	sh := st.shardFor(s.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[s.id]; ok {
+		return fmt.Errorf("duplicate session id %q", s.id)
+	}
+	sh.m[s.id] = s
+	return nil
+}
+
+// Get returns the session with the given id.
+func (st *Store) Get(id string) (*Session, bool) {
+	sh := st.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// Delete removes the session with the given id, reporting whether it
+// existed.
+func (st *Store) Delete(id string) bool {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of live sessions.
+func (st *Store) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// IDs returns every live session id, sorted, so checkpoint files and
+// list responses are deterministic regardless of shard layout.
+func (st *Store) IDs() []string {
+	var ids []string
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,5 +1,7 @@
 package simsmt
 
+import "context"
+
 // ARPA (Wang, Koren & Krishna, PACT 2008) is the alternative SMT
 // resource-distribution method the paper's related work discusses (§8):
 // instead of hill-climbing a threshold, it partitions shared resources in
@@ -75,11 +77,21 @@ func NewARPARunner(sim *SMT, policy Policy) *ARPARunner {
 
 // RunCycles simulates n cycles with per-epoch repartitioning.
 func (r *ARPARunner) RunCycles(n int64) {
+	r.RunCyclesCtx(context.Background(), n)
+}
+
+// RunCyclesCtx is RunCycles with cooperative cancellation, checked at
+// every repartitioning epoch; partial statistics stay valid.
+func (r *ARPARunner) RunCyclesCtx(ctx context.Context, n int64) error {
 	end := r.Sim.Cycle() + n
 	r.Sim.SetShare(r.ARPA.Share())
 	for r.Sim.Cycle() < end {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r.Sim.RunCycles(r.EpochLen)
 		r.ARPA.EpochEnd(r.Sim)
 		r.Sim.SetShare(r.ARPA.Share())
 	}
+	return ctx.Err()
 }

@@ -1,6 +1,8 @@
 package simsmt
 
 import (
+	"context"
+
 	"microbandit/internal/core"
 	"microbandit/internal/obs"
 	"microbandit/internal/smtwork"
@@ -108,6 +110,22 @@ func (r *Runner) RunCycles(n int64) {
 	for r.Sim.Cycle() < end {
 		r.runEpoch()
 	}
+}
+
+// RunCyclesCtx is RunCycles with cooperative cancellation, checked at
+// every epoch boundary (an epoch is tens of microseconds of host time).
+// Statistics remain valid for the cycles that did run, so callers can
+// report partial results after an interrupt.
+func (r *Runner) RunCyclesCtx(ctx context.Context, n int64) error {
+	end := r.Sim.Cycle() + n
+	r.primeArm()
+	for r.Sim.Cycle() < end {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.runEpoch()
+	}
+	return ctx.Err()
 }
 
 // RunUntilCommitted simulates until both threads commit n uops (bounded

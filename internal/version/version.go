@@ -1,0 +1,51 @@
+// Package version derives a human-readable build identity from the
+// binary's embedded build info, so every CLI answers -version (and the
+// serve API's /healthz) without a linker-flag build pipeline.
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// String returns the build identity: the main module version when the
+// binary was built from a tagged module, otherwise the VCS revision
+// (short hash, "+dirty" when the tree was modified), otherwise "devel".
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	return fromBuildInfo(bi)
+}
+
+// fromBuildInfo is String on an explicit build info (split out for
+// tests, which cannot fabricate the process's own info).
+func fromBuildInfo(bi *debug.BuildInfo) string {
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	var b strings.Builder
+	b.WriteString("devel-")
+	b.WriteString(rev)
+	if dirty {
+		b.WriteString("+dirty")
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package version
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestStringNonEmpty(t *testing.T) {
+	if String() == "" {
+		t.Fatal("empty version string")
+	}
+}
+
+func TestFromBuildInfo(t *testing.T) {
+	cases := []struct {
+		name string
+		bi   debug.BuildInfo
+		want string
+	}{
+		{
+			name: "tagged module",
+			bi:   debug.BuildInfo{Main: debug.Module{Version: "v1.2.3"}},
+			want: "v1.2.3",
+		},
+		{
+			name: "no info at all",
+			bi:   debug.BuildInfo{Main: debug.Module{Version: "(devel)"}},
+			want: "devel",
+		},
+		{
+			name: "vcs revision",
+			bi: debug.BuildInfo{
+				Main: debug.Module{Version: "(devel)"},
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+					{Key: "vcs.modified", Value: "false"},
+				},
+			},
+			want: "devel-0123456789ab",
+		},
+		{
+			name: "dirty tree",
+			bi: debug.BuildInfo{
+				Main: debug.Module{Version: "(devel)"},
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "deadbeef"},
+					{Key: "vcs.modified", Value: "true"},
+				},
+			},
+			want: "devel-deadbeef+dirty",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := fromBuildInfo(&c.bi); got != c.want {
+				t.Fatalf("got %q, want %q", got, c.want)
+			}
+		})
+	}
+}

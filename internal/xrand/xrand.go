@@ -171,3 +171,18 @@ func (r *Rand) Geometric(p float64) int {
 func (r *Rand) Fork() *Rand {
 	return New(r.Uint64())
 }
+
+// State returns the generator's full internal state, for checkpointing.
+// A generator restored from it with SetState continues the exact stream.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a value obtained
+// from State. An all-zero state (never produced by State on a generator
+// built with New) is replaced by a fixed non-zero seed word, because
+// xoshiro's zero state is an absorbing fixed point.
+func (r *Rand) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
