@@ -244,7 +244,7 @@ func simulate(ctx context.Context, app trace.App, cfg runConfig, dryRun bool, re
 	interrupted := r.RunCtx(ctx, cfg.insts) != nil
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: r.Steps(),
-			Fields: map[string]float64{"ipc": c.IPC()}})
+			Fields: obs.NewFields().Set(obs.FieldIPC, c.IPC())})
 	}
 
 	var b strings.Builder

@@ -6,6 +6,7 @@
 //	mab-report -robust [-faults noise:0.5,stuckarm:1:7]
 //	mab-report -robust -telemetry out.jsonl [-telemetry-every 100]
 //	mab-report -parbench BENCH_parallel.json [-preset quick] [-j n]
+//	mab-report -simbench BENCH_sim.json [-simbench-baseline old.json] [-simbench-insts n]
 //	mab-report -exp fig8 -pprof profdir
 //
 // With no -exp it runs every experiment in paper order; -list prints the
@@ -13,7 +14,10 @@
 // -robust runs the fault-injection robustness sweep, optionally with a
 // custom -faults sweep (comma-separated kind:intensity[:seed] specs, one
 // sweep row each). -parbench times the heaviest experiments serial vs
-// parallel and writes the wall-clock comparison as JSON.
+// parallel and writes the wall-clock comparison as JSON. -simbench
+// measures raw single-run simulator throughput (insts/sec per catalog
+// workload) and writes BENCH_sim.json, optionally computing speedups
+// against a previously recorded run.
 //
 // Failed experiment jobs (including recovered panics) never crash the
 // report: the affected experiment renders partial results, an error
@@ -40,6 +44,7 @@ import (
 	"microbandit/internal/harness"
 	"microbandit/internal/obs"
 	"microbandit/internal/par"
+	"microbandit/internal/simbench"
 	"microbandit/internal/version"
 )
 
@@ -53,6 +58,9 @@ func main() {
 	robust := flag.Bool("robust", false, "run the fault-injection robustness sweep")
 	faultSpec := flag.String("faults", "", "with -robust: custom sweep as comma-separated kind:intensity[:seed] ("+strings.Join(fault.KindNames(), ", ")+")")
 	parBench := flag.String("parbench", "", "time Table8 and Fig5 serial vs parallel, write JSON here")
+	simBench := flag.String("simbench", "", "measure single-run simulator throughput (insts/sec per workload), write JSON here")
+	simBenchBaseline := flag.String("simbench-baseline", "", "with -simbench: previously recorded BENCH_sim.json to compute speedups against")
+	simBenchInsts := flag.Int64("simbench-insts", simbench.DefaultInsts, "with -simbench: instructions per workload")
 	telemetry := flag.String("telemetry", "", "with -robust: write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
 	telemetryEvery := flag.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
 	pprofDir := flag.String("pprof", "", "capture cpu.pprof, heap.pprof, and runtime metrics into this directory")
@@ -98,6 +106,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mab-report: -telemetry-every must be positive, got %d\n", *telemetryEvery)
 		os.Exit(2)
 	}
+	if *simBenchBaseline != "" && *simBench == "" {
+		fmt.Fprintln(os.Stderr, "mab-report: -simbench-baseline requires -simbench")
+		os.Exit(2)
+	}
+	if *simBenchInsts <= 0 {
+		fmt.Fprintf(os.Stderr, "mab-report: -simbench-insts must be positive, got %d\n", *simBenchInsts)
+		os.Exit(2)
+	}
 	o.Seed = *seed
 	o.Workers = *workers
 	// Collect per-job failures instead of crashing: experiments render
@@ -117,6 +133,14 @@ func main() {
 
 	if *parBench != "" {
 		if err := runParBench(*parBench, *preset, o); err != nil {
+			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
+			exit(1)
+		}
+		exit(0)
+	}
+
+	if *simBench != "" {
+		if err := runSimBench(*simBench, *simBenchBaseline, *simBenchInsts, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
 			exit(1)
 		}
@@ -316,6 +340,31 @@ func runOne(e harness.Experiment, o harness.Options, csvDir string) string {
 	}
 	writeCSV(csvDir, e.ID, csv)
 	return text
+}
+
+// runSimBench measures single-run simulator throughput per workload and
+// writes the BENCH_sim.json report, merging speedups against a prior
+// recording when one is supplied.
+func runSimBench(path, baselinePath string, insts int64, seed uint64) error {
+	rep := simbench.Run(insts, seed)
+	if baselinePath != "" {
+		base, err := simbench.ReadReport(baselinePath)
+		if err != nil {
+			return err
+		}
+		rep = simbench.Merge(rep, base)
+	}
+	for _, w := range rep.Workloads {
+		line := fmt.Sprintf("%-8s (%s): %.0f insts/sec, ipc %.4f", w.Name, w.App, w.InstsPerSec, w.IPC)
+		if w.Speedup > 0 {
+			line += fmt.Sprintf(", %.2fx vs baseline", w.Speedup)
+		}
+		fmt.Println(line)
+	}
+	if rep.GMeanSpeedup > 0 {
+		fmt.Printf("gmean speedup: %.2fx\n", rep.GMeanSpeedup)
+	}
+	return simbench.WriteReport(path, rep)
 }
 
 // parBenchEntry is one experiment's serial-vs-parallel timing.

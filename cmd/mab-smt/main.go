@@ -229,7 +229,7 @@ func simulate(ctx context.Context, mix smtwork.Mix, cfg runConfig, rec obs.Recor
 	interrupted := runner.RunCyclesCtx(ctx, cfg.cycles) != nil
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Cycle: sim.Cycle(),
-			Fields: map[string]float64{"sum_ipc": sim.SumIPC()}})
+			Fields: obs.NewFields().Set(obs.FieldSumIPC, sim.SumIPC())})
 	}
 
 	var b strings.Builder

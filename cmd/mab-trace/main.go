@@ -188,7 +188,7 @@ func runOne(ctx context.Context, app trace.App, insts int64, stepL2 int, seed ui
 	interrupted := runner.RunCtx(ctx, insts) != nil
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: runner.Steps(),
-			Fields: map[string]float64{"ipc": c.IPC()}})
+			Fields: obs.NewFields().Set(obs.FieldIPC, c.IPC())})
 	}
 	note := ""
 	if interrupted {
@@ -375,7 +375,7 @@ func replay(args []string) {
 	interrupted := runner.RunCtx(ctx, *insts) != nil
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: runner.Steps(),
-			Fields: map[string]float64{"ipc": c.IPC()}})
+			Fields: obs.NewFields().Set(obs.FieldIPC, c.IPC())})
 		if err := obs.WriteFiles(*telemetry, *telemetryEvery, collector.Events()); err != nil {
 			fatal(fmt.Errorf("telemetry: %w", err))
 		}

@@ -71,6 +71,12 @@ type Core struct {
 
 	lastLoadDone int64 // completion of the most recent load (chase deps)
 
+	// inst is the scratch decode target handed to gen.Next. Passing a
+	// stack variable's address through the Generator interface makes it
+	// escape — one heap allocation per simulated instruction — so the
+	// scratch lives here instead. Every Generator fully overwrites it.
+	inst trace.Inst
+
 	// OnL2Access, when set, is invoked for every L2 demand access.
 	OnL2Access L2AccessFunc
 }
@@ -117,8 +123,8 @@ func (c *Core) RunInsts(n int64) {
 // stepInst dispatches, executes, and schedules retirement for one
 // instruction.
 func (c *Core) stepInst() {
-	var inst trace.Inst
-	c.gen.Next(&inst)
+	c.gen.Next(&c.inst)
+	inst := &c.inst
 
 	// Dispatch bandwidth.
 	if c.slot >= c.cfg.FetchWidth {
@@ -190,7 +196,13 @@ func (c *Core) stepInst() {
 	}
 	c.lastRetire = retire
 
-	c.rob[(c.robHead+c.robCount)%len(c.rob)] = retire
+	// robHead+robCount < 2*len(rob) always, so a conditional subtract
+	// replaces the per-instruction integer division of a modulo.
+	tail := c.robHead + c.robCount
+	if tail >= len(c.rob) {
+		tail -= len(c.rob)
+	}
+	c.rob[tail] = retire
 	c.robCount++
 	c.slot++
 	c.insts++

@@ -71,6 +71,11 @@ type Runner struct {
 
 	obsSteps int64 // completed telemetry windows
 	obsLast  obsBaseline
+
+	// pfBuf is the reusable prefetch-proposal buffer handed to
+	// Prefetcher.Operate; reuse keeps the per-L2-access path allocation
+	// free.
+	pfBuf []uint64
 }
 
 // obsBaseline is the cumulative-counter snapshot an interval diffs
@@ -179,12 +184,14 @@ func (r *Runner) onL2Access(pc, addr uint64, hit bool, cycle int64) {
 		if ta, ok := r.L2Pf.(prefetch.TargetAware); ok && ta.LLCOnly() {
 			target = mem.PrefToLLC // §9 target-cache-level extension
 		}
-		for _, a := range r.L2Pf.Operate(ev) {
+		r.pfBuf = r.L2Pf.Operate(ev, r.pfBuf[:0])
+		for _, a := range r.pfBuf {
 			r.Hier.Prefetch(a, cycle, target)
 		}
 	}
 	if r.L1Pf != nil {
-		for _, a := range r.L1Pf.Operate(ev) {
+		r.pfBuf = r.L1Pf.Operate(ev, r.pfBuf[:0])
+		for _, a := range r.pfBuf {
 			r.Hier.Prefetch(a, cycle, mem.PrefToL1)
 		}
 	}
@@ -277,11 +284,10 @@ func (r *Runner) obsWindow(cycle int64) {
 		bwUtil = 1
 	}
 	r.Obs.Record(obs.Event{Kind: obs.KindInterval, Step: r.obsSteps, Cycle: cycle,
-		Fields: map[string]float64{
-			"ipc":           ratio(dInsts, dCycles),
-			"mpki":          ratio(dMisses, dInsts/1000),
-			"pref_accuracy": ratio(dTimely+dLate, dTimely+dLate+dWrong),
-			"pref_coverage": ratio(dTimely, dTimely+dMisses),
-			"dram_bw_util":  bwUtil,
-		}})
+		Fields: obs.NewFields().
+			Set(obs.FieldIPC, ratio(dInsts, dCycles)).
+			Set(obs.FieldMPKI, ratio(dMisses, dInsts/1000)).
+			Set(obs.FieldPrefAccuracy, ratio(dTimely+dLate, dTimely+dLate+dWrong)).
+			Set(obs.FieldPrefCoverage, ratio(dTimely, dTimely+dMisses)).
+			Set(obs.FieldDRAMBWUtil, bwUtil)})
 }

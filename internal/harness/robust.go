@@ -187,7 +187,7 @@ func (o Options) runPrefetchFaulted(app trace.App, algo string, fs fault.Set, me
 	ipc := c.IPC()
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: r.Steps(),
-			Fields: map[string]float64{"ipc": ipc}})
+			Fields: obs.NewFields().Set(obs.FieldIPC, ipc)})
 	}
 	return ipc
 }

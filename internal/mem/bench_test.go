@@ -1,0 +1,85 @@
+package mem
+
+import (
+	"testing"
+
+	"microbandit/internal/xrand"
+)
+
+// The benchmarks below pin the simulator's per-access costs: Cache
+// lookup/fill and the full Hierarchy demand path are the inner loop of
+// every experiment, so CI runs them (with allocation reporting) to
+// catch hot-path regressions.
+
+func BenchmarkCacheLookup(b *testing.B) {
+	c := NewCache("L2", 512, 8)
+	rng := xrand.New(1)
+	for i := 0; i < 4096; i++ {
+		c.Fill(uint64(rng.Intn(1<<16)), false, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i)&0xffff, false)
+	}
+}
+
+func BenchmarkCacheFill(b *testing.B) {
+	c := NewCache("L2", 512, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)&0xffff, false, i&1 == 0)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	rng := xrand.New(1)
+	cycle := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := h.Access(uint64(rng.Intn(1<<20))*64, i&7 == 0, cycle)
+		cycle = res.Done
+	}
+}
+
+// TestCacheZeroAlloc pins the zero-allocation property of the cache hot
+// path: neither lookups nor fills may allocate once the cache exists.
+func TestCacheZeroAlloc(t *testing.T) {
+	c := NewCache("L2", 512, 8)
+	i := uint64(0)
+	if n := testing.AllocsPerRun(100, func() {
+		for k := 0; k < 100; k++ {
+			c.Fill(i&0xffff, false, false)
+			c.Lookup(i&0xffff, false)
+			c.Lookup((i+1)&0xffff, true)
+			i++
+		}
+	}); n != 0 {
+		t.Fatalf("cache lookup/fill allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestHierarchyAccessZeroAlloc pins the steady-state zero-allocation
+// property of the full demand path (MSHR table, fill queue, and demand
+// side list all reuse their high-water capacity after warmup).
+func TestHierarchyAccessZeroAlloc(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	rng := xrand.New(7)
+	cycle := int64(0)
+	step := func() {
+		res := h.Access(uint64(rng.Intn(1<<20))*64, false, cycle)
+		cycle = res.Done
+	}
+	for i := 0; i < 50_000; i++ { // warmup: reach capacity high-water marks
+		step()
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for k := 0; k < 100; k++ {
+			step()
+		}
+	}); n != 0 {
+		t.Fatalf("Hierarchy.Access allocates %.1f times per run, want 0", n)
+	}
+}

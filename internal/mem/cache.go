@@ -14,11 +14,16 @@ const lineShift = 6
 // LineAddr returns the line address (byte address >> lineShift).
 func LineAddr(addr uint64) uint64 { return addr >> lineShift }
 
-// cacheLine is one way of one set.
-type cacheLine struct {
-	tag        uint64
-	lastUse    int64
-	valid      bool
+// invalidTag marks an empty way in the packed tag array. Real line
+// addresses are byte addresses shifted right by lineShift, so they are
+// bounded by 2^58 and can never collide with the sentinel.
+const invalidTag = ^uint64(0)
+
+// lineMeta is the per-way bookkeeping state, kept in an array parallel
+// to the packed tags: the tag scan — the per-access hot loop — touches
+// only 8 bytes per way, and these flag bytes only on the line it
+// decides on.
+type lineMeta struct {
 	dirty      bool
 	prefetched bool // filled by a prefetch...
 	used       bool // ...and since referenced by a demand access
@@ -39,29 +44,69 @@ type CacheStats struct {
 
 // Cache is a set-associative, write-back, write-allocate cache with true
 // LRU replacement. The zero value is unusable; construct with NewCache.
+//
+// Storage is flat arrays indexed by set*ways+way: packed tags (with
+// invalidTag marking empty ways) and the parallel metadata. Recency is
+// an intrusive doubly linked list per set (next/prev hold way indices)
+// ordered LRU→MRU: a touch relinks in O(1) and the victim is always the
+// set's head, so neither lookups nor fills scan recency state. The list
+// starts in way order and empty ways are never touched, so while any
+// way is empty the head is the lowest-indexed empty way — exactly the
+// victim order of the timestamp scan this replaced; after that, touch
+// order is a strict total order and head = least recently used.
 type Cache struct {
-	name  string
-	sets  [][]cacheLine
+	name string
+	tags []uint64
+	meta []lineMeta
+	next []uint8 // toward MRU, per way
+	prev []uint8 // toward LRU, per way
+	head []uint8 // LRU way, per set
+	tail []uint8 // MRU way, per set
+
+	ways  int
 	mask  uint64
-	clock int64
 	stats CacheStats
 }
 
 // NewCache builds a cache with the given geometry. sets must be a power of
-// two; ways must be positive.
+// two; ways must be positive (and at most 255, for the uint8 LRU links).
 func NewCache(name string, sets, ways int) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("mem: cache %s sets %d not a power of two", name, sets))
 	}
-	if ways <= 0 {
-		panic(fmt.Sprintf("mem: cache %s needs positive ways", name))
+	if ways <= 0 || ways > 255 {
+		panic(fmt.Sprintf("mem: cache %s needs 1..255 ways, got %d", name, ways))
 	}
-	storage := make([]cacheLine, sets*ways)
-	s := make([][]cacheLine, sets)
-	for i := range s {
-		s[i] = storage[i*ways : (i+1)*ways : (i+1)*ways]
+	c := &Cache{
+		name: name,
+		tags: make([]uint64, sets*ways),
+		meta: make([]lineMeta, sets*ways),
+		next: make([]uint8, sets*ways),
+		prev: make([]uint8, sets*ways),
+		head: make([]uint8, sets),
+		tail: make([]uint8, sets),
+		ways: ways,
+		mask: uint64(sets - 1),
 	}
-	return &Cache{name: name, sets: s, mask: uint64(sets - 1)}
+	c.initState()
+	return c
+}
+
+// initState resets tags and links every set's LRU list in way order.
+func (c *Cache) initState() {
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	sets := len(c.head)
+	for s := 0; s < sets; s++ {
+		base := s * c.ways
+		for w := 0; w < c.ways; w++ {
+			c.next[base+w] = uint8(w + 1)
+			c.prev[base+w] = uint8(w - 1) // way 0 wraps; head has no prev
+		}
+		c.head[s] = 0
+		c.tail[s] = uint8(c.ways - 1)
+	}
 }
 
 // Name returns the cache's name ("L1", "L2", "LLC").
@@ -71,41 +116,61 @@ func (c *Cache) Name() string { return c.name }
 func (c *Cache) Stats() CacheStats { return c.stats }
 
 // SizeBytes returns the cache capacity.
-func (c *Cache) SizeBytes() int { return len(c.sets) * len(c.sets[0]) * (1 << lineShift) }
+func (c *Cache) SizeBytes() int { return len(c.tags) * (1 << lineShift) }
 
-// set returns the set for a line address.
-func (c *Cache) set(lineAddr uint64) []cacheLine { return c.sets[lineAddr&c.mask] }
+// base returns the first storage index of the set holding lineAddr.
+func (c *Cache) base(lineAddr uint64) int { return int(lineAddr&c.mask) * c.ways }
 
-// find returns the way holding lineAddr in set, or -1. The set indexing
-// and tag scan are hoisted here so Lookup, Contains, and Fill — which the
-// prefetch path calls back-to-back on the same line — share one shape the
-// compiler can inline instead of three hand-rolled loops.
-func find(set []cacheLine, lineAddr uint64) int {
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			return i
+// find returns the storage index holding lineAddr, or -1. The scan runs
+// over the packed tag array only; the invalidTag sentinel makes a
+// separate validity check unnecessary.
+func (c *Cache) find(base int, lineAddr uint64) int {
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == lineAddr {
+			return base + i
 		}
 	}
 	return -1
 }
 
+// touch moves way w (a storage index) of set to the MRU end of its list.
+func (c *Cache) touch(set, base, w int) {
+	ww := uint8(w - base)
+	if c.tail[set] == ww {
+		return
+	}
+	// Unlink.
+	if c.head[set] == ww {
+		c.head[set] = c.next[w]
+	} else {
+		p := base + int(c.prev[w])
+		c.next[p] = c.next[w]
+		c.prev[base+int(c.next[w])] = c.prev[w]
+	}
+	// Append at MRU.
+	t := base + int(c.tail[set])
+	c.next[t] = ww
+	c.prev[w] = c.tail[set]
+	c.tail[set] = ww
+}
+
 // Lookup probes the cache with a demand access. On a hit it updates LRU
 // and the dirty/used bits and returns true.
 func (c *Cache) Lookup(lineAddr uint64, isWrite bool) bool {
-	c.clock++
-	set := c.set(lineAddr)
-	w := find(set, lineAddr)
+	set := int(lineAddr & c.mask)
+	base := set * c.ways
+	w := c.find(base, lineAddr)
 	if w < 0 {
 		c.stats.Misses++
 		return false
 	}
-	l := &set[w]
-	l.lastUse = c.clock
+	c.touch(set, base, w)
+	m := &c.meta[w]
 	if isWrite {
-		l.dirty = true
+		m.dirty = true
 	}
-	if l.prefetched && !l.used {
-		l.used = true
+	if m.prefetched && !m.used {
+		m.used = true
 		c.stats.PrefUseful++
 	}
 	c.stats.Hits++
@@ -115,7 +180,7 @@ func (c *Cache) Lookup(lineAddr uint64, isWrite bool) bool {
 // Contains probes without updating any state (used to drop redundant
 // prefetches).
 func (c *Cache) Contains(lineAddr uint64) bool {
-	return find(c.set(lineAddr), lineAddr) >= 0
+	return c.find(c.base(lineAddr), lineAddr) >= 0
 }
 
 // Evicted describes a victim pushed out by Fill.
@@ -129,43 +194,44 @@ type Evicted struct {
 // evicted victim, if any. Filling a line that is already present refreshes
 // its LRU position instead of duplicating it.
 func (c *Cache) Fill(lineAddr uint64, prefetched, dirty bool) Evicted {
-	c.clock++
-	set := c.set(lineAddr)
-	// One pass finds both the present line and the LRU victim, instead of
-	// a presence scan followed by a victim scan.
-	hit, victim := -1, 0
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == lineAddr {
-			hit = i
-			break
-		}
-		if !set[victim].valid {
-			continue // an invalid way already wins victim selection
-		}
-		if !l.valid || l.lastUse < set[victim].lastUse {
-			victim = i
-		}
-	}
-	if hit >= 0 {
+	set := int(lineAddr & c.mask)
+	base := set * c.ways
+	if hit := c.find(base, lineAddr); hit >= 0 {
 		// Already present: refresh (a racing demand fill may beat a
 		// prefetch).
-		l := &set[hit]
-		l.lastUse = c.clock
-		l.dirty = l.dirty || dirty
-		if l.prefetched && !prefetched {
+		c.touch(set, base, hit)
+		m := &c.meta[hit]
+		m.dirty = m.dirty || dirty
+		if m.prefetched && !prefetched {
 			// A demand fill of a prefetched line counts as a use.
-			if !l.used {
-				l.used = true
+			if !m.used {
+				m.used = true
 				c.stats.PrefUseful++
 			}
 		}
 		return Evicted{}
 	}
+	return c.fillVictim(set, base, lineAddr, prefetched, dirty)
+}
+
+// FillNew is Fill for a line the caller has proven absent, skipping the
+// duplicate probe. The hierarchy uses it for fills that complete a miss:
+// an MSHR-tracked line is in no cache, and while it is in flight nothing
+// can insert it (writeback victims were cached lines, promotions require
+// LLC presence, and duplicate requests merge in the MSHR) — and for the
+// synchronous promote-on-hit fills issued right after a lookup miss.
+func (c *Cache) FillNew(lineAddr uint64, prefetched, dirty bool) Evicted {
+	set := int(lineAddr & c.mask)
+	return c.fillVictim(set, set*c.ways, lineAddr, prefetched, dirty)
+}
+
+// fillVictim evicts the set's LRU way and installs lineAddr in its place.
+func (c *Cache) fillVictim(set, base int, lineAddr uint64, prefetched, dirty bool) Evicted {
+	victim := base + int(c.head[set])
 	var ev Evicted
-	v := &set[victim]
-	if v.valid {
-		ev = Evicted{LineAddr: v.tag, Dirty: v.dirty, Valid: true}
+	v := &c.meta[victim]
+	if t := c.tags[victim]; t != invalidTag {
+		ev = Evicted{LineAddr: t, Dirty: v.dirty, Valid: true}
 		c.stats.Evictions++
 		if v.dirty {
 			c.stats.DirtyEvicts++
@@ -174,7 +240,9 @@ func (c *Cache) Fill(lineAddr uint64, prefetched, dirty bool) Evicted {
 			c.stats.PrefUnused++
 		}
 	}
-	*v = cacheLine{tag: lineAddr, lastUse: c.clock, valid: true, dirty: dirty, prefetched: prefetched}
+	c.touch(set, base, victim)
+	c.tags[victim] = lineAddr
+	*v = lineMeta{dirty: dirty, prefetched: prefetched}
 	c.stats.Fills++
 	if prefetched {
 		c.stats.PrefFills++
@@ -188,11 +256,9 @@ func (c *Cache) NoteRedundantPrefetch() { c.stats.PrefRedundant++ }
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = cacheLine{}
-		}
+	c.initState()
+	for i := range c.meta {
+		c.meta[i] = lineMeta{}
 	}
-	c.clock = 0
 	c.stats = CacheStats{}
 }

@@ -1,0 +1,102 @@
+package mem
+
+// This file implements the pending-fill priority queue as an index heap
+// over a value slab with a free list. The previous implementation was a
+// container/heap of *fill pointers: every miss allocated a fill on the
+// Go heap, every Push/Pop boxed through interface{}, and the GC traced
+// the pointer slice on every cycle. The slab version recycles fill
+// storage, orders int32 indices instead of pointers, and costs zero
+// allocations per fill at steady state.
+//
+// Ordering is load-bearing beyond "earliest first": the caches advance
+// an LRU clock on every Fill, so the application order of fills with
+// equal ready times changes future victim selection. The sift functions
+// below therefore replicate container/heap's exact algorithms (push =
+// append + siftUp; pop = swap root/last + siftDown + remove last) with
+// the same strict less-than comparison, keeping the pop sequence — and
+// with it every downstream experiment byte — identical to the old code.
+
+// fill is a pending line delivery.
+type fill struct {
+	ready      int64
+	line       uint64
+	target     PrefTarget
+	fromMem    bool // also fill the LLC
+	isPrefetch bool
+	hasEntry   bool // an MSHR entry (keyed by line) retires with this fill
+}
+
+// fillQueue is a min-heap of pending fills keyed on ready time.
+type fillQueue struct {
+	slab []fill
+	free []int32 // recycled slab indices
+	heap []int32 // heap-ordered slab indices
+}
+
+// len returns the number of pending fills.
+func (q *fillQueue) len() int { return len(q.heap) }
+
+// topReady returns the earliest pending ready time; call only when
+// len() > 0.
+func (q *fillQueue) topReady() int64 { return q.slab[q.heap[0]].ready }
+
+// push enqueues a fill.
+func (q *fillQueue) push(f fill) {
+	var idx int32
+	if n := len(q.free) - 1; n >= 0 {
+		idx = q.free[n]
+		q.free = q.free[:n]
+	} else {
+		idx = int32(len(q.slab))
+		q.slab = append(q.slab, fill{})
+	}
+	q.slab[idx] = f
+	q.heap = append(q.heap, idx)
+	q.up(len(q.heap) - 1)
+}
+
+// pop dequeues and returns the earliest fill, releasing its slab slot.
+func (q *fillQueue) pop() fill {
+	n := len(q.heap) - 1
+	q.heap[0], q.heap[n] = q.heap[n], q.heap[0]
+	q.down(0, n)
+	idx := q.heap[n]
+	q.heap = q.heap[:n]
+	f := q.slab[idx]
+	q.free = append(q.free, idx)
+	return f
+}
+
+func (q *fillQueue) less(i, j int) bool {
+	return q.slab[q.heap[i]].ready < q.slab[q.heap[j]].ready
+}
+
+func (q *fillQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			break
+		}
+		q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+		j = i
+	}
+}
+
+func (q *fillQueue) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+		i = j
+	}
+}

@@ -1,9 +1,6 @@
 package mem
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Level identifies where a demand access was served.
 type Level uint8
@@ -107,40 +104,6 @@ const (
 	PrefToLLC
 )
 
-// fill is a pending line delivery.
-type fill struct {
-	ready      int64
-	line       uint64
-	target     PrefTarget
-	fromMem    bool // also fill the LLC
-	isPrefetch bool
-	entry      *mshrEntry // owning MSHR entry, if any
-}
-
-type fillHeap []*fill
-
-func (h fillHeap) Len() int            { return len(h) }
-func (h fillHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
-func (h fillHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *fillHeap) Push(x interface{}) { *h = append(*h, x.(*fill)) }
-func (h *fillHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
-}
-
-// mshrEntry tracks one in-flight line miss.
-type mshrEntry struct {
-	line       uint64
-	ready      int64
-	isPrefetch bool
-	demanded   bool // a demand access arrived while in flight
-	dirty      bool // a store demanded the line: fill dirty
-}
-
 // Stats are the hierarchy-level counters the experiments consume.
 type Stats struct {
 	Loads  int64
@@ -155,16 +118,26 @@ type Stats struct {
 	PrefDropped int64 // prefetches dropped for MSHR pressure
 }
 
+// demandMiss mirrors one in-flight demand entry for the full-MSHR stall
+// scan: waitForMSHR needs the earliest demand ready time, and this
+// side list (at most Config.MSHRs entries) is far cheaper to scan than
+// the whole MSHR table.
+type demandMiss struct {
+	line  uint64
+	ready int64
+}
+
 // Hierarchy is one core's L1/L2 plus shared LLC/DRAM access machinery.
 type Hierarchy struct {
 	cfg    Config
 	l1, l2 *Cache
 	shared *Shared
 
-	mshr          map[uint64]*mshrEntry
-	demandInFlite int // in-flight demand misses
-	prefInFlite   int // in-flight prefetches
-	pending       fillHeap
+	mshr          mshrTable
+	demand        []demandMiss // in-flight demand misses (waitForMSHR scan)
+	demandInFlite int          // in-flight demand misses
+	prefInFlite   int          // in-flight prefetches
+	pending       fillQueue
 	stats         Stats
 }
 
@@ -181,7 +154,8 @@ func NewCoreHierarchy(cfg Config, shared *Shared) *Hierarchy {
 		l1:     NewCache("L1", cfg.L1Sets, cfg.L1Ways),
 		l2:     NewCache("L2", cfg.L2Sets, cfg.L2Ways),
 		shared: shared,
-		mshr:   make(map[uint64]*mshrEntry),
+		mshr:   newMSHRTable(cfg.MSHRs + cfg.PrefMSHRs),
+		demand: make([]demandMiss, 0, cfg.MSHRs),
 	}
 }
 
@@ -203,9 +177,9 @@ func (h *Hierarchy) DRAM() *DRAM { return h.shared.DRAM }
 // Drain applies all pending fills whose ready time is at or before cycle.
 // The core model calls it as simulated time advances.
 func (h *Hierarchy) Drain(cycle int64) {
-	for len(h.pending) > 0 && h.pending[0].ready <= cycle {
-		f := heap.Pop(&h.pending).(*fill)
-		h.applyFill(f)
+	for h.pending.len() > 0 && h.pending.topReady() <= cycle {
+		f := h.pending.pop()
+		h.applyFill(&f)
 	}
 }
 
@@ -213,56 +187,87 @@ func (h *Hierarchy) Drain(cycle int64) {
 func (h *Hierarchy) applyFill(f *fill) {
 	prefetched := f.isPrefetch
 	dirty := false
-	if f.entry != nil {
-		if f.entry.demanded {
-			prefetched = false // a late prefetch fills as a demand line
-		}
-		dirty = f.entry.dirty
-		delete(h.mshr, f.line)
-		if f.entry.isPrefetch {
-			h.prefInFlite--
-		} else {
-			h.demandInFlite--
+	demanded := false
+	if f.hasEntry {
+		if e, ok := h.mshr.remove(f.line); ok {
+			demanded = e.demanded
+			if e.demanded {
+				prefetched = false // a late prefetch fills as a demand line
+			}
+			dirty = e.dirty
+			if e.isPrefetch {
+				h.prefInFlite--
+			} else {
+				h.demandInFlite--
+				h.dropDemand(f.line)
+			}
 		}
 	}
+	// Fills from memory complete an in-flight MSHR line, which is provably
+	// absent from every level (see Cache.FillNew); promotions (fromMem
+	// false) may race a demand fill and must keep the duplicate probe.
 	if f.fromMem {
 		// The LLC copy carries the prefetched bit only when the LLC is
 		// the fill target; otherwise timeliness and waste are accounted
 		// at the target level to avoid double counting.
 		llcPref := prefetched && f.target == PrefToLLC
-		if ev := h.shared.LLC.Fill(f.line, llcPref, false); ev.Valid && ev.Dirty {
+		if ev := h.shared.LLC.FillNew(f.line, llcPref, false); ev.Valid && ev.Dirty {
 			h.shared.DRAM.Write(f.ready)
 		}
 	}
 	switch f.target {
 	case PrefToL1:
-		h.fillL2(f.line, false, false, f.ready)
-		h.fillL1(f.line, prefetched, dirty, f.ready)
+		h.fillL2(f.line, false, false, f.ready, f.fromMem)
+		h.fillL1(f.line, prefetched, dirty, f.ready, f.fromMem)
 	case PrefToLLC:
 		// LLC-only prefetch: account the prefetched bit in the LLC copy
 		// (the fill target), which fromMem inserted clean above; demand
-		// fills that merged in flight still reach L2/L1 below.
-		if f.entry != nil && f.entry.demanded {
-			h.fillL2(f.line, false, dirty, f.ready)
-		} else if !f.fromMem {
-			// Promotion from LLC with an LLC target is a no-op.
-			_ = f
+		// fills that merged in flight still reach L2/L1. A promotion from
+		// the LLC with an LLC target is a no-op.
+		if demanded {
+			h.fillL2(f.line, false, dirty, f.ready, f.fromMem)
 		}
 	default:
-		h.fillL2(f.line, prefetched, dirty, f.ready)
+		h.fillL2(f.line, prefetched, dirty, f.ready, f.fromMem)
 	}
 }
 
-// fillL1 inserts into L1, writing back the victim into L2.
-func (h *Hierarchy) fillL1(line uint64, prefetched, dirty bool, cycle int64) {
-	if ev := h.l1.Fill(line, prefetched, dirty); ev.Valid && ev.Dirty {
-		h.fillL2(ev.LineAddr, false, true, cycle)
+// dropDemand removes line from the demand side list (order is
+// irrelevant — only the minimum ready time is ever consumed).
+func (h *Hierarchy) dropDemand(line uint64) {
+	for i := range h.demand {
+		if h.demand[i].line == line {
+			h.demand[i] = h.demand[len(h.demand)-1]
+			h.demand = h.demand[:len(h.demand)-1]
+			return
+		}
+	}
+}
+
+// fillL1 inserts into L1, writing back the victim into L2. knownNew
+// promises the line is absent (an in-flight fill or a promote right
+// after a lookup miss); victim writebacks never make that promise.
+func (h *Hierarchy) fillL1(line uint64, prefetched, dirty bool, cycle int64, knownNew bool) {
+	var ev Evicted
+	if knownNew {
+		ev = h.l1.FillNew(line, prefetched, dirty)
+	} else {
+		ev = h.l1.Fill(line, prefetched, dirty)
+	}
+	if ev.Valid && ev.Dirty {
+		h.fillL2(ev.LineAddr, false, true, cycle, false)
 	}
 }
 
 // fillL2 inserts into L2, writing back the victim into the LLC.
-func (h *Hierarchy) fillL2(line uint64, prefetched, dirty bool, cycle int64) {
-	if ev := h.l2.Fill(line, prefetched, dirty); ev.Valid && ev.Dirty {
+func (h *Hierarchy) fillL2(line uint64, prefetched, dirty bool, cycle int64, knownNew bool) {
+	var ev Evicted
+	if knownNew {
+		ev = h.l2.FillNew(line, prefetched, dirty)
+	} else {
+		ev = h.l2.Fill(line, prefetched, dirty)
+	}
+	if ev.Valid && ev.Dirty {
 		if lev := h.shared.LLC.Fill(ev.LineAddr, false, true); lev.Valid && lev.Dirty {
 			h.shared.DRAM.Write(cycle)
 		}
@@ -302,12 +307,12 @@ func (h *Hierarchy) Access(addr uint64, isWrite bool, cycle int64) AccessResult 
 	h.stats.L2Demand++
 	res := AccessResult{L2Access: true, LineAddr: line}
 	if h.l2.Lookup(line, isWrite) {
-		h.fillL1(line, false, isWrite, cycle)
+		h.fillL1(line, false, isWrite, cycle, true) // just missed L1
 		res.Done, res.Level, res.L2Hit = cycle+h.cfg.L2Lat, LevelL2, true
 		return res
 	}
 	// In flight already? Merge with the outstanding request.
-	if e, ok := h.mshr[line]; ok {
+	if e := h.mshr.get(line); e != nil {
 		if e.isPrefetch && !e.demanded {
 			h.stats.PrefLate++
 		}
@@ -322,19 +327,20 @@ func (h *Hierarchy) Access(addr uint64, isWrite bool, cycle int64) AccessResult 
 	}
 	h.stats.LLCDemand++
 	if h.shared.LLC.Lookup(line, isWrite) {
-		h.fillL2(line, false, false, cycle)
-		h.fillL1(line, false, isWrite, cycle)
+		h.fillL2(line, false, false, cycle, true) // just missed L1 and L2
+		h.fillL1(line, false, isWrite, cycle, true)
 		res.Done, res.Level = cycle+h.cfg.LLCLat, LevelLLC
 		return res
 	}
 	h.stats.LLCMisses++
 	issue := h.waitForMSHR(cycle)
 	ready := h.shared.DRAM.Read(issue + h.cfg.LLCLat)
-	e := &mshrEntry{line: line, ready: ready, demanded: true, dirty: isWrite}
-	h.mshr[line] = e
+	e := h.mshr.put(line)
+	e.ready, e.demanded, e.dirty = ready, true, isWrite
 	h.demandInFlite++
+	h.demand = append(h.demand, demandMiss{line: line, ready: ready})
 	// Demand misses fill L1, L2, and LLC when the line arrives.
-	heap.Push(&h.pending, &fill{ready: ready, line: line, target: PrefToL1, fromMem: true, entry: e})
+	h.pending.push(fill{ready: ready, line: line, target: PrefToL1, fromMem: true, hasEntry: true})
 	res.Done, res.Level = ready, LevelMem
 	return res
 }
@@ -346,12 +352,9 @@ func (h *Hierarchy) waitForMSHR(cycle int64) int64 {
 		return cycle
 	}
 	earliest := int64(-1)
-	for _, e := range h.mshr {
-		if e.isPrefetch {
-			continue
-		}
-		if earliest < 0 || e.ready < earliest {
-			earliest = e.ready
+	for i := range h.demand {
+		if r := h.demand[i].ready; earliest < 0 || r < earliest {
+			earliest = r
 		}
 	}
 	if earliest > cycle {
@@ -373,7 +376,7 @@ func (h *Hierarchy) Prefetch(addr uint64, cycle int64, target PrefTarget) {
 		h.l2.NoteRedundantPrefetch()
 		return
 	}
-	if _, ok := h.mshr[line]; ok {
+	if h.mshr.get(line) != nil {
 		h.l2.NoteRedundantPrefetch()
 		return
 	}
@@ -385,7 +388,7 @@ func (h *Hierarchy) Prefetch(addr uint64, cycle int64, target PrefTarget) {
 			return
 		}
 		// Promote from LLC into the target level; no DRAM traffic.
-		heap.Push(&h.pending, &fill{
+		h.pending.push(fill{
 			ready: cycle + h.cfg.LLCLat, line: line,
 			target: target, isPrefetch: true,
 		})
@@ -397,12 +400,12 @@ func (h *Hierarchy) Prefetch(addr uint64, cycle int64, target PrefTarget) {
 		return
 	}
 	ready := h.shared.DRAM.Read(cycle + h.cfg.LLCLat)
-	e := &mshrEntry{line: line, ready: ready, isPrefetch: true}
-	h.mshr[line] = e
+	e := h.mshr.put(line)
+	e.ready, e.isPrefetch = ready, true
 	h.prefInFlite++
-	heap.Push(&h.pending, &fill{
+	h.pending.push(fill{
 		ready: ready, line: line, target: target,
-		fromMem: true, isPrefetch: true, entry: e,
+		fromMem: true, isPrefetch: true, hasEntry: true,
 	})
 }
 

@@ -420,15 +420,6 @@ func assertPanics(t *testing.T, f func()) {
 	f()
 }
 
-func BenchmarkHierarchyAccess(b *testing.B) {
-	h := NewHierarchy(DefaultConfig())
-	var cycle int64
-	for i := 0; i < b.N; i++ {
-		r := h.Access(uint64(i)*64, false, cycle)
-		cycle = r.Done
-	}
-}
-
 func TestHierarchyPrefetchToLLC(t *testing.T) {
 	h := NewHierarchy(DefaultConfig())
 	addr := uint64(0x900000)

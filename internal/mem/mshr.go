@@ -1,0 +1,158 @@
+package mem
+
+// This file implements the MSHR file as a small open-addressed hash
+// table of value entries. Real MSHR files hold a few dozen lines
+// (Table 4: 10 demand + 32 prefetch), so the general-purpose Go map the
+// hierarchy used to carry was overkill: every probe hashed through the
+// runtime, every miss allocated an entry, and the full-MSHR stall scan
+// paid the runtime's iterator machinery. The table below keeps entries
+// inline in a power-of-two slot array with linear probing and
+// backward-shift deletion, so the steady-state per-miss cost is a
+// multiply, a mask, and a couple of cache lines — and zero allocations.
+
+// mshrEntry tracks one in-flight line miss. valid marks slot occupancy
+// in the open-addressed table.
+type mshrEntry struct {
+	line       uint64
+	ready      int64
+	isPrefetch bool
+	demanded   bool // a demand access arrived while in flight
+	dirty      bool // a store demanded the line: fill dirty
+	valid      bool
+}
+
+// mshrTable is the open-addressed MSHR file. Capacity stays at least
+// twice the live entry bound, so probe chains are short and the table
+// never fills.
+type mshrTable struct {
+	slots []mshrEntry
+	shift uint // 64 - log2(len(slots)); used by the multiplicative hash
+	n     int
+}
+
+// newMSHRTable sizes the table for at most bound live entries.
+func newMSHRTable(bound int) mshrTable {
+	capacity := 16
+	for capacity < 2*bound {
+		capacity *= 2
+	}
+	return mshrTable{slots: make([]mshrEntry, capacity), shift: slotShift(capacity)}
+}
+
+func slotShift(capacity int) uint {
+	shift := uint(64)
+	for c := capacity; c > 1; c /= 2 {
+		shift--
+	}
+	return shift
+}
+
+// home is the entry's preferred slot: a Fibonacci multiplicative hash,
+// taking the high bits so nearby line addresses scatter.
+func (t *mshrTable) home(line uint64) int {
+	return int((line * 0x9e3779b97f4a7c15) >> t.shift)
+}
+
+// len returns the live entry count.
+func (t *mshrTable) len() int { return t.n }
+
+// get returns the entry for line, or nil. The pointer aims into the
+// slot array and is invalidated by the next put or remove.
+func (t *mshrTable) get(line uint64) *mshrEntry {
+	i := t.home(line)
+	for {
+		e := &t.slots[i]
+		if !e.valid {
+			return nil
+		}
+		if e.line == line {
+			return e
+		}
+		i++
+		if i == len(t.slots) {
+			i = 0
+		}
+	}
+}
+
+// put inserts a fresh entry for line — the caller has already checked
+// the line is absent — and returns a pointer for initialization, valid
+// until the next put or remove.
+func (t *mshrTable) put(line uint64) *mshrEntry {
+	if 2*(t.n+1) > len(t.slots) {
+		t.grow()
+	}
+	i := t.home(line)
+	for t.slots[i].valid {
+		i++
+		if i == len(t.slots) {
+			i = 0
+		}
+	}
+	t.n++
+	e := &t.slots[i]
+	*e = mshrEntry{line: line, valid: true}
+	return e
+}
+
+// remove deletes and returns the entry for line. Deletion backward-shifts
+// the probe chain so no tombstones accumulate: any entry whose home slot
+// no longer reaches it across the gap moves into the gap, repeatedly,
+// until the chain is tight again.
+func (t *mshrTable) remove(line uint64) (mshrEntry, bool) {
+	i := t.home(line)
+	for {
+		if !t.slots[i].valid {
+			return mshrEntry{}, false
+		}
+		if t.slots[i].line == line {
+			break
+		}
+		i++
+		if i == len(t.slots) {
+			i = 0
+		}
+	}
+	out := t.slots[i]
+	t.n--
+	j := i // the gap
+	for {
+		t.slots[j] = mshrEntry{}
+		k := j
+		for {
+			k++
+			if k == len(t.slots) {
+				k = 0
+			}
+			if !t.slots[k].valid {
+				return out, true
+			}
+			h := t.home(t.slots[k].line)
+			// The entry at k may move into the gap at j only if its home
+			// is not cyclically within (j, k] — otherwise the move would
+			// put it before its home and lookups would miss it.
+			if (j < k && (h <= j || h > k)) || (j > k && h <= j && h > k) {
+				t.slots[j] = t.slots[k]
+				j = k
+				break
+			}
+		}
+	}
+}
+
+// grow doubles the slot array and rehashes. It only runs while the live
+// count approaches half capacity, which the hierarchy's MSHR bounds
+// prevent after construction — this is a safety valve, not a code path.
+func (t *mshrTable) grow() {
+	old := t.slots
+	capacity := 2 * len(old)
+	t.slots = make([]mshrEntry, capacity)
+	t.shift = slotShift(capacity)
+	t.n = 0
+	for i := range old {
+		if old[i].valid {
+			e := t.put(old[i].line)
+			*e = old[i]
+		}
+	}
+}

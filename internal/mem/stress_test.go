@@ -38,9 +38,9 @@ func TestHierarchyStressRandomTraffic(t *testing.T) {
 		if h.demandInFlite < 0 || h.prefInFlite < 0 {
 			t.Fatalf("negative in-flight counters %d/%d", h.demandInFlite, h.prefInFlite)
 		}
-		if h.demandInFlite+h.prefInFlite != len(h.mshr) {
+		if h.demandInFlite+h.prefInFlite != h.mshr.len() {
 			t.Fatalf("in-flight counters %d+%d != mshr size %d",
-				h.demandInFlite, h.prefInFlite, len(h.mshr))
+				h.demandInFlite, h.prefInFlite, h.mshr.len())
 		}
 		if h.demandInFlite > cfg.MSHRs {
 			t.Fatalf("demand MSHRs over capacity: %d", h.demandInFlite)
@@ -53,9 +53,9 @@ func TestHierarchyStressRandomTraffic(t *testing.T) {
 	// DRAM backlog can extend far beyond the driver's clock; drain to the
 	// end of time.
 	h.Drain(1 << 62)
-	if len(h.mshr) != 0 || len(h.pending) != 0 {
+	if h.mshr.len() != 0 || h.pending.len() != 0 {
 		t.Errorf("residual state after quiescence: mshr=%d pending=%d",
-			len(h.mshr), len(h.pending))
+			h.mshr.len(), h.pending.len())
 	}
 	st := h.Stats()
 	cl := h.Classify()

@@ -43,9 +43,17 @@ func sanitizeEvent(ev *Event) {
 	ev.RAvg = finite(ev.RAvg)
 	sanitizeSlice(ev.RTable)
 	sanitizeSlice(ev.NTable)
-	for k, v := range ev.Fields {
-		if f := finite(v); f != v {
-			ev.Fields[k] = f
+	if ev.Fields.Len() == 0 {
+		// An empty set encodes as {} but omitempty only drops a nil
+		// pointer; canonicalize so empty and absent are the same bytes.
+		ev.Fields = nil
+		return
+	}
+	for k := FieldKey(0); k < numFieldKeys; k++ {
+		if v, ok := ev.Fields.Get(k); ok {
+			if f := finite(v); f != v {
+				ev.Fields.Set(k, f)
+			}
 		}
 	}
 }

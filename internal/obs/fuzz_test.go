@@ -16,11 +16,11 @@ func FuzzEventCodec(f *testing.F) {
 		{Kind: KindArm, Step: 3, Arm: 1, Forced: true},
 		{Kind: KindReward, Step: 3, Arm: 1, Value: 1.5, Raw: 0.75},
 		{Kind: KindSnapshot, Step: 100, RTable: []float64{1, 2}, NTable: []float64{3, 4}, NTotal: 7, RAvg: 0.9},
-		{Kind: KindInterval, Step: 100, Cycle: 1 << 40, Fields: map[string]float64{"ipc": 1.2}},
+		{Kind: KindInterval, Step: 100, Cycle: 1 << 40, Fields: NewFields().Set(FieldIPC, 1.2)},
 		{Kind: KindRestart, Step: 55},
 		{Kind: KindMetaSwitch, Step: 10, Arm: 2},
 		{Kind: KindFault, Label: "stuckarm:1:9"},
-		{Kind: KindRunEnd, Step: 9, Fields: map[string]float64{"ipc": 0.4}},
+		{Kind: KindRunEnd, Step: 9, Fields: NewFields().Set(FieldIPC, 0.4)},
 	}
 	for _, ev := range seeds {
 		line, err := Marshal(ev)
@@ -67,7 +67,7 @@ func sanitized(ev Event) Event {
 	if len(ev.NTable) == 0 {
 		ev.NTable = nil
 	}
-	if len(ev.Fields) == 0 {
+	if ev.Fields.Len() == 0 {
 		ev.Fields = nil
 	}
 	return ev

@@ -75,12 +75,12 @@ type Event struct {
 	Forced bool               `json:"forced,omitempty"`
 	Value  float64            `json:"value,omitempty"`
 	Raw    float64            `json:"raw,omitempty"`
-	RTable []float64          `json:"rtable,omitempty"`
-	NTable []float64          `json:"ntable,omitempty"`
-	NTotal float64            `json:"ntotal,omitempty"`
-	RAvg   float64            `json:"ravg,omitempty"`
-	Fields map[string]float64 `json:"fields,omitempty"`
-	Label  string             `json:"label,omitempty"`
+	RTable []float64 `json:"rtable,omitempty"`
+	NTable []float64 `json:"ntable,omitempty"`
+	NTotal float64   `json:"ntotal,omitempty"`
+	RAvg   float64   `json:"ravg,omitempty"`
+	Fields *Fields   `json:"fields,omitempty"`
+	Label  string    `json:"label,omitempty"`
 }
 
 // Recorder receives telemetry events. Implementations are not required

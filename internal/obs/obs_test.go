@@ -80,8 +80,8 @@ func TestMarshalRoundTrip(t *testing.T) {
 		{Kind: KindArm, Step: 12, Arm: 3, Forced: true},
 		{Kind: KindReward, Step: 12, Arm: 3, Value: 1.25, Raw: 0.8},
 		{Kind: KindSnapshot, Step: 100, RTable: []float64{1, 0.5}, NTable: []float64{7, 3}, NTotal: 10, RAvg: 0.75},
-		{Kind: KindInterval, Step: 100, Cycle: 12345, Fields: map[string]float64{"ipc": 1.2, "mpki": 3.4}},
-		{Kind: KindRunEnd, Step: 200, Fields: map[string]float64{"ipc": 1.1}},
+		{Kind: KindInterval, Step: 100, Cycle: 12345, Fields: NewFields().Set(FieldIPC, 1.2).Set(FieldMPKI, 3.4)},
+		{Kind: KindRunEnd, Step: 200, Fields: NewFields().Set(FieldIPC, 1.1)},
 	}
 	for _, ev := range evs {
 		line, err := Marshal(ev)
@@ -104,7 +104,7 @@ func TestMarshalSanitizesNonFinite(t *testing.T) {
 		Value:  math.NaN(),
 		Raw:    math.Inf(1),
 		RTable: []float64{math.Inf(-1), 1},
-		Fields: map[string]float64{"x": math.NaN()},
+		Fields: NewFields().Set(FieldIPC, math.NaN()),
 	}
 	line, err := Marshal(ev)
 	if err != nil {
@@ -114,8 +114,11 @@ func TestMarshalSanitizesNonFinite(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Unmarshal: %v", err)
 	}
-	if got.Value != 0 || got.Raw != math.MaxFloat64 || got.RTable[0] != -math.MaxFloat64 || got.Fields["x"] != 0 {
+	if got.Value != 0 || got.Raw != math.MaxFloat64 || got.RTable[0] != -math.MaxFloat64 {
 		t.Fatalf("sanitization wrong: %#v", got)
+	}
+	if v, ok := got.Fields.Get(FieldIPC); !ok || v != 0 {
+		t.Fatalf("NaN field not squashed to 0: %#v", got.Fields)
 	}
 }
 
@@ -161,7 +164,7 @@ func sampleStream() []Event {
 		{Kind: KindReward, Step: 2, Arm: 1, Raw: 2.0},
 		{Kind: KindArm, Step: 3, Arm: 1},
 		{Kind: KindReward, Step: 3, Arm: 1, Raw: 2.0},
-		{Kind: KindRunEnd, Step: 4, Fields: map[string]float64{"ipc": 1.75}},
+		{Kind: KindRunEnd, Step: 4, Fields: NewFields().Set(FieldIPC, 1.75)},
 		{Kind: KindRunStart, Label: "B"},
 		{Kind: KindArm, Step: 0, Arm: 0},
 		{Kind: KindReward, Step: 0, Arm: 0, Raw: 1.0},

@@ -29,11 +29,10 @@ type bingoActive struct {
 type Bingo struct {
 	active  []bingoActive
 	longHit map[uint64]uint32 // PC+Address event -> footprint
-	longQ   []uint64
+	longQ   fifo[uint64]
 	shortHi map[uint64]uint32 // PC+Offset event -> footprint
-	shortQ  []uint64
+	shortQ  fifo[uint64]
 	clock   int64
-	out     []uint64
 }
 
 // bingoHistoryCap bounds each history table (FIFO replacement).
@@ -48,7 +47,9 @@ func NewBingo(activeRegions int) *Bingo {
 	return &Bingo{
 		active:  make([]bingoActive, activeRegions),
 		longHit: make(map[uint64]uint32),
+		longQ:   newFifo[uint64](bingoHistoryCap),
 		shortHi: make(map[uint64]uint32),
+		shortQ:  newFifo[uint64](bingoHistoryCap),
 	}
 }
 
@@ -61,8 +62,7 @@ func bingoShortKey(pc uint64, off int) uint64 {
 }
 
 // Operate implements Prefetcher.
-func (p *Bingo) Operate(ev Event) []uint64 {
-	p.out = p.out[:0]
+func (p *Bingo) Operate(ev Event, buf []uint64) []uint64 {
 	p.clock++
 	line := ev.Addr >> 6
 	region := ev.Addr >> bingoRegionShift
@@ -74,7 +74,7 @@ func (p *Bingo) Operate(ev Event) []uint64 {
 		if a.valid && a.region == region {
 			a.footprint |= 1 << off
 			a.lastUse = p.clock
-			return nil
+			return buf
 		}
 	}
 
@@ -94,15 +94,15 @@ func (p *Bingo) Operate(ev Event) []uint64 {
 		fp, ok = p.shortHi[bingoShortKey(ev.PC, off)]
 	}
 	if !ok {
-		return nil
+		return buf
 	}
 	base := region << bingoRegionShift
 	for b := 0; b < bingoRegionLines; b++ {
 		if b != off && fp&(1<<b) != 0 {
-			p.out = append(p.out, base+uint64(b)*LineSize)
+			buf = append(buf, base+uint64(b)*LineSize)
 		}
 	}
-	return p.out
+	return buf
 }
 
 // victim returns the active-table entry to replace (invalid or LRU).
@@ -122,14 +122,12 @@ func (p *Bingo) victim() *bingoActive {
 
 // commit stores a finished region's footprint under both event keys.
 func (p *Bingo) commit(a *bingoActive) {
-	insert := func(m map[uint64]uint32, q *[]uint64, key uint64, fp uint32) {
+	insert := func(m map[uint64]uint32, q *fifo[uint64], key uint64, fp uint32) {
 		if _, exists := m[key]; !exists {
-			if len(*q) >= bingoHistoryCap {
-				old := (*q)[0]
-				*q = (*q)[1:]
-				delete(m, old)
+			if q.size() >= bingoHistoryCap {
+				delete(m, q.pop())
 			}
-			*q = append(*q, key)
+			q.push(key)
 		}
 		m[key] = fp
 	}
@@ -144,7 +142,7 @@ func (p *Bingo) Reset() {
 	}
 	p.longHit = make(map[uint64]uint32)
 	p.shortHi = make(map[uint64]uint32)
-	p.longQ = nil
-	p.shortQ = nil
+	p.longQ.clear()
+	p.shortQ.clear()
 	p.clock = 0
 }

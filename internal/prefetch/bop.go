@@ -21,20 +21,20 @@ const (
 // BOP is the best-offset prefetcher.
 type BOP struct {
 	recent  map[uint64]struct{}
-	rrOrder []uint64
+	rrOrder fifo[uint64]
 
 	scores  []int
 	testIdx int // next candidate offset index to test
 	inRound int
 	current int // active prefetch offset; 0 = off
-	out     []uint64
 }
 
 // NewBOP builds a best-offset prefetcher.
 func NewBOP() *BOP {
 	return &BOP{
-		recent: make(map[uint64]struct{}, bopRRCap),
-		scores: make([]int, 2*bopMaxOffset+1),
+		recent:  make(map[uint64]struct{}, bopRRCap),
+		rrOrder: newFifo[uint64](bopRRCap),
+		scores:  make([]int, 2*bopMaxOffset+1),
 	}
 }
 
@@ -45,8 +45,7 @@ func (p *BOP) Name() string { return "BOP" }
 func (p *BOP) CurrentOffset() int { return p.current }
 
 // Operate implements Prefetcher.
-func (p *BOP) Operate(ev Event) []uint64 {
-	p.out = p.out[:0]
+func (p *BOP) Operate(ev Event, buf []uint64) []uint64 {
 	line := ev.Addr >> 6
 
 	// Learning: test one candidate offset per access round-robin — did
@@ -72,12 +71,10 @@ func (p *BOP) Operate(ev Event) []uint64 {
 
 	// Record the access in the recent-requests window.
 	if _, ok := p.recent[line]; !ok {
-		if len(p.rrOrder) >= bopRRCap {
-			old := p.rrOrder[0]
-			p.rrOrder = p.rrOrder[1:]
-			delete(p.recent, old)
+		if p.rrOrder.size() >= bopRRCap {
+			delete(p.recent, p.rrOrder.pop())
 		}
-		p.rrOrder = append(p.rrOrder, line)
+		p.rrOrder.push(line)
 		p.recent[line] = struct{}{}
 	}
 
@@ -85,10 +82,10 @@ func (p *BOP) Operate(ev Event) []uint64 {
 	if p.current != 0 {
 		target := int64(line) + int64(p.current)
 		if target >= 0 {
-			p.out = append(p.out, uint64(target)*LineSize)
+			buf = append(buf, uint64(target)*LineSize)
 		}
 	}
-	return p.out
+	return buf
 }
 
 // endRound commits the best-scoring offset and starts a new round.
@@ -113,7 +110,7 @@ func (p *BOP) endRound() {
 // Reset implements Prefetcher.
 func (p *BOP) Reset() {
 	p.recent = make(map[uint64]struct{}, bopRRCap)
-	p.rrOrder = nil
+	p.rrOrder.clear()
 	for i := range p.scores {
 		p.scores[i] = 0
 	}

@@ -7,7 +7,7 @@ func TestBOPLearnsSingleOffset(t *testing.T) {
 	// Pure +2-line pattern: BOP should converge to offset 2.
 	var out []uint64
 	for i := uint64(0); i < 2*bopRoundLenMax; i++ {
-		out = p.Operate(evAt(1, 100+2*i, 0))
+		out = operate(p, evAt(1, 100+2*i, 0))
 	}
 	if p.CurrentOffset() != 2 {
 		t.Fatalf("learned offset %d, want 2", p.CurrentOffset())
@@ -22,7 +22,7 @@ func TestBOPTurnsOffOnRandom(t *testing.T) {
 	rng := uint64(12345)
 	for i := 0; i < 3*bopRoundLenMax; i++ {
 		rng = rng*6364136223846793005 + 1442695040888963407
-		p.Operate(evAt(1, rng%1_000_000, 0))
+		operate(p, evAt(1, rng%1_000_000, 0))
 	}
 	if p.CurrentOffset() != 0 {
 		t.Errorf("BOP kept offset %d on random traffic, want off", p.CurrentOffset())
@@ -56,7 +56,7 @@ func TestBOPSingleOffsetLimitVsEnsemble(t *testing.T) {
 			if at, ok := issuedAt[ev.Addr/LineSize]; ok && i-at < 16 {
 				covered++
 			}
-			for _, a := range p.Operate(ev) {
+			for _, a := range operate(p, ev) {
 				issuedAt[a/LineSize] = i
 			}
 		}
@@ -77,13 +77,13 @@ func TestBOPSingleOffsetLimitVsEnsemble(t *testing.T) {
 func TestBOPReset(t *testing.T) {
 	p := NewBOP()
 	for i := uint64(0); i < 2*bopRoundLenMax; i++ {
-		p.Operate(evAt(1, 100+i, 0))
+		operate(p, evAt(1, 100+i, 0))
 	}
 	p.Reset()
 	if p.CurrentOffset() != 0 {
 		t.Error("Reset kept the learned offset")
 	}
-	if out := p.Operate(evAt(1, 55, 0)); len(out) != 0 {
+	if out := operate(p, evAt(1, 55, 0)); len(out) != 0 {
 		t.Error("Reset BOP still prefetching")
 	}
 }

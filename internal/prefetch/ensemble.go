@@ -48,7 +48,6 @@ type Ensemble struct {
 	nl     NextLine
 	stream *Stream
 	stride *IPStride
-	out    []uint64
 }
 
 // NewEnsemble builds the ensemble with the given arm set and the paper's
@@ -99,29 +98,38 @@ func (e *Ensemble) Apply(arm int) {
 }
 
 // Operate implements Prefetcher: all active components observe the access
-// and their proposals are merged (deduplicated).
-func (e *Ensemble) Operate(ev Event) []uint64 {
-	e.out = e.out[:0]
-	e.out = append(e.out, e.nl.Operate(ev)...)
-	e.out = appendDedup(e.out, e.stream.Operate(ev))
-	e.out = appendDedup(e.out, e.stride.Operate(ev))
-	return e.out
+// and their proposals are merged (deduplicated) directly in the caller's
+// buffer — each component appends, then its additions are compacted
+// against everything this call has kept so far.
+func (e *Ensemble) Operate(ev Event, buf []uint64) []uint64 {
+	start := len(buf)
+	buf = e.nl.Operate(ev, buf)
+	mark := len(buf)
+	buf = e.stream.Operate(ev, buf)
+	buf = dedupAgainst(buf, start, mark)
+	mark = len(buf)
+	buf = e.stride.Operate(ev, buf)
+	return dedupAgainst(buf, start, mark)
 }
 
-// appendDedup appends addrs to dst, skipping line-duplicates already in
-// dst. The candidate lists are tiny (≤ 31 entries), so linear scan wins.
-func appendDedup(dst, addrs []uint64) []uint64 {
+// dedupAgainst compacts buf[from:] in place, dropping entries whose line
+// already appears earlier in buf[start:] — including entries kept by the
+// compaction itself. The candidate lists are tiny (≤ 31 entries), so
+// linear scan wins.
+func dedupAgainst(buf []uint64, start, from int) []uint64 {
+	w := from
 next:
-	for _, a := range addrs {
-		al := a &^ uint64(LineSize-1)
-		for _, d := range dst {
+	for i := from; i < len(buf); i++ {
+		al := buf[i] &^ uint64(LineSize-1)
+		for _, d := range buf[start:w] {
 			if d&^uint64(LineSize-1) == al {
 				continue next
 			}
 		}
-		dst = append(dst, a)
+		buf[w] = buf[i]
+		w++
 	}
-	return dst
+	return buf[:w]
 }
 
 // Reset implements Prefetcher. The applied arm is retained.

@@ -77,7 +77,9 @@ func (e *ExtendedEnsemble) CurrentArm() int { return e.cur }
 func (e *ExtendedEnsemble) Arm(i int) ExtArmConfig { return e.arms[i] }
 
 // Operate implements Prefetcher.
-func (e *ExtendedEnsemble) Operate(ev Event) []uint64 { return e.inner.Operate(ev) }
+func (e *ExtendedEnsemble) Operate(ev Event, buf []uint64) []uint64 {
+	return e.inner.Operate(ev, buf)
+}
 
 // Reset implements Prefetcher.
 func (e *ExtendedEnsemble) Reset() { e.inner.Reset() }

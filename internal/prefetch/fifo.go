@@ -1,0 +1,65 @@
+package prefetch
+
+// fifo is a fixed-capacity ring-buffer FIFO. The history windows of the
+// table-based prefetchers (BOP, MLOP, Bingo, IPCP) used to be plain
+// slices advanced with q = q[1:] plus append: each wrap-around of the
+// backing array reallocated it, so every few hundred evictions cost an
+// allocation and a copy on the per-access path. The ring reuses one
+// allocation for the prefetcher's lifetime.
+type fifo[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// newFifo builds a ring with the given capacity (the callers' window
+// bounds: they pop before pushing once full, so the ring never grows).
+func newFifo[T any](capacity int) fifo[T] {
+	return fifo[T]{buf: make([]T, capacity)}
+}
+
+// size returns the number of queued elements.
+func (f *fifo[T]) size() int { return f.n }
+
+// push appends v at the tail, growing (by doubling, unwrapped) in the
+// never-expected case of overflowing the construction capacity.
+func (f *fifo[T]) push(v T) {
+	if f.n == len(f.buf) {
+		grown := make([]T, 2*len(f.buf))
+		for i := 0; i < f.n; i++ {
+			grown[i] = f.at(i)
+		}
+		f.buf, f.head = grown, 0
+	}
+	i := f.head + f.n
+	if i >= len(f.buf) {
+		i -= len(f.buf)
+	}
+	f.buf[i] = v
+	f.n++
+}
+
+// pop removes and returns the head element; call only when size() > 0.
+func (f *fifo[T]) pop() T {
+	v := f.buf[f.head]
+	f.head++
+	if f.head == len(f.buf) {
+		f.head = 0
+	}
+	f.n--
+	return v
+}
+
+// at returns the i-th queued element (0 = head) without removing it.
+func (f *fifo[T]) at(i int) T {
+	j := f.head + i
+	if j >= len(f.buf) {
+		j -= len(f.buf)
+	}
+	return f.buf[j]
+}
+
+// clear empties the ring, keeping its storage.
+func (f *fifo[T]) clear() {
+	f.head, f.n = 0, 0
+}

@@ -28,12 +28,11 @@ type ipcpEntry struct {
 type IPCP struct {
 	entries []ipcpEntry
 	cplx    map[uint32]int64 // delta signature -> predicted next delta
-	cplxQ   []uint32
+	cplxQ   fifo[uint32]
 
 	gsUp, gsDown int    // global stream direction votes
 	gsLast       uint64 // last line seen by any IP (global stream input)
 	clock        int64
-	out          []uint64
 
 	// Degree is the per-class prefetch depth.
 	Degree int
@@ -53,6 +52,7 @@ func NewIPCP(entries, degree int) *IPCP {
 	return &IPCP{
 		entries: make([]ipcpEntry, entries),
 		cplx:    make(map[uint32]int64),
+		cplxQ:   newFifo[uint32](ipcpCplxCap),
 		Degree:  degree,
 	}
 }
@@ -61,8 +61,8 @@ func NewIPCP(entries, degree int) *IPCP {
 func (p *IPCP) Name() string { return "IPCP" }
 
 // Operate implements Prefetcher.
-func (p *IPCP) Operate(ev Event) []uint64 {
-	p.out = p.out[:0]
+func (p *IPCP) Operate(ev Event, buf []uint64) []uint64 {
+	start := len(buf)
 	p.clock++
 	line := ev.Addr >> 6
 
@@ -77,17 +77,17 @@ func (p *IPCP) Operate(ev Event) []uint64 {
 			for d := 1; d <= p.Degree; d++ {
 				t := int64(line) + int64(dir*d)
 				if t >= 0 {
-					p.out = append(p.out, uint64(t)*LineSize)
+					buf = append(buf, uint64(t)*LineSize)
 				}
 			}
 		}
-		return p.out
+		return buf
 	}
 	e.lastUse = p.clock
 	delta := int64(line) - int64(e.lastLine)
 	e.lastLine = line
 	if delta == 0 {
-		return nil
+		return buf
 	}
 
 	// Class CS: constant stride.
@@ -105,11 +105,11 @@ func (p *IPCP) Operate(ev Event) []uint64 {
 		for d := 1; d <= p.Degree; d++ {
 			t := int64(line) + e.stride*int64(d)
 			if t >= 0 {
-				p.out = append(p.out, uint64(t)*LineSize)
+				buf = append(buf, uint64(t)*LineSize)
 			}
 		}
 		p.train(e, delta)
-		return p.out
+		return buf
 	}
 
 	// Class CPLX: signature-predicted delta chain.
@@ -125,12 +125,12 @@ func (p *IPCP) Operate(ev Event) []uint64 {
 			}
 			cur += nd
 			if cur >= 0 {
-				p.out = append(p.out, uint64(cur)*LineSize)
+				buf = append(buf, uint64(cur)*LineSize)
 			}
 			s = ipcpSig(s, nd)
 		}
-		if len(p.out) > 0 {
-			return p.out
+		if len(buf) > start {
+			return buf
 		}
 	}
 
@@ -139,23 +139,21 @@ func (p *IPCP) Operate(ev Event) []uint64 {
 		for d := 1; d <= p.Degree; d++ {
 			t := int64(line) + int64(dir*d)
 			if t >= 0 {
-				p.out = append(p.out, uint64(t)*LineSize)
+				buf = append(buf, uint64(t)*LineSize)
 			}
 		}
 	}
-	return p.out
+	return buf
 }
 
 // train records delta into the per-IP signature chain and the CPLX table.
 func (p *IPCP) train(e *ipcpEntry, delta int64) {
 	sig := e.signature
 	if _, exists := p.cplx[sig]; !exists {
-		if len(p.cplxQ) >= ipcpCplxCap {
-			old := p.cplxQ[0]
-			p.cplxQ = p.cplxQ[1:]
-			delete(p.cplx, old)
+		if p.cplxQ.size() >= ipcpCplxCap {
+			delete(p.cplx, p.cplxQ.pop())
 		}
-		p.cplxQ = append(p.cplxQ, sig)
+		p.cplxQ.push(sig)
 	}
 	p.cplx[sig] = delta
 	e.signature = ipcpSig(sig, delta)
@@ -234,7 +232,7 @@ func (p *IPCP) Reset() {
 		p.entries[i] = ipcpEntry{}
 	}
 	p.cplx = make(map[uint32]int64)
-	p.cplxQ = nil
+	p.cplxQ.clear()
 	p.gsUp, p.gsDown = 0, 0
 	p.gsLast = 0
 	p.clock = 0

@@ -1,0 +1,178 @@
+package prefetch
+
+// lruTable is the shared slot bookkeeping for the fixed-capacity,
+// LRU-replaced tracker tables of the Stream and IPStride prefetchers:
+// a key index for O(1) lookup and an intrusive recency list for O(1)
+// victim selection. Payload state stays in the prefetcher's own
+// parallel slices; the table only maps keys to slot numbers and orders
+// the slots.
+//
+// Lookup is an open-addressed index (linear probing, backward-shift
+// deletion — the same scheme as mem's MSHR table) sized at four times
+// the slot count: on pattern-free workloads the table thrashes, paying
+// a delete and an insert per access, and the low load factor keeps
+// those probe chains at one or two slots.
+//
+// Recency is a doubly linked list over the slots, LRU→MRU. Replacement
+// must match the scan it replaced exactly — first empty slot by index,
+// else least recently used. The list starts in slot order and empty
+// slots are never touched, so while any slot is empty the head is the
+// lowest-numbered empty slot; after that, touches form a strict total
+// order (each operate touches exactly one slot) and the head is the
+// true LRU.
+type lruTable struct {
+	keys []uint64
+	used []bool // slot occupancy
+	next []uint16
+	prev []uint16
+	head uint16
+	tail uint16
+
+	idx   []int32 // slot+1; 0 marks an empty index entry
+	shift uint    // 64 - log2(len(idx)), for the multiplicative hash
+}
+
+// newLRUTable builds a table with n slots (1..65535).
+func newLRUTable(n int) lruTable {
+	if n < 1 || n > 65535 {
+		panic("prefetch: lruTable needs 1..65535 slots")
+	}
+	capacity := 16
+	for capacity < 4*n {
+		capacity *= 2
+	}
+	shift := uint(64)
+	for c := capacity; c > 1; c /= 2 {
+		shift--
+	}
+	t := lruTable{
+		keys:  make([]uint64, n),
+		used:  make([]bool, n),
+		next:  make([]uint16, n),
+		prev:  make([]uint16, n),
+		idx:   make([]int32, capacity),
+		shift: shift,
+	}
+	t.reset()
+	return t
+}
+
+// reset empties the table and relinks the recency list in slot order.
+func (t *lruTable) reset() {
+	for i := range t.keys {
+		t.keys[i] = 0
+		t.used[i] = false
+		t.next[i] = uint16(i + 1)
+		t.prev[i] = uint16(i - 1) // slot 0 wraps; the head has no prev
+	}
+	t.head = 0
+	t.tail = uint16(len(t.keys) - 1)
+	for i := range t.idx {
+		t.idx[i] = 0
+	}
+}
+
+// home is a key's preferred index slot (Fibonacci multiplicative hash).
+func (t *lruTable) home(key uint64) int {
+	return int((key * 0x9e3779b97f4a7c15) >> t.shift)
+}
+
+// lookup returns the slot holding key, or -1. Only occupied slots are
+// indexed, so no validity check is needed on the result.
+func (t *lruTable) lookup(key uint64) int {
+	i := t.home(key)
+	for {
+		s := t.idx[i]
+		if s == 0 {
+			return -1
+		}
+		if t.keys[s-1] == key {
+			return int(s - 1)
+		}
+		i++
+		if i == len(t.idx) {
+			i = 0
+		}
+	}
+}
+
+// victim returns the replacement slot: the recency list's head.
+func (t *lruTable) victim() int { return int(t.head) }
+
+// touch moves slot w to the MRU end of the recency list.
+func (t *lruTable) touch(w int) {
+	ww := uint16(w)
+	if t.tail == ww {
+		return
+	}
+	if t.head == ww {
+		t.head = t.next[w]
+	} else {
+		p := t.prev[w]
+		t.next[p] = t.next[w]
+		t.prev[t.next[w]] = p
+	}
+	tl := t.tail
+	t.next[tl] = ww
+	t.prev[w] = tl
+	t.tail = ww
+}
+
+// replace rebinds slot w to key: the old key (if any) leaves the index,
+// the new one enters. The caller touches the slot separately.
+func (t *lruTable) replace(w int, key uint64) {
+	if t.used[w] {
+		t.removeIdx(t.keys[w])
+	}
+	t.keys[w] = key
+	t.used[w] = true
+	i := t.home(key)
+	for t.idx[i] != 0 {
+		i++
+		if i == len(t.idx) {
+			i = 0
+		}
+	}
+	t.idx[i] = int32(w + 1)
+}
+
+// removeIdx deletes key's index entry, backward-shifting the probe
+// chain so no tombstones accumulate (see mem's MSHR table for the
+// cyclic-range argument).
+func (t *lruTable) removeIdx(key uint64) {
+	i := t.home(key)
+	for {
+		s := t.idx[i]
+		if s == 0 {
+			return
+		}
+		if t.keys[s-1] == key {
+			break
+		}
+		i++
+		if i == len(t.idx) {
+			i = 0
+		}
+	}
+	j := i // the gap
+	for {
+		t.idx[j] = 0
+		k := j
+		for {
+			k++
+			if k == len(t.idx) {
+				k = 0
+			}
+			s := t.idx[k]
+			if s == 0 {
+				return
+			}
+			h := t.home(t.keys[s-1])
+			if (j < k && (h <= j || h > k)) || (j > k && h <= j && h > k) {
+				t.idx[j] = s
+				j = k
+				break
+			}
+		}
+	}
+}

@@ -20,17 +20,17 @@ const (
 // MLOP is the multi-lookahead offset prefetcher.
 type MLOP struct {
 	recent   map[uint64]struct{}
-	order    []uint64 // FIFO of the recent-lines window
-	scores   []int    // score per candidate offset
-	selected []int    // offsets chosen at the end of the last round
+	order    fifo[uint64] // recent-lines window, eviction order
+	scores   []int        // score per candidate offset
+	selected []int        // offsets chosen at the end of the last round
 	inRound  int
-	out      []uint64
 }
 
 // NewMLOP builds an MLOP prefetcher.
 func NewMLOP() *MLOP {
 	return &MLOP{
 		recent: make(map[uint64]struct{}, mlopMapCap),
+		order:  newFifo[uint64](mlopMapCap),
 		scores: make([]int, 2*mlopMaxOffset+1),
 	}
 }
@@ -42,8 +42,7 @@ func (p *MLOP) Name() string { return "MLOP" }
 func offsetAt(idx int) int { return idx - mlopMaxOffset }
 
 // Operate implements Prefetcher.
-func (p *MLOP) Operate(ev Event) []uint64 {
-	p.out = p.out[:0]
+func (p *MLOP) Operate(ev Event, buf []uint64) []uint64 {
 	line := ev.Addr >> 6
 
 	// Score: which offsets would have predicted this access from a line
@@ -60,12 +59,10 @@ func (p *MLOP) Operate(ev Event) []uint64 {
 
 	// Record the access.
 	if _, ok := p.recent[line]; !ok {
-		if len(p.order) >= mlopMapCap {
-			old := p.order[0]
-			p.order = p.order[1:]
-			delete(p.recent, old)
+		if p.order.size() >= mlopMapCap {
+			delete(p.recent, p.order.pop())
 		}
-		p.order = append(p.order, line)
+		p.order.push(line)
 		p.recent[line] = struct{}{}
 	}
 
@@ -80,9 +77,9 @@ func (p *MLOP) Operate(ev Event) []uint64 {
 		if target < 0 {
 			continue
 		}
-		p.out = append(p.out, uint64(target)*LineSize)
+		buf = append(buf, uint64(target)*LineSize)
 	}
-	return p.out
+	return buf
 }
 
 // selectOffsets ends a round: pick up to mlopMaxSelected offsets whose
@@ -122,7 +119,7 @@ func (p *MLOP) Selected() []int { return p.selected }
 // Reset implements Prefetcher.
 func (p *MLOP) Reset() {
 	p.recent = make(map[uint64]struct{}, mlopMapCap)
-	p.order = nil
+	p.order.clear()
 	for i := range p.scores {
 		p.scores[i] = 0
 	}

@@ -35,10 +35,11 @@ func (e Event) Line() uint64 { return e.Addr &^ uint64(LineSize-1) }
 type Prefetcher interface {
 	// Name identifies the prefetcher in reports.
 	Name() string
-	// Operate observes one L2 demand access and returns byte addresses
-	// to prefetch (possibly none). The returned slice is only valid
-	// until the next call.
-	Operate(ev Event) []uint64
+	// Operate observes one L2 demand access and appends the byte
+	// addresses to prefetch (possibly none) to buf, returning the
+	// extended slice. The caller owns the buffer and reuses it across
+	// calls, so the steady-state path allocates nothing.
+	Operate(ev Event, buf []uint64) []uint64
 	// Reset clears all learned state.
 	Reset()
 }
@@ -70,7 +71,7 @@ type Null struct{}
 func (Null) Name() string { return "NoPrefetch" }
 
 // Operate implements Prefetcher.
-func (Null) Operate(Event) []uint64 { return nil }
+func (Null) Operate(_ Event, buf []uint64) []uint64 { return buf }
 
 // Reset implements Prefetcher.
 func (Null) Reset() {}

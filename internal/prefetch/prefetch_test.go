@@ -5,6 +5,10 @@ import (
 	"testing/quick"
 )
 
+// operate drives a prefetcher for one event with a fresh buffer — the
+// pre-buffer call shape, kept for test readability.
+func operate(p Prefetcher, ev Event) []uint64 { return p.Operate(ev, nil) }
+
 // evAt builds a load event for line n (line number, not byte address).
 func evAt(pc uint64, lineNum uint64, cycle int64) Event {
 	return Event{PC: pc, Addr: lineNum * LineSize, Cycle: cycle}
@@ -27,7 +31,7 @@ func TestEventLine(t *testing.T) {
 
 func TestNull(t *testing.T) {
 	var n Null
-	if n.Name() != "NoPrefetch" || n.Operate(evAt(1, 1, 0)) != nil {
+	if n.Name() != "NoPrefetch" || operate(n, evAt(1, 1, 0)) != nil {
 		t.Error("Null misbehaves")
 	}
 	n.Reset()
@@ -35,12 +39,12 @@ func TestNull(t *testing.T) {
 
 func TestNextLine(t *testing.T) {
 	p := &NextLine{Degree: 2}
-	got := lines(p.Operate(evAt(1, 100, 0)))
+	got := lines(operate(p, evAt(1, 100, 0)))
 	if len(got) != 2 || got[0] != 101 || got[1] != 102 {
 		t.Errorf("NextLine = %v", got)
 	}
 	p.Degree = 0
-	if out := p.Operate(evAt(1, 100, 0)); len(out) != 0 {
+	if out := operate(p, evAt(1, 100, 0)); len(out) != 0 {
 		t.Errorf("disabled NextLine prefetched %v", out)
 	}
 }
@@ -49,7 +53,7 @@ func TestStreamDetectsAscendingRun(t *testing.T) {
 	p := NewStream(64, 4)
 	var got []uint64
 	for i := uint64(0); i < 5; i++ {
-		got = p.Operate(evAt(9, 1000+i, 0))
+		got = operate(p, evAt(9, 1000+i, 0))
 	}
 	if len(got) != 4 {
 		t.Fatalf("confident stream prefetched %d lines, want 4", len(got))
@@ -66,7 +70,7 @@ func TestStreamDetectsDescendingRun(t *testing.T) {
 	p := NewStream(64, 2)
 	var got []uint64
 	for i := 0; i < 5; i++ {
-		got = p.Operate(evAt(9, uint64(1000-i), 0))
+		got = operate(p, evAt(9, uint64(1000-i), 0))
 	}
 	gl := lines(got)
 	if len(gl) != 2 || gl[0] != 995 || gl[1] != 994 {
@@ -80,7 +84,7 @@ func TestStreamIgnoresRandomAccesses(t *testing.T) {
 	// Random jumps across many pages: trackers never gain confidence.
 	addrs := []uint64{10, 90000, 555, 123456, 777, 999999, 42, 31415}
 	for _, a := range addrs {
-		issued += len(p.Operate(evAt(1, a, 0)))
+		issued += len(operate(p, evAt(1, a, 0)))
 	}
 	if issued != 0 {
 		t.Errorf("random accesses triggered %d prefetches", issued)
@@ -90,14 +94,14 @@ func TestStreamIgnoresRandomAccesses(t *testing.T) {
 func TestStreamTrackerReplacementLRU(t *testing.T) {
 	p := NewStream(2, 1)
 	// Train two pages, then a third evicts the least recently used.
-	p.Operate(evAt(1, 64*0+1, 0))  // page A
-	p.Operate(evAt(1, 64*10+1, 0)) // page B
-	p.Operate(evAt(1, 64*0+2, 0))  // touch A again: B becomes LRU
-	p.Operate(evAt(1, 64*20+1, 0)) // page C evicts B
-	if p.lookup(10) != nil {
+	operate(p, evAt(1, 64*0+1, 0))  // page A
+	operate(p, evAt(1, 64*10+1, 0)) // page B
+	operate(p, evAt(1, 64*0+2, 0))  // touch A again: B becomes LRU
+	operate(p, evAt(1, 64*20+1, 0)) // page C evicts B
+	if p.lookup(10) >= 0 {
 		t.Error("LRU tracker (page B) not evicted")
 	}
-	if p.lookup(0) == nil || p.lookup(20) == nil {
+	if p.lookup(0) < 0 || p.lookup(20) < 0 {
 		t.Error("wrong tracker evicted")
 	}
 }
@@ -106,7 +110,7 @@ func TestIPStrideLearnsStride(t *testing.T) {
 	p := NewIPStride(64, 3)
 	var got []uint64
 	for i := uint64(0); i < 4; i++ {
-		got = p.Operate(Event{PC: 7, Addr: 1000 + i*256})
+		got = operate(p, Event{PC: 7, Addr: 1000 + i*256})
 	}
 	if len(got) != 3 {
 		t.Fatalf("stride prefetches = %d, want 3", len(got))
@@ -124,8 +128,8 @@ func TestIPStrideSeparatesPCs(t *testing.T) {
 	// Interleave two PCs with different strides; both should train.
 	var gotA, gotB []uint64
 	for i := uint64(0); i < 5; i++ {
-		gotA = append(gotA[:0], p.Operate(Event{PC: 1, Addr: 4096 + i*128})...)
-		gotB = append(gotB[:0], p.Operate(Event{PC: 2, Addr: (1 << 30) + i*8})...)
+		gotA = append(gotA[:0], operate(p, Event{PC: 1, Addr: 4096 + i*128})...)
+		gotB = append(gotB[:0], operate(p, Event{PC: 2, Addr: (1 << 30) + i*8})...)
 	}
 	if len(gotA) != 1 || gotA[0] != 4096+4*128+128 {
 		t.Errorf("PC1 prefetch = %v", gotA)
@@ -138,10 +142,10 @@ func TestIPStrideSeparatesPCs(t *testing.T) {
 func TestIPStrideStrideChangeResetsConfidence(t *testing.T) {
 	p := NewIPStride(8, 1)
 	for i := uint64(0); i < 4; i++ {
-		p.Operate(Event{PC: 3, Addr: 1000 + i*64})
+		operate(p, Event{PC: 3, Addr: 1000 + i*64})
 	}
 	// Change the stride: the immediate prefetch must stop.
-	if out := p.Operate(Event{PC: 3, Addr: 100000}); len(out) != 0 {
+	if out := operate(p, Event{PC: 3, Addr: 100000}); len(out) != 0 {
 		t.Errorf("prefetched %v right after stride break", out)
 	}
 }
@@ -175,7 +179,7 @@ func TestEnsembleApplyControlsComponents(t *testing.T) {
 	// Train a stream hard; nothing may be prefetched.
 	issued := 0
 	for i := uint64(0); i < 50; i++ {
-		issued += len(e.Operate(evAt(5, 2000+i, 0)))
+		issued += len(operate(e, evAt(5, 2000+i, 0)))
 	}
 	if issued != 0 {
 		t.Errorf("arm 1 (all off) issued %d prefetches", issued)
@@ -183,7 +187,7 @@ func TestEnsembleApplyControlsComponents(t *testing.T) {
 	e.Apply(9) // stream degree 15
 	var got []uint64
 	for i := uint64(50); i < 55; i++ {
-		got = e.Operate(evAt(5, 2000+i, 0))
+		got = operate(e, evAt(5, 2000+i, 0))
 	}
 	if len(got) != 15 {
 		t.Errorf("arm 9 issued %d, want 15", len(got))
@@ -198,7 +202,7 @@ func TestEnsembleDedups(t *testing.T) {
 	// A unit-stride run: next-line, stream, and stride all propose line+1.
 	var got []uint64
 	for i := uint64(0); i < 6; i++ {
-		got = e.Operate(evAt(5, 3000+i, 0))
+		got = operate(e, evAt(5, 3000+i, 0))
 	}
 	seen := map[uint64]bool{}
 	for _, a := range got {
@@ -228,17 +232,17 @@ func TestBingoLearnsFootprint(t *testing.T) {
 	p := NewBingo(16)
 	// Region X: trigger at offset 0 from PC 9, then touch offsets 3, 7, 9.
 	regionA := uint64(1) << bingoRegionShift * 100
-	p.Operate(Event{PC: 9, Addr: regionA})
-	p.Operate(Event{PC: 9, Addr: regionA + 3*LineSize})
-	p.Operate(Event{PC: 9, Addr: regionA + 7*LineSize})
-	p.Operate(Event{PC: 9, Addr: regionA + 9*LineSize})
+	operate(p, Event{PC: 9, Addr: regionA})
+	operate(p, Event{PC: 9, Addr: regionA + 3*LineSize})
+	operate(p, Event{PC: 9, Addr: regionA + 7*LineSize})
+	operate(p, Event{PC: 9, Addr: regionA + 9*LineSize})
 	// Touch enough other regions to retire region A into history.
 	for k := uint64(1); k <= 20; k++ {
-		p.Operate(Event{PC: 50 + k, Addr: regionA + k*(1<<bingoRegionShift)})
+		operate(p, Event{PC: 50 + k, Addr: regionA + k*(1<<bingoRegionShift)})
 	}
 	// Recurrence: same PC triggers at the same offset in a new region.
 	regionB := regionA + 1000*(1<<bingoRegionShift)
-	got := p.Operate(Event{PC: 9, Addr: regionB})
+	got := operate(p, Event{PC: 9, Addr: regionB})
 	gl := map[uint64]bool{}
 	for _, a := range got {
 		gl[(a-regionB)/LineSize] = true
@@ -255,7 +259,7 @@ func TestBingoLearnsFootprint(t *testing.T) {
 
 func TestBingoNoHistoryNoPrefetch(t *testing.T) {
 	p := NewBingo(16)
-	if out := p.Operate(Event{PC: 1, Addr: 0x100000}); len(out) != 0 {
+	if out := operate(p, Event{PC: 1, Addr: 0x100000}); len(out) != 0 {
 		t.Errorf("cold Bingo prefetched %v", out)
 	}
 }
@@ -264,7 +268,7 @@ func TestMLOPSelectsDominantOffset(t *testing.T) {
 	p := NewMLOP()
 	// A +3-line pattern: after a round, offset 3 should be selected.
 	for i := uint64(0); i < mlopRoundLen+8; i++ {
-		p.Operate(evAt(1, 100+3*i, 0))
+		operate(p, evAt(1, 100+3*i, 0))
 	}
 	sel := p.Selected()
 	found := false
@@ -277,7 +281,7 @@ func TestMLOPSelectsDominantOffset(t *testing.T) {
 		t.Errorf("selected offsets %v lack dominant +3", sel)
 	}
 	// And prefetches are issued with it.
-	got := lines(p.Operate(evAt(1, 100+3*(mlopRoundLen+9), 0)))
+	got := lines(operate(p, evAt(1, 100+3*(mlopRoundLen+9), 0)))
 	if len(got) == 0 {
 		t.Fatal("no prefetches after selection")
 	}
@@ -287,7 +291,7 @@ func TestMLOPNoSelectionOnRandom(t *testing.T) {
 	p := NewMLOP()
 	// Spread accesses far apart: no offset clears the threshold.
 	for i := uint64(0); i < mlopRoundLen+1; i++ {
-		p.Operate(evAt(1, i*10000, 0))
+		operate(p, evAt(1, i*10000, 0))
 	}
 	if len(p.Selected()) != 0 {
 		t.Errorf("random stream selected offsets %v", p.Selected())
@@ -306,7 +310,7 @@ func TestPythiaLearnsStream(t *testing.T) {
 		if pending[line] {
 			covered++
 		}
-		out := p.Operate(evAt(3, line, int64(i*10)))
+		out := operate(p, evAt(3, line, int64(i*10)))
 		issued += len(out)
 		for _, a := range out {
 			pending[a/LineSize] = true
@@ -330,7 +334,7 @@ func TestPythiaBandwidthConservatism(t *testing.T) {
 		for i := 0; i < 30000; i++ {
 			rng = rng*6364136223846793005 + 1442695040888963407
 			line := rng % 1_000_000
-			issued += len(p.Operate(evAt(4, line, int64(i*10))))
+			issued += len(operate(p, evAt(4, line, int64(i*10))))
 		}
 		return float64(issued) / 30000
 	}
@@ -345,7 +349,7 @@ func TestPythiaBandwidthConservatism(t *testing.T) {
 func TestPythiaActionCountsTrack(t *testing.T) {
 	p := NewPythia(1)
 	for i := uint64(0); i < 100; i++ {
-		p.Operate(evAt(1, i, 0))
+		operate(p, evAt(1, i, 0))
 	}
 	total := int64(0)
 	for _, c := range p.ActionCounts() {
@@ -360,7 +364,7 @@ func TestIPCPConstantStrideClass(t *testing.T) {
 	p := NewIPCP(64, 3)
 	var got []uint64
 	for i := uint64(0); i < 5; i++ {
-		got = p.Operate(evAt(11, 100+4*i, 0))
+		got = operate(p, evAt(11, 100+4*i, 0))
 	}
 	gl := lines(got)
 	if len(gl) != 3 || gl[0] != 116+4 || gl[1] != 116+8 || gl[2] != 116+12 {
@@ -375,7 +379,7 @@ func TestIPCPGlobalStream(t *testing.T) {
 	issued := 0
 	for i := uint64(0); i < 400; i++ {
 		pc := 100 + i%16
-		issued += len(p.Operate(evAt(pc, 7000+i, 0)))
+		issued += len(operate(p, evAt(pc, 7000+i, 0)))
 	}
 	if issued == 0 {
 		t.Error("global stream never prefetched")
@@ -389,12 +393,12 @@ func TestResetClearsState(t *testing.T) {
 	}
 	for _, p := range ps {
 		for i := uint64(0); i < 200; i++ {
-			p.Operate(evAt(2, 100+i, 0))
+			operate(p, evAt(2, 100+i, 0))
 		}
 		p.Reset()
 		// After reset, a fresh single access must not prefetch (no
 		// confidence anywhere).
-		if out := p.Operate(evAt(3, 1_000_000, 0)); len(out) != 0 {
+		if out := operate(p, evAt(3, 1_000_000, 0)); len(out) != 0 {
 			t.Errorf("%s prefetched %v right after Reset", p.Name(), out)
 		}
 	}
@@ -414,7 +418,7 @@ func TestQuickNoSelfPrefetch(t *testing.T) {
 			line := uint64(lineRaw) + 1
 			for _, s := range seq {
 				line += uint64(s % 5)
-				out := p.Operate(evAt(uint64(pcRaw)+1, line, 0))
+				out := operate(p, evAt(uint64(pcRaw)+1, line, 0))
 				for _, a := range out {
 					if a/LineSize == line {
 						return false
@@ -442,15 +446,41 @@ func assertPanics(t *testing.T, f func()) {
 func BenchmarkEnsembleOperate(b *testing.B) {
 	e := NewTable7Ensemble()
 	e.Apply(5)
+	var buf []uint64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e.Operate(evAt(1, uint64(i), 0))
+		buf = e.Operate(evAt(1, uint64(i), 0), buf[:0])
 	}
 }
 
 func BenchmarkPythiaOperate(b *testing.B) {
 	p := NewPythia(1)
+	var buf []uint64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p.Operate(evAt(1, uint64(i), int64(i)))
+		buf = p.Operate(evAt(1, uint64(i), int64(i)), buf[:0])
+	}
+}
+
+// TestEnsembleOperateZeroAlloc pins the caller-supplied-buffer contract:
+// once the buffer has grown to its high-water capacity, Operate must not
+// allocate.
+func TestEnsembleOperateZeroAlloc(t *testing.T) {
+	e := NewTable7Ensemble()
+	e.Apply(5)
+	var buf []uint64
+	i := uint64(0)
+	for k := 0; k < 10_000; k++ { // warmup: tables and buffer reach steady state
+		buf = e.Operate(evAt(1, i, 0), buf[:0])
+		i++
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for k := 0; k < 100; k++ {
+			buf = e.Operate(evAt(1, i, 0), buf[:0])
+			i++
+		}
+	}); n != 0 {
+		t.Fatalf("Ensemble.Operate allocates %.1f times per run, want 0", n)
 	}
 }
 
@@ -477,7 +507,7 @@ func TestExtendedEnsemble(t *testing.T) {
 	// The underlying component configuration matches the base arm.
 	var got []uint64
 	for i := uint64(0); i < 5; i++ {
-		got = e.Operate(evAt(4, 9000+i, 0))
+		got = operate(e, evAt(4, 9000+i, 0))
 	}
 	if len(got) != 15 { // arm 12 = stream degree 15
 		t.Errorf("arm 12 issued %d prefetches, want 15", len(got))
@@ -488,7 +518,7 @@ func TestExtendedEnsemble(t *testing.T) {
 	}
 	assertPanics(t, func() { e.Apply(14) })
 	e.Reset()
-	if out := e.Operate(evAt(5, 1_000_000, 0)); len(out) != 0 {
+	if out := operate(e, evAt(5, 1_000_000, 0)); len(out) != 0 {
 		t.Errorf("post-Reset prefetch: %v", out)
 	}
 	if e.Name() == "" {

@@ -65,7 +65,6 @@ type Pythia struct {
 	rng     *xrand.Rand
 	bwUtil  float64
 	eq      []pythiaPending
-	out     []uint64
 	actHist [pythiaNumActions]int64 // selection frequency (Fig. 2 data)
 
 	lastLine   uint64
@@ -154,8 +153,7 @@ func (p *Pythia) update(s, a int, r float64, s2, a2 int) {
 }
 
 // Operate implements Prefetcher.
-func (p *Pythia) Operate(ev Event) []uint64 {
-	p.out = p.out[:0]
+func (p *Pythia) Operate(ev Event, buf []uint64) []uint64 {
 	line := ev.Addr >> 6
 
 	// Resolve any pending prefetch covering this demand access: accurate.
@@ -195,7 +193,7 @@ func (p *Pythia) Operate(ev Event) []uint64 {
 
 	offset, degree, issued := pythiaDecode(a)
 	if !issued {
-		return nil
+		return buf
 	}
 	for d := 1; d <= degree; d++ {
 		target := int64(line) + int64(offset*d)
@@ -203,13 +201,13 @@ func (p *Pythia) Operate(ev Event) []uint64 {
 			continue
 		}
 		tl := uint64(target)
-		p.out = append(p.out, tl*LineSize)
+		buf = append(buf, tl*LineSize)
 		if len(p.eq) >= pythiaEQCap {
 			p.resolve(0, p.inaccurateReward())
 		}
 		p.eq = append(p.eq, pythiaPending{line: tl, state: s, action: a, cycle: ev.Cycle})
 	}
-	return p.out
+	return buf
 }
 
 // inaccurateReward is the penalty for a prefetch that was never demanded,

@@ -10,33 +10,29 @@ package prefetch
 type NextLine struct {
 	// Degree is the number of sequential lines to prefetch; 0 disables.
 	Degree int
-	out    []uint64
 }
 
 // Name implements Prefetcher.
 func (p *NextLine) Name() string { return "NextLine" }
 
 // Operate implements Prefetcher.
-func (p *NextLine) Operate(ev Event) []uint64 {
-	p.out = p.out[:0]
+func (p *NextLine) Operate(ev Event, buf []uint64) []uint64 {
 	line := ev.Line()
 	for d := 1; d <= p.Degree; d++ {
-		p.out = append(p.out, line+uint64(d)*LineSize)
+		buf = append(buf, line+uint64(d)*LineSize)
 	}
-	return p.out
+	return buf
 }
 
 // Reset implements Prefetcher.
 func (p *NextLine) Reset() {}
 
 // streamTracker watches one memory region for a monotonic access run.
+// The region tag and recency live in the Stream's lruTable, not here.
 type streamTracker struct {
-	page     uint64
 	lastLine uint64
 	delta    int64 // detected line advance per access (signed)
 	conf     int   // saturating confidence
-	lastUse  int64
-	valid    bool
 }
 
 // Stream is a stream prefetcher: a table of trackers (64 in the paper's
@@ -51,9 +47,8 @@ type Stream struct {
 	// Degree is the prefetch depth per confident access; 0 disables.
 	Degree int
 
+	tab      lruTable // page tags, lookup index, LRU order
 	trackers []streamTracker
-	clock    int64
-	out      []uint64
 }
 
 // streamPageShift: trackers watch 4 KB regions.
@@ -64,29 +59,34 @@ func NewStream(trackers, degree int) *Stream {
 	if trackers < 1 {
 		trackers = 1
 	}
-	return &Stream{Degree: degree, trackers: make([]streamTracker, trackers)}
+	return &Stream{
+		Degree:   degree,
+		tab:      newLRUTable(trackers),
+		trackers: make([]streamTracker, trackers),
+	}
 }
 
 // Name implements Prefetcher.
 func (p *Stream) Name() string { return "Stream" }
 
 // Operate implements Prefetcher.
-func (p *Stream) Operate(ev Event) []uint64 {
-	p.out = p.out[:0]
-	p.clock++
+func (p *Stream) Operate(ev Event, buf []uint64) []uint64 {
 	line := ev.Line() / LineSize // line number
 	page := ev.Addr >> streamPageShift
 
-	t := p.lookup(page)
-	if t == nil {
-		t = p.victim()
-		*t = streamTracker{page: page, lastLine: line, lastUse: p.clock, valid: true}
-		return nil
+	i := p.lookup(page)
+	if i < 0 {
+		i = p.tab.victim()
+		p.tab.replace(i, page)
+		p.tab.touch(i)
+		p.trackers[i] = streamTracker{lastLine: line}
+		return buf
 	}
-	t.lastUse = p.clock
+	t := &p.trackers[i]
+	p.tab.touch(i)
 	delta := int64(line) - int64(t.lastLine)
 	if delta == 0 {
-		return nil
+		return buf
 	}
 	if delta == t.delta {
 		if t.conf < 3 {
@@ -98,57 +98,35 @@ func (p *Stream) Operate(ev Event) []uint64 {
 	}
 	t.lastLine = line
 	if t.conf < 2 || p.Degree == 0 {
-		return nil
+		return buf
 	}
 	for d := 1; d <= p.Degree; d++ {
 		target := int64(line) + t.delta*int64(d)
 		if target < 0 {
 			break
 		}
-		p.out = append(p.out, uint64(target)*LineSize)
+		buf = append(buf, uint64(target)*LineSize)
 	}
-	return p.out
+	return buf
 }
 
-func (p *Stream) lookup(page uint64) *streamTracker {
-	for i := range p.trackers {
-		if p.trackers[i].valid && p.trackers[i].page == page {
-			return &p.trackers[i]
-		}
-	}
-	return nil
-}
-
-func (p *Stream) victim() *streamTracker {
-	v := &p.trackers[0]
-	for i := range p.trackers {
-		t := &p.trackers[i]
-		if !t.valid {
-			return t
-		}
-		if t.lastUse < v.lastUse {
-			v = t
-		}
-	}
-	return v
-}
+// lookup returns the tracker watching page, or -1.
+func (p *Stream) lookup(page uint64) int { return p.tab.lookup(page) }
 
 // Reset implements Prefetcher.
 func (p *Stream) Reset() {
+	p.tab.reset()
 	for i := range p.trackers {
 		p.trackers[i] = streamTracker{}
 	}
-	p.clock = 0
 }
 
-// strideEntry is one PC's stride state.
+// strideEntry is one PC's stride state. The PC tag and recency live in
+// the IPStride's lruTable.
 type strideEntry struct {
-	pc       uint64
 	lastAddr uint64
 	stride   int64
 	conf     int // saturating 0..3
-	lastUse  int64
-	valid    bool
 }
 
 // IPStride is the classic PC-based stride prefetcher (also the paper's
@@ -159,9 +137,8 @@ type IPStride struct {
 	// Degree is the prefetch depth; 0 disables.
 	Degree int
 
+	tab     lruTable // PC tags, lookup index, LRU order
 	entries []strideEntry
-	clock   int64
-	out     []uint64
 }
 
 // NewIPStride builds a stride prefetcher with the given table size.
@@ -169,27 +146,32 @@ func NewIPStride(entries, degree int) *IPStride {
 	if entries < 1 {
 		entries = 1
 	}
-	return &IPStride{Degree: degree, entries: make([]strideEntry, entries)}
+	return &IPStride{
+		Degree:  degree,
+		tab:     newLRUTable(entries),
+		entries: make([]strideEntry, entries),
+	}
 }
 
 // Name implements Prefetcher.
 func (p *IPStride) Name() string { return "IPStride" }
 
 // Operate implements Prefetcher.
-func (p *IPStride) Operate(ev Event) []uint64 {
-	p.out = p.out[:0]
-	p.clock++
-	e := p.lookup(ev.PC)
-	if e == nil {
-		e = p.victim()
-		*e = strideEntry{pc: ev.PC, lastAddr: ev.Addr, lastUse: p.clock, valid: true}
-		return nil
+func (p *IPStride) Operate(ev Event, buf []uint64) []uint64 {
+	i := p.lookup(ev.PC)
+	if i < 0 {
+		i = p.tab.victim()
+		p.tab.replace(i, ev.PC)
+		p.tab.touch(i)
+		p.entries[i] = strideEntry{lastAddr: ev.Addr}
+		return buf
 	}
-	e.lastUse = p.clock
+	e := &p.entries[i]
+	p.tab.touch(i)
 	stride := int64(ev.Addr) - int64(e.lastAddr)
 	e.lastAddr = ev.Addr
 	if stride == 0 {
-		return nil
+		return buf
 	}
 	if stride == e.stride {
 		if e.conf < 3 {
@@ -198,48 +180,27 @@ func (p *IPStride) Operate(ev Event) []uint64 {
 	} else {
 		e.stride = stride
 		e.conf = 1
-		return nil
+		return buf
 	}
 	if e.conf < 2 || p.Degree == 0 {
-		return nil
+		return buf
 	}
 	for d := 1; d <= p.Degree; d++ {
 		target := int64(ev.Addr) + e.stride*int64(d)
 		if target < 0 {
 			break
 		}
-		p.out = append(p.out, uint64(target))
+		buf = append(buf, uint64(target))
 	}
-	return p.out
+	return buf
 }
 
-func (p *IPStride) lookup(pc uint64) *strideEntry {
-	for i := range p.entries {
-		if p.entries[i].valid && p.entries[i].pc == pc {
-			return &p.entries[i]
-		}
-	}
-	return nil
-}
-
-func (p *IPStride) victim() *strideEntry {
-	v := &p.entries[0]
-	for i := range p.entries {
-		e := &p.entries[i]
-		if !e.valid {
-			return e
-		}
-		if e.lastUse < v.lastUse {
-			v = e
-		}
-	}
-	return v
-}
+func (p *IPStride) lookup(pc uint64) int { return p.tab.lookup(pc) }
 
 // Reset implements Prefetcher.
 func (p *IPStride) Reset() {
+	p.tab.reset()
 	for i := range p.entries {
 		p.entries[i] = strideEntry{}
 	}
-	p.clock = 0
 }

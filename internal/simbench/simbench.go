@@ -1,0 +1,203 @@
+// Package simbench measures raw single-run simulator throughput: host
+// instructions-per-second for one bandit-controlled prefetching run over
+// a set of catalog apps chosen for their dominant access pattern. It is
+// the measurement behind `mab-report -simbench` and the recorded
+// BENCH_sim.json artifact.
+//
+// Unlike the experiment benchmarks (which time whole Fig/Table
+// pipelines), simbench isolates the per-instruction substrate cost —
+// trace generation, the core window model, the cache hierarchy, the
+// prefetcher ensemble, and the bandit step machinery — so hot-path
+// regressions show up directly instead of being averaged into
+// experiment wall-clock.
+//
+// Each result also records the run's simulated IPC. Throughput numbers
+// are hardware-dependent, but the IPC is deterministic: a
+// mechanical-speed change must reproduce it bit-for-bit, so a drifting
+// IPC in a re-recorded BENCH_sim.json flags a behavioral change, not a
+// faster simulator.
+package simbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"microbandit/internal/core"
+	"microbandit/internal/cpu"
+	"microbandit/internal/mem"
+	"microbandit/internal/prefetch"
+	"microbandit/internal/trace"
+)
+
+// DefaultInsts is the default per-workload instruction budget: long
+// enough that steady-state cost dominates setup and the bandit completes
+// hundreds of steps, short enough that the whole suite runs in tens of
+// seconds.
+const DefaultInsts = 2_000_000
+
+// Workload names one throughput measurement: a trace-catalog app chosen
+// as the cleanest representative of an access pattern.
+type Workload struct {
+	// Name is the pattern name reported in BENCH_sim.json.
+	Name string
+	// App is the backing trace catalog application.
+	App string
+}
+
+// Workloads returns the measured patterns, in report order. "stream" and
+// "chase" bracket the two extremes — prefetch-friendly dense streaming
+// and serialized pointer chasing — and the rest cover the catalog's
+// remaining pattern families.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "stream", App: "lbm17"},
+		{Name: "chase", App: "omnetpp17"},
+		{Name: "stride", App: "cactuBSSN"},
+		{Name: "gather", App: "ligra-bfs"},
+		{Name: "server", App: "cassandra"},
+		{Name: "phase", App: "mcf17"},
+	}
+}
+
+// Result is one workload's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	App         string  `json:"app"`
+	Insts       int64   `json:"insts"`
+	Seconds     float64 `json:"seconds"`
+	InstsPerSec float64 `json:"insts_per_sec"`
+	// IPC is the run's simulated instructions per cycle — the
+	// determinism anchor (see the package comment).
+	IPC float64 `json:"ipc"`
+
+	// BaselineInstsPerSec and Speedup are filled by Merge when a
+	// baseline report is supplied.
+	BaselineInstsPerSec float64 `json:"baseline_insts_per_sec,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	GOOS         string   `json:"goos"`
+	GOARCH       string   `json:"goarch"`
+	CPUs         int      `json:"cpus"`
+	InstsPerRun  int64    `json:"insts_per_run"`
+	Seed         uint64   `json:"seed"`
+	Workloads    []Result `json:"workloads"`
+	GMeanSpeedup float64  `json:"gmean_speedup,omitempty"`
+}
+
+// newRunner builds the measured configuration: the paper's
+// bandit-controlled Table 7 ensemble (DUCB, Table 6 hyperparameters)
+// over the default Table 4 hierarchy — the configuration every
+// prefetching experiment runs most of its jobs under.
+func newRunner(app trace.App, seed uint64) *cpu.Runner {
+	hier := mem.NewHierarchy(mem.DefaultConfig())
+	c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+	ens := prefetch.NewTable7Ensemble()
+	ctrl := core.MustNew(core.Config{
+		Arms:      ens.NumArms(),
+		Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+		Normalize: true,
+		Seed:      seed,
+	})
+	return cpu.NewRunner(c, ens, ctrl, ens)
+}
+
+// Run measures every workload for insts instructions each and returns
+// the report. A short untimed warmup run precedes each measurement so
+// one-time setup (table growth to the steady-state high-water mark)
+// stays out of the timed region.
+func Run(insts int64, seed uint64) Report {
+	if insts <= 0 {
+		insts = DefaultInsts
+	}
+	rep := Report{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		InstsPerRun: insts,
+		Seed:        seed,
+	}
+	warmup := insts / 10
+	if warmup > 200_000 {
+		warmup = 200_000
+	}
+	for _, w := range Workloads() {
+		app, err := trace.ByName(w.App)
+		if err != nil {
+			panic(fmt.Sprintf("simbench: workload %q: %v", w.Name, err))
+		}
+		r := newRunner(app, seed)
+		r.Run(warmup)
+		startInsts := r.Core.Insts()
+		t0 := time.Now()
+		r.Run(insts)
+		secs := time.Since(t0).Seconds()
+		ran := r.Core.Insts() - startInsts
+		res := Result{
+			Name:    w.Name,
+			App:     w.App,
+			Insts:   ran,
+			Seconds: secs,
+			IPC:     r.Core.IPC(),
+		}
+		if secs > 0 {
+			res.InstsPerSec = float64(ran) / secs
+		}
+		rep.Workloads = append(rep.Workloads, res)
+	}
+	return rep
+}
+
+// Merge fills each result's baseline throughput and speedup from a
+// previously recorded report (matched by workload name) and computes the
+// geometric-mean speedup over the workloads present in both.
+func Merge(cur Report, baseline Report) Report {
+	base := make(map[string]Result, len(baseline.Workloads))
+	for _, r := range baseline.Workloads {
+		base[r.Name] = r
+	}
+	logSum, n := 0.0, 0
+	for i := range cur.Workloads {
+		r := &cur.Workloads[i]
+		b, ok := base[r.Name]
+		if !ok || b.InstsPerSec <= 0 || r.InstsPerSec <= 0 {
+			continue
+		}
+		r.BaselineInstsPerSec = b.InstsPerSec
+		r.Speedup = r.InstsPerSec / b.InstsPerSec
+		logSum += math.Log(r.Speedup)
+		n++
+	}
+	if n > 0 {
+		cur.GMeanSpeedup = math.Exp(logSum / float64(n))
+	}
+	return cur
+}
+
+// ReadReport loads a previously recorded BENCH_sim.json.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("simbench: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// WriteReport persists a report as indented JSON.
+func WriteReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -208,11 +208,10 @@ func (r *Runner) runEpoch() {
 		if r.obsSteps%int64(r.ObsEvery) == 0 {
 			r.Obs.Record(obs.Event{Kind: obs.KindInterval, Step: r.obsSteps, Cycle: r.Sim.Cycle(),
 				Arm: r.curArm,
-				Fields: map[string]float64{
-					"ipc0":    ipc[0],
-					"ipc1":    ipc[1],
-					"sum_ipc": ipc[0] + ipc[1],
-				}})
+				Fields: obs.NewFields().
+					Set(obs.FieldIPC0, ipc[0]).
+					Set(obs.FieldIPC1, ipc[1]).
+					Set(obs.FieldSumIPC, ipc[0]+ipc[1])})
 		}
 	}
 	r.saved[r.curArm] = r.HC.Save()

@@ -60,7 +60,13 @@ func (g *gen) Next(i *Inst) {
 	if g.fillerLeft > 0 {
 		g.fillerLeft--
 		i.PC = fillerPCBase + uint64(g.fillerIdx)*4
-		g.fillerIdx = (g.fillerIdx + 1) % g.shape.CodeFootprint
+		// fillerIdx stays below CodeFootprint, so a compare-and-reset
+		// wrap replaces the integer division of a modulo here — this
+		// runs once per generated instruction.
+		g.fillerIdx++
+		if g.fillerIdx == g.shape.CodeFootprint {
+			g.fillerIdx = 0
+		}
 		switch {
 		case g.rng.Bool(g.shape.BranchFrac):
 			i.Kind = KindBranch
@@ -162,7 +168,7 @@ func StridePattern(strides []int, lapLines int, region int) memFunc {
 // prefetching only burns bandwidth.
 func ChasePattern(wsLines int, region int) memFunc {
 	perm := ringPermutation(wsLines, uint64(region)*977+13)
-	cur := 0
+	cur := int32(0)
 	base := dataBase(region)
 	pc := uint64(fillerPCBase + 0x30000)
 	return func(rng *xrand.Rand, i *Inst) {
@@ -174,19 +180,22 @@ func ChasePattern(wsLines int, region int) memFunc {
 }
 
 // ringPermutation returns a permutation of [0,n) forming a single cycle
-// (Sattolo's algorithm), so a pointer chase visits every line.
-func ringPermutation(n int, seed uint64) []int {
+// (Sattolo's algorithm), so a pointer chase visits every line. The
+// successor array is int32: the chase's random walk over it has no
+// locality, so halving its footprint halves the host cache pressure of
+// generating the trace (line indices are nowhere near 2^31).
+func ringPermutation(n int, seed uint64) []int32 {
 	rng := xrand.New(seed)
-	items := make([]int, n)
+	items := make([]int32, n)
 	for i := range items {
-		items[i] = i
+		items[i] = int32(i)
 	}
 	for i := n - 1; i > 0; i-- {
 		j := rng.Intn(i)
 		items[i], items[j] = items[j], items[i]
 	}
 	// items is now a cyclic order; build successor mapping.
-	next := make([]int, n)
+	next := make([]int32, n)
 	for i := 0; i < n-1; i++ {
 		next[items[i]] = items[i+1]
 	}

@@ -17,7 +17,10 @@
 // make output depend on scheduling order.
 package xrand
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Rand is a deterministic pseudo-random number generator (xoshiro256**).
 // It is not safe for concurrent use; give each goroutine its own Rand.
@@ -87,20 +90,20 @@ func (r *Rand) Intn(n int) int {
 	return int(hi)
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo). bits.Mul64
+// compiles to the single widening-multiply instruction on 64-bit
+// targets, and its result is the exact product, so swapping it in for
+// the old long-multiplication arithmetic cannot change any stream.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	a0, a1 := a&mask32, a>>32
-	b0, b1 := b&mask32, b>>32
-	t := a1*b0 + (a0*b0)>>32
-	lo = a * b
-	hi = a1*b1 + t>>32 + (t&mask32+a0*b1)>>32
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+// Multiplying by the exactly representable 2^-53 gives bit-identical
+// results to dividing by 2^53 (both scale the exponent only), and
+// avoids a hardware divide on a very hot path.
 func (r *Rand) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Bool returns true with probability p. p outside [0,1] saturates.
