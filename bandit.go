@@ -68,6 +68,9 @@ type (
 	// Thompson is Thompson sampling (the paper's reference [73]),
 	// provided as a library extension beyond the evaluated algorithms.
 	Thompson = core.Thompson
+	// Slab is the struct-of-arrays arena holding many agents' learned
+	// state contiguously, with StepBatch/RewardBatch kernels.
+	Slab = core.Slab
 )
 
 // Constructors, re-exported.
@@ -76,6 +79,10 @@ var (
 	New = core.New
 	// MustNew is New that panics on error.
 	MustNew = core.MustNew
+	// NewSlab builds a fixed-capacity struct-of-arrays agent arena.
+	NewSlab = core.NewSlab
+	// MustNewSlab is NewSlab that panics on error.
+	MustNewSlab = core.MustNewSlab
 	// NewEpsilonGreedy returns an ε-Greedy policy.
 	NewEpsilonGreedy = core.NewEpsilonGreedy
 	// NewUCB returns a UCB policy with exploration constant c.

@@ -6,6 +6,7 @@
 //	mab-report -robust [-faults noise:0.5,stuckarm:1:7]
 //	mab-report -robust -telemetry out.jsonl [-telemetry-every 100]
 //	mab-report -parbench BENCH_parallel.json [-preset quick] [-j n]
+//	mab-report -servebench BENCH_batch.json [-servebench-duration 2s] [-j n]
 //	mab-report -simbench BENCH_sim.json [-simbench-baseline old.json] [-simbench-insts n]
 //	mab-report -exp fig8 -pprof profdir
 //
@@ -14,7 +15,9 @@
 // -robust runs the fault-injection robustness sweep, optionally with a
 // custom -faults sweep (comma-separated kind:intensity[:seed] specs, one
 // sweep row each). -parbench times the heaviest experiments serial vs
-// parallel and writes the wall-clock comparison as JSON. -simbench
+// parallel and writes the wall-clock comparison as JSON. -servebench
+// measures serving throughput — the scalar step/reward baseline, then a
+// /v1/batch size sweep — and writes BENCH_batch.json. -simbench
 // measures raw single-run simulator throughput (insts/sec per catalog
 // workload) and writes BENCH_sim.json, optionally computing speedups
 // against a previously recorded run.
@@ -44,6 +47,8 @@ import (
 	"microbandit/internal/harness"
 	"microbandit/internal/obs"
 	"microbandit/internal/par"
+	"microbandit/internal/serve"
+	"microbandit/internal/serve/loadgen"
 	"microbandit/internal/simbench"
 	"microbandit/internal/version"
 )
@@ -58,6 +63,8 @@ func main() {
 	robust := flag.Bool("robust", false, "run the fault-injection robustness sweep")
 	faultSpec := flag.String("faults", "", "with -robust: custom sweep as comma-separated kind:intensity[:seed] ("+strings.Join(fault.KindNames(), ", ")+")")
 	parBench := flag.String("parbench", "", "time Table8 and Fig5 serial vs parallel, write JSON here")
+	serveBench := flag.String("servebench", "", "measure serving throughput (scalar baseline + /v1/batch size sweep), write JSON here")
+	serveBenchDur := flag.Duration("servebench-duration", 2*time.Second, "with -servebench: measured window per configuration")
 	simBench := flag.String("simbench", "", "measure single-run simulator throughput (insts/sec per workload), write JSON here")
 	simBenchBaseline := flag.String("simbench-baseline", "", "with -simbench: previously recorded BENCH_sim.json to compute speedups against")
 	simBenchInsts := flag.Int64("simbench-insts", simbench.DefaultInsts, "with -simbench: instructions per workload")
@@ -141,6 +148,14 @@ func main() {
 
 	if *simBench != "" {
 		if err := runSimBench(*simBench, *simBenchBaseline, *simBenchInsts, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
+			exit(1)
+		}
+		exit(0)
+	}
+
+	if *serveBench != "" {
+		if err := runServeBench(ctx, *serveBench, *workers, *seed, *serveBenchDur); err != nil {
 			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
 			exit(1)
 		}
@@ -365,6 +380,87 @@ func runSimBench(path, baselinePath string, insts int64, seed uint64) error {
 		fmt.Printf("gmean speedup: %.2fx\n", rep.GMeanSpeedup)
 	}
 	return simbench.WriteReport(path, rep)
+}
+
+// serveBenchReport is the BENCH_batch.json schema: the scalar
+// step/reward baseline plus a /v1/batch size sweep, all on one server
+// configuration.
+type serveBenchReport struct {
+	CPUs      int     `json:"cpus"`
+	Workers   int     `json:"workers"`
+	DurationS float64 `json:"duration_s"`
+	Scalar    *loadgen.Result   `json:"scalar"`
+	Batch     []*loadgen.Result `json:"batch"`
+	// MaxDecisionsPerSec is the headline: the best throughput any
+	// configuration reached, and the batch size that reached it
+	// (0 = the scalar baseline).
+	MaxDecisionsPerSec float64 `json:"max_decisions_per_sec"`
+	BestBatch          int     `json:"best_batch"`
+	// SpeedupVsScalar is MaxDecisionsPerSec over the scalar baseline's
+	// decisions/sec.
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
+}
+
+// runServeBench measures an in-process decision server: the scalar
+// protocol first, then /v1/batch across batch sizes. Every
+// configuration gets a fresh server, so learned state never leaks
+// between runs.
+func runServeBench(ctx context.Context, path string, workers int, seed uint64, dur time.Duration) error {
+	if workers <= 0 {
+		workers = 8
+	}
+	rep := serveBenchReport{
+		CPUs:      runtime.NumCPU(),
+		Workers:   workers,
+		DurationS: dur.Seconds(),
+	}
+	run := func(batch int) (*loadgen.Result, error) {
+		srv := serve.New(serve.Config{Version: version.String()})
+		return loadgen.Run(ctx, loadgen.Options{
+			Handler:  srv,
+			Workers:  workers,
+			Duration: dur,
+			Batch:    batch,
+			Spec:     serve.Spec{Algo: "ducb", Arms: 8, Seed: seed},
+		})
+	}
+
+	fmt.Printf("servebench: scalar baseline (%d workers, %v)...\n", workers, dur)
+	scalar, err := run(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  scalar: %.0f decisions/sec, p50 %.1fµs/req\n", scalar.DecisionsPerSec, scalar.P50Us)
+	rep.Scalar = scalar
+	rep.MaxDecisionsPerSec = scalar.DecisionsPerSec
+
+	for _, b := range []int{1, 4, 16, 64, 256} {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		fmt.Printf("servebench: batch=%d...\n", b)
+		res, err := run(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  batch=%d: %.0f decisions/sec, p50 %.2fµs/decision\n",
+			b, res.DecisionsPerSec, res.P50PerDecisionUs)
+		rep.Batch = append(rep.Batch, res)
+		if res.DecisionsPerSec > rep.MaxDecisionsPerSec {
+			rep.MaxDecisionsPerSec = res.DecisionsPerSec
+			rep.BestBatch = b
+		}
+	}
+	if scalar.DecisionsPerSec > 0 {
+		rep.SpeedupVsScalar = rep.MaxDecisionsPerSec / scalar.DecisionsPerSec
+	}
+	fmt.Printf("servebench: best %.0f decisions/sec at batch=%d (%.1fx over scalar)\n",
+		rep.MaxDecisionsPerSec, rep.BestBatch, rep.SpeedupVsScalar)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // parBenchEntry is one experiment's serial-vs-parallel timing.

@@ -7,7 +7,7 @@
 //	                [-checkpoint ckpt.json] [-checkpoint-every 30s]
 //	                [-telemetry out.jsonl] [-telemetry-every 100]
 //	mab-serve loadgen [-workers 8] [-duration 2s] [-arms 8] [-algo ducb]
-//	                  [-out BENCH_serve.json]
+//	                  [-batch N] [-warmup 200ms] [-out BENCH_serve.json]
 //	mab-serve -version
 //
 // serve starts the HTTP API. With -checkpoint it restores existing
@@ -17,9 +17,11 @@
 // server resumes every session's exact decision sequence.
 //
 // loadgen measures an in-process server (no sockets): closed-loop
-// workers each drive a private session flat out, and the run's
-// throughput and p50/p99/p999 request latencies print as JSON (and land
-// in -out when set).
+// workers each drive a private session flat out — or, with -batch N,
+// N sessions each through one /v1/batch request per round — and the
+// run's throughput and p50/p99/p999 request latencies print as JSON
+// (and land in -out when set). A warmup window (default a tenth of the
+// duration) runs first and is excluded from the measurement.
 package main
 
 import (
@@ -184,6 +186,8 @@ func runLoadgen(args []string) {
 	fs := flag.NewFlagSet("mab-serve loadgen", flag.ExitOnError)
 	workers := fs.Int("workers", 8, "closed-loop workers (one session each)")
 	duration := fs.Duration("duration", 2*time.Second, "measured run length")
+	batch := fs.Int("batch", 0, "sessions per worker driven through one /v1/batch request per round (0 = scalar step/reward)")
+	warmup := fs.Duration("warmup", 0, "unmeasured warmup before the clock starts (0 = duration/10, negative disables)")
 	arms := fs.Int("arms", 8, "arms per session")
 	algo := fs.String("algo", "ducb", "bandit algorithm: "+strings.Join(core.AlgoNames(), ", "))
 	seed := fs.Uint64("seed", 1, "base seed (diversified per worker)")
@@ -207,6 +211,8 @@ func runLoadgen(args []string) {
 		Handler:  srv,
 		Workers:  *workers,
 		Duration: *duration,
+		Batch:    *batch,
+		Warmup:   *warmup,
 		Spec:     serve.Spec{Algo: *algo, Arms: *arms, Seed: *seed},
 	})
 	if err != nil {
@@ -234,7 +240,7 @@ func usage(w *os.File) {
   mab-serve serve [-addr :8080] [-shards N] [-checkpoint ckpt.json]
                   [-checkpoint-every 30s] [-telemetry out.jsonl]
   mab-serve loadgen [-workers 8] [-duration 2s] [-arms 8] [-algo ducb]
-                    [-out BENCH_serve.json]
+                    [-batch N] [-warmup 200ms] [-out BENCH_serve.json]
   mab-serve -version
 
 Run "mab-serve serve -h" or "mab-serve loadgen -h" for flag details.`)

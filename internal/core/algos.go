@@ -17,6 +17,49 @@ func AlgoNames() []string {
 	return []string{"ducb", "ucb", "eps", "single", "periodic", "static:N"}
 }
 
+// AlgoConfig maps an agent algorithm name to the Config ParseAlgo wraps
+// it in, using the paper's prefetching hyperparameters (Table 6:
+// c = PrefetchC, gamma = PrefetchGamma). It exists so callers that place
+// agents themselves — the serve layer allocates into per-shard slabs —
+// share one registry with ParseAlgo. Names that denote a non-agent
+// controller ("static:N") and unknown names return an error.
+func AlgoConfig(name string, arms int, seed uint64, recordTrace bool) (Config, error) {
+	var policy Policy
+	switch name {
+	case "ducb":
+		policy = NewDUCB(PrefetchC, PrefetchGamma)
+	case "ucb":
+		policy = NewUCB(PrefetchC)
+	case "eps":
+		policy = NewEpsilonGreedy(0.05)
+	case "single":
+		policy = NewSingle()
+	case "periodic":
+		policy = NewPeriodic(8, 4)
+	default:
+		return Config{}, fmt.Errorf("unknown algorithm %q (valid: %s)",
+			name, strings.Join(AlgoNames(), ", "))
+	}
+	return Config{
+		Arms: arms, Policy: policy, Normalize: true,
+		Seed: seed, RecordTrace: recordTrace,
+	}, nil
+}
+
+// AlgoPolicySnapshot returns the snapshot form of the policy AlgoConfig
+// builds for name. Callers that store many same-algorithm agents in
+// column form (the serve layer's slab checkpoints) persist only the
+// algorithm name and rebuild the policy snapshot through this one
+// registry, so a name always means the same hyperparameters on both
+// sides of a save/load cycle.
+func AlgoPolicySnapshot(name string) (PolicySnapshot, error) {
+	cfg, err := AlgoConfig(name, 1, 1, false)
+	if err != nil {
+		return PolicySnapshot{}, err
+	}
+	return snapshotPolicy(cfg.Policy)
+}
+
 // ParseAlgo builds a controller for the named bandit algorithm over the
 // given arm count, using the paper's prefetching hyperparameters
 // (Table 6: c = PrefetchC, gamma = PrefetchGamma). "static:N" returns
@@ -24,30 +67,20 @@ func AlgoNames() []string {
 // algorithms (FixedArm has no trace). Unknown names and out-of-range
 // static arms return an error listing the valid names.
 func ParseAlgo(name string, arms int, seed uint64, recordTrace bool) (Controller, error) {
-	var policy Policy
-	switch {
-	case name == "ducb":
-		policy = NewDUCB(PrefetchC, PrefetchGamma)
-	case name == "ucb":
-		policy = NewUCB(PrefetchC)
-	case name == "eps":
-		policy = NewEpsilonGreedy(0.05)
-	case name == "single":
-		policy = NewSingle()
-	case name == "periodic":
-		policy = NewPeriodic(8, 4)
-	case strings.HasPrefix(name, "static:"):
+	if strings.HasPrefix(name, "static:") {
 		n, err := strconv.Atoi(strings.TrimPrefix(name, "static:"))
 		if err != nil || n < 0 || n >= arms {
 			return nil, fmt.Errorf("bad static arm in %q (have %d arms)", name, arms)
 		}
 		return FixedArm(n), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q (valid: %s)",
-			name, strings.Join(AlgoNames(), ", "))
 	}
-	return MustNew(Config{
-		Arms: arms, Policy: policy, Normalize: true,
-		Seed: seed, RecordTrace: recordTrace,
-	}), nil
+	cfg, err := AlgoConfig(name, arms, seed, recordTrace)
+	if err != nil {
+		return nil, err
+	}
+	a, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
 }

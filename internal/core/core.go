@@ -153,8 +153,8 @@ func (c Config) Validate() error {
 // The zero value is not usable; construct with New.
 type Agent struct {
 	cfg    Config
-	tables *Tables
-	rng    *xrand.Rand
+	tables *Tables    // view into the owning slab's slot (never nil after New)
+	rng    xrand.Rand // by value, so a slab's agents pack contiguously
 
 	steps      int   // completed bandit steps
 	currentArm int   // arm chosen by the last Step call
@@ -175,16 +175,22 @@ type Agent struct {
 }
 
 // New constructs an Agent. It returns an error for invalid configs.
+//
+// A standalone agent is the one-slot case of a Slab: its tables live in
+// a private slab, so scalar and slab-resident agents run exactly the
+// same code and make bit-identical decisions.
 func New(cfg Config) (*Agent, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Agent{
-		cfg:    cfg,
-		tables: newTables(cfg.Arms),
-		rng:    xrand.New(cfg.Seed),
+	s, err := NewSlab(cfg.Arms, 1)
+	if err != nil {
+		return nil, err
 	}
-	a.queueRoundRobin()
+	a, _, err := s.Alloc(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return a, nil
 }
 
@@ -263,11 +269,11 @@ func (a *Agent) Step() int {
 		if !initialRR {
 			// Restart sweeps update counts through the policy, so
 			// DUCB keeps discounting during the sweep.
-			a.cfg.Policy.UpdateSelections(a.tables, arm)
+			a.policyUpdateSelections(arm)
 		}
 	default:
-		arm = a.cfg.Policy.NextArm(a.tables, a.rng)
-		a.cfg.Policy.UpdateSelections(a.tables, arm)
+		arm = a.policyNextArm()
+		a.policyUpdateSelections(arm)
 	}
 	a.currentArm = arm
 	if a.cfg.RecordTrace {
@@ -301,7 +307,7 @@ func (a *Agent) Reward(rStep float64) {
 		a.tables.NTotal++
 		a.tables.R[arm] = rStep
 	} else {
-		a.cfg.Policy.UpdateReward(a.tables, arm, rStep)
+		a.policyUpdateReward(arm, rStep)
 	}
 	if a.cfg.Obs != nil {
 		a.cfg.Obs.Record(obs.Event{Kind: obs.KindReward, Step: int64(a.steps), Arm: arm, Value: rStep, Raw: raw})
@@ -328,6 +334,59 @@ func (a *Agent) Reward(rStep float64) {
 			NTotal: a.tables.NTotal,
 			RAvg:   a.rAvg,
 		})
+	}
+}
+
+// policyNextArm dispatches Policy.NextArm with a concrete-type fast
+// path for the built-in policies, so slab sweeps inline the selection
+// arithmetic instead of paying an interface call per slot. Each case
+// calls the same free function the policy's own method delegates to —
+// devirtualizing cannot change a single bit of the decision stream.
+// User-defined policies take the default interface branch.
+func (a *Agent) policyNextArm() int {
+	t := a.tables
+	switch p := a.cfg.Policy.(type) {
+	case *DUCB:
+		return argmaxPotential(t, p.C)
+	case *UCB:
+		return argmaxPotential(t, p.C)
+	case *EpsilonGreedy:
+		return epsNextArm(t, p.Epsilon, &a.rng)
+	case *Thompson:
+		return thompsonNextArm(t, p.Sigma, &a.rng)
+	case *Static:
+		return p.Arm
+	default:
+		return a.cfg.Policy.NextArm(t, &a.rng)
+	}
+}
+
+// policyUpdateSelections is the devirtualized Policy.UpdateSelections.
+func (a *Agent) policyUpdateSelections(arm int) {
+	t := a.tables
+	switch p := a.cfg.Policy.(type) {
+	case *DUCB:
+		discountSelect(t, p.Gamma, arm)
+	case *UCB, *EpsilonGreedy, *Static:
+		countSelect(t, arm)
+	case *Thompson:
+		if p.discounting() {
+			discountSelect(t, p.Gamma, arm)
+		} else {
+			countSelect(t, arm)
+		}
+	default:
+		a.cfg.Policy.UpdateSelections(t, arm)
+	}
+}
+
+// policyUpdateReward is the devirtualized Policy.UpdateReward.
+func (a *Agent) policyUpdateReward(arm int, rStep float64) {
+	switch a.cfg.Policy.(type) {
+	case *DUCB, *UCB, *EpsilonGreedy, *Static, *Thompson:
+		foldReward(a.tables, arm, rStep)
+	default:
+		a.cfg.Policy.UpdateReward(a.tables, arm, rStep)
 	}
 }
 
@@ -415,11 +474,14 @@ func (a *Agent) Potentials() []float64 {
 	return nil
 }
 
-// Reset returns the agent to its initial state (fresh tables, re-seeded
-// RNG, initial round-robin phase pending).
+// Reset returns the agent to its initial state (zeroed tables, re-seeded
+// RNG, initial round-robin phase pending). The tables are cleared in
+// place — a slab-resident agent keeps its slot.
 func (a *Agent) Reset() {
-	a.tables = newTables(a.cfg.Arms)
-	a.rng = xrand.New(a.cfg.Seed)
+	clear(a.tables.R)
+	clear(a.tables.N)
+	a.tables.NTotal = 0
+	a.rng = *xrand.New(a.cfg.Seed)
 	a.steps = 0
 	a.currentArm = 0
 	a.inStep = false

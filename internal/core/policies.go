@@ -6,6 +6,48 @@ import (
 	"microbandit/internal/xrand"
 )
 
+// The free functions below are the single implementation of every
+// built-in policy's arithmetic. Each Policy method delegates to one of
+// them, and Agent's devirtualized fast path (core.go) calls the same
+// functions directly, so the two dispatch routes are bit-identical by
+// construction rather than by testing alone.
+
+// countSelect is the shared updSels of the non-discounting policies:
+// n_arm++ and n_total++.
+func countSelect(t *Tables, arm int) {
+	t.N[arm]++
+	t.NTotal++
+}
+
+// discountSelect is DUCB's updSels (Table 3c): discount every n_i by γ,
+// then increment the selected arm. NTotal is maintained as the sum of
+// the discounted counts.
+func discountSelect(t *Tables, gamma float64, arm int) {
+	total := 0.0
+	for i := range t.N {
+		t.N[i] *= gamma
+		total += t.N[i]
+	}
+	t.N[arm]++
+	t.NTotal = total + 1
+}
+
+// foldReward is the shared updRew: fold r_step into the running average,
+// r_arm += (r_step - r_arm) / n_arm.
+func foldReward(t *Tables, arm int, rStep float64) {
+	n := math.Max(t.N[arm], 1)
+	t.R[arm] += (rStep - t.R[arm]) / n
+}
+
+// epsNextArm is ε-Greedy's nextArm: argmax r_i with probability 1-ε,
+// else a uniformly random arm.
+func epsNextArm(t *Tables, epsilon float64, rng *xrand.Rand) int {
+	if rng.Bool(epsilon) {
+		return rng.Intn(t.Arms())
+	}
+	return t.BestArm()
+}
+
 // EpsilonGreedy is the simplest MAB algorithm (Table 3a): with probability
 // 1-ε it exploits the arm with the highest average reward, with
 // probability ε it explores a uniformly random arm. Exploration is
@@ -25,23 +67,18 @@ func (p *EpsilonGreedy) Name() string { return "eps-Greedy" }
 
 // NextArm implements Policy: argmax r_i with probability 1-ε, else random.
 func (p *EpsilonGreedy) NextArm(t *Tables, rng *xrand.Rand) int {
-	if rng.Bool(p.Epsilon) {
-		return rng.Intn(t.Arms())
-	}
-	return t.BestArm()
+	return epsNextArm(t, p.Epsilon, rng)
 }
 
 // UpdateSelections implements Policy: n_arm++ and n_total++.
 func (p *EpsilonGreedy) UpdateSelections(t *Tables, arm int) {
-	t.N[arm]++
-	t.NTotal++
+	countSelect(t, arm)
 }
 
 // UpdateReward implements Policy: fold r_step into the running average,
 // r_arm += (r_step - r_arm) / n_arm.
 func (p *EpsilonGreedy) UpdateReward(t *Tables, arm int, rStep float64) {
-	n := math.Max(t.N[arm], 1)
-	t.R[arm] += (rStep - t.R[arm]) / n
+	foldReward(t, arm, rStep)
 }
 
 // Reset implements Policy (ε-Greedy is stateless).
@@ -98,14 +135,12 @@ func (p *UCB) NextArm(t *Tables, _ *xrand.Rand) int {
 
 // UpdateSelections implements Policy (same as ε-Greedy).
 func (p *UCB) UpdateSelections(t *Tables, arm int) {
-	t.N[arm]++
-	t.NTotal++
+	countSelect(t, arm)
 }
 
 // UpdateReward implements Policy (same as ε-Greedy).
 func (p *UCB) UpdateReward(t *Tables, arm int, rStep float64) {
-	n := math.Max(t.N[arm], 1)
-	t.R[arm] += (rStep - t.R[arm]) / n
+	foldReward(t, arm, rStep)
 }
 
 // Reset implements Policy (UCB is stateless).
@@ -145,21 +180,14 @@ func (p *DUCB) NextArm(t *Tables, _ *xrand.Rand) int {
 // increment the selected arm. NTotal is maintained as the sum of the
 // discounted counts.
 func (p *DUCB) UpdateSelections(t *Tables, arm int) {
-	total := 0.0
-	for i := range t.N {
-		t.N[i] *= p.Gamma
-		total += t.N[i]
-	}
-	t.N[arm]++
-	t.NTotal = total + 1
+	discountSelect(t, p.Gamma, arm)
 }
 
 // UpdateReward implements Policy: same running-average fold as UCB, but
 // over the discounted count, which asymptotically behaves as an
 // exponentially weighted average with window ~1/(1-γ).
 func (p *DUCB) UpdateReward(t *Tables, arm int, rStep float64) {
-	n := math.Max(t.N[arm], 1)
-	t.R[arm] += (rStep - t.R[arm]) / n
+	foldReward(t, arm, rStep)
 }
 
 // Reset implements Policy (DUCB is stateless).
@@ -184,14 +212,12 @@ func (p *Static) NextArm(_ *Tables, _ *xrand.Rand) int { return p.Arm }
 
 // UpdateSelections implements Policy.
 func (p *Static) UpdateSelections(t *Tables, arm int) {
-	t.N[arm]++
-	t.NTotal++
+	countSelect(t, arm)
 }
 
 // UpdateReward implements Policy: running average, kept for reporting.
 func (p *Static) UpdateReward(t *Tables, arm int, rStep float64) {
-	n := math.Max(t.N[arm], 1)
-	t.R[arm] += (rStep - t.R[arm]) / n
+	foldReward(t, arm, rStep)
 }
 
 // Reset implements Policy (Static is stateless).

@@ -3,16 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-
-	"microbandit/internal/xrand"
 )
-
-// xrandFromState rebuilds a generator positioned at a checkpointed state.
-func xrandFromState(s [4]uint64) *xrand.Rand {
-	r := xrand.New(0)
-	r.SetState(s)
-	return r
-}
 
 // This file is the agent checkpoint codec: a versioned, JSON-stable
 // snapshot of everything an Agent (or MetaAgent) needs to continue a
@@ -318,39 +309,60 @@ func RestoreAgent(s *AgentSnapshot) (*Agent, error) {
 	if s == nil {
 		return nil, snapErrf("nil snapshot")
 	}
-	if err := s.validate(); err != nil {
-		return nil, err
-	}
-	policy, err := restorePolicy(s.Policy, s.Arms)
+	sl, err := NewSlab(max(s.Arms, 1), 1)
 	if err != nil {
 		return nil, err
 	}
-	a := &Agent{
-		cfg: Config{
-			Arms:              s.Arms,
-			Policy:            policy,
-			Normalize:         s.Normalize,
-			RRRestartProb:     s.RRRestartProb,
-			Seed:              s.Seed,
-			RecordTrace:       s.RecordTrace,
-			HardwarePrecision: s.HardwarePrecision,
-		},
-		tables: &Tables{
-			R:      append([]float64(nil), s.R...),
-			N:      append([]float64(nil), s.N...),
-			NTotal: s.NTotal,
-		},
-		rng:        xrandFromState(s.RNG),
-		steps:      s.Steps,
-		currentArm: s.CurrentArm,
-		inStep:     s.InStep,
-		forced:     append([]int(nil), s.Forced...),
-		rAvg:       s.RAvg,
-		normalized: s.Normalized,
-		trace:      append([]int(nil), s.Trace...),
-		restarts:   s.Restarts,
+	a, _, err := RestoreAgentIn(sl, s)
+	return a, err
+}
+
+// RestoreAgentIn rebuilds an agent from a snapshot inside an existing
+// slab, returning it with its slot, so a server restoring thousands of
+// sessions lands them on contiguous slabs instead of scattered heap
+// objects. The continuation guarantees are RestoreAgent's.
+func RestoreAgentIn(sl *Slab, s *AgentSnapshot) (*Agent, int, error) {
+	if s == nil {
+		return nil, -1, snapErrf("nil snapshot")
 	}
-	return a, nil
+	if err := s.validate(); err != nil {
+		return nil, -1, err
+	}
+	policy, err := restorePolicy(s.Policy, s.Arms)
+	if err != nil {
+		return nil, -1, err
+	}
+	a, slot, err := sl.Alloc(Config{
+		Arms:              s.Arms,
+		Policy:            policy,
+		Normalize:         s.Normalize,
+		RRRestartProb:     s.RRRestartProb,
+		Seed:              s.Seed,
+		RecordTrace:       s.RecordTrace,
+		HardwarePrecision: s.HardwarePrecision,
+	})
+	if err != nil {
+		return nil, -1, err
+	}
+	a.loadState(s)
+	return a, slot, nil
+}
+
+// loadState installs a validated snapshot's dynamic state over a freshly
+// constructed agent with the matching config.
+func (a *Agent) loadState(s *AgentSnapshot) {
+	copy(a.tables.R, s.R)
+	copy(a.tables.N, s.N)
+	a.tables.NTotal = s.NTotal
+	a.rng.SetState(s.RNG)
+	a.steps = s.Steps
+	a.currentArm = s.CurrentArm
+	a.inStep = s.InStep
+	a.forced = append(a.forced[:0], s.Forced...)
+	a.rAvg = s.RAvg
+	a.normalized = s.Normalized
+	a.trace = append([]int(nil), s.Trace...)
+	a.restarts = s.Restarts
 }
 
 // RestoreAgentJSON decodes a JSON-encoded AgentSnapshot and restores the

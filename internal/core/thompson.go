@@ -48,12 +48,15 @@ func (p *Thompson) Name() string {
 
 func (p *Thompson) discounting() bool { return p.Gamma > 0 && p.Gamma < 1 }
 
-// NextArm implements Policy: sample each arm's posterior, play the argmax.
-func (p *Thompson) NextArm(t *Tables, rng *xrand.Rand) int {
+// thompsonNextArm samples each arm's posterior and plays the argmax. It
+// is a free function (like argmaxPotential) so the Agent's devirtualized
+// fast path shares the exact arithmetic and RNG consumption order with
+// the interface route.
+func thompsonNextArm(t *Tables, sigma float64, rng *xrand.Rand) int {
 	best, bestV := 0, math.Inf(-1)
 	for i := range t.R {
 		n := math.Max(t.N[i], minCount)
-		v := t.R[i] + p.Sigma/math.Sqrt(n)*rng.NormFloat64()
+		v := t.R[i] + sigma/math.Sqrt(n)*rng.NormFloat64()
 		if v > bestV {
 			best, bestV = i, v
 		}
@@ -61,26 +64,23 @@ func (p *Thompson) NextArm(t *Tables, rng *xrand.Rand) int {
 	return best
 }
 
+// NextArm implements Policy: sample each arm's posterior, play the argmax.
+func (p *Thompson) NextArm(t *Tables, rng *xrand.Rand) int {
+	return thompsonNextArm(t, p.Sigma, rng)
+}
+
 // UpdateSelections implements Policy (DUCB-style discount when enabled).
 func (p *Thompson) UpdateSelections(t *Tables, arm int) {
 	if p.discounting() {
-		total := 0.0
-		for i := range t.N {
-			t.N[i] *= p.Gamma
-			total += t.N[i]
-		}
-		t.N[arm]++
-		t.NTotal = total + 1
+		discountSelect(t, p.Gamma, arm)
 		return
 	}
-	t.N[arm]++
-	t.NTotal++
+	countSelect(t, arm)
 }
 
 // UpdateReward implements Policy: the shared running-average fold.
 func (p *Thompson) UpdateReward(t *Tables, arm int, rStep float64) {
-	n := math.Max(t.N[arm], 1)
-	t.R[arm] += (rStep - t.R[arm]) / n
+	foldReward(t, arm, rStep)
 }
 
 // Reset implements Policy (Thompson is stateless beyond the Tables).

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchBatchRound drives the /v1/batch closed loop at the given batch
+// size: one request per round carrying the previous rewards plus the
+// next steps, exactly the shape the load generator sends.
+func benchBatchRound(b *testing.B, batch int) {
+	srv := New(Config{})
+	ids := make([]string, batch)
+	for i := range ids {
+		body := fmt.Sprintf(`{"algo":"ducb","arms":8,"seed":%d}`, i+1)
+		req := httptest.NewRequest("POST", "/v1/sessions", strings.NewReader(body))
+		rw := httptest.NewRecorder()
+		srv.ServeHTTP(rw, req)
+		if rw.Code != http.StatusCreated {
+			b.Fatalf("create: %d %s", rw.Code, rw.Body.String())
+		}
+		var cr createResponse
+		if err := json.Unmarshal(rw.Body.Bytes(), &cr); err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = cr.ID
+	}
+
+	seqs := make([]uint64, batch)
+	arms := make([]int, batch)
+	has := false
+	var buf []byte
+	var mem memBodyBench
+	req := httptest.NewRequest("POST", "/v1/batch", nil)
+	req.Body = &mem
+	var rw respWriterBench
+	rw.hdr = make(http.Header, 2)
+
+	seqLit := []byte(`"seq":`)
+	errLit := []byte(`"error"`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		buf = append(buf[:0], `{"ops":[`...)
+		k := 0
+		if has {
+			for j := range ids {
+				if k > 0 {
+					buf = append(buf, ',')
+				}
+				buf = append(buf, `{"id":"`...)
+				buf = append(buf, ids[j]...)
+				buf = append(buf, `","seq":`...)
+				buf = strconv.AppendUint(buf, seqs[j], 10)
+				buf = append(buf, `,"reward":0.5}`...)
+				k++
+			}
+		}
+		for j := range ids {
+			if k > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `{"id":"`...)
+			buf = append(buf, ids[j]...)
+			buf = append(buf, `","step":true}`...)
+			k++
+		}
+		buf = append(buf, `]}`...)
+		mem.data, mem.off = buf, 0
+		rw.code, rw.buf = http.StatusOK, rw.buf[:0]
+		clear(rw.hdr)
+		srv.ServeHTTP(&rw, req)
+		if rw.code != http.StatusOK {
+			b.Fatalf("batch: %d %s", rw.code, rw.buf)
+		}
+		// Pull the new seqs back out: "seq" appears exactly once per
+		// step result, in session order.
+		res := rw.buf
+		if bytes.Contains(res, errLit) {
+			b.Fatalf("batch round hit per-op errors: %s", res)
+		}
+		ri := 0
+		for pos := 0; pos < len(res); pos++ {
+			if pos == 0 || res[pos] != '"' || !bytes.HasPrefix(res[pos:], seqLit) {
+				continue
+			}
+			pos += len(seqLit)
+			var v uint64
+			for pos < len(res) && res[pos] >= '0' && res[pos] <= '9' {
+				v = v*10 + uint64(res[pos]-'0')
+				pos++
+			}
+			if ri < batch {
+				seqs[ri] = v
+			}
+			ri++
+		}
+		if ri != batch {
+			b.Fatalf("saw %d step results, want %d", ri, batch)
+		}
+		_ = arms
+		has = true
+	}
+	b.SetBytes(int64(batch))
+}
+
+func BenchmarkBatchRound16(b *testing.B)  { benchBatchRound(b, 16) }
+func BenchmarkBatchRound64(b *testing.B)  { benchBatchRound(b, 64) }
+func BenchmarkBatchRound256(b *testing.B) { benchBatchRound(b, 256) }
+
+type memBodyBench struct {
+	data []byte
+	off  int
+}
+
+func (m *memBodyBench) Read(p []byte) (int, error) {
+	if m.off >= len(m.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[m.off:])
+	m.off += n
+	return n, nil
+}
+func (m *memBodyBench) Close() error { return nil }
+
+type respWriterBench struct {
+	hdr  http.Header
+	code int
+	buf  []byte
+}
+
+func (w *respWriterBench) Header() http.Header { return w.hdr }
+func (w *respWriterBench) WriteHeader(c int)   { w.code = c }
+func (w *respWriterBench) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}

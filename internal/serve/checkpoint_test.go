@@ -118,7 +118,10 @@ func TestCheckpointReplayAcrossRestart(t *testing.T) {
 	if !ok {
 		t.Fatalf("open session %s missing after restore", openSess.ID())
 	}
-	info := restoredOpen.Info()
+	info, err := restoredOpen.Info()
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
 	if !info.Open || info.Arm != openArm || info.Seq != openSeq {
 		t.Fatalf("restored open session info = %+v, want open arm %d seq %d", info, openArm, openSeq)
 	}
@@ -295,6 +298,25 @@ func dupSessionCheckpoint(t *testing.T, good []byte) []byte {
 		t.Fatalf("unmarshal good checkpoint: %v", err)
 	}
 	file.Sessions = append(file.Sessions, file.Sessions...)
+	for gi := range file.Slabs {
+		g := &file.Slabs[gi]
+		g.IDs = append(g.IDs, g.IDs...)
+		g.Specs = append(g.Specs, g.Specs...)
+		g.Seqs = append(g.Seqs, g.Seqs...)
+		g.Opens = append(g.Opens, g.Opens...)
+		g.OpenArms = append(g.OpenArms, g.OpenArms...)
+		g.R = append(g.R, g.R...)
+		g.N = append(g.N, g.N...)
+		g.NTotals = append(g.NTotals, g.NTotals...)
+		g.Steps = append(g.Steps, g.Steps...)
+		g.CurrentArms = append(g.CurrentArms, g.CurrentArms...)
+		g.InSteps = append(g.InSteps, g.InSteps...)
+		g.ForcedLens = append(g.ForcedLens, g.ForcedLens...)
+		g.RAvgs = append(g.RAvgs, g.RAvgs...)
+		g.Normalizeds = append(g.Normalizeds, g.Normalizeds...)
+		g.Restarts = append(g.Restarts, g.Restarts...)
+		g.RNGs = append(g.RNGs, g.RNGs...)
+	}
 	data, err := json.Marshal(file)
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
@@ -345,5 +367,230 @@ func TestCheckpointFaultSpecRoundTrips(t *testing.T) {
 	}
 	if _, err := s2.Reward(seq, 0.5); err != nil {
 		t.Fatalf("restored reward: %v", err)
+	}
+}
+
+// checkpointV1 re-encodes a store in the version-1 per-session-record
+// format (every agent as its own JSON snapshot), as PR 4 wrote it.
+func checkpointV1(t *testing.T, st *Store) []byte {
+	t.Helper()
+	file := checkpointFile{V: checkpointVersionV1, NextID: st.nextID.Load()}
+	for _, id := range st.IDs() {
+		s, ok := st.Get(id)
+		if !ok {
+			continue
+		}
+		ck, snap, err := checkpointSession(s)
+		if err != nil {
+			t.Fatalf("checkpointSession(%s): %v", id, err)
+		}
+		if snap != nil {
+			data, err := json.Marshal(snap)
+			if err != nil {
+				t.Fatalf("marshal snapshot %s: %v", id, err)
+			}
+			ck.Agent = data
+		}
+		file.Sessions = append(file.Sessions, ck)
+	}
+	data, err := json.Marshal(file)
+	if err != nil {
+		t.Fatalf("marshal v1 file: %v", err)
+	}
+	return data
+}
+
+// TestCheckpointV1StillRestores: a version-1 file and the version-2 slab
+// encoding of the same store restore into sessions with identical future
+// decision streams. This is the codec round-trip equivalence the slab
+// format promises against the PR 4 format.
+func TestCheckpointV1StillRestores(t *testing.T) {
+	st := NewStore(2)
+	var ids []string
+	for _, sp := range ckptSpecs() {
+		s, err := st.Create(sp)
+		if err != nil {
+			t.Fatalf("Create(%+v): %v", sp, err)
+		}
+		ids = append(ids, s.ID())
+	}
+	driveSessions(t, st, ids, 25)
+
+	v1 := checkpointV1(t, st)
+	v2, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st1, err := RestoreCheckpoint(v1, 3)
+	if err != nil {
+		t.Fatalf("RestoreCheckpoint(v1): %v", err)
+	}
+	st2, err := RestoreCheckpoint(v2, 3)
+	if err != nil {
+		t.Fatalf("RestoreCheckpoint(v2): %v", err)
+	}
+	got1 := driveSessions(t, st1, ids, 80)
+	got2 := driveSessions(t, st2, ids, 80)
+	for _, id := range ids {
+		a, b := got1[id], got2[id]
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("session %s: v1 restore and v2 restore diverge at decision %d (%d vs %d)", id, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestCheckpointV2SlabLayout: eligible sessions (stateless-policy agents,
+// registry hyperparameters) land in column slab groups — including
+// fault-armed ones, whose wrapper is rebuilt from the spec — while mode
+//-stateful agents, fixed arms, and meta sessions keep per-session
+// records. Restored slab sessions come back batch-kernel eligible.
+func TestCheckpointV2SlabLayout(t *testing.T) {
+	st := NewStore(2)
+	var ids []string
+	for _, sp := range append(ckptSpecs(), Spec{Algo: "ducb", Arms: 5, Seed: 77, Faults: "noise:0.2"}) {
+		s, err := st.Create(sp)
+		if err != nil {
+			t.Fatalf("Create(%+v): %v", sp, err)
+		}
+		ids = append(ids, s.ID())
+	}
+	driveSessions(t, st, ids, 12)
+
+	data, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	var file checkpointFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("unmarshal checkpoint: %v", err)
+	}
+	if file.V != CheckpointVersion {
+		t.Fatalf("file version %d, want %d", file.V, CheckpointVersion)
+	}
+	// ducb/5 (two sessions: plain + faulted), eps/4, ucb/3.
+	if len(file.Slabs) != 3 {
+		t.Fatalf("got %d slab groups, want 3", len(file.Slabs))
+	}
+	entries := 0
+	for gi := range file.Slabs {
+		g := &file.Slabs[gi]
+		if err := g.validate(); err != nil {
+			t.Fatalf("written group fails validate: %v", err)
+		}
+		if gi > 0 {
+			prev := &file.Slabs[gi-1]
+			if slabGroupKey(prev.Algo, prev.Arms) >= slabGroupKey(g.Algo, g.Arms) {
+				t.Fatalf("slab groups not sorted: %s/%d before %s/%d", prev.Algo, prev.Arms, g.Algo, g.Arms)
+			}
+		}
+		for i, sp := range g.Specs {
+			if sp.Algo != g.Algo || sp.Arms != g.Arms {
+				t.Fatalf("group %s/%d entry %d has spec %s/%d", g.Algo, g.Arms, i, sp.Algo, sp.Arms)
+			}
+		}
+		entries += len(g.IDs)
+	}
+	if entries != 4 {
+		t.Fatalf("%d slab entries, want 4 (ducb x2, ucb, eps)", entries)
+	}
+	// single, periodic, static:1, meta stay as per-session records.
+	if len(file.Sessions) != 4 {
+		t.Fatalf("%d per-session records, want 4", len(file.Sessions))
+	}
+	for _, ck := range file.Sessions {
+		if slabAlgos[ck.Spec.Algo] && len(ck.Spec.MetaPairs) == 0 {
+			t.Fatalf("slab-eligible session %s written as a per-session record", ck.ID)
+		}
+	}
+
+	st2, err := RestoreCheckpoint(data, 1)
+	if err != nil {
+		t.Fatalf("RestoreCheckpoint: %v", err)
+	}
+	kernelEligible := 0
+	for _, id := range st2.IDs() {
+		s, ok := st2.Get(id)
+		if !ok {
+			t.Fatalf("restored session %s missing", id)
+		}
+		if s.spec.Faults != "" {
+			if s.kernelOK {
+				t.Fatalf("faulted session %s restored kernel-eligible", id)
+			}
+			continue
+		}
+		if s.slab != nil {
+			if !s.kernelOK {
+				t.Fatalf("fault-free slab session %s restored with kernelOK=false", id)
+			}
+			kernelEligible++
+		}
+	}
+	if kernelEligible < 3 {
+		t.Fatalf("only %d restored sessions are kernel-eligible, want >= 3", kernelEligible)
+	}
+}
+
+// TestRestoreSlabHostile: structurally broken slab groups are rejected
+// with typed *CheckpointError values, never panics or silent corruption.
+func TestRestoreSlabHostile(t *testing.T) {
+	st := NewStore(1)
+	s, err := st.Create(Spec{Algo: "eps", Arms: 3, Seed: 9})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	id := s.ID()
+	driveSessions(t, st, []string{id}, 6)
+	base, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(f *checkpointFile)
+	}{
+		{"empty id", func(f *checkpointFile) { f.Slabs[0].IDs[0] = "" }},
+		{"non-slab algo", func(f *checkpointFile) {
+			f.Slabs[0].Algo = "periodic"
+			f.Slabs[0].Specs[0].Algo = "periodic"
+		}},
+		{"spec algo mismatch", func(f *checkpointFile) { f.Slabs[0].Specs[0].Algo = "ucb" }},
+		{"spec arms mismatch", func(f *checkpointFile) { f.Slabs[0].Specs[0].Arms++ }},
+		{"column length mismatch", func(f *checkpointFile) { f.Slabs[0].Seqs = nil }},
+		{"table length mismatch", func(f *checkpointFile) { f.Slabs[0].R = f.Slabs[0].R[:1] }},
+		{"forced len out of range", func(f *checkpointFile) { f.Slabs[0].ForcedLens[0] = f.Slabs[0].Arms + 1 }},
+		{"negative forced len", func(f *checkpointFile) { f.Slabs[0].ForcedLens[0] = -1 }},
+		{"open arm out of range", func(f *checkpointFile) {
+			f.Slabs[0].Opens[0] = true
+			f.Slabs[0].OpenArms[0] = f.Slabs[0].Arms + 2
+		}},
+		{"arms zero", func(f *checkpointFile) { f.Slabs[0].Arms = 0 }},
+		{"id collides with session record", func(f *checkpointFile) {
+			f.Sessions = append(f.Sessions, sessionCheckpoint{
+				ID: f.Slabs[0].IDs[0], Spec: Spec{Algo: "static:0", Arms: 2},
+				Kind: ckptFixed, FixedArm: 0,
+			})
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var file checkpointFile
+			if err := json.Unmarshal(base, &file); err != nil {
+				t.Fatalf("unmarshal base: %v", err)
+			}
+			c.mutate(&file)
+			data, err := json.Marshal(file)
+			if err != nil {
+				t.Fatalf("marshal mutated: %v", err)
+			}
+			_, err = RestoreCheckpoint(data, 1)
+			var ce *CheckpointError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v (%T), want *CheckpointError", err, err)
+			}
+		})
 	}
 }

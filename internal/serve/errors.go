@@ -31,6 +31,13 @@ type ProtocolError struct {
 // Error implements error.
 func (e *ProtocolError) Error() string { return e.Code + ": " + e.Msg }
 
+// errSessionDeleted reports an operation that raced a DELETE: the caller
+// resolved the session before it left the store. It carries CodeNotFound
+// because, from the client's view, the session no longer exists.
+func errSessionDeleted(id string) *ProtocolError {
+	return &ProtocolError{Code: CodeNotFound, Msg: "session " + id + " was deleted"}
+}
+
 // CheckpointError reports an unreadable or structurally invalid
 // checkpoint file. Decoding is total: malformed JSON, truncated files,
 // and inconsistent session records produce this error, never a panic.

@@ -107,7 +107,10 @@ func FuzzRestoreCheckpoint(f *testing.F) {
 			if !ok {
 				continue
 			}
-			info := s.Info()
+			info, err := s.Info()
+			if err != nil {
+				continue // raced a delete
+			}
 			if info.Open {
 				if _, err := s.Reward(info.Seq, 0.5); err != nil {
 					t.Fatalf("session %s cannot close its open decision: %v", id, err)
@@ -122,6 +125,69 @@ func FuzzRestoreCheckpoint(f *testing.F) {
 			}
 			if _, err := s.Reward(seq, 0.5); err != nil {
 				t.Fatalf("session %s cannot reward: %v", id, err)
+			}
+		}
+	})
+}
+
+// FuzzBatchDecode cross-checks the hand-rolled /v1/batch parser against
+// encoding/json: rejecting a body is always allowed (strictness is part
+// of the contract), but every body parseBatch accepts must decode to
+// exactly the operations encoding/json sees — same ids, kinds, seqs,
+// and reward bits.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add([]byte(`{"ops":[{"id":"s-00000001","step":true}]}`))
+	f.Add([]byte(`{"ops":[{"id":"s-1","seq":3,"reward":0.5},{"id":"a","step":false,"seq":1,"reward":-1e-3}]}`))
+	f.Add([]byte(`{"ops":[]}`))
+	f.Add([]byte(`{ "ops" : [ { "reward" : 1.25e2 , "seq" : 10 , "id" : "x" } ] }`))
+	f.Add([]byte(`{"ops":[{"id":"x","seq":18446744073709551615,"reward":0}]}`))
+	f.Add([]byte(`{"ops":[{"id":"x","step":true},{"id":"x","seq":0,"reward":0.25}]}`))
+	f.Add([]byte(`{"ops":[{"id":"x","seq":01,"reward":1}]}`))
+	f.Add([]byte(`{"ops":[{"id":"A","step":true}]}`))
+	f.Add([]byte(`{"ops":{}}`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		ops, err := parseBatch(body, nil)
+		if err != nil {
+			return // must only not panic; strict rejections are fine
+		}
+		var ref struct {
+			Ops []struct {
+				ID     *string  `json:"id"`
+				Step   *bool    `json:"step"`
+				Seq    *uint64  `json:"seq"`
+				Reward *float64 `json:"reward"`
+			} `json:"ops"`
+		}
+		if err := json.Unmarshal(body, &ref); err != nil {
+			t.Fatalf("parseBatch accepted %q but encoding/json rejects it: %v", body, err)
+		}
+		if len(ref.Ops) != len(ops) {
+			t.Fatalf("parseBatch found %d ops, encoding/json %d in %q", len(ops), len(ref.Ops), body)
+		}
+		for i, op := range ops {
+			ro := ref.Ops[i]
+			id := string(body[op.idOff:op.idEnd])
+			if ro.ID == nil || *ro.ID != id {
+				t.Fatalf("op %d: id %q vs encoding/json %v", i, id, ro.ID)
+			}
+			isReward := ro.Seq != nil && ro.Reward != nil
+			switch op.kind {
+			case opReward:
+				if !isReward {
+					t.Fatalf("op %d: parsed as reward, encoding/json sees %+v", i, ro)
+				}
+				if *ro.Seq != op.seq || *ro.Reward != op.reward {
+					t.Fatalf("op %d: (seq %d, reward %v) vs encoding/json (%d, %v)",
+						i, op.seq, op.reward, *ro.Seq, *ro.Reward)
+				}
+			case opStep:
+				if isReward || ro.Step == nil || !*ro.Step {
+					t.Fatalf("op %d: parsed as step, encoding/json sees %+v", i, ro)
+				}
+			default:
+				t.Fatalf("op %d: bad kind %d", i, op.kind)
 			}
 		}
 	})

@@ -1,9 +1,15 @@
 // Package loadgen is the closed-loop load generator for the serve API.
 // Each worker owns one session and drives it as fast as the server
 // answers: step, observe the arm, post a deterministic reward, repeat.
+// In batch mode (Options.Batch > 0) a worker owns Batch sessions instead
+// and advances all of them with one POST /v1/batch per round — the
+// previous round's rewards plus the next steps in a single body.
 // Per-request latencies land in fixed-width histograms (one per worker,
 // merged at the end, so the measurement path takes no locks), from which
-// the result reports p50/p99/p999 and throughput.
+// the result reports p50/p99/p999 and throughput. A warmup window at the
+// start of the run is excluded from every counter and histogram, so
+// cold-start effects (first allocations, branch training) never pollute
+// the tail percentiles.
 //
 // The generator speaks to any http.Handler. Handing it an in-process
 // *serve.Server measures the decision engine itself — no sockets, no
@@ -13,6 +19,7 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -24,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"microbandit/internal/serve"
@@ -41,6 +49,14 @@ type Options struct {
 	// Spec is the session spec every worker creates (seeds are
 	// diversified per worker). A zero Arms selects 8 DUCB arms.
 	Spec serve.Spec
+	// Batch switches the workers to /v1/batch: each worker owns Batch
+	// sessions and drives them all with one request per round. Zero
+	// keeps the scalar step/reward endpoints.
+	Batch int
+	// Warmup is run before the measured phase and excluded from all
+	// counters and histograms. Zero defaults to Duration/10; negative
+	// disables the warmup entirely.
+	Warmup time.Duration
 }
 
 func (o *Options) normalize() {
@@ -53,17 +69,35 @@ func (o *Options) normalize() {
 	if o.Spec.Arms == 0 {
 		o.Spec = serve.Spec{Algo: "ducb", Arms: 8}
 	}
+	if o.Batch < 0 {
+		o.Batch = 0
+	}
+	if max := serve.MaxBatchOps / 2; o.Batch > max {
+		o.Batch = max // a round is two ops (reward + step) per session
+	}
+	switch {
+	case o.Warmup < 0:
+		o.Warmup = 0
+	case o.Warmup == 0:
+		o.Warmup = o.Duration / 10
+	}
 }
 
 // Result is one load run's measurement, in the shape written to
 // BENCH_serve.json.
 type Result struct {
-	Workers   int     `json:"workers"`
-	Arms      int     `json:"arms"`
-	Algo      string  `json:"algo"`
-	Seconds   float64 `json:"seconds"`
-	Decisions int64   `json:"decisions"`
-	Requests  int64   `json:"requests"`
+	Workers int    `json:"workers"`
+	Arms    int    `json:"arms"`
+	Algo    string `json:"algo"`
+	// Batch is sessions per worker in /v1/batch mode (0 = scalar
+	// step/reward endpoints).
+	Batch int `json:"batch,omitempty"`
+	// WarmupSeconds ran before the measured window and is excluded from
+	// every number below.
+	WarmupSeconds float64 `json:"warmup_seconds"`
+	Seconds       float64 `json:"seconds"`
+	Decisions     int64   `json:"decisions"`
+	Requests      int64   `json:"requests"`
 	// DecisionsPerSec is the headline throughput: completed
 	// step+reward pairs per second across all workers.
 	DecisionsPerSec float64 `json:"decisions_per_sec"`
@@ -73,7 +107,13 @@ type Result struct {
 	P99Us  float64 `json:"p99_us"`
 	P999Us float64 `json:"p999_us"`
 	MaxUs  float64 `json:"max_us"`
-	// Errors counts non-2xx responses (0 on a healthy run).
+	// Batch-size-normalized latency: request latency divided by the
+	// decisions one request carries (Batch in batch mode; 1/2 in scalar
+	// mode, where a decision takes a step and a reward request).
+	P50PerDecisionUs float64 `json:"p50_per_decision_us"`
+	P99PerDecisionUs float64 `json:"p99_per_decision_us"`
+	// Errors counts non-2xx responses and per-op batch errors (0 on a
+	// healthy run).
 	Errors int64 `json:"errors"`
 }
 
@@ -90,19 +130,26 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("loadgen: spec: %w", err)
 	}
 
+	var recording atomic.Bool
 	workers := make([]*worker, opts.Workers)
 	for i := range workers {
-		w, err := newWorker(opts.Handler, opts.Spec, i)
+		var w *worker
+		var err error
+		if opts.Batch > 0 {
+			w, err = newBatchWorker(opts.Handler, opts.Spec, i, opts.Batch)
+		} else {
+			w, err = newWorker(opts.Handler, opts.Spec, i)
+		}
 		if err != nil {
 			return nil, err
 		}
+		w.rec = &recording
 		workers[i] = w
 	}
 
-	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	runCtx, cancel := context.WithTimeout(ctx, opts.Warmup+opts.Duration)
 	defer cancel()
 
-	start := time.Now()
 	var wg sync.WaitGroup
 	for _, w := range workers {
 		wg.Add(1)
@@ -111,14 +158,26 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			w.run(runCtx)
 		}(w)
 	}
+	// The workers traffic through the warmup unrecorded; the measured
+	// window opens when the flag flips.
+	if opts.Warmup > 0 {
+		select {
+		case <-time.After(opts.Warmup):
+		case <-runCtx.Done():
+		}
+	}
+	recording.Store(true)
+	start := time.Now()
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
 	res := &Result{
-		Workers: opts.Workers,
-		Arms:    opts.Spec.Arms,
-		Algo:    opts.Spec.Algo,
-		Seconds: elapsed,
+		Workers:       opts.Workers,
+		Arms:          opts.Spec.Arms,
+		Algo:          opts.Spec.Algo,
+		Batch:         opts.Batch,
+		WarmupSeconds: opts.Warmup.Seconds(),
+		Seconds:       elapsed,
 	}
 	var hist histogram
 	for _, w := range workers {
@@ -135,6 +194,12 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	res.P99Us = hist.quantile(0.99) / 1000
 	res.P999Us = hist.quantile(0.999) / 1000
 	res.MaxUs = float64(hist.max) / 1000
+	perReq := 0.5 // scalar: a decision is a step request plus a reward request
+	if opts.Batch > 0 {
+		perReq = float64(opts.Batch)
+	}
+	res.P50PerDecisionUs = res.P50Us / perReq
+	res.P99PerDecisionUs = res.P99Us / perReq
 	return res, nil
 }
 
@@ -150,17 +215,41 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 type worker struct {
 	h    http.Handler
 	base string
+	rec  *atomic.Bool // flips true when the measured window opens
 
+	// Scalar mode.
 	stepReq   *http.Request
 	rewardReq *http.Request
-	body      memBody
-	rewardBuf []byte
-	resp      respWriter
+
+	// Batch mode (active when len(ids) > 0): the worker's sessions and
+	// each one's pending decision awaiting its reward.
+	ids      []string
+	pend     []pending
+	batchReq *http.Request
+
+	body   memBody
+	reqBuf []byte
+	resp   respWriter
 
 	decisions int64
 	requests  int64
 	errors    int64
 	hist      histogram
+}
+
+// pending is one session's open decision between rounds.
+type pending struct {
+	has bool
+	seq uint64
+	arm int
+}
+
+func (w *worker) run(ctx context.Context) {
+	if len(w.ids) > 0 {
+		w.runBatch(ctx)
+		return
+	}
+	w.runScalar(ctx)
 }
 
 // memBody is a reusable request body (an io.ReadCloser over a byte
@@ -210,26 +299,36 @@ func (w *respWriter) reset() {
 	clear(w.hdr)
 }
 
-// newWorker creates the worker's session (outside the measured phase).
-func newWorker(h http.Handler, spec serve.Spec, idx int) (*worker, error) {
-	spec.Seed = spec.Seed*1000 + uint64(idx) + 1
+// createSession posts one session spec and returns the new id.
+func createSession(h http.Handler, spec serve.Spec) (string, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	req := httptest.NewRequest("POST", "/v1/sessions", strings.NewReader(string(body)))
 	rw := httptest.NewRecorder()
 	h.ServeHTTP(rw, req)
 	if rw.Code != http.StatusCreated {
-		return nil, fmt.Errorf("loadgen: create session: status %d: %s", rw.Code, rw.Body.String())
+		return "", fmt.Errorf("loadgen: create session: status %d: %s", rw.Code, rw.Body.String())
 	}
 	var cr struct {
 		ID string `json:"id"`
 	}
 	if err := json.Unmarshal(rw.Body.Bytes(), &cr); err != nil {
-		return nil, fmt.Errorf("loadgen: create session: %w", err)
+		return "", fmt.Errorf("loadgen: create session: %w", err)
 	}
-	w := &worker{h: h, base: "/v1/sessions/" + cr.ID}
+	return cr.ID, nil
+}
+
+// newWorker creates a scalar worker's session (outside the measured
+// phase).
+func newWorker(h http.Handler, spec serve.Spec, idx int) (*worker, error) {
+	spec.Seed = spec.Seed*1000 + uint64(idx) + 1
+	id, err := createSession(h, spec)
+	if err != nil {
+		return nil, err
+	}
+	w := &worker{h: h, base: "/v1/sessions/" + id}
 	w.stepReq = httptest.NewRequest("POST", w.base+"/step", nil)
 	w.stepReq.Body = http.NoBody
 	w.rewardReq = httptest.NewRequest("POST", w.base+"/reward", nil)
@@ -238,48 +337,265 @@ func newWorker(h http.Handler, spec serve.Spec, idx int) (*worker, error) {
 	return w, nil
 }
 
-// run is the closed loop. It checks ctx between decisions, not between
-// the step and its reward, so a canceled run never leaves the session
-// with an open decision.
-func (w *worker) run(ctx context.Context) {
+// newBatchWorker creates a worker owning batch sessions, all driven
+// through /v1/batch.
+func newBatchWorker(h http.Handler, spec serve.Spec, idx, batch int) (*worker, error) {
+	w := &worker{h: h, ids: make([]string, batch), pend: make([]pending, batch)}
+	for j := range w.ids {
+		sp := spec
+		sp.Seed = spec.Seed*100_000 + uint64(idx*batch+j) + 1
+		id, err := createSession(h, sp)
+		if err != nil {
+			return nil, err
+		}
+		w.ids[j] = id
+	}
+	w.batchReq = httptest.NewRequest("POST", "/v1/batch", nil)
+	w.batchReq.Body = &w.body
+	w.resp.hdr = make(http.Header, 2)
+	return w, nil
+}
+
+// runScalar is the scalar closed loop. It checks ctx between decisions,
+// not between the step and its reward, so a canceled run never leaves
+// the session with an open decision.
+func (w *worker) runScalar(ctx context.Context) {
 	var stepResp struct {
 		Seq uint64 `json:"seq"`
 		Arm int    `json:"arm"`
 	}
 	for ctx.Err() == nil {
-		body, code := w.do(w.stepReq)
+		recording := w.rec.Load()
+		body, code := w.do(w.stepReq, recording)
 		if code != http.StatusOK {
-			w.errors++
+			if recording {
+				w.errors++
+			}
 			continue
 		}
 		if err := json.Unmarshal(body, &stepResp); err != nil {
-			w.errors++
+			if recording {
+				w.errors++
+			}
 			continue
 		}
 		reward := syntheticReward(stepResp.Arm, stepResp.Seq)
-		b := w.rewardBuf[:0]
+		b := w.reqBuf[:0]
 		b = append(b, `{"seq":`...)
 		b = strconv.AppendUint(b, stepResp.Seq, 10)
 		b = append(b, `,"reward":`...)
 		b = strconv.AppendFloat(b, reward, 'g', -1, 64)
 		b = append(b, '}')
-		w.rewardBuf = b
+		w.reqBuf = b
 		w.body.reset(b)
-		if _, code := w.do(w.rewardReq); code != http.StatusOK {
-			w.errors++
+		if _, code := w.do(w.rewardReq, recording); code != http.StatusOK {
+			if recording {
+				w.errors++
+			}
 			continue
 		}
-		w.decisions++
+		if recording {
+			w.decisions++
+		}
 	}
 }
 
+// runBatch is the batch closed loop: one request per round carrying the
+// previous round's rewards (first, so the server's kernel plane sees the
+// reward-then-step pattern per session) and a fresh step for every
+// session.
+func (w *worker) runBatch(ctx context.Context) {
+	for ctx.Err() == nil {
+		recording := w.rec.Load()
+		b := append(w.reqBuf[:0], `{"ops":[`...)
+		n, nRewards := 0, 0
+		for j := range w.ids {
+			p := &w.pend[j]
+			if !p.has {
+				continue
+			}
+			if n > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"id":"`...)
+			b = append(b, w.ids[j]...)
+			b = append(b, `","seq":`...)
+			b = strconv.AppendUint(b, p.seq, 10)
+			b = append(b, `,"reward":`...)
+			b = strconv.AppendFloat(b, syntheticReward(p.arm, p.seq), 'g', -1, 64)
+			b = append(b, '}')
+			n++
+			nRewards++
+		}
+		for j := range w.ids {
+			if n > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"id":"`...)
+			b = append(b, w.ids[j]...)
+			b = append(b, `","step":true}`...)
+			n++
+		}
+		b = append(b, `]}`...)
+		w.reqBuf = b
+		w.body.reset(b)
+		body, code := w.do(w.batchReq, recording)
+		if code != http.StatusOK {
+			if recording {
+				w.errors++
+			}
+			continue
+		}
+		w.applyBatchResults(body, nRewards, recording)
+	}
+}
+
+// applyBatchResults walks a /v1/batch response in op order: the first
+// nRewards results close the previous round's decisions, the rest are
+// this round's steps (result i+nRewards belongs to session i). The
+// scanner is hand-rolled for the same reason the server's parser is: at
+// high batch sizes an encoding/json decode in the generator would cost
+// more than the decisions being measured.
+func (w *worker) applyBatchResults(body []byte, nRewards int, recording bool) {
+	const prefix = `{"results":[`
+	if !bytes.HasPrefix(body, []byte(prefix)) {
+		w.batchDesync(recording)
+		return
+	}
+	pos := len(prefix)
+	for ri := 0; ; ri++ {
+		if pos >= len(body) {
+			w.batchDesync(recording)
+			return
+		}
+		if body[pos] == ']' {
+			if ri != nRewards+len(w.ids) {
+				w.batchDesync(recording)
+			}
+			return
+		}
+		if ri > 0 {
+			if body[pos] != ',' {
+				w.batchDesync(recording)
+				return
+			}
+			pos++
+		}
+		switch {
+		case hasAt(body, pos, `{"seq":`):
+			seq, p, ok := parseUintAt(body, pos+len(`{"seq":`))
+			if !ok || !hasAt(body, p, `,"arm":`) {
+				w.batchDesync(recording)
+				return
+			}
+			arm, p, ok := parseUintAt(body, p+len(`,"arm":`))
+			if !ok || !hasAt(body, p, `}`) {
+				w.batchDesync(recording)
+				return
+			}
+			pos = p + 1
+			if j := ri - nRewards; j >= 0 && j < len(w.pend) {
+				w.pend[j] = pending{has: true, seq: seq, arm: int(arm)}
+			}
+		case hasAt(body, pos, `{"steps":`):
+			_, p, ok := parseUintAt(body, pos+len(`{"steps":`))
+			if !ok || !hasAt(body, p, `}`) {
+				w.batchDesync(recording)
+				return
+			}
+			pos = p + 1
+			if ri < nRewards && recording {
+				w.decisions++
+			}
+		case hasAt(body, pos, `{"error":`):
+			end := skipJSONValue(body, pos)
+			if end < 0 {
+				w.batchDesync(recording)
+				return
+			}
+			pos = end
+			if recording {
+				w.errors++
+			}
+			if j := ri - nRewards; j >= 0 && j < len(w.pend) {
+				w.pend[j].has = false
+			}
+		default:
+			w.batchDesync(recording)
+			return
+		}
+	}
+}
+
+// batchDesync records a malformed or truncated batch response and drops
+// all pending state: better to restart the sessions' decision protocol
+// than to reward with stale sequence numbers.
+func (w *worker) batchDesync(recording bool) {
+	if recording {
+		w.errors++
+	}
+	for j := range w.pend {
+		w.pend[j].has = false
+	}
+}
+
+func hasAt(b []byte, pos int, lit string) bool {
+	return pos+len(lit) <= len(b) && string(b[pos:pos+len(lit)]) == lit
+}
+
+// parseUintAt reads a decimal run starting at pos.
+func parseUintAt(b []byte, pos int) (uint64, int, bool) {
+	start := pos
+	var n uint64
+	for pos < len(b) && b[pos] >= '0' && b[pos] <= '9' {
+		n = n*10 + uint64(b[pos]-'0')
+		pos++
+	}
+	return n, pos, pos > start
+}
+
+// skipJSONValue skips one balanced JSON object/array starting at pos,
+// returning the index just past it (-1 if unbalanced).
+func skipJSONValue(b []byte, pos int) int {
+	depth, inStr, esc := 0, false, false
+	for ; pos < len(b); pos++ {
+		c := b[pos]
+		if inStr {
+			switch {
+			case esc:
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+			if depth == 0 {
+				return pos + 1
+			}
+		}
+	}
+	return -1
+}
+
 // do issues one in-process request, timing the full handler invocation.
-func (w *worker) do(req *http.Request) ([]byte, int) {
+// Nothing is recorded during warmup.
+func (w *worker) do(req *http.Request, recording bool) ([]byte, int) {
 	w.resp.reset()
 	t0 := time.Now()
 	w.h.ServeHTTP(&w.resp, req)
-	w.hist.record(time.Since(t0).Nanoseconds())
-	w.requests++
+	if recording {
+		w.hist.record(time.Since(t0).Nanoseconds())
+		w.requests++
+	}
 	return w.resp.buf, w.resp.code
 }
 

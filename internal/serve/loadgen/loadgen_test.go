@@ -40,7 +40,7 @@ func TestRunSmoke(t *testing.T) {
 		if !ok {
 			continue
 		}
-		if s.Info().Open {
+		if info, err := s.Info(); err == nil && info.Open {
 			t.Fatalf("session %s left with an open decision", id)
 		}
 	}
@@ -57,7 +57,7 @@ func TestRunCanceledEarly(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	res, err := Run(ctx, Options{Handler: srv, Workers: 2, Duration: 10 * time.Second})
+	res, err := Run(ctx, Options{Handler: srv, Workers: 2, Duration: 10 * time.Second, Warmup: -1})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -103,5 +103,96 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 	if q := h.quantile(1.0); q != 500_000_000 {
 		t.Fatalf("p100 = %v", q)
+	}
+}
+
+func TestRunBatchMode(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	res, err := Run(context.Background(), Options{
+		Handler:  srv,
+		Workers:  3,
+		Batch:    16,
+		Duration: 150 * time.Millisecond,
+		Spec:     serve.Spec{Algo: "ducb", Arms: 6},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Decisions == 0 || res.DecisionsPerSec <= 0 {
+		t.Fatalf("no throughput: %+v", res)
+	}
+	if res.Batch != 16 {
+		t.Fatalf("batch echoed as %d", res.Batch)
+	}
+	// One request carries a whole round: far fewer requests than
+	// decisions, and the normalized latency reflects the batch size.
+	if res.Requests >= res.Decisions {
+		t.Fatalf("batch mode made %d requests for %d decisions", res.Requests, res.Decisions)
+	}
+	if want := res.P50Us / 16; res.P50PerDecisionUs != want {
+		t.Fatalf("p50 per decision %v, want %v", res.P50PerDecisionUs, want)
+	}
+	if got := srv.Store().Len(); got != 3*16 {
+		t.Fatalf("sessions = %d, want 48", got)
+	}
+	// Closed loop: every session ends the run with its decision closed.
+	for _, id := range srv.Store().IDs() {
+		s, ok := srv.Store().Get(id)
+		if !ok {
+			continue
+		}
+		info, err := s.Info()
+		if err != nil {
+			t.Fatalf("Info(%s): %v", id, err)
+		}
+		if info.Seq == 0 {
+			t.Fatalf("session %s saw no traffic", id)
+		}
+	}
+}
+
+// TestWarmupExcluded: the warmup window is reported but its traffic is
+// not — a run whose duration is tiny next to its warmup still reports
+// only the measured window's seconds.
+func TestWarmupExcluded(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	res, err := Run(context.Background(), Options{
+		Handler:  srv,
+		Workers:  2,
+		Duration: 100 * time.Millisecond,
+		Warmup:   200 * time.Millisecond,
+		Spec:     serve.Spec{Algo: "eps", Arms: 4},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.WarmupSeconds != 0.2 {
+		t.Fatalf("warmup_seconds = %v, want 0.2", res.WarmupSeconds)
+	}
+	if res.Seconds > 0.19 {
+		t.Fatalf("measured window %.3fs includes the warmup", res.Seconds)
+	}
+	if res.Decisions == 0 {
+		t.Fatal("no measured decisions after warmup")
+	}
+	// The store has seen strictly more traffic than the measurement
+	// counted: warmup decisions happened but were not recorded.
+	var total uint64
+	for _, id := range srv.Store().IDs() {
+		s, ok := srv.Store().Get(id)
+		if !ok {
+			continue
+		}
+		info, err := s.Info()
+		if err != nil {
+			t.Fatalf("Info(%s): %v", id, err)
+		}
+		total += info.Seq
+	}
+	if total <= uint64(res.Decisions) {
+		t.Fatalf("store counts %d steps, measurement %d — warmup traffic missing", total, res.Decisions)
 	}
 }

@@ -18,6 +18,12 @@
 //   - Server (this file): the HTTP surface, with nil-guarded
 //     internal/obs telemetry in the request path and server-side
 //     internal/fault chaos specs per session.
+//   - Batch plane (batch.go, batchcodec.go): POST /v1/batch executes
+//     many step/reward ops per request. Sessions whose agents qualify
+//     live in struct-of-arrays slabs (core.Slab); the batch handler
+//     groups ops by slab and runs them through the StepBatch and
+//     RewardBatch column kernels with a zero-allocation request codec,
+//     preserving per-session protocol semantics exactly.
 //
 // The load generator lives in the loadgen subpackage; the CLI wrapping
 // both is cmd/mab-serve.
@@ -91,6 +97,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
 	mux.HandleFunc("POST /v1/sessions/{id}/reward", s.handleReward)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux = mux
 	return s
@@ -218,7 +225,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, sess.Info())
+	info, err := sess.Info()
+	if err != nil {
+		writeProtocolError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -304,12 +316,17 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// writeProtocolError maps session protocol violations to 409 and
-// anything else to 500.
+// writeProtocolError maps session protocol violations to 409 — except
+// the deleted-session race, which is a 404 like any other missing
+// session — and anything else to 500.
 func writeProtocolError(w http.ResponseWriter, err error) {
 	var pe *ProtocolError
 	if errors.As(err, &pe) {
-		writeError(w, http.StatusConflict, pe.Code, pe.Msg)
+		status := http.StatusConflict
+		if pe.Code == CodeNotFound {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, pe.Code, pe.Msg)
 		return
 	}
 	writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"microbandit/internal/core"
@@ -75,25 +76,42 @@ func (sp Spec) Validate() error {
 	return nil
 }
 
-// buildAgent constructs the spec's controller. The first return is the
-// snapshotable agent (a *core.Agent, *core.MetaAgent, or core.FixedArm);
-// the second is the controller the request path drives, which wraps the
-// agent with the spec's fault set when one is armed.
-func buildAgent(sp Spec) (agent, drive core.Controller, err error) {
+// buildController constructs the spec's controller. The first return is
+// the snapshotable agent (a *core.Agent, *core.MetaAgent, or
+// core.FixedArm); the second is the controller the request path drives,
+// which wraps the agent with the spec's fault set when one is armed.
+//
+// alloc places plain agents: the store passes its shard-slab allocator
+// so agent sessions land in contiguous struct-of-arrays storage, while
+// standalone callers pass core.New. Meta stacks and fixed arms are not
+// slab material and are built in place.
+func buildController(sp Spec, alloc func(core.Config) (*core.Agent, error)) (agent, drive core.Controller, err error) {
 	if err := sp.Validate(); err != nil {
 		return nil, nil, err
 	}
-	if len(sp.MetaPairs) >= 2 {
+	switch {
+	case len(sp.MetaPairs) >= 2:
 		m, err := core.NewDUCBSweepMeta(sp.Arms, sp.MetaPairs, true, sp.Seed)
 		if err != nil {
 			return nil, nil, err
 		}
 		agent = m
-	} else {
-		agent, err = core.ParseAlgo(sp.Algo, sp.Arms, sp.Seed, false)
+	case strings.HasPrefix(sp.Algo, "static:"):
+		c, err := core.ParseAlgo(sp.Algo, sp.Arms, sp.Seed, false)
 		if err != nil {
 			return nil, nil, err
 		}
+		agent = c
+	default:
+		cfg, err := core.AlgoConfig(sp.Algo, sp.Arms, sp.Seed, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := alloc(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		agent = a
 	}
 	set, err := fault.ParseSet(sp.Faults)
 	if err != nil {
@@ -120,6 +138,23 @@ type Session struct {
 	agent core.Controller // snapshotable: *core.Agent, *core.MetaAgent, or core.FixedArm
 	drive core.Controller // agent, behind the spec's fault wrapper when armed
 
+	// Slab placement. Plain-agent sessions live in their shard's
+	// struct-of-arrays arena: slab/slot locate the agent's row and
+	// slabOrd gives slabs a stable total order for multi-session lock
+	// acquisition. kernelOK marks sessions the /v1/batch kernels may
+	// sweep directly: slab-resident with no fault wrapper in the drive
+	// path. Meta and fixed-arm sessions have a nil slab.
+	slab    *core.Slab
+	slot    int
+	slabOrd uint64
+	kernelOK bool
+
+	// deleted is set (under mu) by Store.Delete after the session left
+	// the id map and before its slab slot is freed. An operation that
+	// resolved the session earlier must re-check it under mu: past this
+	// flag, the agent pointer may alias the slot's next tenant.
+	deleted bool
+
 	seq  uint64 // completed decisions
 	open bool   // step issued, reward pending
 	arm  int    // arm of the open step
@@ -143,10 +178,13 @@ type SessionInfo struct {
 }
 
 // Info returns a consistent snapshot of the session's externally visible
-// state.
-func (s *Session) Info() SessionInfo {
+// state. The error is non-nil only when the lookup raced a DELETE.
+func (s *Session) Info() (SessionInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.deleted {
+		return SessionInfo{}, errSessionDeleted(s.id)
+	}
 	info := SessionInfo{
 		ID: s.id, Spec: s.spec, Seq: s.seq, Open: s.open, Arm: s.arm,
 	}
@@ -159,7 +197,7 @@ func (s *Session) Info() SessionInfo {
 	case core.FixedArm:
 		info.BestArm = int(a)
 	}
-	return info
+	return info, nil
 }
 
 // Step opens the next decision: it asks the agent for an arm and returns
@@ -168,16 +206,14 @@ func (s *Session) Info() SessionInfo {
 func (s *Session) Step() (seq uint64, arm int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.open {
-		return 0, 0, &ProtocolError{
-			Code: CodeStepOpen,
-			Msg:  fmt.Sprintf("decision %d is awaiting its reward", s.seq),
-		}
+	if s.deleted {
+		return 0, 0, errSessionDeleted(s.id)
+	}
+	if err := s.lockedCheckStep(); err != nil {
+		return 0, 0, err
 	}
 	arm = s.drive.Step()
-	s.open = true
-	s.arm = arm
-	return s.seq, arm, nil
+	return s.lockedCommitStep(arm), arm, nil
 }
 
 // Reward closes the decision identified by seq with the observed reward.
@@ -186,20 +222,67 @@ func (s *Session) Step() (seq uint64, arm int, err error) {
 func (s *Session) Reward(seq uint64, reward float64) (steps uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.deleted {
+		return 0, errSessionDeleted(s.id)
+	}
+	if err := s.lockedCheckReward(seq); err != nil {
+		return 0, err
+	}
+	s.drive.Reward(reward)
+	return s.lockedCommitReward(), nil
+}
+
+// ---------------------------------------------------------------------
+// Locked protocol halves
+//
+// The /v1/batch handler validates and commits many sessions' operations
+// around two slab kernel sweeps, holding every group session's lock
+// across the whole group so each session's protocol check and kernel
+// effect form one atomic unit. These split check/commit halves are the
+// single implementation of the sequence protocol: the scalar Step and
+// Reward above are built from them, so the batch plane cannot drift from
+// the single-op semantics. All four must be called with s.mu held.
+
+// lockedCheckStep validates that a step may open.
+func (s *Session) lockedCheckStep() error {
+	if s.open {
+		return &ProtocolError{
+			Code: CodeStepOpen,
+			Msg:  fmt.Sprintf("decision %d is awaiting its reward", s.seq),
+		}
+	}
+	return nil
+}
+
+// lockedCommitStep records an opened step and returns its sequence
+// number.
+func (s *Session) lockedCommitStep(arm int) (seq uint64) {
+	s.open = true
+	s.arm = arm
+	return s.seq
+}
+
+// lockedCheckReward validates a reward post against the open decision.
+func (s *Session) lockedCheckReward(seq uint64) error {
 	if !s.open {
-		return 0, &ProtocolError{
+		return &ProtocolError{
 			Code: CodeNoOpenStep,
 			Msg:  fmt.Sprintf("no open decision (next step will be %d); duplicate reward?", s.seq),
 		}
 	}
 	if seq != s.seq {
-		return 0, &ProtocolError{
+		return &ProtocolError{
 			Code: CodeSeqMismatch,
 			Msg:  fmt.Sprintf("reward for decision %d, but decision %d is open", seq, s.seq),
 		}
 	}
-	s.drive.Reward(reward)
+	return nil
+}
+
+// lockedCommitReward records a delivered reward and returns the
+// completed decision count.
+func (s *Session) lockedCommitReward() (steps uint64) {
 	s.open = false
 	s.seq++
-	return s.seq, nil
+	return s.seq
 }

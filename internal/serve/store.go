@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"microbandit/internal/core"
 )
 
 // DefaultShards is the store's default shard count.
@@ -15,15 +17,55 @@ const DefaultShards = 64
 // concurrent request handling contends only within a shard — the map
 // lock is never the bottleneck; per-session work serializes on the
 // session's own mutex.
+//
+// Each shard also owns the slab arenas its plain-agent sessions live in:
+// contiguous struct-of-arrays chunks, one arena per arm count, allocated
+// and freed under the shard's write lock. Keeping arenas shard-local
+// means a batch request that grouped its operations by shard touches
+// slabs no other shard's traffic allocates from.
 type Store struct {
-	shards []shard
-	mask   uint32
-	nextID atomic.Uint64
+	shards  []shard
+	mask    uint32
+	nextID  atomic.Uint64
+	slabSeq atomic.Uint64 // total order over slab chunks, for batch lock ordering
 }
 
 type shard struct {
-	mu sync.RWMutex
-	m  map[string]*Session
+	mu     sync.RWMutex
+	m      map[string]*Session
+	arenas map[int]*slabArena // arm count → arena
+}
+
+// slabArena is one shard's slab storage for a single arm count: a list
+// of fixed-capacity chunks, grown one chunk at a time as sessions
+// accumulate. Chunks are never reclaimed — freed slots recycle within
+// their chunk — so agent pointers and table views stay valid for a
+// session's whole life.
+type slabArena struct {
+	chunks []*arenaChunk
+}
+
+// arenaChunk pairs a slab with its store-wide allocation ordinal. The
+// ordinal gives every chunk a stable total order; the batch plane sorts
+// multi-session lock acquisition by (ord, slot) to stay deadlock-free.
+type arenaChunk struct {
+	slab *core.Slab
+	ord  uint64
+}
+
+// chunkSlots sizes a slab chunk: aim for ~8192 table floats per chunk so
+// chunks are big enough to amortize the per-chunk bookkeeping but small
+// enough that a shard with three sessions hasn't reserved megabytes.
+func chunkSlots(arms int) int {
+	const targetFloats = 8192
+	n := targetFloats / arms
+	if n < 16 {
+		n = 16
+	}
+	if n > 512 {
+		n = 512
+	}
+	return n
 }
 
 // NewStore returns a store with at least the requested number of shards,
@@ -39,6 +81,7 @@ func NewStore(n int) *Store {
 	st := &Store{shards: make([]shard, size), mask: uint32(size - 1)}
 	for i := range st.shards {
 		st.shards[i].m = make(map[string]*Session)
+		st.shards[i].arenas = make(map[int]*slabArena)
 	}
 	return st
 }
@@ -46,8 +89,10 @@ func NewStore(n int) *Store {
 // Shards returns the shard count.
 func (st *Store) Shards() int { return len(st.shards) }
 
-// shardFor hashes id onto its shard (FNV-1a).
-func (st *Store) shardFor(id string) *shard {
+// shardIndex hashes an id onto its shard index (FNV-1a). It is generic
+// over string and []byte so the batch parser, which works on slices of
+// the request body, routes ids without allocating strings.
+func shardIndex[T string | []byte](st *Store, id T) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -57,36 +102,83 @@ func (st *Store) shardFor(id string) *shard {
 		h ^= uint32(id[i])
 		h *= prime32
 	}
-	return &st.shards[h&st.mask]
+	return h & st.mask
+}
+
+// shardFor hashes id onto its shard.
+func (st *Store) shardFor(id string) *shard {
+	return &st.shards[shardIndex(st, id)]
+}
+
+// lockedChunkFor returns a chunk with at least one free slot for the
+// given arm count, growing the arena when every chunk is full. The
+// caller must hold sh.mu for writing.
+func (st *Store) lockedChunkFor(sh *shard, arms int) *arenaChunk {
+	ar := sh.arenas[arms]
+	if ar == nil {
+		ar = &slabArena{}
+		sh.arenas[arms] = ar
+	}
+	for _, c := range ar.chunks {
+		if c.slab.Live() < c.slab.Cap() {
+			return c
+		}
+	}
+	c := &arenaChunk{
+		slab: core.MustNewSlab(arms, chunkSlots(arms)),
+		ord:  st.slabSeq.Add(1),
+	}
+	ar.chunks = append(ar.chunks, c)
+	return c
+}
+
+// lockedBuildSession constructs a session in sh, placing plain agents in
+// the shard's slab arena. The caller must hold sh.mu for writing and
+// registers the returned session itself.
+func (st *Store) lockedBuildSession(sh *shard, id string, spec Spec) (*Session, error) {
+	var chunk *arenaChunk
+	var slot int
+	alloc := func(cfg core.Config) (*core.Agent, error) {
+		c := st.lockedChunkFor(sh, cfg.Arms)
+		a, sl, err := c.slab.Alloc(cfg)
+		if err != nil {
+			return nil, err
+		}
+		chunk, slot = c, sl
+		return a, nil
+	}
+	agent, drive, err := buildController(spec, alloc)
+	if err != nil {
+		if chunk != nil {
+			chunk.slab.Free(slot)
+		}
+		return nil, err
+	}
+	s := &Session{id: id, spec: spec, agent: agent, drive: drive}
+	if chunk != nil {
+		s.slab, s.slot, s.slabOrd = chunk.slab, slot, chunk.ord
+		// The batch kernels drive the agent directly, bypassing the
+		// session's drive controller; that is only sound when the drive
+		// IS the agent (fault.Controller returns its inner controller
+		// unchanged when the spec arms no faults).
+		s.kernelOK = drive == core.Controller(agent)
+	}
+	return s, nil
 }
 
 // Create builds a session from spec under a fresh id and registers it.
 func (st *Store) Create(spec Spec) (*Session, error) {
 	spec.normalize()
-	agent, drive, err := buildAgent(spec)
+	id := fmt.Sprintf("s-%08x", st.nextID.Add(1))
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, err := st.lockedBuildSession(sh, id, spec)
 	if err != nil {
 		return nil, err
 	}
-	id := fmt.Sprintf("s-%08x", st.nextID.Add(1))
-	s := &Session{id: id, spec: spec, agent: agent, drive: drive}
-	sh := st.shardFor(id)
-	sh.mu.Lock()
 	sh.m[id] = s
-	sh.mu.Unlock()
 	return s, nil
-}
-
-// insert registers a fully built session (checkpoint restore). It fails
-// on a duplicate id.
-func (st *Store) insert(s *Session) error {
-	sh := st.shardFor(s.id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.m[s.id]; ok {
-		return fmt.Errorf("duplicate session id %q", s.id)
-	}
-	sh.m[s.id] = s
-	return nil
 }
 
 // Get returns the session with the given id.
@@ -99,14 +191,38 @@ func (st *Store) Get(id string) (*Session, bool) {
 }
 
 // Delete removes the session with the given id, reporting whether it
-// existed.
+// existed. Removal is a three-beat sequence because a concurrent request
+// may have resolved the session pointer before the map delete:
+//
+//  1. remove the id from the shard map (new lookups miss);
+//  2. set the session's deleted flag under its own lock (in-flight
+//     operations that already hold the pointer re-check the flag under
+//     s.mu and answer not-found instead of touching the agent);
+//  3. free the slab slot under the shard lock (safe now: any operation
+//     acquiring s.mu after step 2 bails before dereferencing the agent,
+//     and the slot may be handed to the shard's next session).
 func (st *Store) Delete(id string) bool {
 	sh := st.shardFor(id)
 	sh.mu.Lock()
-	_, ok := sh.m[id]
+	s, ok := sh.m[id]
+	if !ok {
+		sh.mu.Unlock()
+		return false
+	}
 	delete(sh.m, id)
 	sh.mu.Unlock()
-	return ok
+
+	s.mu.Lock()
+	s.deleted = true
+	slab, slot := s.slab, s.slot
+	s.mu.Unlock()
+
+	if slab != nil {
+		sh.mu.Lock()
+		slab.Free(slot)
+		sh.mu.Unlock()
+	}
+	return true
 }
 
 // Len returns the number of live sessions.

@@ -205,7 +205,10 @@ func TestSessionInfo(t *testing.T) {
 			t.Fatalf("Reward: %v", err)
 		}
 	}
-	info := s.Info()
+	info, err := s.Info()
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
 	if info.Seq != 3 || info.Open || info.BestArm != 2 {
 		t.Fatalf("Info = %+v", info)
 	}
@@ -233,7 +236,11 @@ func TestMetaSessionServes(t *testing.T) {
 			t.Fatalf("Reward %d: %v", i, err)
 		}
 	}
-	if got := s.Info().Seq; got != 30 {
+	info, err := s.Info()
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
+	if got := info.Seq; got != 30 {
 		t.Fatalf("Seq = %d, want 30", got)
 	}
 }
