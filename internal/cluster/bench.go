@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"microbandit/internal/serve"
+	"microbandit/internal/serve/loadgen"
+)
+
+// BenchConfig configures RunBench, the in-process cluster benchmark
+// behind `mab-report -clusterbench`.
+type BenchConfig struct {
+	// Nodes is the ring size (<= 0 selects 3).
+	Nodes int
+	// Workers is the closed-loop worker count per measured phase
+	// (<= 0 selects 8).
+	Workers int
+	// Batch is sessions per worker driven through one /v1/batch request
+	// per round (<= 0 selects 16).
+	Batch int
+	// Duration bounds each measured phase (<= 0 selects 2s).
+	Duration time.Duration
+	// Seed diversifies the session specs.
+	Seed uint64
+}
+
+func (c *BenchConfig) normalize() {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// FailoverBench is the chaos phase's measurement: a routed load run that
+// loses one node mid-window and finishes anyway.
+type FailoverBench struct {
+	// Victim is the killed node's name.
+	Victim string `json:"victim"`
+	// RecoveryMS is detection → promoted, from the router's own clock.
+	RecoveryMS float64 `json:"recovery_ms"`
+	Failovers  int     `json:"failovers"`
+	// Run is the full load measurement across the kill. Its Errors count
+	// must be zero for the failover to count as clean; Retries and
+	// Resyncs record what the recovery cost the clients.
+	Run *loadgen.Result `json:"run"`
+}
+
+// BenchReport is the BENCH_cluster.json schema: the same load offered
+// three ways — straight at the nodes (the ring's aggregate capacity),
+// through the router (the forwarding tax), and through the router while
+// one node dies (the failover tax).
+type BenchReport struct {
+	Nodes     int     `json:"nodes"`
+	Workers   int     `json:"workers"`
+	Batch     int     `json:"batch"`
+	DurationS float64 `json:"duration_s"`
+	// Direct drives every node in parallel with no router in the path;
+	// its PerTarget entries are the per-node latency histograms.
+	Direct *loadgen.Result `json:"direct"`
+	// Routed offers the same load through the router's single surface.
+	Routed *loadgen.Result `json:"routed"`
+	// RouterOverhead is Direct over Routed decisions/sec (1.0 = free).
+	RouterOverhead float64 `json:"router_overhead"`
+	// Failover is the chaos phase.
+	Failover FailoverBench `json:"failover"`
+}
+
+// benchRing is an in-process ring + router, the benchmark's twin of the
+// chaos test fixture: real cluster code on every hop, no sockets.
+type benchRing struct {
+	names  []string
+	nodes  []*Node
+	kills  []*KillSwitch
+	router *Router
+}
+
+func newBenchRing(n, failAfter int) *benchRing {
+	b := &benchRing{}
+	lazies := make([]*lazyReplicaHandler, n)
+	for i := range lazies {
+		lazies[i] = &lazyReplicaHandler{}
+	}
+	for i := 0; i < n; i++ {
+		b.names = append(b.names, fmt.Sprintf("node-%d", i))
+	}
+	for i, name := range b.names {
+		next := (i + 1) % n
+		b.nodes = append(b.nodes, NewNode(NodeConfig{
+			Name:    name,
+			Replica: Endpoint{Name: b.names[next], Client: handlerDoer{h: lazies[next]}},
+		}))
+	}
+	for i := range lazies {
+		lazies[i].h = b.nodes[i]
+	}
+	rns := make([]RouterNode, n)
+	for i, name := range b.names {
+		b.kills = append(b.kills, NewKillSwitch(handlerDoer{h: b.nodes[i]}))
+		rns[i] = RouterNode{Name: name, Endpoint: Endpoint{Name: name, Client: b.kills[i]}}
+	}
+	b.router = NewRouter(RouterConfig{
+		Nodes:     rns,
+		FailAfter: failAfter,
+		MaxTries:  4,
+		RetryBase: 100 * time.Microsecond,
+		RetryMax:  5 * time.Millisecond,
+	})
+	return b
+}
+
+// lazyReplicaHandler breaks the replica-chain construction cycle (node i
+// ships to node i+1, which does not exist yet when node i is built).
+type lazyReplicaHandler struct{ h http.Handler }
+
+func (l *lazyReplicaHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.h.ServeHTTP(w, r)
+}
+
+// RunBench measures the cluster three ways and returns the report. Every
+// phase gets a fresh ring, so learned bandit state never leaks between
+// measurements.
+func RunBench(ctx context.Context, cfg BenchConfig) (*BenchReport, error) {
+	cfg.normalize()
+	rep := &BenchReport{
+		Nodes:     cfg.Nodes,
+		Workers:   cfg.Workers,
+		Batch:     cfg.Batch,
+		DurationS: cfg.Duration.Seconds(),
+	}
+	spec := serve.Spec{Algo: "ducb", Arms: 8, Seed: cfg.Seed}
+
+	// Phase 1: direct. Workers spread round-robin across the nodes with
+	// no router in the path; per-node histograms land in PerTarget.
+	{
+		ring := newBenchRing(cfg.Nodes, 2)
+		targets := make([]loadgen.Target, cfg.Nodes)
+		for i, n := range ring.nodes {
+			targets[i] = loadgen.Target{Name: ring.names[i], Handler: n}
+		}
+		res, err := loadgen.Run(ctx, loadgen.Options{
+			Targets:  targets,
+			Workers:  cfg.Workers,
+			Duration: cfg.Duration,
+			Batch:    cfg.Batch,
+			Spec:     spec,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("direct phase: %w", err)
+		}
+		rep.Direct = res
+	}
+
+	// Phase 2: routed. The identical load through the router's single
+	// surface; sessions are router-minted, so the ring spreads them.
+	{
+		ring := newBenchRing(cfg.Nodes, 2)
+		res, err := loadgen.Run(ctx, loadgen.Options{
+			Targets:  []loadgen.Target{{Name: "router", Handler: ring.router}},
+			Workers:  cfg.Workers,
+			Duration: cfg.Duration,
+			Batch:    cfg.Batch,
+			Spec:     spec,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("routed phase: %w", err)
+		}
+		rep.Routed = res
+		if res.DecisionsPerSec > 0 {
+			rep.RouterOverhead = rep.Direct.DecisionsPerSec / res.DecisionsPerSec
+		}
+	}
+
+	// Phase 3: failover. Routed load again, but halfway through the
+	// measured window one node's transport is severed — after its
+	// replicator shipped a checkpoint, as the steady replication cadence
+	// would have. The router promotes, the workers resync, the run
+	// finishes, and a non-zero Errors count disqualifies the result.
+	{
+		ring := newBenchRing(cfg.Nodes, 2)
+		victim := 0
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(cfg.Duration / 20)
+			defer t.Stop()
+			killAt := time.Now().Add(cfg.Duration/2 + cfg.Duration/10) // past the warmup
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case now := <-t.C:
+					// Kill before this tick's sync: the promoted checkpoint
+					// is then a full replication period stale, so the
+					// failover heals real rewound state, not a freshly
+					// shipped copy.
+					if !ring.kills[victim].Killed() && now.After(killAt) {
+						ring.kills[victim].Kill()
+					}
+					for i, n := range ring.nodes {
+						if ring.kills[i].Killed() {
+							continue
+						}
+						_ = n.Replicator().Sync(runCtx)
+					}
+				}
+			}
+		}()
+		res, err := loadgen.Run(ctx, loadgen.Options{
+			Targets:  []loadgen.Target{{Name: "router", Handler: ring.router}},
+			Workers:  cfg.Workers,
+			Duration: cfg.Duration,
+			Batch:    cfg.Batch,
+			Spec:     spec,
+		})
+		cancel()
+		wg.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("failover phase: %w", err)
+		}
+		if !ring.kills[victim].Killed() {
+			return nil, fmt.Errorf("failover phase: the run ended before the kill landed (duration %v too short)", cfg.Duration)
+		}
+		st := ring.router.Stats().Nodes[victim]
+		if !st.FailedOver {
+			return nil, fmt.Errorf("failover phase: node %s was killed but never failed over: %+v", st.Name, st)
+		}
+		if res.Errors != 0 {
+			return nil, fmt.Errorf("failover phase: %d client errors across the kill (want 0)", res.Errors)
+		}
+		rep.Failover = FailoverBench{
+			Victim:     st.Name,
+			RecoveryMS: st.RecoveryMS,
+			Failovers:  st.Failovers,
+			Run:        res,
+		}
+	}
+	return rep, nil
+}

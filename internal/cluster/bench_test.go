@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunBenchSmoke runs the full three-phase cluster benchmark on a
+// short clock: all phases report throughput, the routed phase carries
+// real numbers, and the failover phase survives its kill with zero
+// client errors (RunBench enforces that itself and errors otherwise).
+func TestRunBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke needs a few hundred ms of wall clock")
+	}
+	rep, err := RunBench(context.Background(), BenchConfig{
+		Nodes:    3,
+		Workers:  4,
+		Batch:    4,
+		Duration: 500 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("RunBench: %v", err)
+	}
+	if rep.Direct == nil || rep.Direct.DecisionsPerSec <= 0 {
+		t.Fatalf("direct phase measured nothing: %+v", rep.Direct)
+	}
+	if len(rep.Direct.PerTarget) != 3 {
+		t.Fatalf("direct phase has %d per-node entries, want 3", len(rep.Direct.PerTarget))
+	}
+	if rep.Routed == nil || rep.Routed.DecisionsPerSec <= 0 {
+		t.Fatalf("routed phase measured nothing: %+v", rep.Routed)
+	}
+	if rep.Routed.Errors != 0 || rep.Direct.Errors != 0 {
+		t.Fatalf("healthy phases reported errors: direct %d, routed %d", rep.Direct.Errors, rep.Routed.Errors)
+	}
+	if rep.RouterOverhead <= 0 {
+		t.Fatalf("router overhead unreported: %v", rep.RouterOverhead)
+	}
+	f := rep.Failover
+	if f.Victim == "" || f.Failovers < 1 || f.RecoveryMS <= 0 {
+		t.Fatalf("failover phase incomplete: %+v", f)
+	}
+	if f.Run == nil || f.Run.Errors != 0 {
+		t.Fatalf("failover run: %+v", f.Run)
+	}
+}

@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"microbandit/internal/serve"
+)
+
+// chaosReward mirrors the load generator's deterministic reward: a pure
+// function of (arm, seq), which is what lets a replayed decision stream
+// re-earn exactly the rewards the original did.
+func chaosReward(arm int, seq uint64) float64 {
+	return 0.3 + 0.4*float64(arm%4)/4 + 0.1*math.Sin(float64(seq)*0.05)
+}
+
+// chaosSession is one tracked session: the full arm-per-seq record the
+// run has observed (the "byte-identical stream" being defended), the
+// open decision awaiting its reward, and any recovery the last round
+// called for.
+type chaosSession struct {
+	id   string
+	spec string
+	arms []int // arms[seq-1] — every decision ever observed at that seq
+
+	pendHas  bool
+	pendSeq  uint64
+	pendArm  int
+	needInfo bool
+	needNew  bool
+}
+
+// chaosClient drives a set of sessions through /v1/batch exactly the way
+// the load generator does — rewards for the previous round first, then a
+// step per session — while asserting, at every single decision, that the
+// server never contradicts the recorded stream.
+type chaosClient struct {
+	t        *testing.T
+	h        http.Handler
+	sessions []*chaosSession
+
+	resyncs  int
+	retries  int
+	failures []string
+}
+
+func (c *chaosClient) fail(format string, args ...any) {
+	c.failures = append(c.failures, fmt.Sprintf(format, args...))
+}
+
+// observe folds one decision the server reported (a step result, or an
+// open decision read back during a resync) into the session's record.
+// Decision seqs are zero-based: arms[k] is the arm decision k chose. A
+// seq below the recorded length is a replay and must match the record
+// exactly; the only legal extension is the very next seq.
+func (c *chaosClient) observe(s *chaosSession, seq uint64, arm int) {
+	n := uint64(len(s.arms))
+	switch {
+	case seq > n:
+		c.fail("session %s: server skipped to seq %d with only %d recorded", s.id, seq, n)
+		return
+	case seq < n:
+		if s.arms[seq] != arm {
+			c.fail("session %s: replayed decision %d chose arm %d, original chose %d",
+				s.id, seq, arm, s.arms[seq])
+			return
+		}
+	default:
+		s.arms = append(s.arms, arm)
+	}
+	s.pendHas, s.pendSeq, s.pendArm = true, seq, arm
+}
+
+// round advances every session by one decision: one batch request
+// carrying last round's rewards and this round's steps.
+func (c *chaosClient) round() {
+	var sb strings.Builder
+	sb.WriteString(`{"ops":[`)
+	nRewards := 0
+	var rewardOf []*chaosSession
+	for _, s := range c.sessions {
+		if !s.pendHas {
+			continue
+		}
+		if nRewards > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"id":"%s","seq":%d,"reward":%g}`,
+			s.id, s.pendSeq, chaosReward(s.pendArm, s.pendSeq))
+		nRewards++
+		rewardOf = append(rewardOf, s)
+	}
+	for i, s := range c.sessions {
+		if nRewards > 0 || i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"id":"%s","step":true}`, s.id)
+	}
+	sb.WriteString(`]}`)
+
+	var results []json.RawMessage
+	for attempt := 0; ; attempt++ {
+		code, _, body := doReq(c.h, "POST", "/v1/batch", sb.String())
+		if code == http.StatusOK {
+			var page struct {
+				Results []json.RawMessage `json:"results"`
+			}
+			if err := json.Unmarshal(body, &page); err != nil {
+				c.fail("batch response undecodable: %v", err)
+				return
+			}
+			results = page.Results
+			break
+		}
+		if code == http.StatusServiceUnavailable && attempt < 50 {
+			// The sequence protocol makes re-sending the same body safe.
+			c.retries++
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		c.fail("batch answered %d: %s", code, body)
+		return
+	}
+	if len(results) != nRewards+len(c.sessions) {
+		c.fail("batch returned %d results for %d ops", len(results), nRewards+len(c.sessions))
+		return
+	}
+
+	for ri, raw := range results {
+		isReward := ri < nRewards
+		var s *chaosSession
+		if isReward {
+			s = rewardOf[ri]
+		} else {
+			s = c.sessions[ri-nRewards]
+		}
+		if ec := resultErrCode(raw); ec != "" {
+			c.classify(s, isReward, ec)
+			continue
+		}
+		if isReward {
+			s.pendHas = false
+			continue
+		}
+		var st struct {
+			Seq uint64 `json:"seq"`
+			Arm int    `json:"arm"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			c.fail("session %s: step result %s: %v", s.id, raw, err)
+			continue
+		}
+		c.observe(s, st.Seq, st.Arm)
+	}
+	c.resolve()
+}
+
+// classify sorts a per-op error into its recovery, mirroring what any
+// correct cluster client must do. Anything outside this set is a
+// protocol violation and fails the test.
+func (c *chaosClient) classify(s *chaosSession, isReward bool, code string) {
+	switch code {
+	case serve.CodeStepOpen:
+		s.needInfo = true
+	case serve.CodeNoOpenStep, serve.CodeSeqMismatch:
+		// A failover rewound the session past this reward; the open
+		// decision (if any) is re-read by the step path.
+		s.pendHas = false
+		c.resyncs++
+	case serve.CodeNotFound:
+		s.needNew = true
+	case serve.CodeUnavailable, serve.CodeDraining:
+		c.retries++
+	default:
+		c.fail("session %s: op (reward=%v) answered unexpected code %q", s.id, isReward, code)
+	}
+}
+
+// resolve runs the out-of-band recoveries a round called for, through
+// the same router the ops travel.
+func (c *chaosClient) resolve() {
+	for _, s := range c.sessions {
+		if s.needInfo {
+			s.needInfo = false
+			code, _, body := doReq(c.h, "GET", "/v1/sessions/"+s.id, "")
+			switch code {
+			case http.StatusOK:
+				var info serve.SessionInfo
+				if err := json.Unmarshal(body, &info); err != nil {
+					c.fail("session %s: info undecodable: %v", s.id, err)
+					continue
+				}
+				if info.Open {
+					// The open decision the failover resurrected must agree
+					// with the recorded stream.
+					c.observe(s, info.Seq, info.Arm)
+				} else {
+					s.pendHas = false
+				}
+				c.resyncs++
+			case http.StatusNotFound:
+				s.needNew = true
+			default:
+				c.fail("session %s: resync info answered %d: %s", s.id, code, body)
+			}
+		}
+		if s.needNew {
+			s.needNew = false
+			s.pendHas = false
+			if err := createSessionAtNode(c.h, s.id, s.spec); err != nil {
+				c.fail("session %s: recreate: %v", s.id, err)
+				continue
+			}
+			c.resyncs++
+		}
+	}
+}
+
+// resultErrCode extracts the typed code from an error result element,
+// empty for success results.
+func resultErrCode(raw json.RawMessage) string {
+	var eb struct {
+		Error *struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(raw, &eb) != nil || eb.Error == nil {
+		return ""
+	}
+	return eb.Error.Code
+}
+
+// TestChaosKillNodeMidLoadPreservesDecisionStreams is the failover
+// acceptance test: a 3-node ring under batch load loses one node to a
+// kill switch (kill -9 as the network sees it) mid-run. The router must
+// promote the node's replica, and every in-flight session must continue
+// its exact decision stream — asserted decision-by-decision inside the
+// run, and again at the end against an uninterrupted control run of the
+// identical schedule.
+func TestChaosKillNodeMidLoadPreservesDecisionStreams(t *testing.T) {
+	const (
+		baseSessions = 8
+		rounds       = 40
+		killAfter    = 16 // between rounds 16 and 17
+	)
+	syncRounds := map[int]bool{5: true, 10: true, 15: true}
+
+	run := func(kill bool) (*chaosClient, *ringFixture, int) {
+		f := newRingFixture(2)
+		c := &chaosClient{t: t, h: f.router}
+		for i := 0; i < baseSessions; i++ {
+			spec := fmt.Sprintf(`{"algo":"ducb","arms":4,"seed":%d}`, 1000+i)
+			id := createViaRouter(t, f.router, spec)
+			c.sessions = append(c.sessions, &chaosSession{id: id, spec: spec})
+		}
+		victim := f.router.ring.Owner(c.sessions[0].id)
+		syncAll := func() {
+			for i, n := range f.nodes {
+				if f.kills[i].Killed() {
+					continue // dead processes do not replicate
+				}
+				if err := n.Replicator().Sync(context.Background()); err != nil {
+					t.Fatalf("sync %s: %v", f.names[i], err)
+				}
+			}
+		}
+		for r := 1; r <= rounds; r++ {
+			c.round()
+			if syncRounds[r] {
+				syncAll()
+			}
+			if r == 15 {
+				// A session born after the last checkpoint the victim will
+				// ever ship: failover cannot restore it, so the 404 →
+				// recreate → deterministic-replay path must carry it.
+				for {
+					spec := fmt.Sprintf(`{"algo":"ducb","arms":4,"seed":%d}`, 2000+len(c.sessions))
+					id := createViaRouter(t, f.router, spec)
+					c.sessions = append(c.sessions, &chaosSession{id: id, spec: spec})
+					if f.router.ring.Owner(id) == victim {
+						break
+					}
+				}
+			}
+			if kill && r == killAfter {
+				f.kills[victim].Kill()
+			}
+		}
+		return c, f, victim
+	}
+
+	chaos, cf, victim := run(true)
+	control, _, _ := run(false)
+
+	for _, c := range []*chaosClient{control, chaos} {
+		if len(c.failures) > 0 {
+			t.Fatalf("protocol violations:\n  %s", strings.Join(c.failures, "\n  "))
+		}
+	}
+	st := cf.router.Stats().Nodes[victim]
+	if !st.FailedOver || st.Failovers < 1 {
+		t.Fatalf("the kill never triggered a failover: %+v", st)
+	}
+	if st.RecoveryMS <= 0 {
+		t.Fatalf("failover recorded no recovery time: %+v", st)
+	}
+	if chaos.resyncs == 0 {
+		t.Fatal("no session was ever rewound — the kill landed after the interesting window")
+	}
+	if len(chaos.sessions) != len(control.sessions) {
+		t.Fatalf("runs tracked %d vs %d sessions", len(chaos.sessions), len(control.sessions))
+	}
+	for i, cs := range chaos.sessions {
+		ctrl := control.sessions[i]
+		if cs.id != ctrl.id {
+			t.Fatalf("session %d: ids diverged (%s vs %s) — the runs were not identical schedules", i, cs.id, ctrl.id)
+		}
+		n := len(cs.arms)
+		if len(ctrl.arms) < n {
+			n = len(ctrl.arms)
+		}
+		// The chaos run may trail the control by the few decisions its
+		// rewind replayed, but every session must keep making progress
+		// after the kill — a stall means failover lost it.
+		if len(cs.arms) < len(ctrl.arms)-5 {
+			t.Fatalf("session %s stalled at %d decisions (control made %d; kill was at round %d)",
+				cs.id, len(cs.arms), len(ctrl.arms), killAfter)
+		}
+		// ...and every decision both runs made must be identical.
+		for k := 0; k < n; k++ {
+			if cs.arms[k] != ctrl.arms[k] {
+				t.Fatalf("session %s: decision %d diverged across the kill: arm %d, control %d",
+					cs.id, k+1, cs.arms[k], ctrl.arms[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"microbandit/internal/serve"
+)
+
+// NodeConfig configures one cluster node.
+type NodeConfig struct {
+	// Server configures the underlying bandit server.
+	Server serve.Config
+	// Name is this node's logical name; it labels the checkpoint stream
+	// the node ships to its replica.
+	Name string
+	// Replica, when its Client is non-nil, is the endpoint this node
+	// streams checkpoint deltas to (its ring successor's /v1/replica/*).
+	Replica Endpoint
+	// ReplicateEvery is the replication cadence (<= 0 selects
+	// DefaultReplicateEvery).
+	ReplicateEvery time.Duration
+}
+
+// Node is one member of the serving ring: a serve.Server plus the
+// replica receiver endpoints (it holds its ring predecessor's
+// checkpoints) and, when configured, a replicator shipping its own
+// store to its successor.
+type Node struct {
+	server *serve.Server
+	recv   *receiver
+	repl   *Replicator
+	mux    *http.ServeMux
+}
+
+// NewNode builds a node over cfg.
+func NewNode(cfg NodeConfig) *Node {
+	srv := serve.New(cfg.Server)
+	n := &Node{
+		server: srv,
+		recv:   newReceiver(srv.Store()),
+		mux:    http.NewServeMux(),
+	}
+	n.mux.HandleFunc("POST /v1/replica/begin", n.recv.handleBegin)
+	n.mux.HandleFunc("POST /v1/replica/put", n.recv.handlePut)
+	n.mux.HandleFunc("POST /v1/replica/commit", n.recv.handleCommit)
+	n.mux.HandleFunc("POST /v1/replica/promote", n.recv.handlePromote)
+	n.mux.HandleFunc("GET /v1/replica/status", n.recv.handleStatus)
+	n.mux.Handle("/", srv)
+	if cfg.Replica.Client != nil {
+		n.repl = NewReplicator(srv.Store(), cfg.Name, cfg.Replica, cfg.ReplicateEvery)
+	}
+	return n
+}
+
+// ServeHTTP implements http.Handler: replication endpoints first, the
+// bandit API (with its own panic recovery) for everything else.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n.mux.ServeHTTP(w, r)
+}
+
+// Server returns the underlying bandit server.
+func (n *Node) Server() *serve.Server { return n.server }
+
+// Replicator returns the node's checkpoint replicator, nil when the
+// node was built without a replica target.
+func (n *Node) Replicator() *Replicator { return n.repl }
+
+// Run drives the node's background work (the replication loop) until
+// ctx ends. A node without a replica target returns immediately.
+func (n *Node) Run(ctx context.Context) {
+	if n.repl != nil {
+		n.repl.Run(ctx)
+	}
+}

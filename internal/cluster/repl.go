@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"microbandit/internal/serve"
+)
+
+// Checkpoint replication: each node decomposes its store into checkpoint
+// records (serve.CheckpointRecords — slab column groups plus per-session
+// fallbacks), hashes every record body, and ships only the records its
+// replica has not acknowledged. One replication round is a generation:
+//
+//	POST /v1/replica/begin  {source, gen, next_id, keys:[{key,hash}]} → {need:[key]}
+//	POST /v1/replica/put    {source, gen, seq, key, hash, body}       → {acked:seq}
+//	POST /v1/replica/commit {source, gen}                             → {gen, records, bytes}
+//
+// The receiver caches bodies by content hash, so a slab group that saw
+// no traffic between rounds costs one manifest line, not a re-upload.
+// Offsets are acknowledged per record (put returns the sequence number
+// it durably cached); the sender verifies each ack before shipping the
+// next record, which is also the backpressure: a slow replica stalls the
+// sender inside Sync, and since Sync holds the replicator lock, at most
+// one generation is ever in flight — later rounds coalesce to whatever
+// the store holds when they finally run.
+
+// replKey names one record and the hash of its body.
+type replKey struct {
+	Key  string `json:"key"`
+	Hash string `json:"hash"`
+}
+
+type replBeginRequest struct {
+	Source string    `json:"source"`
+	Gen    uint64    `json:"gen"`
+	NextID uint64    `json:"next_id"`
+	Keys   []replKey `json:"keys"`
+}
+
+type replBeginResponse struct {
+	Need []string `json:"need"`
+}
+
+type replPutRequest struct {
+	Source string          `json:"source"`
+	Gen    uint64          `json:"gen"`
+	Seq    int             `json:"seq"`
+	Key    string          `json:"key"`
+	Hash   string          `json:"hash"`
+	Body   json.RawMessage `json:"body"`
+}
+
+type replPutResponse struct {
+	Acked int `json:"acked"`
+}
+
+type replCommitRequest struct {
+	Source string `json:"source"`
+	Gen    uint64 `json:"gen"`
+}
+
+type replCommitResponse struct {
+	Gen     uint64 `json:"gen"`
+	Records int    `json:"records"`
+	Bytes   int    `json:"bytes"`
+}
+
+type promoteRequest struct {
+	Source string `json:"source"`
+}
+
+type promoteResponse struct {
+	Source   string `json:"source"`
+	Gen      uint64 `json:"gen"`
+	Sessions int    `json:"sessions"`
+	Promoted bool   `json:"promoted"`
+}
+
+// ReplStatus describes one replication feed, from either side.
+type ReplStatus struct {
+	Source   string `json:"source"`
+	Gen      uint64 `json:"gen"`     // last committed generation
+	Records  int    `json:"records"` // records in that generation
+	Shipped  int    `json:"shipped"` // records actually transferred last round
+	Bytes    int    `json:"bytes"`   // body bytes transferred last round
+	Promoted bool   `json:"promoted,omitempty"`
+	Err      string `json:"error,omitempty"`
+}
+
+// recordHash is the content hash record bodies are acknowledged under.
+func recordHash(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// Replicator streams one store's checkpoint record deltas to a replica
+// endpoint. Safe for concurrent use; rounds serialize on an internal
+// lock (deliberately — see the backpressure note above).
+type Replicator struct {
+	store  *serve.Store
+	source string
+	target Endpoint
+	every  time.Duration
+
+	mu     sync.Mutex
+	gen    uint64
+	status ReplStatus
+}
+
+// DefaultReplicateEvery is the replication cadence when none is given.
+const DefaultReplicateEvery = 250 * time.Millisecond
+
+// NewReplicator builds a replicator shipping store's checkpoints to
+// target under the given source name (every <= 0 selects
+// DefaultReplicateEvery).
+func NewReplicator(store *serve.Store, source string, target Endpoint, every time.Duration) *Replicator {
+	if every <= 0 {
+		every = DefaultReplicateEvery
+	}
+	return &Replicator{
+		store:  store,
+		source: source,
+		target: target,
+		every:  every,
+		status: ReplStatus{Source: source},
+	}
+}
+
+// Status returns a snapshot of the replicator's progress.
+func (r *Replicator) Status() ReplStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// Sync runs one full replication round: capture, diff, ship, commit.
+// On success the replica holds a committed checkpoint generation it can
+// be promoted from.
+func (r *Replicator) Sync(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.syncLocked(ctx)
+	if err != nil {
+		r.status.Err = err.Error()
+	} else {
+		r.status.Err = ""
+	}
+	return err
+}
+
+func (r *Replicator) syncLocked(ctx context.Context) error {
+	nextID, recs, err := r.store.CheckpointRecords()
+	if err != nil {
+		return fmt.Errorf("cluster: capture checkpoint: %w", err)
+	}
+	gen := r.gen + 1
+	keys := make([]replKey, len(recs))
+	for i, rec := range recs {
+		keys[i] = replKey{Key: rec.Key, Hash: recordHash(rec.Body)}
+	}
+
+	var need replBeginResponse
+	err = r.call(ctx, "/v1/replica/begin",
+		replBeginRequest{Source: r.source, Gen: gen, NextID: nextID, Keys: keys}, &need)
+	if err != nil {
+		return fmt.Errorf("cluster: replicate begin gen %d: %w", gen, err)
+	}
+	needSet := make(map[string]bool, len(need.Need))
+	for _, k := range need.Need {
+		needSet[k] = true
+	}
+
+	shipped, bytes := 0, 0
+	seq := 0
+	for i, rec := range recs {
+		if !needSet[rec.Key] {
+			continue
+		}
+		var ack replPutResponse
+		err = r.call(ctx, "/v1/replica/put", replPutRequest{
+			Source: r.source, Gen: gen, Seq: seq,
+			Key: rec.Key, Hash: keys[i].Hash, Body: rec.Body,
+		}, &ack)
+		if err != nil {
+			return fmt.Errorf("cluster: replicate put %s (gen %d, seq %d): %w", rec.Key, gen, seq, err)
+		}
+		if ack.Acked != seq {
+			return fmt.Errorf("cluster: replicate put %s: replica acked offset %d, want %d", rec.Key, ack.Acked, seq)
+		}
+		shipped++
+		bytes += len(rec.Body)
+		seq++
+	}
+
+	var done replCommitResponse
+	err = r.call(ctx, "/v1/replica/commit", replCommitRequest{Source: r.source, Gen: gen}, &done)
+	if err != nil {
+		return fmt.Errorf("cluster: replicate commit gen %d: %w", gen, err)
+	}
+	r.gen = gen
+	r.status.Gen = gen
+	r.status.Records = len(recs)
+	r.status.Shipped = shipped
+	r.status.Bytes = bytes
+	return nil
+}
+
+// call performs one JSON POST against the replica and decodes the reply.
+func (r *Replicator) call(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	status, _, data, err := r.target.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("replica %s answered %d: %s", r.target.Name, status, truncate(data, 200))
+	}
+	return json.Unmarshal(data, resp)
+}
+
+// Run replicates on a ticker until ctx ends. Failed rounds retry with
+// jittered exponential backoff (a partitioned replica must not be
+// hammered at full cadence); a successful round resets the backoff.
+func (r *Replicator) Run(ctx context.Context) {
+	attempt := 0
+	seed := fnv64str(r.source)
+	for n := uint64(0); ; n++ {
+		delay := r.every
+		if attempt > 0 {
+			delay = jitteredBackoff(r.every, 8*r.every, attempt-1, splitmix(seed+n))
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		if err := r.Sync(ctx); err != nil {
+			if attempt < 6 {
+				attempt++
+			}
+			continue
+		}
+		attempt = 0
+	}
+}
+
+// truncate bounds an error payload echoed into an error string.
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}

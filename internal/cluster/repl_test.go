@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"microbandit/internal/serve"
+)
+
+// doReq drives one request through an in-process handler.
+func doReq(h http.Handler, method, path, body string) (int, http.Header, []byte) {
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, path, rd)
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	return rw.Code, rw.Result().Header, rw.Body.Bytes()
+}
+
+// driveSession creates a session on a node and runs n decisions on it.
+func driveSession(t *testing.T, h http.Handler, id string, seed uint64, n int) {
+	t.Helper()
+	code, _, body := doReq(h, "PUT", "/v1/sessions/"+id,
+		fmt.Sprintf(`{"algo":"ducb","arms":4,"seed":%d}`, seed))
+	if code != http.StatusCreated && code != http.StatusOK {
+		t.Fatalf("create %s: %d %s", id, code, body)
+	}
+	stepSession(t, h, id, n)
+}
+
+// stepSession advances an existing session by n decisions.
+func stepSession(t *testing.T, h http.Handler, id string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		code, _, body := doReq(h, "POST", "/v1/sessions/"+id+"/step", "")
+		if code != http.StatusOK {
+			t.Fatalf("step %s: %d %s", id, code, body)
+		}
+		var st struct {
+			Seq uint64 `json:"seq"`
+			Arm int    `json:"arm"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("step %s: %v", id, err)
+		}
+		code, _, body = doReq(h, "POST", "/v1/sessions/"+id+"/reward",
+			fmt.Sprintf(`{"seq":%d,"reward":%g}`, st.Seq, chaosReward(st.Arm, st.Seq)))
+		if code != http.StatusOK {
+			t.Fatalf("reward %s: %d %s", id, code, body)
+		}
+	}
+}
+
+// twoNodeChain builds A → B: A ships its checkpoints to B's replica
+// endpoints.
+func twoNodeChain() (*Node, *Node) {
+	b := NewNode(NodeConfig{Name: "b"})
+	a := NewNode(NodeConfig{Name: "a", Replica: HandlerEndpoint("b", b)})
+	return a, b
+}
+
+func TestReplicatorSyncAndDelta(t *testing.T) {
+	a, b := twoNodeChain()
+	driveSession(t, a, "s-one", 7, 20)
+	driveSession(t, a, "s-two", 8, 20)
+
+	ctx := context.Background()
+	if err := a.Replicator().Sync(ctx); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	st := a.Replicator().Status()
+	if st.Gen != 1 || st.Records == 0 || st.Shipped != st.Records {
+		t.Fatalf("first sync should ship every record: %+v", st)
+	}
+
+	// No traffic between rounds: the manifest matches the replica's cache
+	// and nothing re-ships.
+	if err := a.Replicator().Sync(ctx); err != nil {
+		t.Fatalf("idle sync: %v", err)
+	}
+	st = a.Replicator().Status()
+	if st.Gen != 2 || st.Shipped != 0 {
+		t.Fatalf("idle sync re-shipped %d records: %+v", st.Shipped, st)
+	}
+
+	// Traffic dirties the sessions' column group; the delta ships only
+	// what changed.
+	stepSession(t, a, "s-one", 5)
+	if err := a.Replicator().Sync(ctx); err != nil {
+		t.Fatalf("delta sync: %v", err)
+	}
+	st = a.Replicator().Status()
+	if st.Shipped == 0 || st.Shipped > st.Records {
+		t.Fatalf("delta sync shipped %d of %d records", st.Shipped, st.Records)
+	}
+
+	// The replica's own view agrees.
+	code, _, body := doReq(b, "GET", "/v1/replica/status", "")
+	if code != http.StatusOK {
+		t.Fatalf("replica status: %d %s", code, body)
+	}
+	var rs struct {
+		Feeds []ReplStatus `json:"feeds"`
+	}
+	if err := json.Unmarshal(body, &rs); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Feeds) != 1 || rs.Feeds[0].Source != "a" || rs.Feeds[0].Gen != 3 {
+		t.Fatalf("replica feeds: %+v", rs.Feeds)
+	}
+}
+
+func TestReplicaRejectsHashMismatch(t *testing.T) {
+	_, b := twoNodeChain()
+	code, _, body := doReq(b, "POST", "/v1/replica/begin",
+		`{"source":"a","gen":1,"next_id":1,"keys":[{"key":"s/x","hash":"deadbeef"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("begin: %d %s", code, body)
+	}
+	code, _, body = doReq(b, "POST", "/v1/replica/put",
+		`{"source":"a","gen":1,"seq":0,"key":"s/x","hash":"deadbeef","body":{"k":1}}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "hash_mismatch") {
+		t.Fatalf("corrupt put answered %d %s, want 400 hash_mismatch", code, body)
+	}
+}
+
+func TestReplicaRejectsStaleGeneration(t *testing.T) {
+	a, b := twoNodeChain()
+	driveSession(t, a, "s-gen", 3, 5)
+	if err := a.Replicator().Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Generation 1 is committed; re-beginning it must bounce.
+	code, _, body := doReq(b, "POST", "/v1/replica/begin",
+		`{"source":"a","gen":1,"next_id":1,"keys":[]}`)
+	if code != http.StatusConflict || !strings.Contains(string(body), "stale_generation") {
+		t.Fatalf("stale begin answered %d %s", code, body)
+	}
+}
+
+func TestReplicaCommitRequiresEveryRecord(t *testing.T) {
+	_, b := twoNodeChain()
+	bodyJSON := `{"v":1}`
+	code, _, resp := doReq(b, "POST", "/v1/replica/begin", fmt.Sprintf(
+		`{"source":"a","gen":1,"next_id":1,"keys":[{"key":"s/x","hash":"%s"}]}`,
+		recordHash([]byte(bodyJSON))))
+	if code != http.StatusOK {
+		t.Fatalf("begin: %d %s", code, resp)
+	}
+	code, _, resp = doReq(b, "POST", "/v1/replica/commit", `{"source":"a","gen":1}`)
+	if code != http.StatusConflict || !strings.Contains(string(resp), "missing_record") {
+		t.Fatalf("commit with a hole answered %d %s", code, resp)
+	}
+}
+
+func TestPromoteMergesSessionsAndIsIdempotent(t *testing.T) {
+	a, b := twoNodeChain()
+	driveSession(t, a, "s-p1", 11, 15)
+	driveSession(t, a, "s-p2", 12, 15)
+	if err := a.Replicator().Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// B has its own local session that promotion must not disturb.
+	driveSession(t, b, "s-local", 13, 5)
+
+	code, _, body := doReq(b, "POST", "/v1/replica/promote", `{"source":"a"}`)
+	if code != http.StatusOK {
+		t.Fatalf("promote: %d %s", code, body)
+	}
+	var pr promoteResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Promoted || pr.Sessions != 2 {
+		t.Fatalf("promote merged %d sessions (promoted=%v), want 2", pr.Sessions, pr.Promoted)
+	}
+	if got := b.Server().Store().Len(); got != 3 {
+		t.Fatalf("store holds %d sessions after promote, want 3", got)
+	}
+	// A promoted session answers the protocol at its checkpointed state.
+	code, _, body = doReq(b, "GET", "/v1/sessions/s-p1", "")
+	if code != http.StatusOK {
+		t.Fatalf("promoted session unreachable: %d %s", code, body)
+	}
+	var info serve.SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 15 || info.Open {
+		t.Fatalf("promoted session state: %+v, want seq 15 closed", info)
+	}
+
+	// Retrying the promote (a router racing its own timeout) is a no-op.
+	code, _, body = doReq(b, "POST", "/v1/replica/promote", `{"source":"a"}`)
+	if code != http.StatusOK {
+		t.Fatalf("re-promote: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Promoted || pr.Sessions != 0 {
+		t.Fatalf("re-promote restored %d sessions, want 0", pr.Sessions)
+	}
+	if got := b.Server().Store().Len(); got != 3 {
+		t.Fatalf("store holds %d sessions after re-promote, want 3", got)
+	}
+}
+
+func TestPromoteWithNothingCommittedSucceedsEmpty(t *testing.T) {
+	_, b := twoNodeChain()
+	code, _, body := doReq(b, "POST", "/v1/replica/promote", `{"source":"a"}`)
+	if code != http.StatusOK {
+		t.Fatalf("empty promote: %d %s", code, body)
+	}
+	var pr promoteResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Promoted || pr.Sessions != 0 {
+		t.Fatalf("empty promote: %+v", pr)
+	}
+}

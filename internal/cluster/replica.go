@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"microbandit/internal/serve"
+)
+
+// receiver is the replica side of the checkpoint stream: it accumulates
+// record bodies by content hash, assembles committed generations, and —
+// on promotion — merges the latest committed checkpoint of a dead
+// source into the node's own live store.
+type receiver struct {
+	store *serve.Store
+
+	mu    sync.Mutex
+	feeds map[string]*replicaFeed
+}
+
+// replicaFeed is the state of one source node's stream.
+//
+// Buffering is bounded: bodies live in a hash-addressed cache, and every
+// commit prunes the cache down to exactly the records the committed
+// manifest references. A source can therefore never grow the replica's
+// memory past one committed checkpoint plus the in-flight delta — a
+// runaway sender re-shipping garbage displaces its own cache, nobody
+// else's.
+type replicaFeed struct {
+	// pending generation, set by begin and consumed by commit.
+	pendingGen    uint64
+	pendingNextID uint64
+	pendingKeys   []replKey
+	acked         int
+
+	// cache maps record body hash → body for pending and committed keys.
+	cache map[string][]byte
+
+	// last committed generation, assembled into checkpoint bytes.
+	gen     uint64
+	nextID  uint64
+	keys    []replKey
+	data    []byte
+	records int
+
+	promoted bool
+}
+
+func newReceiver(store *serve.Store) *receiver {
+	return &receiver{store: store, feeds: make(map[string]*replicaFeed)}
+}
+
+// feed returns the feed for source, creating it on first touch. The
+// caller must hold rc.mu.
+func (rc *receiver) lockedFeed(source string) *replicaFeed {
+	f := rc.feeds[source]
+	if f == nil {
+		f = &replicaFeed{cache: make(map[string][]byte)}
+		rc.feeds[source] = f
+	}
+	return f
+}
+
+// maxReplicaBody bounds one replication request; a single record is one
+// slab column group or one session, far below this.
+const maxReplicaBody = 64 << 20
+
+// decodeReplica decodes a bounded replication request body.
+func decodeReplica(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReplicaBody))
+	if err := dec.Decode(v); err != nil {
+		writeClusterError(w, http.StatusBadRequest, "bad_request", "body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// handleBegin opens a generation: the sender declares the full manifest,
+// the replica answers with the keys whose bodies it does not hold.
+func (rc *receiver) handleBegin(w http.ResponseWriter, r *http.Request) {
+	var req replBeginRequest
+	if !decodeReplica(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeClusterError(w, http.StatusBadRequest, "bad_request", "begin without a source")
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	f := rc.lockedFeed(req.Source)
+	if req.Gen <= f.gen {
+		writeClusterError(w, http.StatusConflict, "stale_generation",
+			fmt.Sprintf("generation %d already committed (at %d)", req.Gen, f.gen))
+		return
+	}
+	// A new begin replaces any unfinished pending generation — the sender
+	// runs one round at a time, so an orphaned pending gen means its
+	// round died; coalescing to the newest manifest is exactly right.
+	f.pendingGen, f.pendingNextID, f.pendingKeys, f.acked = req.Gen, req.NextID, req.Keys, -1
+	var need []string
+	for _, k := range req.Keys {
+		if _, ok := f.cache[k.Hash]; !ok {
+			need = append(need, k.Key)
+		}
+	}
+	if need == nil {
+		need = []string{}
+	}
+	writeClusterJSON(w, http.StatusOK, replBeginResponse{Need: need})
+}
+
+// handlePut stores one record body, acknowledging its offset. The body
+// must hash to the declared value — transport corruption dies here, at
+// the boundary, not inside a later restore.
+func (rc *receiver) handlePut(w http.ResponseWriter, r *http.Request) {
+	var req replPutRequest
+	if !decodeReplica(w, r, &req) {
+		return
+	}
+	if recordHash(req.Body) != req.Hash {
+		writeClusterError(w, http.StatusBadRequest, "hash_mismatch",
+			fmt.Sprintf("record %s: body does not hash to %s", req.Key, req.Hash))
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	f := rc.lockedFeed(req.Source)
+	if req.Gen != f.pendingGen {
+		writeClusterError(w, http.StatusConflict, "stale_generation",
+			fmt.Sprintf("put for generation %d but %d is pending", req.Gen, f.pendingGen))
+		return
+	}
+	f.cache[req.Hash] = req.Body
+	if req.Seq > f.acked {
+		f.acked = req.Seq
+	}
+	writeClusterJSON(w, http.StatusOK, replPutResponse{Acked: req.Seq})
+}
+
+// handleCommit seals a generation: every manifest key must have its body
+// cached; the records assemble into the exact checkpoint byte stream the
+// source's own Checkpoint() would have produced, which becomes the
+// feed's promotable state. The cache then prunes to the committed
+// manifest (the bounded-buffering invariant).
+func (rc *receiver) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req replCommitRequest
+	if !decodeReplica(w, r, &req) {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	f := rc.lockedFeed(req.Source)
+	if req.Gen != f.pendingGen {
+		writeClusterError(w, http.StatusConflict, "stale_generation",
+			fmt.Sprintf("commit for generation %d but %d is pending", req.Gen, f.pendingGen))
+		return
+	}
+	recs := make([]serve.CheckpointRecord, 0, len(f.pendingKeys))
+	for _, k := range f.pendingKeys {
+		body, ok := f.cache[k.Hash]
+		if !ok {
+			writeClusterError(w, http.StatusConflict, "missing_record",
+				fmt.Sprintf("commit of generation %d: record %s was never put", req.Gen, k.Key))
+			return
+		}
+		recs = append(recs, serve.CheckpointRecord{Key: k.Key, Body: body})
+	}
+	data, err := serve.AssembleCheckpoint(f.pendingNextID, recs)
+	if err != nil {
+		writeClusterError(w, http.StatusBadRequest, "bad_checkpoint", err.Error())
+		return
+	}
+	f.gen, f.nextID, f.keys, f.data, f.records = f.pendingGen, f.pendingNextID, f.pendingKeys, data, len(recs)
+	f.pendingGen, f.pendingNextID, f.pendingKeys, f.acked = 0, 0, nil, -1
+	next := make(map[string][]byte, len(f.keys))
+	for _, k := range f.keys {
+		next[k.Hash] = f.cache[k.Hash]
+	}
+	f.cache = next
+	writeClusterJSON(w, http.StatusOK, replCommitResponse{Gen: f.gen, Records: f.records, Bytes: len(data)})
+}
+
+// handlePromote merges a dead source's last committed checkpoint into
+// this node's live store. Idempotent: the router may retry a promote
+// that raced a timeout, and the second call reports promoted=true with
+// zero newly restored sessions. Promotion with no committed generation
+// succeeds empty — the session-recreate path in the clients then heals
+// the stream from scratch, deterministically.
+func (rc *receiver) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req promoteRequest
+	if !decodeReplica(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeClusterError(w, http.StatusBadRequest, "bad_request", "promote without a source")
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	f := rc.lockedFeed(req.Source)
+	resp := promoteResponse{Source: req.Source, Gen: f.gen, Promoted: true}
+	if f.promoted || f.data == nil {
+		f.promoted = true
+		writeClusterJSON(w, http.StatusOK, resp)
+		return
+	}
+	before := rc.store.Len()
+	if err := rc.store.RestoreSessions(f.data); err != nil {
+		writeClusterError(w, http.StatusInternalServerError, "restore_failed",
+			fmt.Sprintf("promote %s generation %d: %v", req.Source, f.gen, err))
+		return
+	}
+	f.promoted = true
+	resp.Sessions = rc.store.Len() - before
+	writeClusterJSON(w, http.StatusOK, resp)
+}
+
+// handleStatus reports every feed this replica holds.
+func (rc *receiver) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	rc.mu.Lock()
+	out := make([]ReplStatus, 0, len(rc.feeds))
+	for source, f := range rc.feeds {
+		out = append(out, ReplStatus{
+			Source: source, Gen: f.gen, Records: f.records,
+			Bytes: len(f.data), Promoted: f.promoted,
+		})
+	}
+	rc.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	writeClusterJSON(w, http.StatusOK, struct {
+		Feeds []ReplStatus `json:"feeds"`
+	}{Feeds: out})
+}
+
+// writeClusterJSON / writeClusterError mirror the serve package's wire
+// envelope so cluster endpoints and node endpoints read the same.
+func writeClusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(v)
+	if err != nil {
+		fmt.Fprint(w, `{"error":{"code":"internal","message":"encode failure"}}`)
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func writeClusterError(w http.ResponseWriter, status int, code, msg string) {
+	writeClusterJSON(w, status, struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}{Error: struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}{Code: code, Message: msg}})
+}

@@ -1,0 +1,124 @@
+// Package cluster grows mab-serve from one process to an N-node ring.
+//
+// Placement: a consistent-hash ring (ring.go) maps every session id onto
+// one logical node, deterministically — any router instance, and any
+// test, computes the same owner from the id alone. The router
+// (router.go) is a thin stdlib-HTTP layer that forwards scalar session
+// operations to the owner and splits /v1/batch bodies into per-owner
+// sub-batches, reusing the per-session sequence protocol unchanged, so
+// a retry that crosses nodes stays exactly-once.
+//
+// Durability: every node streams checkpoint record deltas (the v2
+// slab/column-group records from internal/serve) to its ring successor
+// over HTTP (repl.go, replica.go) with acknowledged offsets, bounded
+// receiver buffering, and single-flight backpressure. When the router's
+// probes and request failures agree a node is dead, it promotes the
+// successor — the replica merges the dead node's last committed
+// checkpoint into its own live store — and repoints the logical node.
+// In-flight sessions continue their exact decision streams: the
+// checkpoint rewinds a session at most to its last committed state, and
+// replaying the tail regenerates byte-identical decisions because agents
+// are deterministic given spec and seed (chaos_test.go holds the system
+// to exactly that).
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the per-node virtual point count. 64 points per node
+// keeps the ownership split of a 3-node ring within a few percent of
+// even without making ring construction noticeable.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node: a hash position owned by a node index.
+type ringPoint struct {
+	h    uint64
+	node int32
+}
+
+// Ring is a consistent-hash ring over logical node indices. Placement is
+// a pure function of the node name list and the session id: every router
+// instance built from the same topology agrees on every owner, with no
+// coordination.
+type Ring struct {
+	points []ringPoint
+	n      int
+}
+
+// NewRing builds a ring over the named nodes with the given number of
+// virtual points per node (<= 0 selects DefaultVNodes).
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{n: len(names), points: make([]ringPoint, 0, len(names)*vnodes)}
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			h := splitmix(fnv64str(name + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{h: h, node: int32(i)})
+		}
+	}
+	// Ties (two names hashing a point to the same position) break by node
+	// index so the ring is deterministic for any input.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the number of nodes on the ring.
+func (r *Ring) Nodes() int { return r.n }
+
+// Owner returns the logical node index owning id: the first ring point
+// at or clockwise of the id's hash. Raw FNV-1a clusters badly for the
+// short, near-sequential keys session ids are, so both the ring points
+// and the lookups run the hash through a SplitMix64 finalizer — cheap,
+// deterministic, and it spreads the last byte's entropy across all 64
+// bits.
+func (r *Ring) Owner(id string) int { return r.owner(splitmix(fnv64str(id))) }
+
+// OwnerBytes is Owner for ids held as request-body slices, so the batch
+// splitter routes ids without allocating strings.
+func (r *Ring) OwnerBytes(id []byte) int { return r.owner(splitmix(fnv64bytes(id))) }
+
+func (r *Ring) owner(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return int(r.points[i].node)
+}
+
+// fnv64str hashes s with FNV-1a (64-bit).
+func fnv64str(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// fnv64bytes is fnv64str over a byte slice, kept separate (rather than
+// converting) so batch routing does not allocate.
+func fnv64bytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return h
+}

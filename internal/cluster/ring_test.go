@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r1 := NewRing(names, 0)
+	r2 := NewRing(names, 0)
+	if r1.Nodes() != 3 {
+		t.Fatalf("Nodes() = %d", r1.Nodes())
+	}
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("c-%08x", i)
+		o1, o2 := r1.Owner(id), r2.Owner(id)
+		if o1 != o2 {
+			t.Fatalf("id %s: owners differ across identical rings (%d vs %d)", id, o1, o2)
+		}
+		if o1 < 0 || o1 >= 3 {
+			t.Fatalf("id %s: owner %d out of range", id, o1)
+		}
+		if ob := r1.OwnerBytes([]byte(id)); ob != o1 {
+			t.Fatalf("id %s: OwnerBytes %d != Owner %d", id, ob, o1)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0)
+	counts := make([]int, 3)
+	const n = 30_000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("sess-%d", i))]++
+	}
+	for node, c := range counts {
+		// With 64 vnodes per node the split should be within a loose
+		// factor of fair share; a broken hash collapses to one node.
+		if c < n/6 || c > n/2 {
+			t.Fatalf("node %d owns %d of %d ids — placement badly skewed: %v", node, c, n, counts)
+		}
+	}
+}
+
+func TestRingVNodesChangePlacementNotCoverage(t *testing.T) {
+	r := NewRing([]string{"a", "b"}, 8)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Owner(fmt.Sprintf("x%d", i))] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("with 2 nodes only %d received placements", len(seen))
+	}
+}

@@ -1,0 +1,590 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microbandit/internal/serve"
+)
+
+// RouterNode names one ring member and how to reach it.
+type RouterNode struct {
+	Name     string
+	Endpoint Endpoint
+}
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Nodes is the ring membership, in a fixed order: node i streams its
+	// checkpoints to node (i+1) mod N, which is also its promotion
+	// target. Placement depends only on the names, so any router built
+	// over the same membership routes identically.
+	Nodes []RouterNode
+	// VNodes is the ring's virtual point count per node (<= 0 selects
+	// DefaultVNodes).
+	VNodes int
+	// ProbeEvery is the readiness probe cadence (<= 0 selects 250ms).
+	ProbeEvery time.Duration
+	// FailAfter is how many consecutive failure signals (probe or
+	// request) a node survives before the router promotes its replica
+	// (<= 0 selects 3). Partition chaos arrives in bursts, so the
+	// threshold trades detection latency against spurious promotion.
+	FailAfter int
+	// MaxTries bounds forward attempts per request, failover included
+	// (<= 0 selects 3).
+	MaxTries int
+	// RetryBase/RetryMax shape the jittered backoff between forward
+	// attempts (<= 0 selects 2ms/50ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetryAfter is the hint attached to the router's own 503s
+	// (<= 0 selects 1s).
+	RetryAfter time.Duration
+	// IDPrefix prefixes router-minted session ids (default "c").
+	IDPrefix string
+}
+
+// routerNode is one logical node's live routing state.
+type routerNode struct {
+	name    string
+	primary Endpoint
+	replica int // ring successor index: replication target, promotion target
+
+	mu           sync.Mutex
+	cur          Endpoint
+	failedOver   bool
+	down         bool // primary dead and promotion failed; retried on the next signal
+	fails        int
+	firstFail    time.Time
+	failovers    int
+	lastRecovery time.Duration
+}
+
+// Router is the cluster's thin HTTP entry point. It owns no session
+// state: every operation forwards to the id's ring owner, and the
+// per-session sequence protocol makes cross-node retries exactly-once —
+// a step replayed after a failover either answers the same open
+// decision or is rejected with a typed 409 the client resolves by
+// resyncing, never by double-charging an arm.
+type Router struct {
+	ring  *Ring
+	nodes []*routerNode
+
+	probeEvery time.Duration
+	failAfter  int
+	maxTries   int
+	retryBase  time.Duration
+	retryMax   time.Duration
+	retryAfter string
+	idPrefix   string
+
+	ids atomic.Uint64
+	jit atomic.Uint64
+	mux *http.ServeMux
+}
+
+// NewRouter builds a router over cfg. It panics on an empty node list —
+// a router with nothing behind it is a configuration bug, not a runtime
+// state.
+func NewRouter(cfg RouterConfig) *Router {
+	if len(cfg.Nodes) == 0 {
+		panic("cluster: router needs at least one node")
+	}
+	names := make([]string, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		names[i] = n.Name
+	}
+	rt := &Router{
+		ring:       NewRing(names, cfg.VNodes),
+		probeEvery: cfg.ProbeEvery,
+		failAfter:  cfg.FailAfter,
+		maxTries:   cfg.MaxTries,
+		retryBase:  cfg.RetryBase,
+		retryMax:   cfg.RetryMax,
+		idPrefix:   cfg.IDPrefix,
+	}
+	if rt.probeEvery <= 0 {
+		rt.probeEvery = 250 * time.Millisecond
+	}
+	if rt.failAfter <= 0 {
+		rt.failAfter = 3
+	}
+	if rt.maxTries <= 0 {
+		rt.maxTries = 3
+	}
+	if rt.retryBase <= 0 {
+		rt.retryBase = 2 * time.Millisecond
+	}
+	if rt.retryMax <= 0 {
+		rt.retryMax = 50 * time.Millisecond
+	}
+	ra := cfg.RetryAfter
+	if ra <= 0 {
+		ra = time.Second
+	}
+	rt.retryAfter = strconv.Itoa(int((ra + time.Second - 1) / time.Second))
+	if rt.idPrefix == "" {
+		rt.idPrefix = "c"
+	}
+	for i, n := range cfg.Nodes {
+		rt.nodes = append(rt.nodes, &routerNode{
+			name:    n.Name,
+			primary: n.Endpoint,
+			cur:     n.Endpoint,
+			replica: (i + 1) % len(cfg.Nodes),
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", rt.handleList)
+	mux.HandleFunc("PUT /v1/sessions/{id}", rt.handleForward)
+	mux.HandleFunc("GET /v1/sessions/{id}", rt.handleForward)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", rt.handleForward)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", rt.handleForward)
+	mux.HandleFunc("POST /v1/sessions/{id}/reward", rt.handleForward)
+	mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux = mux
+	return rt
+}
+
+// ServeHTTP implements http.Handler with the same panic fence the nodes
+// carry.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			writeClusterError(w, http.StatusInternalServerError, serve.CodeInternal,
+				fmt.Sprintf("router panic: %v", v))
+		}
+	}()
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Run drives the readiness prober until ctx ends. Probe outcomes feed
+// the same failure counter request forwarding feeds, so a node that
+// dies while idle is still promoted within a few probe intervals.
+func (rt *Router) Run(ctx context.Context) {
+	t := time.NewTicker(rt.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for i := range rt.nodes {
+			rt.probe(ctx, i)
+		}
+	}
+}
+
+// probe checks one node's readiness endpoint.
+func (rt *Router) probe(ctx context.Context, idx int) {
+	ep, ok := rt.currentEndpoint(idx)
+	if !ok {
+		rt.noteFailure(ctx, idx)
+		return
+	}
+	cctx, cancel := context.WithTimeout(ctx, rt.probeEvery)
+	status, hdr, _, err := ep.do(cctx, http.MethodGet, "/readyz", nil)
+	cancel()
+	if err != nil || nodeFailureSignal(status, hdr) {
+		rt.noteFailure(ctx, idx)
+		return
+	}
+	// 200, or a 503 that carries Retry-After: the node is alive (a
+	// draining node fails readiness on purpose; it is not dead).
+	rt.noteSuccess(idx)
+}
+
+// nodeFailureSignal distinguishes a dead-node response from a deliberate
+// one. A draining or restoring node answers 503 with a Retry-After
+// header; a severed transport or a partition fault answers a bare 503
+// (or no response at all). Only the bare form counts toward failover.
+func nodeFailureSignal(status int, hdr http.Header) bool {
+	return status == http.StatusServiceUnavailable && hdr.Get("Retry-After") == ""
+}
+
+// currentEndpoint resolves a logical node to its live endpoint.
+func (rt *Router) currentEndpoint(idx int) (Endpoint, bool) {
+	ln := rt.nodes[idx]
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if ln.down {
+		return Endpoint{}, false
+	}
+	return ln.cur, true
+}
+
+// noteSuccess clears a node's consecutive-failure count.
+func (rt *Router) noteSuccess(idx int) {
+	ln := rt.nodes[idx]
+	ln.mu.Lock()
+	ln.fails = 0
+	ln.mu.Unlock()
+}
+
+// noteFailure records one failure signal against a node and, at the
+// threshold, runs the failover: promote the ring successor (it merges
+// the node's last committed checkpoint into its own live store) and
+// repoint the logical node at it. The node lock is held throughout, so
+// concurrent requests to a dying node collapse into one promotion —
+// they block here, then retry against the promoted endpoint.
+func (rt *Router) noteFailure(ctx context.Context, idx int) {
+	ln := rt.nodes[idx]
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if ln.fails == 0 {
+		ln.firstFail = time.Now()
+	}
+	ln.fails++
+	if ln.fails < rt.failAfter {
+		return
+	}
+	if ln.failedOver {
+		// The promoted endpoint is failing too. Its own logical slot
+		// (ln.replica) handles that node's health; this slot has no
+		// second replica holding its checkpoint stream, so it can only
+		// go dark. Single-failure tolerance, by design.
+		ln.down = true
+		return
+	}
+	rep := rt.nodes[ln.replica]
+	body, _ := json.Marshal(promoteRequest{Source: ln.name})
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	status, _, data, err := rep.primary.do(cctx, http.MethodPost, "/v1/replica/promote", body)
+	cancel()
+	if err != nil || status != http.StatusOK {
+		// Promotion unavailable (replica dead or restore failed): mark
+		// the slot down; the next failure signal retries the promote.
+		ln.down = true
+		ln.fails = 0
+		_ = data
+		return
+	}
+	ln.cur = rep.primary
+	ln.failedOver = true
+	ln.down = false
+	ln.failovers++
+	ln.lastRecovery = time.Since(ln.firstFail)
+	ln.fails = 0
+}
+
+// forward sends one operation to a logical node, retrying across
+// failure signals with jittered backoff. The final failure mode is a
+// typed unavailable error the handlers translate to 503 + Retry-After.
+func (rt *Router) forward(ctx context.Context, idx int, method, path string, body []byte) (int, http.Header, []byte, error) {
+	for try := 0; ; try++ {
+		if ep, ok := rt.currentEndpoint(idx); ok {
+			status, hdr, resp, err := ep.do(ctx, method, path, body)
+			if err == nil && !nodeFailureSignal(status, hdr) {
+				rt.noteSuccess(idx)
+				return status, hdr, resp, nil
+			}
+			rt.noteFailure(ctx, idx)
+		} else {
+			rt.noteFailure(ctx, idx)
+		}
+		if try >= rt.maxTries-1 {
+			return 0, nil, nil, fmt.Errorf("node %s unavailable after %d attempts", rt.nodes[idx].name, rt.maxTries)
+		}
+		select {
+		case <-ctx.Done():
+			return 0, nil, nil, ctx.Err()
+		case <-time.After(jitteredBackoff(rt.retryBase, rt.retryMax, try, splitmix(rt.jit.Add(1)))):
+		}
+	}
+}
+
+// maxRouteBody bounds forwarded request bodies, matching the nodes' own
+// bound.
+const maxRouteBody = 1 << 20
+
+// readBody drains a request body, answering the error itself.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouteBody))
+	if err != nil {
+		writeClusterError(w, http.StatusBadRequest, serve.CodeBadRequest, "body: "+err.Error())
+		return nil, false
+	}
+	return data, true
+}
+
+// relay copies a node's response to the client, preserving the typed
+// error envelope and any Retry-After hint.
+func relay(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// unavailable answers the router's own 503: the owner is unreachable and
+// its replica is not (yet) promoted. Clients treat it like a draining
+// 503 — back off, retry — and the retry is safe by the sequence
+// protocol.
+func (rt *Router) unavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", rt.retryAfter)
+	writeClusterError(w, http.StatusServiceUnavailable, serve.CodeUnavailable, err.Error())
+}
+
+// handleForward routes a per-session operation to the id's owner.
+func (rt *Router) handleForward(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	status, hdr, resp, err := rt.forward(r.Context(), rt.ring.Owner(id), r.Method, r.URL.Path, body)
+	if err != nil {
+		rt.unavailable(w, err)
+		return
+	}
+	relay(w, status, hdr, resp)
+}
+
+// handleCreate mints a session id, places it on the ring, and creates
+// it on its owner via the idempotent PUT — the id exists before any
+// node is asked anything, so placement never depends on which node
+// answered.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	id := fmt.Sprintf("%s-%08x", rt.idPrefix, rt.ids.Add(1))
+	status, hdr, resp, err := rt.forward(r.Context(), rt.ring.Owner(id), http.MethodPut, "/v1/sessions/"+id, body)
+	if err != nil {
+		rt.unavailable(w, err)
+		return
+	}
+	relay(w, status, hdr, resp)
+}
+
+// handleList merges every node's session list. Endpoints are deduped —
+// after a failover two logical nodes share one process, which must not
+// double-report the promoted sessions.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	seen := make(map[string]bool)
+	var ids []string
+	for idx := range rt.nodes {
+		ep, ok := rt.currentEndpoint(idx)
+		if !ok || seen[ep.Name] {
+			continue
+		}
+		seen[ep.Name] = true
+		status, _, resp, err := ep.do(r.Context(), http.MethodGet, "/v1/sessions", nil)
+		if err != nil || status != http.StatusOK {
+			continue // best-effort listing over the reachable membership
+		}
+		var page struct {
+			Sessions []string `json:"sessions"`
+		}
+		if json.Unmarshal(resp, &page) == nil {
+			ids = append(ids, page.Sessions...)
+		}
+	}
+	sort.Strings(ids)
+	if ids == nil {
+		ids = []string{}
+	}
+	writeClusterJSON(w, http.StatusOK, struct {
+		Sessions []string `json:"sessions"`
+	}{Sessions: ids})
+}
+
+// handleBatch splits a mixed-owner batch into per-owner sub-batches,
+// forwards them concurrently, and reassembles the results in the
+// original op order. Per-op semantics are untouched: each node runs its
+// sub-batch through the same kernels a direct request would, and an
+// unreachable owner yields per-op unavailable errors rather than
+// failing the ops that landed on healthy nodes.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	ops, err := serve.ParseBatchOps(body)
+	if err != nil {
+		writeClusterError(w, http.StatusBadRequest, serve.CodeBadRequest, "batch: "+err.Error())
+		return
+	}
+	if len(ops) == 0 {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{\"results\":[]}\n")
+		return
+	}
+	owners := make([]int, len(ops))
+	groups := make(map[int][]int) // owner → original op indices
+	for i, op := range ops {
+		owners[i] = rt.ring.Owner(op.ID)
+		groups[owners[i]] = append(groups[owners[i]], i)
+	}
+
+	merged := make([]json.RawMessage, len(ops))
+	if len(groups) == 1 {
+		// Single-owner fast path: the body forwards untouched.
+		rt.forwardSubBatch(r.Context(), owners[0], body, groups[owners[0]], ops, merged)
+	} else {
+		var wg sync.WaitGroup
+		for owner, idxs := range groups {
+			sub := []byte(`{"ops":[`)
+			for j, i := range idxs {
+				if j > 0 {
+					sub = append(sub, ',')
+				}
+				sub = serve.AppendBatchOp(sub, ops[i])
+			}
+			sub = append(sub, ']', '}')
+			wg.Add(1)
+			go func(owner int, sub []byte, idxs []int) {
+				defer wg.Done()
+				rt.forwardSubBatch(r.Context(), owner, sub, idxs, ops, merged)
+			}(owner, sub, idxs)
+		}
+		wg.Wait()
+	}
+
+	out := []byte(`{"results":[`)
+	for i, m := range merged {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, m...)
+	}
+	out = append(out, ']', '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+// forwardSubBatch runs one owner's sub-batch and scatters its results
+// into merged at the ops' original indices. Every failure mode degrades
+// to per-op error results, so the batch response always lines up
+// one-to-one with the request.
+func (rt *Router) forwardSubBatch(ctx context.Context, owner int, sub []byte, idxs []int, ops []serve.BatchOp, merged []json.RawMessage) {
+	fill := func(code, msg string) {
+		el, _ := json.Marshal(struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}{Error: struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		}{Code: code, Message: msg}})
+		for _, i := range idxs {
+			merged[i] = el
+		}
+	}
+	status, _, resp, err := rt.forward(ctx, owner, http.MethodPost, "/v1/batch", sub)
+	if err != nil {
+		fill(serve.CodeUnavailable, err.Error())
+		return
+	}
+	if status != http.StatusOK {
+		code, msg := serve.CodeUnavailable, fmt.Sprintf("node answered %d", status)
+		var eb struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(resp, &eb) == nil && eb.Error.Code != "" {
+			code, msg = eb.Error.Code, eb.Error.Message
+		}
+		fill(code, msg)
+		return
+	}
+	var page struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(resp, &page); err != nil || len(page.Results) != len(idxs) {
+		fill(serve.CodeInternal, fmt.Sprintf("node returned %d results for %d ops", len(page.Results), len(idxs)))
+		return
+	}
+	for j, i := range idxs {
+		merged[i] = page.Results[j]
+	}
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+
+// NodeStatus is one logical node's routing state, as reported by
+// GET /v1/cluster and Stats().
+type NodeStatus struct {
+	Name       string  `json:"name"`
+	Endpoint   string  `json:"endpoint"`
+	FailedOver bool    `json:"failed_over"`
+	Down       bool    `json:"down"`
+	Failovers  int     `json:"failovers"`
+	RecoveryMS float64 `json:"recovery_ms,omitempty"` // detection → promoted, last failover
+}
+
+// ClusterStatus is the router's full introspection report.
+type ClusterStatus struct {
+	Nodes []NodeStatus `json:"nodes"`
+}
+
+// Stats snapshots the routing state.
+func (rt *Router) Stats() ClusterStatus {
+	var cs ClusterStatus
+	for _, ln := range rt.nodes {
+		ln.mu.Lock()
+		ns := NodeStatus{
+			Name:       ln.name,
+			Endpoint:   ln.cur.Name,
+			FailedOver: ln.failedOver,
+			Down:       ln.down,
+			Failovers:  ln.failovers,
+		}
+		if ln.lastRecovery > 0 {
+			ns.RecoveryMS = float64(ln.lastRecovery) / float64(time.Millisecond)
+		}
+		ln.mu.Unlock()
+		cs.Nodes = append(cs.Nodes, ns)
+	}
+	return cs
+}
+
+func (rt *Router) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeClusterJSON(w, http.StatusOK, rt.Stats())
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeClusterJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+	}{Status: "ok", Nodes: len(rt.nodes)})
+}
+
+// handleReadyz: the router is ready while every logical node routes
+// somewhere. A slot that is down (primary dead, promotion failed) fails
+// readiness, with the router's Retry-After hint.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	for idx := range rt.nodes {
+		if _, ok := rt.currentEndpoint(idx); !ok {
+			w.Header().Set("Retry-After", rt.retryAfter)
+			writeClusterError(w, http.StatusServiceUnavailable, serve.CodeUnavailable,
+				"node "+rt.nodes[idx].name+" is unroutable")
+			return
+		}
+	}
+	writeClusterJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ready"})
+}

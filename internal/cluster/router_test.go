@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"microbandit/internal/serve"
+)
+
+// ringFixture is a full in-process 3-node ring: nodes chained
+// replica-wise in router order, each one's client path armed with a kill
+// switch, and a router over the top.
+type ringFixture struct {
+	names  []string
+	nodes  []*Node
+	kills  []*KillSwitch
+	router *Router
+}
+
+func newRingFixture(failAfter int) *ringFixture {
+	names := []string{"alpha", "beta", "gamma"}
+	lazies := make([]*lazyReplicaHandler, len(names))
+	for i := range lazies {
+		lazies[i] = &lazyReplicaHandler{}
+	}
+	f := &ringFixture{names: names}
+	for i, name := range names {
+		next := (i + 1) % len(names)
+		f.nodes = append(f.nodes, NewNode(NodeConfig{
+			Name:    name,
+			Replica: Endpoint{Name: names[next], Client: handlerDoer{h: lazies[next]}},
+		}))
+	}
+	for i := range lazies {
+		lazies[i].h = f.nodes[i]
+	}
+	rns := make([]RouterNode, len(names))
+	for i, name := range names {
+		f.kills = append(f.kills, NewKillSwitch(handlerDoer{h: f.nodes[i]}))
+		rns[i] = RouterNode{Name: name, Endpoint: Endpoint{Name: name, Client: f.kills[i]}}
+	}
+	f.router = NewRouter(RouterConfig{
+		Nodes:     rns,
+		FailAfter: failAfter,
+		MaxTries:  4,
+		RetryBase: 200 * time.Microsecond,
+		RetryMax:  time.Millisecond,
+	})
+	return f
+}
+
+// createViaRouter mints one session through the router and returns its id.
+func createViaRouter(t *testing.T, rt *Router, spec string) string {
+	t.Helper()
+	code, _, body := doReq(rt, "POST", "/v1/sessions", spec)
+	if code != http.StatusCreated {
+		t.Fatalf("router create: %d %s", code, body)
+	}
+	var cr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	return cr.ID
+}
+
+func TestRouterCreatePlacesOnOwner(t *testing.T) {
+	f := newRingFixture(0)
+	id := createViaRouter(t, f.router, `{"algo":"ducb","arms":4,"seed":5}`)
+	if !strings.HasPrefix(id, "c-") {
+		t.Fatalf("router-minted id %q", id)
+	}
+	owner := f.router.ring.Owner(id)
+	if _, ok := f.nodes[owner].Server().Store().Get(id); !ok {
+		t.Fatalf("session %s not on its ring owner %s", id, f.names[owner])
+	}
+	for i, n := range f.nodes {
+		if i == owner {
+			continue
+		}
+		if _, ok := n.Server().Store().Get(id); ok {
+			t.Fatalf("session %s leaked onto non-owner %s", id, f.names[i])
+		}
+	}
+	// The scalar protocol round-trips through the router.
+	stepSession(t, f.router, id, 10)
+	code, _, body := doReq(f.router, "GET", "/v1/sessions/"+id, "")
+	if code != http.StatusOK {
+		t.Fatalf("router GET: %d %s", code, body)
+	}
+	var info serve.SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 10 || info.Open {
+		t.Fatalf("session state through router: %+v", info)
+	}
+}
+
+func TestRouterBatchSplitsAndMergesInOrder(t *testing.T) {
+	f := newRingFixture(0)
+	var ids []string
+	for i := 0; i < 8; i++ {
+		ids = append(ids, createViaRouter(t, f.router, fmt.Sprintf(`{"algo":"ducb","arms":4,"seed":%d}`, 100+i)))
+	}
+	owners := make(map[int]bool)
+	for _, id := range ids {
+		owners[f.router.ring.Owner(id)] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("8 sessions landed on %d owner(s); the split path is untested", len(owners))
+	}
+
+	var sb strings.Builder
+	sb.WriteString(`{"ops":[`)
+	for i, id := range ids {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"id":"%s","step":true}`, id)
+	}
+	// A final op for a session nobody owns: its error must come back in
+	// position without failing the ops that landed on healthy nodes.
+	sb.WriteString(`,{"id":"no-such-session","step":true}]}`)
+	code, _, body := doReq(f.router, "POST", "/v1/batch", sb.String())
+	if code != http.StatusOK {
+		t.Fatalf("router batch: %d %s", code, body)
+	}
+	var page struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Results) != len(ids)+1 {
+		t.Fatalf("batch returned %d results for %d ops", len(page.Results), len(ids)+1)
+	}
+	for i := range ids {
+		var st struct {
+			Seq *uint64 `json:"seq"`
+			Arm *int    `json:"arm"`
+		}
+		if err := json.Unmarshal(page.Results[i], &st); err != nil || st.Seq == nil || st.Arm == nil || *st.Seq != 0 {
+			t.Fatalf("result %d = %s, want the first decision ({\"seq\":0,...})", i, page.Results[i])
+		}
+	}
+	if !strings.Contains(string(page.Results[len(ids)]), serve.CodeNotFound) {
+		t.Fatalf("missing-session op answered %s, want not_found in place", page.Results[len(ids)])
+	}
+}
+
+func TestRouterFailoverContinuesDecisionStream(t *testing.T) {
+	f := newRingFixture(1)
+	id := createViaRouter(t, f.router, `{"algo":"ducb","arms":4,"seed":9}`)
+	owner := f.router.ring.Owner(id)
+
+	// A control run of the same spec establishes the expected stream.
+	control := serve.New(serve.Config{})
+	if err := createSessionAtNode(control, id, `{"algo":"ducb","arms":4,"seed":9}`); err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for i := 0; i < 30; i++ {
+		want = append(want, stepOnce(t, control, id))
+	}
+
+	var got []int
+	for i := 0; i < 12; i++ {
+		got = append(got, stepOnce(t, f.router, id))
+	}
+	if err := f.nodes[owner].Replicator().Sync(context.Background()); err != nil {
+		t.Fatalf("pre-kill sync: %v", err)
+	}
+	f.kills[owner].Kill()
+	for i := 12; i < 30; i++ {
+		got = append(got, stepOnce(t, f.router, id))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decision %d diverged across the failover: arm %d, control %d\n got=%v\nwant=%v",
+				i+1, got[i], want[i], got, want)
+		}
+	}
+
+	st := f.router.Stats()
+	ns := st.Nodes[owner]
+	if !ns.FailedOver || ns.Failovers != 1 || ns.Down {
+		t.Fatalf("owner slot after failover: %+v", ns)
+	}
+	if ns.Endpoint != f.names[(owner+1)%3] {
+		t.Fatalf("owner routes to %s, want its ring successor %s", ns.Endpoint, f.names[(owner+1)%3])
+	}
+	if ns.RecoveryMS <= 0 {
+		t.Fatalf("failover recorded no recovery time: %+v", ns)
+	}
+	// The router stays ready (every slot still routes somewhere), and the
+	// merged session list reports the promoted session exactly once.
+	if code, _, body := doReq(f.router, "GET", "/readyz", ""); code != http.StatusOK {
+		t.Fatalf("readyz after failover: %d %s", code, body)
+	}
+	_, _, body := doReq(f.router, "GET", "/v1/sessions", "")
+	var page struct {
+		Sessions []string `json:"sessions"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, s := range page.Sessions {
+		if s == id {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("session %s listed %d times after failover: %v", id, seen, page.Sessions)
+	}
+}
+
+func TestRouterDoubleFailureGoesDownWithRetryAfter(t *testing.T) {
+	f := newRingFixture(1)
+	id := createViaRouter(t, f.router, `{"algo":"ducb","arms":4,"seed":21}`)
+	owner := f.router.ring.Owner(id)
+	// Both the owner and its replica die: promotion has nowhere to go.
+	f.kills[owner].Kill()
+	f.kills[(owner+1)%3].Kill()
+	code, hdr, body := doReq(f.router, "POST", "/v1/sessions/"+id+"/step", "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("double failure answered %d %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("router 503 without a Retry-After hint")
+	}
+	if !strings.Contains(string(body), serve.CodeUnavailable) {
+		t.Fatalf("router 503 body %s, want typed %s", body, serve.CodeUnavailable)
+	}
+	if code, _, _ := doReq(f.router, "GET", "/readyz", ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with a dark slot: %d, want 503", code)
+	}
+	if code, _, _ := doReq(f.router, "GET", "/healthz", ""); code != http.StatusOK {
+		t.Fatalf("healthz is liveness, not readiness: %d", code)
+	}
+}
+
+func TestRouterDrainingRelaysWithoutFailover(t *testing.T) {
+	f := newRingFixture(1)
+	id := createViaRouter(t, f.router, `{"algo":"ducb","arms":4,"seed":33}`)
+	owner := f.router.ring.Owner(id)
+	f.nodes[owner].Server().SetState(serve.StateDraining)
+	code, hdr, body := doReq(f.router, "POST", "/v1/sessions/"+id+"/step", "")
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("draining relay: %d (Retry-After %q) %s", code, hdr.Get("Retry-After"), body)
+	}
+	if !strings.Contains(string(body), serve.CodeDraining) {
+		t.Fatalf("draining body %s", body)
+	}
+	if st := f.router.Stats().Nodes[owner]; st.FailedOver || st.Down {
+		t.Fatalf("a draining node was failed over: %+v", st)
+	}
+	f.nodes[owner].Server().SetState(serve.StateReady)
+	if arm := stepOnce(t, f.router, id); arm < 0 {
+		t.Fatal("node did not resume after the drain")
+	}
+}
+
+// stepOnce advances a session one full decision and returns the arm.
+func stepOnce(t *testing.T, h http.Handler, id string) int {
+	t.Helper()
+	code, _, body := doReq(h, "POST", "/v1/sessions/"+id+"/step", "")
+	if code != http.StatusOK {
+		t.Fatalf("step %s: %d %s", id, code, body)
+	}
+	var st struct {
+		Seq uint64 `json:"seq"`
+		Arm int    `json:"arm"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	code, _, body = doReq(h, "POST", "/v1/sessions/"+id+"/reward",
+		fmt.Sprintf(`{"seq":%d,"reward":%g}`, st.Seq, chaosReward(st.Arm, st.Seq)))
+	if code != http.StatusOK {
+		t.Fatalf("reward %s: %d %s", id, code, body)
+	}
+	return st.Arm
+}
+
+// createSessionAtNode PUT-creates a session with a fixed id.
+func createSessionAtNode(h http.Handler, id, spec string) error {
+	code, _, body := doReq(h, "PUT", "/v1/sessions/"+id, spec)
+	if code != http.StatusCreated && code != http.StatusOK {
+		return fmt.Errorf("create %s: %d %s", id, code, body)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Doer abstracts the one http.Client method the cluster layer uses, so
+// the same router and replicator code runs over real TCP (an
+// *http.Client), over in-process handlers (HandlerEndpoint — how the
+// chaos test boots a 3-node ring inside one race-detected process), and
+// through a KillSwitch that severs a node mid-request.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// Endpoint is one reachable HTTP surface: a node, or a node's replica.
+type Endpoint struct {
+	// Name labels the endpoint in errors and status reports.
+	Name string
+	// Base is the URL prefix ("http://127.0.0.1:8081"). Empty selects a
+	// placeholder host — in-process Doers route on the path alone.
+	Base string
+	// Client performs the requests. A nil Client marks the zero Endpoint.
+	Client Doer
+}
+
+// maxRespBytes bounds a response read; checkpoint commit responses are
+// small, and the router re-bounds forwarded bodies itself.
+const maxRespBytes = 64 << 20
+
+// do performs one JSON request against the endpoint and reads the whole
+// response. A transport error (connection refused, severed kill switch)
+// comes back as err; HTTP-level failures come back as the status code.
+func (e Endpoint) do(ctx context.Context, method, path string, body []byte) (status int, hdr http.Header, resp []byte, err error) {
+	base := e.Base
+	if base == "" {
+		base = "http://" + placeholderHost
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	res, err := e.Client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, maxRespBytes))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return res.StatusCode, res.Header, data, nil
+}
+
+// placeholderHost satisfies net/url for base-less endpoints.
+const placeholderHost = "node.invalid"
+
+// HandlerEndpoint wires an in-process http.Handler as an Endpoint. The
+// cluster tests and the in-process benchmark build whole rings this way:
+// same router code, no sockets, race detector across every hop.
+func HandlerEndpoint(name string, h http.Handler) Endpoint {
+	return Endpoint{Name: name, Client: handlerDoer{h: h}}
+}
+
+// handlerDoer serves each request directly through an http.Handler,
+// buffering the response in memory.
+type handlerDoer struct {
+	h http.Handler
+}
+
+// Do implements Doer.
+func (d handlerDoer) Do(req *http.Request) (*http.Response, error) {
+	rw := &memResponse{hdr: make(http.Header), code: http.StatusOK}
+	d.h.ServeHTTP(rw, req)
+	return &http.Response{
+		StatusCode: rw.code,
+		Header:     rw.hdr,
+		Body:       io.NopCloser(bytes.NewReader(rw.buf.Bytes())),
+		Request:    req,
+	}, nil
+}
+
+// memResponse is a minimal in-memory http.ResponseWriter.
+type memResponse struct {
+	hdr   http.Header
+	buf   bytes.Buffer
+	code  int
+	wrote bool
+}
+
+func (m *memResponse) Header() http.Header { return m.hdr }
+
+func (m *memResponse) WriteHeader(code int) {
+	if !m.wrote {
+		m.code, m.wrote = code, true
+	}
+}
+
+func (m *memResponse) Write(p []byte) (int, error) {
+	if !m.wrote {
+		m.WriteHeader(http.StatusOK)
+	}
+	return m.buf.Write(p)
+}
+
+// KillSwitch interposes on a Doer and can sever it instantly — kill -9
+// as seen from the network: every request after Kill fails with a
+// connection error, with no drain, no final response, no flush. The
+// chaos test arms one of these in front of a node and pulls it mid-load.
+type KillSwitch struct {
+	inner Doer
+	dead  atomic.Bool
+}
+
+// NewKillSwitch wraps inner.
+func NewKillSwitch(inner Doer) *KillSwitch { return &KillSwitch{inner: inner} }
+
+// Kill severs the transport. It cannot be undone — processes do not
+// un-die; a revived node is a new process behind a new Doer.
+func (k *KillSwitch) Kill() { k.dead.Store(true) }
+
+// Killed reports whether the switch has been pulled.
+func (k *KillSwitch) Killed() bool { return k.dead.Load() }
+
+// Do implements Doer.
+func (k *KillSwitch) Do(req *http.Request) (*http.Response, error) {
+	if k.dead.Load() {
+		return nil, fmt.Errorf("cluster: dial %s: connection refused (node killed)", req.URL.Host)
+	}
+	return k.inner.Do(req)
+}
+
+// splitmix advances the SplitMix64 hash; the router derives retry jitter
+// from it (an atomic counter in, a well-mixed word out) without sharing
+// a locked RNG across request goroutines.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitteredBackoff returns the retry delay for the given attempt:
+// base·2^attempt stretched by a jitter factor in [0.5, 1.5), capped.
+// Jitter keeps a fleet of retrying clients from re-converging on the
+// same instant — the thundering herd a 503 storm would otherwise seed.
+func jitteredBackoff(base, max time.Duration, attempt int, u uint64) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	frac := 0.5 + float64(u>>11)/(1<<53) // [0.5, 1.5)
+	d = time.Duration(float64(d) * frac)
+	if d > max {
+		d = max
+	}
+	return d
+}

@@ -319,6 +319,22 @@ func FuzzAgentSnapshotCodec(f *testing.F) {
 	f.Add([]byte(`{"v":1,"arms":1,"policy":{"kind":"ucb"},"rtable":[0],"ntable":[0],"rng":[1,2,3,4]}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
+	// Cross-version corpus: the same agent payload travels embedded in
+	// v1 per-session checkpoint records and reassembled from v2 slab
+	// columns, so the codec sees both generations' idioms — minimal
+	// fields, every optional field, a nearby future version, and damaged
+	// variants of a live snapshot (truncation, a flipped byte).
+	f.Add([]byte(`{"v":1,"arms":2,"policy":{"kind":"eps","epsilon":0.1},"seed":7,"rtable":[0.5,0.25],"ntable":[3,1],"ntotal":4,"steps":4,"current_arm":1,"rng":[9,8,7,6]}`))
+	f.Add([]byte(`{"v":1,"arms":3,"policy":{"kind":"ducb","c":0.5,"gamma":0.99},"normalize":true,"rr_restart_prob":0.01,"seed":5,"record_trace":true,"rtable":[0.1,0.2,0.3],"ntable":[1,2,3],"ntotal":6,"steps":6,"current_arm":2,"in_step":true,"forced":[0,1],"ravg":0.2,"normalized":true,"restarts":1,"trace":[0,1,2],"rng":[1,2,3,4]}`))
+	f.Add([]byte(`{"v":2,"arms":3,"policy":{"kind":"ducb","c":0.5,"gamma":0.99},"seed":5,"rtable":[0,0,0],"ntable":[0,0,0],"ntotal":0,"steps":0,"current_arm":0,"rng":[1,2,3,4]}`))
+	if s, err := MustNew(Config{Arms: 4, Policy: NewDUCB(0.5, 0.99), Seed: 3}).Snapshot(); err == nil {
+		if b, err := json.Marshal(s); err == nil {
+			f.Add(b[:len(b)/2]) // truncated mid-token
+			flipped := append([]byte(nil), b...)
+			flipped[len(flipped)/3] ^= 0x20
+			f.Add(flipped) // one damaged byte
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := RestoreAgentJSON(data)

@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"microbandit/internal/xrand"
+)
+
+// This file realizes the transport fault kinds (Partition, SlowNode) as
+// an http.Handler wrapper, the chaos layer the cluster tests put between
+// the router and a node. Like every other injector the schedule is a
+// deterministic function of (spec seed, run seed, request index): the
+// same faulted windows fire at the same request ordinals regardless of
+// wall-clock time, so a single-threaded chaos test replays exactly.
+
+// partitionWindow sizes the burst windows: transport faults arrive in
+// stretches of dead air, not independent per-request coin flips, because
+// that is what failover detection has to survive.
+const partitionWindow = 64
+
+// slowNodeMeanPerIntensity scales SlowNode's mean added latency.
+const slowNodeMeanPerIntensity = 2 * time.Millisecond
+
+// slowNodeCap bounds a single injected delay.
+const slowNodeCap = 20 * time.Millisecond
+
+// faultyHandler applies the transport faults around an inner handler.
+type faultyHandler struct {
+	inner http.Handler
+	reqs  atomic.Uint64
+
+	partitionProb float64
+	partitionSeed uint64
+
+	slowMean time.Duration
+	slowSeed uint64
+	sleep    func(time.Duration) // swapped in tests
+}
+
+// Handler wraps inner with the set's transport faults (partition,
+// slownode). When the set carries neither it returns inner unchanged —
+// the clean path has zero overhead.
+func Handler(inner http.Handler, fs Set, runSeed uint64) http.Handler {
+	var h faultyHandler
+	injected := false
+	if s, ok := fs.find(Partition); ok {
+		h.partitionProb = s.Intensity
+		h.partitionSeed = mix(s.Seed, runSeed)
+		injected = true
+	}
+	if s, ok := fs.find(SlowNode); ok {
+		h.slowMean = time.Duration(s.Intensity * float64(slowNodeMeanPerIntensity))
+		h.slowSeed = mix(s.Seed+1, runSeed)
+		injected = true
+	}
+	if !injected {
+		return inner
+	}
+	h.inner = inner
+	h.sleep = time.Sleep
+	return &h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *faultyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := h.reqs.Add(1) - 1
+	if h.partitionProb > 0 {
+		// The window schedule is a pure function of the window index
+		// (the bwcollapse construction), so the fault pattern is fixed
+		// up front, not sampled per request.
+		window := n / partitionWindow
+		u := mix(h.partitionSeed, window)
+		if float64(u>>11)/(1<<53) < h.partitionProb {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+	}
+	if h.slowMean > 0 {
+		// Per-request delay drawn from a stream seeded by the request
+		// ordinal: deterministic, yet not lockstep across requests.
+		rng := xrand.New(mix(h.slowSeed, n))
+		d := time.Duration(rng.ExpFloat64() * float64(h.slowMean))
+		if d > slowNodeCap {
+			d = slowNodeCap
+		}
+		if d > 0 {
+			h.sleep(d)
+		}
+	}
+	h.inner.ServeHTTP(w, r)
+}

@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// okServer answers 200 to everything; a comparable type so the
+// pass-through identity checks below can use ==.
+type okServer struct{}
+
+func (okServer) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+}
+
+var okHandler okServer
+
+func hit(h http.Handler) int {
+	req := httptest.NewRequest("GET", "/", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code
+}
+
+func TestHandlerCleanPassThrough(t *testing.T) {
+	if h := Handler(okHandler, nil, 1); h != http.Handler(okHandler) {
+		t.Fatalf("empty set must return the inner handler unchanged")
+	}
+	set, err := ParseSet("partition:0,slownode:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intensity 0 is the clean configuration for every kind.
+	if h := Handler(okHandler, set, 1); h != http.Handler(okHandler) {
+		t.Fatalf("zero-intensity set must return the inner handler unchanged")
+	}
+}
+
+func TestPartitionBurstsAndDeterminism(t *testing.T) {
+	set, err := ParseSet("partition:0.3:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []int {
+		h := Handler(okHandler, set, 42)
+		codes := make([]int, 8*partitionWindow)
+		for i := range codes {
+			codes[i] = hit(h)
+		}
+		return codes
+	}
+	a, b := run(), run()
+	n503 := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: %d vs %d across identical runs", i, a[i], b[i])
+		}
+		if a[i] == http.StatusServiceUnavailable {
+			n503++
+		}
+	}
+	if n503 == 0 || n503 == len(a) {
+		t.Fatalf("partition 0.3 dropped %d of %d requests", n503, len(a))
+	}
+	// Faults arrive in whole windows: every window is uniformly up or
+	// uniformly partitioned.
+	for w := 0; w < len(a)/partitionWindow; w++ {
+		first := a[w*partitionWindow]
+		for i := 1; i < partitionWindow; i++ {
+			if a[w*partitionWindow+i] != first {
+				t.Fatalf("window %d mixes %d and %d", w, first, a[w*partitionWindow+i])
+			}
+		}
+	}
+}
+
+func TestSlowNodeDelaysDeterministically(t *testing.T) {
+	set, err := ParseSet("slownode:1:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []time.Duration {
+		h := Handler(okHandler, set, 9).(*faultyHandler)
+		var delays []time.Duration
+		h.sleep = func(d time.Duration) { delays = append(delays, d) }
+		for i := 0; i < 200; i++ {
+			if code := hit(h); code != http.StatusOK {
+				t.Fatalf("slownode must not fail requests, got %d", code)
+			}
+		}
+		return delays
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("slownode:1 injected no delays")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("delay counts differ across identical runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d: %v vs %v across identical runs", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] > slowNodeCap {
+			t.Fatalf("delay %v outside [0, %v]", a[i], slowNodeCap)
+		}
+	}
+}
+
+func TestServedSessionRejectsTransportKinds(t *testing.T) {
+	// The serve layer's reward-channel whitelist must keep rejecting the
+	// transport kinds — a served session has no transport of its own to
+	// fault. (The serve package owns that check; this pins the kinds'
+	// spec-parse side so the names stay addressable.)
+	for _, s := range []string{"partition:0.5", "slownode:0.25:9"} {
+		if _, err := ParseSpec(s); err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+	}
+}

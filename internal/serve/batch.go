@@ -128,6 +128,9 @@ func protoResult(err error) batchResult {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	sc := batchPool.Get().(*batchScratch)
 	defer batchPool.Put(sc)
 

@@ -242,20 +242,20 @@ func TestBatchBadBodies(t *testing.T) {
 		``,
 		`{}`,
 		`{"ops":{}}`,
-		`{"ops":[{"id":"x"}]}`,                          // neither step nor reward
-		`{"ops":[{"id":"x","step":true}]} trailing`,     // trailing data
-		`{"ops":[{"id":"x","seq":1}]}`,                  // seq without reward
-		`{"ops":[{"id":"x","reward":0.5}]}`,             // reward without seq
-		`{"ops":[{"id":"x","step":true,"extra":1}]}`,    // unknown key
-		`{"ops":[{"id":"x\\u0041","step":true}]}`,       // escaped id
-		`{"ops":[{"id":"x","seq":01,"reward":0.5}]}`,    // leading zero
-		`{"ops":[{"id":"x","seq":1,"reward":+0.5}]}`,    // non-JSON number
-		`{"ops":[{"id":"","step":true}]}`,               // empty id
-		`{"ops":[{"id":"x","step":true},]}`,             // dangling comma
-		`{"ops":[{"id":"x","seq":-1,"reward":0.5}]}`,    // negative seq
-		`{"ops":[{"id":"x","step":"yes"}]}`,             // non-bool step
-		`{"ops":[{"id":"x","step":true}],"more":true}`,  // unknown top-level key
-		`[{"id":"x","step":true}]`,                      // not an object
+		`{"ops":[{"id":"x"}]}`, // neither step nor reward
+		`{"ops":[{"id":"x","step":true}]} trailing`,             // trailing data
+		`{"ops":[{"id":"x","seq":1}]}`,                          // seq without reward
+		`{"ops":[{"id":"x","reward":0.5}]}`,                     // reward without seq
+		`{"ops":[{"id":"x","step":true,"extra":1}]}`,            // unknown key
+		`{"ops":[{"id":"x\\u0041","step":true}]}`,               // escaped id
+		`{"ops":[{"id":"x","seq":01,"reward":0.5}]}`,            // leading zero
+		`{"ops":[{"id":"x","seq":1,"reward":+0.5}]}`,            // non-JSON number
+		`{"ops":[{"id":"","step":true}]}`,                       // empty id
+		`{"ops":[{"id":"x","step":true},]}`,                     // dangling comma
+		`{"ops":[{"id":"x","seq":-1,"reward":0.5}]}`,            // negative seq
+		`{"ops":[{"id":"x","step":"yes"}]}`,                     // non-bool step
+		`{"ops":[{"id":"x","step":true}],"more":true}`,          // unknown top-level key
+		`[{"id":"x","step":true}]`,                              // not an object
 		`{"ops":[{"id":"x","step":true,"reward":0.5,"seq":1}]}`, // both kinds
 	} {
 		if code := errCode(t, srv, "POST", "/v1/batch", body, http.StatusBadRequest); code != CodeBadRequest {

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"microbandit/internal/core"
 	"microbandit/internal/fault"
@@ -295,12 +297,30 @@ func (st *Store) restoreSession(ck sessionCheckpoint) error {
 	return nil
 }
 
-// Checkpoint serializes every live session, sorted by id. Sessions are
-// locked one at a time, so traffic on other sessions proceeds during a
-// checkpoint. Agent sessions that pass slabRecordable land in column
-// slab groups; everything else keeps the per-session record format.
-func (st *Store) Checkpoint() ([]byte, error) {
-	file := checkpointFile{V: CheckpointVersion, NextID: st.nextID.Load()}
+// Record key prefixes: slab column groups ship as "g/<algo>/<arms>"
+// records, per-session fallbacks as "s/<id>".
+const (
+	recPrefixGroup   = "g/"
+	recPrefixSession = "s/"
+)
+
+// CheckpointRecord is one independently shippable unit of a checkpoint:
+// a slab column group or a single non-slab session. The replication
+// plane hashes record bodies and ships only the records that changed
+// since the replica's last acknowledged generation — a slab group whose
+// sessions saw no traffic costs nothing to re-replicate.
+type CheckpointRecord struct {
+	Key  string          `json:"key"`
+	Body json.RawMessage `json:"body"`
+}
+
+// CheckpointRecords captures every live session as a sorted record list
+// plus the store's id counter. AssembleCheckpoint rebuilds the exact
+// Checkpoint() byte stream from them; the pair exists so a replication
+// sender can diff records across generations instead of re-shipping the
+// whole file.
+func (st *Store) CheckpointRecords() (nextID uint64, recs []CheckpointRecord, err error) {
+	nextID = st.nextID.Load()
 	groups := make(map[string]*slabCheckpoint)
 	for _, id := range st.IDs() {
 		s, ok := st.Get(id)
@@ -309,38 +329,86 @@ func (st *Store) Checkpoint() ([]byte, error) {
 		}
 		ck, snap, err := checkpointSession(s)
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
-		if snap == nil {
-			file.Sessions = append(file.Sessions, ck)
+		if snap != nil && slabRecordable(ck.Spec, snap) {
+			key := slabGroupKey(ck.Spec.Algo, snap.Arms)
+			g := groups[key]
+			if g == nil {
+				g = &slabCheckpoint{Algo: ck.Spec.Algo, Arms: snap.Arms}
+				groups[key] = g
+			}
+			appendSlabEntry(g, &ck, snap)
 			continue
 		}
-		if !slabRecordable(ck.Spec, snap) {
+		if snap != nil {
 			data, err := json.Marshal(snap)
 			if err != nil {
-				return nil, fmt.Errorf("session %s: %w", ck.ID, err)
+				return 0, nil, fmt.Errorf("session %s: %w", ck.ID, err)
 			}
 			ck.Agent = data
-			file.Sessions = append(file.Sessions, ck)
-			continue
 		}
-		key := slabGroupKey(ck.Spec.Algo, snap.Arms)
-		g := groups[key]
-		if g == nil {
-			g = &slabCheckpoint{Algo: ck.Spec.Algo, Arms: snap.Arms}
-			groups[key] = g
+		body, err := json.Marshal(ck)
+		if err != nil {
+			return 0, nil, fmt.Errorf("session %s: %w", ck.ID, err)
 		}
-		appendSlabEntry(g, &ck, snap)
+		recs = append(recs, CheckpointRecord{Key: recPrefixSession + ck.ID, Body: body})
 	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+	for key, g := range groups {
+		body, err := json.Marshal(g)
+		if err != nil {
+			return 0, nil, fmt.Errorf("slab group %s: %w", key, err)
+		}
+		recs = append(recs, CheckpointRecord{Key: recPrefixGroup + key, Body: body})
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		file.Slabs = append(file.Slabs, *groups[k])
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	return nextID, recs, nil
+}
+
+// rawCheckpointFile mirrors checkpointFile with pre-encoded members, so
+// AssembleCheckpoint splices record bodies without re-marshaling them.
+type rawCheckpointFile struct {
+	V        int               `json:"v"`
+	NextID   uint64            `json:"next_id"`
+	Sessions []json.RawMessage `json:"sessions"`
+	Slabs    []json.RawMessage `json:"slabs,omitempty"`
+}
+
+// AssembleCheckpoint rebuilds a version-2 checkpoint byte stream from a
+// record list. Records may arrive in any order; the output is sorted by
+// key, which is exactly Checkpoint()'s ordering — same records in, same
+// bytes out, no matter which generations the records arrived in.
+func AssembleCheckpoint(nextID uint64, recs []CheckpointRecord) ([]byte, error) {
+	sorted := make([]CheckpointRecord, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	file := rawCheckpointFile{V: CheckpointVersion, NextID: nextID}
+	for i, r := range sorted {
+		if i > 0 && sorted[i-1].Key == r.Key {
+			return nil, &CheckpointError{Reason: fmt.Sprintf("duplicate record key %q", r.Key)}
+		}
+		switch {
+		case strings.HasPrefix(r.Key, recPrefixSession):
+			file.Sessions = append(file.Sessions, r.Body)
+		case strings.HasPrefix(r.Key, recPrefixGroup):
+			file.Slabs = append(file.Slabs, r.Body)
+		default:
+			return nil, &CheckpointError{Reason: fmt.Sprintf("unknown record key %q", r.Key)}
+		}
 	}
 	return json.Marshal(file)
+}
+
+// Checkpoint serializes every live session, sorted by id. Sessions are
+// locked one at a time, so traffic on other sessions proceeds during a
+// checkpoint. Agent sessions that pass slabRecordable land in column
+// slab groups; everything else keeps the per-session record format.
+func (st *Store) Checkpoint() ([]byte, error) {
+	nextID, recs, err := st.CheckpointRecords()
+	if err != nil {
+		return nil, err
+	}
+	return AssembleCheckpoint(nextID, recs)
 }
 
 // WriteCheckpoint atomically persists the store to path: the file is
@@ -372,34 +440,71 @@ func (st *Store) WriteCheckpoint(path string) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// RestoreCheckpoint rebuilds a store from checkpoint bytes. Every error
-// path returns a typed *CheckpointError (or core's typed snapshot
-// errors wrapped in one); it never panics on hostile input.
-func RestoreCheckpoint(data []byte, shards int) (*Store, error) {
+// decodeError wraps a json decode failure in a CheckpointError carrying
+// the byte offset the decoder stopped at, when the error kind has one.
+// Truncated files surface as an unexpected-end-of-input at the cut;
+// bit flips inside tokens surface at the damaged byte.
+func decodeError(err error) *CheckpointError {
+	ce := &CheckpointError{Reason: fmt.Sprintf("decode: %v", err)}
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		ce.Offset = syn.Offset
+	case errors.As(err, &typ):
+		ce.Offset = typ.Offset
+	}
+	return ce
+}
+
+// RestoreSessions merges checkpoint bytes into a live store: every
+// session in the file is rebuilt exactly as RestoreCheckpoint would,
+// alongside whatever the store already serves. A promoted replica uses
+// this to absorb its dead predecessor's sessions without interrupting
+// its own. Duplicate ids (in the file, or already live) are errors; the
+// id counter ratchets to the file's so future Create calls cannot mint
+// a restored session's id.
+func (st *Store) RestoreSessions(data []byte) error {
 	var file checkpointFile
 	if err := json.Unmarshal(data, &file); err != nil {
-		return nil, &CheckpointError{Reason: fmt.Sprintf("decode: %v", err)}
+		return decodeError(err)
 	}
 	if file.V != checkpointVersionV1 && file.V != CheckpointVersion {
-		return nil, &CheckpointError{Reason: fmt.Sprintf("version %d (this build reads versions %d and %d)", file.V, checkpointVersionV1, CheckpointVersion)}
+		return &CheckpointError{Reason: fmt.Sprintf("version %d (this build reads versions %d and %d)", file.V, checkpointVersionV1, CheckpointVersion)}
 	}
-	st := NewStore(shards)
-	st.nextID.Store(file.NextID)
+	for {
+		cur := st.nextID.Load()
+		if file.NextID <= cur || st.nextID.CompareAndSwap(cur, file.NextID) {
+			break
+		}
+	}
 	for _, ck := range file.Sessions {
 		if err := st.restoreSession(ck); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for gi := range file.Slabs {
 		g := &file.Slabs[gi]
 		if err := g.validate(); err != nil {
-			return nil, &CheckpointError{Reason: err.Error()}
+			return &CheckpointError{Reason: err.Error()}
 		}
 		for i := range g.IDs {
 			if err := st.restoreSlabSession(g, i); err != nil {
-				return nil, err
+				return err
 			}
 		}
+	}
+	return nil
+}
+
+// RestoreCheckpoint rebuilds a store from checkpoint bytes. Every error
+// path returns a typed *CheckpointError (or core's typed snapshot
+// errors wrapped in one) — decode failures name the byte offset of the
+// damage — and it never panics on hostile input.
+func RestoreCheckpoint(data []byte, shards int) (*Store, error) {
+	st := NewStore(shards)
+	if err := st.RestoreSessions(data); err != nil {
+		return nil, err
 	}
 	return st, nil
 }

@@ -444,7 +444,7 @@ func TestCheckpointV1StillRestores(t *testing.T) {
 // TestCheckpointV2SlabLayout: eligible sessions (stateless-policy agents,
 // registry hyperparameters) land in column slab groups — including
 // fault-armed ones, whose wrapper is rebuilt from the spec — while mode
-//-stateful agents, fixed arms, and meta sessions keep per-session
+// -stateful agents, fixed arms, and meta sessions keep per-session
 // records. Restored slab sessions come back batch-kernel eligible.
 func TestCheckpointV2SlabLayout(t *testing.T) {
 	st := NewStore(2)
@@ -590,6 +590,80 @@ func TestRestoreSlabHostile(t *testing.T) {
 			var ce *CheckpointError
 			if !errors.As(err, &ce) {
 				t.Fatalf("err = %v (%T), want *CheckpointError", err, err)
+			}
+		})
+	}
+}
+
+// TestRestoreCorruptedCheckpointFiles feeds damaged checkpoint bytes —
+// truncations and single-bit flips at byte strides, over both the v1
+// per-session format and the v2 slab format — through RestoreCheckpoint.
+// The contract under fire: a restore either succeeds or returns a typed
+// *CheckpointError (naming the byte offset for decode failures), and it
+// never panics. This is the on-disk analogue of a node crash mid-write
+// or a corrupted replica shipment.
+func TestRestoreCorruptedCheckpointFiles(t *testing.T) {
+	st := NewStore(2)
+	var ids []string
+	for _, sp := range ckptSpecs() {
+		s, err := st.Create(sp)
+		if err != nil {
+			t.Fatalf("Create(%+v): %v", sp, err)
+		}
+		ids = append(ids, s.ID())
+	}
+	driveSessions(t, st, ids, 12)
+
+	v1 := checkpointV1(t, st)
+	v2, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{{"v1", v1}, {"v2", v2}} {
+		f := f
+		t.Run(f.name+"/truncated", func(t *testing.T) {
+			// Every proper prefix of the JSON object is malformed: the
+			// restore must fail with a typed error that names an offset
+			// inside (or at the end of) what it was given.
+			stride := len(f.data)/97 + 1
+			for cut := 0; cut < len(f.data); cut += stride {
+				_, err := RestoreCheckpoint(f.data[:cut], 1)
+				var ce *CheckpointError
+				if !errors.As(err, &ce) {
+					t.Fatalf("cut at %d: err = %v (%T), want *CheckpointError", cut, err, err)
+				}
+				if cut > 0 && ce.Reason == "decode" && (ce.Offset <= 0 || ce.Offset > int64(cut)+1) {
+					t.Fatalf("cut at %d: decode error names offset %d, outside the %d bytes given", cut, ce.Offset, cut)
+				}
+			}
+		})
+		t.Run(f.name+"/bit-flipped", func(t *testing.T) {
+			// A flipped bit may survive (a digit becomes another digit) or
+			// fail; what it must never do is panic or surface an untyped
+			// error.
+			stride := len(f.data)/211 + 1
+			buf := make([]byte, len(f.data))
+			for pos := 0; pos < len(f.data); pos += stride {
+				for _, bit := range []uint{0, 3, 6} {
+					copy(buf, f.data)
+					buf[pos] ^= 1 << bit
+					rst, err := RestoreCheckpoint(buf, 1)
+					if err != nil {
+						var ce *CheckpointError
+						if !errors.As(err, &ce) {
+							t.Fatalf("flip %d/bit %d: err = %v (%T), want *CheckpointError", pos, bit, err, err)
+						}
+						continue
+					}
+					// Accepted corruption must still be a coherent store.
+					if rst == nil {
+						t.Fatalf("flip %d/bit %d: nil store with nil error", pos, bit)
+					}
+				}
 			}
 		})
 	}

@@ -2,10 +2,14 @@ package loadgen
 
 import (
 	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"microbandit/internal/serve"
+	"microbandit/internal/xrand"
 )
 
 func TestRunSmoke(t *testing.T) {
@@ -194,5 +198,142 @@ func TestWarmupExcluded(t *testing.T) {
 	}
 	if total <= uint64(res.Decisions) {
 		t.Fatalf("store counts %d steps, measurement %d — warmup traffic missing", total, res.Decisions)
+	}
+}
+
+// TestRunMultiTarget: workers spread round-robin over two servers, and
+// the result carries one latency summary per target.
+func TestRunMultiTarget(t *testing.T) {
+	a := serve.New(serve.Config{})
+	b := serve.New(serve.Config{})
+	res, err := Run(context.Background(), Options{
+		Targets: []Target{
+			{Name: "node-a", Handler: a},
+			{Name: "node-b", Handler: b},
+		},
+		Workers:  4,
+		Duration: 150 * time.Millisecond,
+		Warmup:   -1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if len(res.PerTarget) != 2 {
+		t.Fatalf("per_target entries = %d, want 2", len(res.PerTarget))
+	}
+	var sumReq, sumDec int64
+	for _, tr := range res.PerTarget {
+		if tr.Workers != 2 {
+			t.Fatalf("target %s got %d workers, want 2", tr.Name, tr.Workers)
+		}
+		if tr.Requests == 0 || tr.Samples == 0 || tr.P50Us <= 0 {
+			t.Fatalf("target %s has no measurement: %+v", tr.Name, tr)
+		}
+		sumReq += tr.Requests
+		sumDec += tr.Decisions
+	}
+	if sumReq != res.Requests || sumDec != res.Decisions {
+		t.Fatalf("per-target sums (%d req, %d dec) disagree with totals (%d, %d)",
+			sumReq, sumDec, res.Requests, res.Decisions)
+	}
+	if a.Store().Len() != 2 || b.Store().Len() != 2 {
+		t.Fatalf("sessions split %d/%d, want 2/2", a.Store().Len(), b.Store().Len())
+	}
+}
+
+// TestZeroSampleRun: a run canceled before its warmup window closes
+// reports an explicitly empty measurement instead of quantiles over
+// nothing.
+func TestZeroSampleRun(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Run(ctx, Options{
+		Handler:  srv,
+		Workers:  2,
+		Duration: 5 * time.Second,
+		Warmup:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.ZeroSample || res.Samples != 0 {
+		t.Fatalf("want explicit zero-sample result, got samples=%d zero=%v", res.Samples, res.ZeroSample)
+	}
+	if res.P50Us != 0 || res.P99Us != 0 || res.DecisionsPerSec != 0 {
+		t.Fatalf("zero-sample run reported nonzero stats: %+v", res)
+	}
+}
+
+// TestDrainingCountsRetriesNotErrors: a server that drains mid-run
+// produces Retry-After'd 503s, which the workers back off on — retries,
+// never errors.
+func TestDrainingCountsRetriesNotErrors(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		srv.SetState(serve.StateDraining)
+	}()
+	res, err := Run(context.Background(), Options{
+		Handler:  srv,
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		Warmup:   -1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("draining produced %d errors, want 0 (retries=%d)", res.Errors, res.Retries)
+	}
+	if res.Retries == 0 {
+		t.Fatal("draining produced no retries — the drain never hit the run?")
+	}
+	if res.Decisions == 0 {
+		t.Fatal("no decisions before the drain")
+	}
+}
+
+// TestScalarResyncStepOpen: a decision opened behind the client's back
+// (the failover-rewind signature) is read back and rewarded — the
+// closed loop continues with a resync, not an error.
+func TestScalarResyncStepOpen(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	var recording atomic.Bool
+	recording.Store(true)
+	w, err := newWorker(srv, serve.Spec{Algo: "ducb", Arms: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.rec = &recording
+	w.rng = xrand.New(1)
+	// Open a decision the worker never sees the response to.
+	req := httptest.NewRequest("POST", w.base+"/step", nil)
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("setup step: %d", rw.Code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	w.runScalar(ctx)
+	if w.errors != 0 {
+		t.Fatalf("resync path recorded %d errors", w.errors)
+	}
+	if w.resyncs == 0 {
+		t.Fatal("open decision was never resynced")
+	}
+	if w.decisions == 0 {
+		t.Fatal("loop did not continue after the resync")
+	}
+	s, _ := srv.Store().Get(w.id)
+	if info, err := s.Info(); err != nil || info.Open {
+		t.Fatalf("session left open after resync loop: %+v, %v", info, err)
 	}
 }

@@ -144,9 +144,9 @@ type Session struct {
 	// acquisition. kernelOK marks sessions the /v1/batch kernels may
 	// sweep directly: slab-resident with no fault wrapper in the drive
 	// path. Meta and fixed-arm sessions have a nil slab.
-	slab    *core.Slab
-	slot    int
-	slabOrd uint64
+	slab     *core.Slab
+	slot     int
+	slabOrd  uint64
 	kernelOK bool
 
 	// deleted is set (under mu) by Store.Delete after the session left
