@@ -395,6 +395,15 @@ func runLoadgen(args []string) {
 	if *duration <= 0 {
 		usageErr(fmt.Errorf("-duration must be positive, got %v", *duration))
 	}
+	// Validate -target before any work starts: a trailing comma or doubled
+	// separator should fail the invocation, not silently drop a target.
+	var targets []string
+	if *target != "" {
+		var err error
+		if targets, err = parseTargets(*target); err != nil {
+			usageErr(err)
+		}
+	}
 
 	// An interrupt ends the run early; the partial measurement still
 	// prints.
@@ -408,12 +417,8 @@ func runLoadgen(args []string) {
 		Warmup:   *warmup,
 		Spec:     serve.Spec{Algo: *algo, Arms: *arms, Seed: *seed},
 	}
-	if *target != "" {
-		for _, base := range strings.Split(*target, ",") {
-			base = strings.TrimRight(strings.TrimSpace(base), "/")
-			if base == "" {
-				usageErr(fmt.Errorf("-target has an empty URL in %q", *target))
-			}
+	if len(targets) > 0 {
+		for _, base := range targets {
 			opts.Targets = append(opts.Targets, loadgen.NewHTTPTarget(base, base))
 		}
 	} else {
@@ -455,6 +460,25 @@ func usage(w *os.File) {
   mab-serve -version
 
 Run "mab-serve <subcommand> -h" for flag details.`)
+}
+
+// parseTargets splits and validates the loadgen -target value: a
+// comma-separated list of base URLs. Empty elements — trailing commas,
+// doubled separators, whitespace-only entries — are rejected so a typo
+// fails the run up front instead of dropping a target or producing a
+// worker that hammers an empty URL. Trailing slashes are trimmed so path
+// joining stays uniform.
+func parseTargets(flagVal string) ([]string, error) {
+	parts := strings.Split(flagVal, ",")
+	targets := make([]string, 0, len(parts))
+	for _, base := range parts {
+		base = strings.TrimRight(strings.TrimSpace(base), "/")
+		if base == "" {
+			return nil, fmt.Errorf("-target has an empty URL in %q (want URL[,URL...], e.g. http://host:8081,http://host:8082)", flagVal)
+		}
+		targets = append(targets, base)
+	}
+	return targets, nil
 }
 
 // usageErr reports a bad invocation and exits 2.

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTargetsValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"http://a:8081", []string{"http://a:8081"}},
+		{"http://a:8081/", []string{"http://a:8081"}},
+		{"http://a:8081,http://b:8082", []string{"http://a:8081", "http://b:8082"}},
+		{" http://a:8081 , http://b:8082/ ", []string{"http://a:8081", "http://b:8082"}},
+	}
+	for _, c := range cases {
+		got, err := parseTargets(c.in)
+		if err != nil {
+			t.Errorf("parseTargets(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseTargets(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseTargets(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestParseTargetsEmptyURLs: trailing commas, doubled separators, and
+// whitespace-only entries must be rejected — with the valid form in the
+// message — rather than minting a worker pool aimed at an empty URL.
+func TestParseTargetsEmptyURLs(t *testing.T) {
+	for _, in := range []string{
+		"http://a:8081,",
+		",http://a:8081",
+		"http://a:8081,,http://b:8082",
+		"http://a:8081, ,http://b:8082",
+		",",
+		"   ",
+		"/",
+	} {
+		got, err := parseTargets(in)
+		if err == nil {
+			t.Errorf("parseTargets(%q) = %v, want an error", in, got)
+			continue
+		}
+		if !strings.Contains(err.Error(), "URL[,URL...]") {
+			t.Errorf("parseTargets(%q) error %q does not show the valid form", in, err)
+		}
+		if !strings.Contains(err.Error(), in) {
+			t.Errorf("parseTargets(%q) error %q does not echo the input", in, err)
+		}
+	}
+}

@@ -29,6 +29,14 @@ type chaosSession struct {
 	spec string
 	arms []int // arms[seq-1] — every decision ever observed at that seq
 
+	// ctxAt, when non-nil, makes this a contextual session: each round's
+	// step op carries the returned [phase, mpki, bw_util] vector. The
+	// schedule must be constant from the last pre-kill checkpoint onward —
+	// a decision replayed after failover re-runs with the ctx of its
+	// replay round, so a schedule still changing in the replay window
+	// would (correctly) diverge from the recorded stream.
+	ctxAt func(round int) [3]float64
+
 	pendHas  bool
 	pendSeq  uint64
 	pendArm  int
@@ -45,6 +53,7 @@ type chaosClient struct {
 	h        http.Handler
 	sessions []*chaosSession
 
+	roundNo  int
 	resyncs  int
 	retries  int
 	failures []string
@@ -80,6 +89,7 @@ func (c *chaosClient) observe(s *chaosSession, seq uint64, arm int) {
 // round advances every session by one decision: one batch request
 // carrying last round's rewards and this round's steps.
 func (c *chaosClient) round() {
+	c.roundNo++
 	var sb strings.Builder
 	sb.WriteString(`{"ops":[`)
 	nRewards := 0
@@ -100,7 +110,12 @@ func (c *chaosClient) round() {
 		if nRewards > 0 || i > 0 {
 			sb.WriteByte(',')
 		}
-		fmt.Fprintf(&sb, `{"id":"%s","step":true}`, s.id)
+		if s.ctxAt != nil {
+			v := s.ctxAt(c.roundNo)
+			fmt.Fprintf(&sb, `{"id":"%s","step":true,"ctx":[%g,%g,%g]}`, s.id, v[0], v[1], v[2])
+		} else {
+			fmt.Fprintf(&sb, `{"id":"%s","step":true}`, s.id)
+		}
 	}
 	sb.WriteString(`]}`)
 
@@ -260,6 +275,45 @@ func TestChaosKillNodeMidLoadPreservesDecisionStreams(t *testing.T) {
 			c.sessions = append(c.sessions, &chaosSession{id: id, spec: spec})
 		}
 		victim := f.router.ring.Owner(c.sessions[0].id)
+		// Contextual sessions ride the same failover: their per-signature
+		// tables ship in ctx-kind checkpoint records, and the restored
+		// agent must continue the exact decision stream. Both are pinned
+		// to the victim (deterministic id search, so the control run
+		// builds the identical schedule). One runs a single non-zero
+		// context; the other switches contexts early — before the first
+		// sync round, so no replayed decision straddles the switch — and
+		// carries a multi-context agent through the kill.
+		pinToVictim := func(prefix string) string {
+			for k := 0; ; k++ {
+				id := fmt.Sprintf("%s-%d", prefix, k)
+				if f.router.ring.Owner(id) == victim {
+					return id
+				}
+			}
+		}
+		ctxSpec := `{"algo":"ctx-ducb","arms":4,"seed":3000,"max_contexts":8}`
+		ctxID := pinToVictim("ctx-single")
+		if err := createSessionAtNode(f.router, ctxID, ctxSpec); err != nil {
+			t.Fatal(err)
+		}
+		c.sessions = append(c.sessions, &chaosSession{
+			id: ctxID, spec: ctxSpec,
+			ctxAt: func(int) [3]float64 { return [3]float64{1, 5, 0.6} },
+		})
+		ctxSpec2 := `{"algo":"ctx-thompson","arms":4,"seed":3001}`
+		ctxID2 := pinToVictim("ctx-multi")
+		if err := createSessionAtNode(f.router, ctxID2, ctxSpec2); err != nil {
+			t.Fatal(err)
+		}
+		c.sessions = append(c.sessions, &chaosSession{
+			id: ctxID2, spec: ctxSpec2,
+			ctxAt: func(round int) [3]float64 {
+				if round <= 3 {
+					return [3]float64{2, 60, 0.9}
+				}
+				return [3]float64{7, 1, 0.3}
+			},
+		})
 		syncAll := func() {
 			for i, n := range f.nodes {
 				if f.kills[i].Killed() {
@@ -339,5 +393,26 @@ func TestChaosKillNodeMidLoadPreservesDecisionStreams(t *testing.T) {
 					cs.id, k+1, cs.arms[k], ctrl.arms[k])
 			}
 		}
+	}
+
+	// The contextual sessions rode the failover on the victim node; the
+	// multi-context agent must still hold both signatures' tables after
+	// its ctx-kind checkpoint record was restored on the replica.
+	var ctxMulti *chaosSession
+	for _, s := range chaos.sessions {
+		if s.ctxAt != nil {
+			ctxMulti = s // the multi-context session is the last contextual one
+		}
+	}
+	code, _, body := doReq(cf.router, "GET", "/v1/sessions/"+ctxMulti.id, "")
+	if code != http.StatusOK {
+		t.Fatalf("contextual session %s after failover: %d %s", ctxMulti.id, code, body)
+	}
+	var info serve.SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Contexts < 2 {
+		t.Fatalf("multi-context session %s reports %d contexts after failover, want >= 2", ctxMulti.id, info.Contexts)
 	}
 }

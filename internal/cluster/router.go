@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -476,7 +477,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 // to per-op error results, so the batch response always lines up
 // one-to-one with the request.
 func (rt *Router) forwardSubBatch(ctx context.Context, owner int, sub []byte, idxs []int, ops []serve.BatchOp, merged []json.RawMessage) {
-	fill := func(code, msg string) {
+	errElement := func(code, msg string) json.RawMessage {
 		el, _ := json.Marshal(struct {
 			Error struct {
 				Code    string `json:"code"`
@@ -486,6 +487,10 @@ func (rt *Router) forwardSubBatch(ctx context.Context, owner int, sub []byte, id
 			Code    string `json:"code"`
 			Message string `json:"message"`
 		}{Code: code, Message: msg}})
+		return el
+	}
+	fill := func(code, msg string) {
+		el := errElement(code, msg)
 		for _, i := range idxs {
 			merged[i] = el
 		}
@@ -517,6 +522,18 @@ func (rt *Router) forwardSubBatch(ctx context.Context, owner int, sub []byte, id
 		return
 	}
 	for j, i := range idxs {
+		// A length-matched reply can still carry broken elements (null,
+		// non-object, empty) — splicing one verbatim would hand the client
+		// a result it misreads as seq 0 / arm 0, or corrupt the merged
+		// JSON outright. Each element must be a JSON object to merge;
+		// anything else degrades to a typed per-op error in place, leaving
+		// the neighboring ops' alignment intact.
+		el := bytes.TrimSpace(page.Results[j])
+		if len(el) == 0 || el[0] != '{' || !json.Valid(el) {
+			merged[i] = errElement(serve.CodeInternal,
+				fmt.Sprintf("node returned a malformed result for op %d", j))
+			continue
+		}
 		merged[i] = page.Results[j]
 	}
 }

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"microbandit/internal/serve"
+)
+
+// tamperDoer wraps a Doer and rewrites /v1/batch response bodies through
+// mutate, modeling a node (or proxy) that answers 200 with a structurally
+// broken results array.
+type tamperDoer struct {
+	inner  Doer
+	mutate func(results []json.RawMessage) []json.RawMessage
+}
+
+func (d *tamperDoer) Do(req *http.Request) (*http.Response, error) {
+	res, err := d.inner.Do(req)
+	if err != nil || req.URL.Path != "/v1/batch" || res.StatusCode != http.StatusOK {
+		return res, err
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	var page struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		return nil, err
+	}
+	// The body is assembled by hand: encoding/json would refuse to emit
+	// the invalid elements this test exists to inject.
+	var sb strings.Builder
+	sb.WriteString(`{"results":[`)
+	for i, el := range d.mutate(page.Results) {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.Write(el)
+	}
+	sb.WriteString(`]}`)
+	res.Body = io.NopCloser(strings.NewReader(sb.String()))
+	return res, nil
+}
+
+// tamperedRouterFixture builds a single-node ring whose router-to-node
+// client path rewrites batch replies through mutate.
+func tamperedRouterFixture(t *testing.T, mutate func([]json.RawMessage) []json.RawMessage) (*Router, []string) {
+	t.Helper()
+	node := NewNode(NodeConfig{Name: "solo"})
+	td := &tamperDoer{inner: handlerDoer{h: node}, mutate: mutate}
+	rt := NewRouter(RouterConfig{
+		Nodes: []RouterNode{{Name: "solo", Endpoint: Endpoint{Name: "solo", Client: td}}},
+	})
+	var ids []string
+	for _, id := range []string{"merge-a", "merge-b", "merge-c"} {
+		if err := createSessionAtNode(rt, id, `{"algo":"ducb","arms":3,"seed":7}`); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return rt, ids
+}
+
+// batchViaRouter posts one step op per id and returns the merged results.
+func batchViaRouter(t *testing.T, rt *Router, ids []string) []json.RawMessage {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"ops":[`)
+	for i, id := range ids {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`{"id":"` + id + `","step":true}`)
+	}
+	sb.WriteString(`]}`)
+	code, _, body := doReq(rt, "POST", "/v1/batch", sb.String())
+	if code != http.StatusOK {
+		t.Fatalf("router batch: %d %s", code, body)
+	}
+	var page struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatalf("merged reply does not parse: %v (%s)", err, body)
+	}
+	if len(page.Results) != len(ids) {
+		t.Fatalf("merged %d results for %d ops", len(page.Results), len(ids))
+	}
+	return page.Results
+}
+
+// wantStepResult asserts a merged element is a real step result.
+func wantStepResult(t *testing.T, el json.RawMessage, pos int) {
+	t.Helper()
+	var st struct {
+		Seq *uint64 `json:"seq"`
+		Arm *int    `json:"arm"`
+	}
+	if err := json.Unmarshal(el, &st); err != nil || st.Seq == nil || st.Arm == nil {
+		t.Fatalf("result %d = %s, want a step result", pos, el)
+	}
+}
+
+// TestRouterBatchMergeNullElement: a node reply with the RIGHT length but
+// a null element must not merge the null verbatim — the client would
+// decode it as seq 0 / arm 0 and silently double-step. The router answers
+// a typed per-op error in place, and the neighboring ops keep their
+// positions.
+func TestRouterBatchMergeNullElement(t *testing.T) {
+	rt, ids := tamperedRouterFixture(t, func(results []json.RawMessage) []json.RawMessage {
+		results[1] = json.RawMessage(`null`)
+		return results
+	})
+	results := batchViaRouter(t, rt, ids)
+	wantStepResult(t, results[0], 0)
+	wantStepResult(t, results[2], 2)
+	var eb struct {
+		Error *struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(results[1], &eb); err != nil || eb.Error == nil {
+		t.Fatalf("tampered slot merged %s, want a typed error element", results[1])
+	}
+	if eb.Error.Code != serve.CodeInternal {
+		t.Fatalf("tampered slot error code %q, want %q", eb.Error.Code, serve.CodeInternal)
+	}
+}
+
+// TestRouterBatchMergeHostileElements: other decodable-but-wrong
+// elements — non-object scalars, arrays, booleans — likewise degrade to
+// typed errors in place without corrupting the merged reply.
+func TestRouterBatchMergeHostileElements(t *testing.T) {
+	hostile := []string{`0`, `"ok"`, `[1,2]`, `true`}
+	for _, h := range hostile {
+		h := h
+		t.Run("elem="+h, func(t *testing.T) {
+			rt, ids := tamperedRouterFixture(t, func(results []json.RawMessage) []json.RawMessage {
+				results[2] = json.RawMessage(h)
+				return results
+			})
+			results := batchViaRouter(t, rt, ids)
+			wantStepResult(t, results[0], 0)
+			wantStepResult(t, results[1], 1)
+			if !strings.Contains(string(results[2]), serve.CodeInternal) {
+				t.Fatalf("tampered slot merged %q, want a %s error", results[2], serve.CodeInternal)
+			}
+		})
+	}
+}
+
+// TestRouterBatchMergeUndecodableReply: an element breakage that makes
+// the whole reply unparseable (truncated JSON, empty elements) loses all
+// alignment, so every op of the sub-batch degrades to a typed error.
+func TestRouterBatchMergeUndecodableReply(t *testing.T) {
+	for _, h := range []string{`{"seq":`, ``, `  `} {
+		h := h
+		t.Run("elem="+h, func(t *testing.T) {
+			rt, ids := tamperedRouterFixture(t, func(results []json.RawMessage) []json.RawMessage {
+				results[2] = json.RawMessage(h)
+				return results
+			})
+			for i, el := range batchViaRouter(t, rt, ids) {
+				if !strings.Contains(string(el), serve.CodeInternal) {
+					t.Fatalf("result %d = %s, want a %s error for every op", i, el, serve.CodeInternal)
+				}
+			}
+		})
+	}
+}
+
+// TestRouterBatchMergeShortReply: a reply with FEWER results than ops
+// fails the whole sub-batch with typed per-op errors — alignment is
+// unknowable, so no element merges.
+func TestRouterBatchMergeShortReply(t *testing.T) {
+	rt, ids := tamperedRouterFixture(t, func(results []json.RawMessage) []json.RawMessage {
+		return results[:len(results)-1]
+	})
+	results := batchViaRouter(t, rt, ids)
+	for i, el := range results {
+		if !strings.Contains(string(el), serve.CodeInternal) {
+			t.Fatalf("result %d = %s, want a %s error for every op", i, el, serve.CodeInternal)
+		}
+	}
+}

@@ -14,7 +14,25 @@ import (
 // AlgoNames returns the algorithm names ParseAlgo accepts, in display
 // order. "static:N" stands for any fixed arm index.
 func AlgoNames() []string {
-	return []string{"ducb", "ucb", "eps", "single", "periodic", "static:N"}
+	return []string{"ducb", "ucb", "eps", "thompson", "single", "periodic",
+		"ctx-ducb", "linucb", "ctx-thompson", "static:N"}
+}
+
+// contextualBases maps a contextual algorithm name to the per-context
+// base algorithm it runs over each signature's Tables. "linucb" maps to
+// "ucb" because disjoint LinUCB over one-hot context features reduces
+// exactly to per-context UCB (see contextual.go).
+var contextualBases = map[string]string{
+	"ctx-ducb":     "ducb",
+	"linucb":       "ucb",
+	"ctx-thompson": "thompson",
+}
+
+// ContextualBase returns the per-context base algorithm for a contextual
+// algorithm name, and whether name denotes one.
+func ContextualBase(name string) (string, bool) {
+	base, ok := contextualBases[name]
+	return base, ok
 }
 
 // AlgoConfig maps an agent algorithm name to the Config ParseAlgo wraps
@@ -32,11 +50,19 @@ func AlgoConfig(name string, arms int, seed uint64, recordTrace bool) (Config, e
 		policy = NewUCB(PrefetchC)
 	case "eps":
 		policy = NewEpsilonGreedy(0.05)
+	case "thompson":
+		// Discounted like DUCB, with the exploration constant standing in
+		// for the posterior noise scale, so the two are comparable under
+		// the same non-stationarity.
+		policy = NewDiscountedThompson(PrefetchC, PrefetchGamma)
 	case "single":
 		policy = NewSingle()
 	case "periodic":
 		policy = NewPeriodic(8, 4)
 	default:
+		if _, ok := ContextualBase(name); ok {
+			return Config{}, fmt.Errorf("algorithm %q is contextual; build it with NewContextualAgent or ParseAlgo", name)
+		}
 		return Config{}, fmt.Errorf("unknown algorithm %q (valid: %s)",
 			name, strings.Join(AlgoNames(), ", "))
 	}
@@ -73,6 +99,11 @@ func ParseAlgo(name string, arms int, seed uint64, recordTrace bool) (Controller
 			return nil, fmt.Errorf("bad static arm in %q (have %d arms)", name, arms)
 		}
 		return FixedArm(n), nil
+	}
+	if base, ok := ContextualBase(name); ok {
+		return NewContextualAgent(ContextualConfig{
+			Arms: arms, Algo: base, Seed: seed, RecordTrace: recordTrace,
+		})
 	}
 	cfg, err := AlgoConfig(name, arms, seed, recordTrace)
 	if err != nil {

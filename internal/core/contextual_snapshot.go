@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Contextual-agent checkpointing. The same two contracts as the Agent
+// codec in snapshot.go — behavioral identity (a restored agent continues
+// the exact decision stream, per context) and byte identity (snapshot →
+// restore → snapshot round-trips to the same JSON) — extended with one
+// more: LRU-order identity, so eviction decisions after a restore match
+// the uninterrupted run's.
+
+// ContextSnapshot is one live context: its signature and its agent's
+// full state.
+type ContextSnapshot struct {
+	Sig   uint32         `json:"sig"`
+	Agent *AgentSnapshot `json:"agent"`
+}
+
+// ContextualAgentSnapshot is the full serialized state of a
+// ContextualAgent. Contexts are listed in LRU order, most recently used
+// first, and restored in that order.
+type ContextualAgentSnapshot struct {
+	V int `json:"v"`
+
+	// Config.
+	Arms        int    `json:"arms"`
+	Algo        string `json:"algo"`
+	Seed        uint64 `json:"seed"`
+	MaxContexts int    `json:"max_contexts,omitempty"`
+	RecordTrace bool   `json:"record_trace,omitempty"`
+
+	// Loop state. OpenSig is meaningful only when InStep is set: the
+	// signature of the context whose step is awaiting its reward.
+	Pending   uint32 `json:"pending,omitempty"`
+	InStep    bool   `json:"in_step,omitempty"`
+	OpenSig   uint32 `json:"open_sig,omitempty"`
+	Steps     int    `json:"steps"`
+	Evictions int    `json:"evictions,omitempty"`
+
+	Contexts []ContextSnapshot `json:"contexts"`
+}
+
+// Snapshot captures the contextual agent's complete state.
+func (c *ContextualAgent) Snapshot() (*ContextualAgentSnapshot, error) {
+	s := &ContextualAgentSnapshot{
+		V:           SnapshotVersion,
+		Arms:        c.cfg.Arms,
+		Algo:        c.cfg.Algo,
+		Seed:        c.cfg.Seed,
+		MaxContexts: c.cfg.MaxContexts,
+		RecordTrace: c.cfg.RecordTrace,
+		Pending:     uint32(c.pending),
+		InStep:      c.open != nil,
+		Steps:       c.steps,
+		Evictions:   c.evictions,
+	}
+	if c.open != nil {
+		s.OpenSig = uint32(c.open.sig)
+	}
+	for e := c.head; e != nil; e = e.next {
+		as, err := e.agent.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("context %v: %w", e.sig, err)
+		}
+		s.Contexts = append(s.Contexts, ContextSnapshot{Sig: uint32(e.sig), Agent: as})
+	}
+	return s, nil
+}
+
+// validate checks the snapshot's internal consistency. Per-context agent
+// snapshots are validated by RestoreAgent during restore.
+func (s *ContextualAgentSnapshot) validate() error {
+	if s.V != SnapshotVersion {
+		return &VersionError{Got: s.V, Want: SnapshotVersion}
+	}
+	cfg := ContextualConfig{
+		Arms: s.Arms, Algo: s.Algo, Seed: s.Seed,
+		MaxContexts: s.MaxContexts, RecordTrace: s.RecordTrace,
+	}
+	if err := cfg.Validate(); err != nil {
+		return snapErrf("contextual agent: %v", err)
+	}
+	if len(s.Contexts) > cfg.maxContexts() {
+		return snapErrf("contextual agent has %d contexts, bound is %d",
+			len(s.Contexts), cfg.maxContexts())
+	}
+	if s.Steps < 0 || s.Evictions < 0 {
+		return snapErrf("negative step or eviction count")
+	}
+	seen := make(map[uint32]bool, len(s.Contexts))
+	openFound := false
+	for i, cs := range s.Contexts {
+		if cs.Agent == nil {
+			return snapErrf("context %d has no agent", i)
+		}
+		if seen[cs.Sig] {
+			return snapErrf("duplicate context signature %v", Signature(cs.Sig))
+		}
+		seen[cs.Sig] = true
+		if cs.Agent.Arms != s.Arms {
+			return snapErrf("context %v has %d arms, want %d", Signature(cs.Sig), cs.Agent.Arms, s.Arms)
+		}
+		if cs.Sig == s.OpenSig {
+			openFound = true
+			if s.InStep != cs.Agent.InStep {
+				return snapErrf("context %v open-step state disagrees with the contextual agent",
+					Signature(cs.Sig))
+			}
+		} else if cs.Agent.InStep {
+			return snapErrf("context %v has an open step but is not the open context", Signature(cs.Sig))
+		}
+	}
+	if s.InStep && !openFound {
+		return snapErrf("open context %v is not among the live contexts", Signature(s.OpenSig))
+	}
+	return nil
+}
+
+// RestoreContextualAgent rebuilds a ContextualAgent from a snapshot with
+// the same continuation guarantees as RestoreAgent, per context.
+func RestoreContextualAgent(s *ContextualAgentSnapshot) (*ContextualAgent, error) {
+	if s == nil {
+		return nil, snapErrf("nil snapshot")
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	c := &ContextualAgent{
+		cfg: ContextualConfig{
+			Arms: s.Arms, Algo: s.Algo, Seed: s.Seed,
+			MaxContexts: s.MaxContexts, RecordTrace: s.RecordTrace,
+		},
+		contexts:  make(map[Signature]*ctxEntry, len(s.Contexts)),
+		pending:   Signature(s.Pending),
+		steps:     s.Steps,
+		evictions: s.Evictions,
+	}
+	// Contexts arrive most-recently-used first; appending at the tail
+	// reproduces the exact LRU order, so future evictions match.
+	for _, cs := range s.Contexts {
+		a, err := RestoreAgent(cs.Agent)
+		if err != nil {
+			return nil, fmt.Errorf("context %v: %w", Signature(cs.Sig), err)
+		}
+		e := &ctxEntry{sig: Signature(cs.Sig), agent: a, prev: c.tail}
+		if c.tail != nil {
+			c.tail.next = e
+		} else {
+			c.head = e
+		}
+		c.tail = e
+		c.contexts[e.sig] = e
+		if s.InStep && cs.Sig == s.OpenSig {
+			c.open = e
+		}
+	}
+	return c, nil
+}
+
+// RestoreContextualAgentJSON decodes a JSON-encoded snapshot and restores
+// the agent, with RestoreAgentJSON's error contract.
+func RestoreContextualAgentJSON(data []byte) (*ContextualAgent, error) {
+	var s ContextualAgentSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, snapErrf("decode: %v", err)
+	}
+	return RestoreContextualAgent(&s)
+}

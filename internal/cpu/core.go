@@ -92,6 +92,10 @@ func New(cfg Config, hier *mem.Hierarchy, gen trace.Generator) *Core {
 // Hier returns the core's memory hierarchy.
 func (c *Core) Hier() *mem.Hierarchy { return c.hier }
 
+// Gen returns the core's trace generator, so drivers can reach optional
+// generator capabilities (e.g. PhaseGen's Phase id for context signatures).
+func (c *Core) Gen() trace.Generator { return c.gen }
+
 // Insts returns the number of simulated instructions.
 func (c *Core) Insts() int64 { return c.insts }
 

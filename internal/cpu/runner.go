@@ -55,6 +55,10 @@ type Runner struct {
 	bwLastBusy  float64
 	bwLastCycle int64
 
+	// sigLast is the counter snapshot the next context signature diffs
+	// against. Only maintained when Ctrl implements core.ContextSetter.
+	sigLast obsBaseline
+
 	// ArmTrace, when enabled via RecordArms, logs (cycle, arm) pairs;
 	// consecutive selections of the same arm collapse into one sample.
 	ArmTrace    []ArmSample
@@ -152,10 +156,47 @@ func (r *Runner) RunCtx(ctx context.Context, n int64) error {
 // selection latency) on the first call of a bandit-controlled run.
 func (r *Runner) primeFirstArm() {
 	if r.Ctrl != nil && r.Tunable != nil && r.rewardCount == 0 && !r.havePending && r.stepAccesses == 0 {
+		r.setContext()
 		arm := r.Ctrl.Step()
 		r.Tunable.Apply(arm)
 		r.logArm(0, arm)
 	}
+}
+
+// setContext feeds the upcoming bandit step's state signature to a
+// contextual controller: the generator's phase id (when the trace is
+// phase-structured) plus the MPKI and DRAM-bandwidth-utilization bands of
+// the interval since the previous signature point. Plain controllers are
+// never asked — the hook costs one type assertion per bandit step.
+func (r *Runner) setContext() {
+	cs, ok := r.Ctrl.(core.ContextSetter)
+	if !ok {
+		return
+	}
+	phase := 0
+	if pg, ok := r.Core.Gen().(interface{ Phase() int }); ok {
+		phase = pg.Phase()
+	}
+	cur := obsBaseline{
+		insts:  r.Core.Insts(),
+		cycles: r.Core.Cycles(),
+		busy:   r.Hier.DRAM().BusyCycles(),
+	}
+	cur.stats.LLCMisses = r.Hier.Stats().LLCMisses
+	last := r.sigLast
+	r.sigLast = cur
+
+	mpki, bwUtil := 0.0, 0.0
+	if dInsts := float64(cur.insts - last.insts); dInsts > 0 {
+		mpki = float64(cur.stats.LLCMisses-last.stats.LLCMisses) / (dInsts / 1000)
+	}
+	if dCycles := float64(cur.cycles - last.cycles); dCycles > 0 {
+		bwUtil = (cur.busy - last.busy) / dCycles
+		if bwUtil > 1 {
+			bwUtil = 1
+		}
+	}
+	cs.SetContext(core.SignatureOf(phase, mpki, bwUtil))
 }
 
 func (r *Runner) logArm(cycle int64, arm int) {
@@ -235,6 +276,7 @@ func (r *Runner) onL2Access(pc, addr uint64, hit bool, cycle int64) {
 	r.Ctrl.Reward(ipc)
 	r.rewardCount++
 	r.obsWindow(cycle)
+	r.setContext()
 	arm := r.Ctrl.Step()
 	r.pendingArm = arm
 	r.pendingActivate = cycle + r.SelectLatency

@@ -78,6 +78,40 @@ func (r *recorder) Step() int         { return r.arm }
 func (r *recorder) Reward(v float64)  { r.rewards = append(r.rewards, v) }
 func (r *recorder) InInitialRR() bool { return false }
 
+// ctxRecorder is a recorder that also accepts context signatures, like
+// core.ContextualAgent.
+type ctxRecorder struct {
+	recorder
+	sigs []core.Signature
+}
+
+func (r *ctxRecorder) SetContext(sig core.Signature) { r.sigs = append(r.sigs, sig) }
+
+// TestControllerForwardsSetContext: the reward-channel fault wrapper must
+// not hide the inner controller's ContextSetter — otherwise a contextual
+// agent in a faulted robustness run silently never receives a context and
+// degenerates to a single-table bandit.
+func TestControllerForwardsSetContext(t *testing.T) {
+	rec := &ctxRecorder{}
+	fs := Set{{Kind: Noise, Intensity: 0.5, Seed: 3}}
+	c := Controller(rec, fs, 7)
+	if c == core.Controller(rec) {
+		t.Fatal("noise set should have wrapped the controller")
+	}
+	cs, ok := c.(core.ContextSetter)
+	if !ok {
+		t.Fatal("fault wrapper hides core.ContextSetter from the runner")
+	}
+	cs.SetContext(core.Signature(42))
+	cs.SetContext(core.Signature(7))
+	if len(rec.sigs) != 2 || rec.sigs[0] != 42 || rec.sigs[1] != 7 {
+		t.Fatalf("inner received signatures %v, want [42 7]", rec.sigs)
+	}
+	// A non-contextual inner tolerates the forwarded call as a no-op.
+	plain := Controller(&recorder{}, fs, 7)
+	plain.(core.ContextSetter).SetContext(core.Signature(1))
+}
+
 func TestControllerCleanPassthrough(t *testing.T) {
 	rec := &recorder{}
 	if got := Controller(rec, nil, 1); got != core.Controller(rec) {

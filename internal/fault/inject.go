@@ -80,6 +80,16 @@ func (c *faultyController) Step() int { return c.inner.Step() }
 // InInitialRR implements core.Controller.
 func (c *faultyController) InInitialRR() bool { return c.inner.InInitialRR() }
 
+// SetContext implements core.ContextSetter by forwarding to the inner
+// controller when it is contextual. Reward-channel faults perturb the
+// reward stream, not the telemetry signature, so context flows through
+// untouched; for a non-contextual inner the call is a no-op.
+func (c *faultyController) SetContext(sig core.Signature) {
+	if cs, ok := c.inner.(core.ContextSetter); ok {
+		cs.SetContext(sig)
+	}
+}
+
 // Reward implements core.Controller, applying noise, quantization, and
 // delayed delivery before the inner controller sees the value.
 func (c *faultyController) Reward(r float64) {

@@ -23,8 +23,11 @@ import (
 // algorithm's clean-run IPC — the graceful-degradation curve.
 
 // RobustAlgos lists the algorithms compared, in column order. DUCB+RR is
-// DUCB with the §4.3 probabilistic round-robin restart enabled.
-var RobustAlgos = []string{"eps-Greedy", "UCB", "DUCB", "DUCB+RR"}
+// DUCB with the §4.3 probabilistic round-robin restart enabled; CTX-DUCB
+// keys independent DUCB tables by the runner's telemetry signature
+// (phase id, MPKI band, DRAM-bandwidth band), so a phase storm lands in
+// a fresh table instead of poisoning the learned one.
+var RobustAlgos = []string{"eps-Greedy", "UCB", "DUCB", "DUCB+RR", "CTX-DUCB"}
 
 // robustRRProb is the per-step round-robin restart probability of the
 // DUCB+RR column. The paper uses 0.001 per step over 1B-instruction
@@ -196,6 +199,12 @@ func (o Options) runPrefetchFaulted(app trace.App, algo string, fs fault.Set, me
 func robustController(algo string, seed uint64, arms int) core.Controller {
 	cfg := core.Config{Arms: arms, Normalize: true, Seed: seed}
 	switch algo {
+	case "CTX-DUCB":
+		c, err := core.NewContextualAgent(core.ContextualConfig{Arms: arms, Algo: "ducb", Seed: seed})
+		if err != nil {
+			panic(fmt.Sprintf("harness: contextual controller: %v", err))
+		}
+		return c
 	case "eps-Greedy":
 		cfg.Policy = core.NewEpsilonGreedy(0.05)
 	case "UCB":

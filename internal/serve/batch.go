@@ -227,7 +227,10 @@ func (s *Server) runBatch(sc *batchScratch) {
 		switch {
 		case se == nil:
 			res[i] = batchResult{kind: resError, code: CodeNotFound, msg: notFoundMsg}
-		case se.kernelOK && se.slabOrd < maxPackable:
+		case se.kernelOK && se.slabOrd < maxPackable && !ops[i].hasCtx:
+			// Context-carrying ops always take the scalar path, so a ctx
+			// sent to a non-contextual session gets the same bad_request
+			// the scalar endpoint answers instead of being ignored.
 			sc.korder = append(sc.korder, packOpKey(se.slabOrd, se.slot, i))
 		default:
 			sc.direct = append(sc.direct, int32(i))
@@ -250,7 +253,11 @@ func (s *Server) runBatch(sc *batchScratch) {
 		op := &ops[oi]
 		se := sess[oi]
 		if op.kind == opStep {
-			seq, arm, err := se.Step()
+			var ctxVec []float64
+			if op.hasCtx {
+				ctxVec = op.ctx[:]
+			}
+			seq, arm, err := se.StepWithContext(ctxVec)
 			if err != nil {
 				res[oi] = protoResult(err)
 			} else {

@@ -46,11 +46,15 @@ const (
 
 // batchOp is one parsed operation. The session id is kept as offsets
 // into the request body, not a string, so parsing allocates nothing.
+// hasCtx marks a step op carrying a context vector; such ops run on the
+// scalar path (contextual sessions are not slab-kernel material).
 type batchOp struct {
 	idOff, idEnd int32
 	kind         uint8
 	seq          uint64
 	reward       float64
+	hasCtx       bool
+	ctx          [3]float64
 }
 
 // Batch result kinds.
@@ -318,6 +322,10 @@ func (p *batchParser) op(out *batchOp) error {
 			}
 			out.reward = f
 			sawReward = true
+		case len(key) == 3 && key[0] == 'c' && key[1] == 't' && key[2] == 'x':
+			if err := p.ctxVector(out); err != nil {
+				return err
+			}
 		default:
 			return p.errf("unknown op key %q", key)
 		}
@@ -338,6 +346,8 @@ func (p *batchParser) op(out *batchOp) error {
 		return p.errf(`"seq" and "reward" must be given together`)
 	case sawReward && stepVal:
 		return p.errf("op cannot be both a step and a reward")
+	case sawReward && out.hasCtx:
+		return p.errf(`"ctx" applies only to step ops`)
 	case sawReward:
 		out.kind = opReward
 	case stepVal:
@@ -345,6 +355,31 @@ func (p *batchParser) op(out *batchOp) error {
 	default:
 		return p.errf(`op needs "step":true or "seq"+"reward"`)
 	}
+	return nil
+}
+
+// ctxVector consumes a context array of exactly 3 numbers
+// ([phase, mpki, bw_util]) into out.
+func (p *batchParser) ctxVector(out *batchOp) error {
+	if !p.eat('[') {
+		return p.errf(`"ctx" expects an array of 3 numbers`)
+	}
+	for i := 0; i < 3; i++ {
+		p.ws()
+		f, err := p.number()
+		if err != nil {
+			return err
+		}
+		out.ctx[i] = f
+		p.ws()
+		if i < 2 && !p.eat(',') {
+			return p.errf(`"ctx" expects an array of 3 numbers`)
+		}
+	}
+	if !p.eat(']') {
+		return p.errf(`"ctx" expects an array of 3 numbers`)
+	}
+	out.hasCtx = true
 	return nil
 }
 
@@ -415,6 +450,9 @@ type BatchOp struct {
 	Step   bool
 	Seq    uint64
 	Reward float64
+	// Ctx, when non-nil on a step op, is the context vector
+	// [phase, mpki, bw_util] forwarded to a contextual session.
+	Ctx []float64
 }
 
 // ParseBatchOps decodes a /v1/batch body. It accepts exactly the bodies
@@ -430,6 +468,9 @@ func ParseBatchOps(body []byte) ([]BatchOp, error) {
 		out[i].ID = string(body[op.idOff:op.idEnd])
 		if op.kind == opStep {
 			out[i].Step = true
+			if op.hasCtx {
+				out[i].Ctx = []float64{op.ctx[0], op.ctx[1], op.ctx[2]}
+			}
 		} else {
 			out[i].Seq, out[i].Reward = op.seq, op.reward
 		}
@@ -438,12 +479,25 @@ func ParseBatchOps(body []byte) ([]BatchOp, error) {
 }
 
 // AppendBatchOp appends op in the canonical compact spelling — the one
-// opFast decodes without entering the general parser.
+// opFast decodes without entering the general parser. Context-carrying
+// step ops append a ",\"ctx\":[...]" member, which only the general
+// parser reads; that is fine, because contextual ops run on the scalar
+// path anyway.
 func AppendBatchOp(dst []byte, op BatchOp) []byte {
 	dst = append(dst, `{"id":"`...)
 	dst = append(dst, op.ID...)
 	if op.Step {
-		return append(dst, `","step":true}`...)
+		if op.Ctx == nil {
+			return append(dst, `","step":true}`...)
+		}
+		dst = append(dst, `","step":true,"ctx":[`...)
+		for i, f := range op.Ctx {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
+		}
+		return append(dst, ']', '}')
 	}
 	dst = append(dst, `","seq":`...)
 	dst = strconv.AppendUint(dst, op.Seq, 10)

@@ -28,6 +28,7 @@ const (
 	ckptAgent = "agent"
 	ckptMeta  = "meta"
 	ckptFixed = "fixed"
+	ckptCtx   = "ctx"
 )
 
 // sessionCheckpoint is one serialized session: its spec, sequencing
@@ -138,16 +139,22 @@ func (g *slabCheckpoint) validate() error {
 		return fmt.Errorf("slab group %q: arms %d outside [1, %d]", g.Algo, g.Arms, MaxArms)
 	}
 	n := len(g.IDs)
-	for name, l := range map[string]int{
-		"specs": len(g.Specs), "seqs": len(g.Seqs), "opens": len(g.Opens),
-		"open_arms": len(g.OpenArms), "ntotals": len(g.NTotals),
-		"steps": len(g.Steps), "current_arms": len(g.CurrentArms),
-		"in_steps": len(g.InSteps), "forced_lens": len(g.ForcedLens),
-		"ravgs": len(g.RAvgs), "normalizeds": len(g.Normalizeds),
-		"restarts": len(g.Restarts), "rngs": len(g.RNGs),
-	} {
-		if l != n {
-			return fmt.Errorf("slab group %q/%d: %d ids but %d %s", g.Algo, g.Arms, n, l, name)
+	// Columns are checked in a fixed order so a multi-column corruption
+	// always reports the same (first) mismatching column.
+	cols := []struct {
+		name string
+		len  int
+	}{
+		{"specs", len(g.Specs)}, {"seqs", len(g.Seqs)}, {"opens", len(g.Opens)},
+		{"open_arms", len(g.OpenArms)}, {"ntotals", len(g.NTotals)},
+		{"steps", len(g.Steps)}, {"current_arms", len(g.CurrentArms)},
+		{"in_steps", len(g.InSteps)}, {"forced_lens", len(g.ForcedLens)},
+		{"ravgs", len(g.RAvgs)}, {"normalizeds", len(g.Normalizeds)},
+		{"restarts", len(g.Restarts)}, {"rngs", len(g.RNGs)},
+	}
+	for _, c := range cols {
+		if c.len != n {
+			return fmt.Errorf("slab group %q/%d: %d ids but %d %s", g.Algo, g.Arms, n, c.len, c.name)
 		}
 	}
 	if len(g.R) != n*g.Arms || len(g.N) != n*g.Arms {
@@ -189,6 +196,16 @@ func checkpointSession(s *Session) (ck sessionCheckpoint, agentSnap *core.AgentS
 			return ck, nil, fmt.Errorf("session %s: %w", s.id, err)
 		}
 		ck.Kind, ck.Agent = ckptMeta, data
+	case *core.ContextualAgent:
+		snap, err := a.Snapshot()
+		if err != nil {
+			return ck, nil, fmt.Errorf("session %s: %w", s.id, err)
+		}
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return ck, nil, fmt.Errorf("session %s: %w", s.id, err)
+		}
+		ck.Kind, ck.Agent = ckptCtx, data
 	case core.FixedArm:
 		ck.Kind, ck.FixedArm = ckptFixed, int(a)
 	default:
@@ -263,6 +280,16 @@ func (st *Store) restoreSession(ck sessionCheckpoint) error {
 		if snap.Arms < 1 || snap.Arms > MaxArms {
 			return &CheckpointError{Reason: fmt.Sprintf("session %s: agent arms %d outside [1, %d]", ck.ID, snap.Arms, MaxArms)}
 		}
+		// The agent's shape must agree with the spec the session claims:
+		// a skewed record would otherwise restore an agent the protocol
+		// layer believes has spec.Arms arms, and the next step or reward
+		// would corrupt or panic instead of erroring here.
+		if snap.Arms != spec.Arms {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: agent arms %d != spec arms %d", ck.ID, snap.Arms, spec.Arms)}
+		}
+		if snap.InStep != ck.Open {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: agent in_step %v disagrees with session open %v", ck.ID, snap.InStep, ck.Open)}
+		}
 		chunk = st.lockedChunkFor(sh, snap.Arms)
 		a, sl, err := core.RestoreAgentIn(chunk.slab, &snap)
 		if err != nil {
@@ -274,7 +301,39 @@ func (st *Store) restoreSession(ck sessionCheckpoint) error {
 		if err != nil {
 			return &CheckpointError{Reason: fmt.Sprintf("session %s: %v", ck.ID, err)}
 		}
+		if m.Arms() != spec.Arms {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: meta agent arms %d != spec arms %d", ck.ID, m.Arms(), spec.Arms)}
+		}
+		if m.StepOpen() != ck.Open {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: meta agent in_step %v disagrees with session open %v", ck.ID, m.StepOpen(), ck.Open)}
+		}
 		agent = m
+	case ckptCtx:
+		c, err := core.RestoreContextualAgentJSON(ck.Agent)
+		if err != nil {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: %v", ck.ID, err)}
+		}
+		base, ok := core.ContextualBase(spec.Algo)
+		if !ok {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: spec algo %q is not contextual", ck.ID, spec.Algo)}
+		}
+		snap := struct {
+			Arms int    `json:"arms"`
+			Algo string `json:"algo"`
+		}{}
+		if err := json.Unmarshal(ck.Agent, &snap); err != nil {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: decode contextual agent: %v", ck.ID, err)}
+		}
+		if snap.Arms != spec.Arms {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: contextual agent arms %d != spec arms %d", ck.ID, snap.Arms, spec.Arms)}
+		}
+		if snap.Algo != base {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: contextual base %q != spec algo %q (base %q)", ck.ID, snap.Algo, spec.Algo, base)}
+		}
+		if c.StepOpen() != ck.Open {
+			return &CheckpointError{Reason: fmt.Sprintf("session %s: contextual agent in_step %v disagrees with session open %v", ck.ID, c.StepOpen(), ck.Open)}
+		}
+		agent = c
 	case ckptFixed:
 		if ck.FixedArm < 0 || ck.FixedArm >= spec.Arms {
 			return &CheckpointError{Reason: fmt.Sprintf("session %s: fixed arm %d outside [0,%d)", ck.ID, ck.FixedArm, spec.Arms)}
@@ -534,6 +593,9 @@ func (st *Store) restoreSlabSession(g *slabCheckpoint, i int) error {
 	open, arm := g.Opens[i], g.OpenArms[i]
 	if open && (arm < 0 || arm >= spec.Arms) {
 		return &CheckpointError{Reason: fmt.Sprintf("%s: open arm %d outside [0,%d)", where, arm, spec.Arms)}
+	}
+	if g.InSteps[i] != open {
+		return &CheckpointError{Reason: fmt.Sprintf("%s: in_steps %v disagrees with opens %v", where, g.InSteps[i], open)}
 	}
 	set, err := fault.ParseSet(spec.Faults)
 	if err != nil {

@@ -146,6 +146,10 @@ func FuzzBatchDecode(f *testing.F) {
 	f.Add([]byte(`{"ops":[{"id":"A","step":true}]}`))
 	f.Add([]byte(`{"ops":{}}`))
 	f.Add([]byte(``))
+	f.Add([]byte(`{"ops":[{"id":"c1","step":true,"ctx":[3,1.5,0.25]}]}`))
+	f.Add([]byte(`{"ops":[{"ctx":[0,0,0],"id":"c2","step":true}]}`))
+	f.Add([]byte(`{"ops":[{"id":"c3","seq":1,"reward":0.5,"ctx":[1,2,3]}]}`))
+	f.Add([]byte(`{"ops":[{"id":"c4","step":true,"ctx":[1,2]}]}`))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		ops, err := parseBatch(body, nil)
@@ -154,10 +158,11 @@ func FuzzBatchDecode(f *testing.F) {
 		}
 		var ref struct {
 			Ops []struct {
-				ID     *string  `json:"id"`
-				Step   *bool    `json:"step"`
-				Seq    *uint64  `json:"seq"`
-				Reward *float64 `json:"reward"`
+				ID     *string    `json:"id"`
+				Step   *bool      `json:"step"`
+				Seq    *uint64    `json:"seq"`
+				Reward *float64   `json:"reward"`
+				Ctx    *[]float64 `json:"ctx"`
 			} `json:"ops"`
 		}
 		if err := json.Unmarshal(body, &ref); err != nil {
@@ -185,6 +190,19 @@ func FuzzBatchDecode(f *testing.F) {
 			case opStep:
 				if isReward || ro.Step == nil || !*ro.Step {
 					t.Fatalf("op %d: parsed as step, encoding/json sees %+v", i, ro)
+				}
+				if op.hasCtx {
+					if ro.Ctx == nil || len(*ro.Ctx) != 3 {
+						t.Fatalf("op %d: parsed ctx, encoding/json sees %+v", i, ro)
+					}
+					for j := 0; j < 3; j++ {
+						if (*ro.Ctx)[j] != op.ctx[j] {
+							t.Fatalf("op %d ctx[%d]: %v vs encoding/json %v",
+								i, j, op.ctx[j], (*ro.Ctx)[j])
+						}
+					}
+				} else if ro.Ctx != nil {
+					t.Fatalf("op %d: encoding/json sees ctx %v, parser saw none", i, *ro.Ctx)
 				}
 			default:
 				t.Fatalf("op %d: bad kind %d", i, op.kind)

@@ -30,6 +30,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -181,6 +182,13 @@ func (l *lockedRecorder) Record(ev obs.Event) {
 
 // ---------------------------------------------------------------------
 // Wire types
+
+// stepRequest is the optional /v1/step body: absent (or empty) for a
+// plain step, or a context vector [phase, mpki, bw_util] selecting the
+// signature context a contextual session decides in.
+type stepRequest struct {
+	Context []float64 `json:"context"`
+}
 
 type stepResponse struct {
 	Seq uint64 `json:"seq"`
@@ -368,7 +376,28 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	seq, arm, err := sess.Step()
+	// The body is optional: an empty body (the historical wire form) is a
+	// plain step; a JSON object may carry a context vector.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "body: "+err.Error())
+		return
+	}
+	var ctxVec []float64
+	if len(bytes.TrimSpace(body)) > 0 {
+		var req stepRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "body: "+err.Error())
+			return
+		}
+		if dec.More() {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "body: trailing data after JSON value")
+			return
+		}
+		ctxVec = req.Context
+	}
+	seq, arm, err := sess.StepWithContext(ctxVec)
 	if err != nil {
 		writeProtocolError(w, err)
 		return
@@ -442,13 +471,18 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // writeProtocolError maps session protocol violations to 409 — except
 // the deleted-session race, which is a 404 like any other missing
-// session — and anything else to 500.
+// session, and malformed-request rejections (bad context vectors,
+// contexts on non-contextual sessions), which are 400s — and anything
+// else to 500.
 func writeProtocolError(w http.ResponseWriter, err error) {
 	var pe *ProtocolError
 	if errors.As(err, &pe) {
 		status := http.StatusConflict
-		if pe.Code == CodeNotFound {
+		switch pe.Code {
+		case CodeNotFound:
 			status = http.StatusNotFound
+		case CodeBadRequest:
+			status = http.StatusBadRequest
 		}
 		writeError(w, status, pe.Code, pe.Msg)
 		return

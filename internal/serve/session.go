@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
@@ -39,6 +40,17 @@ type Spec struct {
 	// substrate kinds are rejected because a session has no simulated
 	// memory system or workload to fault.
 	Faults string `json:"faults,omitempty"`
+	// MaxContexts bounds the live-context count of a contextual session
+	// (Algo "ctx-ducb", "linucb", "ctx-thompson"); 0 means the core
+	// default. Rejected for non-contextual algorithms.
+	MaxContexts int `json:"max_contexts,omitempty"`
+}
+
+// isContextualAlgo reports whether name denotes a signature-keyed
+// contextual algorithm.
+func isContextualAlgo(name string) bool {
+	_, ok := core.ContextualBase(name)
+	return ok
 }
 
 // rewardChannelKinds are the fault kinds a served session can realize.
@@ -63,6 +75,18 @@ func (sp Spec) Validate() error {
 	}
 	if n := len(sp.MetaPairs); n == 1 || n > MaxMetaLevels {
 		return fmt.Errorf("meta_pairs needs 2..%d entries, got %d", MaxMetaLevels, n)
+	}
+	_, contextual := core.ContextualBase(sp.Algo)
+	if sp.MaxContexts != 0 {
+		if !contextual {
+			return fmt.Errorf("max_contexts applies only to contextual algorithms (ctx-ducb, linucb, ctx-thompson), not %q", sp.Algo)
+		}
+		if sp.MaxContexts < 0 || sp.MaxContexts > core.MaxMaxContexts {
+			return fmt.Errorf("max_contexts %d outside [1, %d]", sp.MaxContexts, core.MaxMaxContexts)
+		}
+	}
+	if contextual && len(sp.MetaPairs) != 0 {
+		return fmt.Errorf("meta_pairs and a contextual algorithm cannot be combined")
 	}
 	set, err := fault.ParseSet(sp.Faults)
 	if err != nil {
@@ -98,6 +122,15 @@ func buildController(sp Spec, alloc func(core.Config) (*core.Agent, error)) (age
 		agent = m
 	case strings.HasPrefix(sp.Algo, "static:"):
 		c, err := core.ParseAlgo(sp.Algo, sp.Arms, sp.Seed, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		agent = c
+	case isContextualAlgo(sp.Algo):
+		base, _ := core.ContextualBase(sp.Algo)
+		c, err := core.NewContextualAgent(core.ContextualConfig{
+			Arms: sp.Arms, Algo: base, Seed: sp.Seed, MaxContexts: sp.MaxContexts,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -175,6 +208,7 @@ type SessionInfo struct {
 	Arm      int    `json:"arm"`
 	BestArm  int    `json:"best_arm"`
 	Restarts int    `json:"restarts,omitempty"`
+	Contexts int    `json:"contexts,omitempty"`
 }
 
 // Info returns a consistent snapshot of the session's externally visible
@@ -194,6 +228,9 @@ func (s *Session) Info() (SessionInfo, error) {
 		info.Restarts = a.Restarts()
 	case *core.MetaAgent:
 		info.BestArm = a.BestLevel()
+	case *core.ContextualAgent:
+		info.BestArm = a.BestArm()
+		info.Contexts = a.Contexts()
 	case core.FixedArm:
 		info.BestArm = int(a)
 	}
@@ -204,13 +241,67 @@ func (s *Session) Info() (SessionInfo, error) {
 // it with the decision's sequence number. A second Step before the open
 // decision's reward is a protocol conflict, not an agent panic.
 func (s *Session) Step() (seq uint64, arm int, err error) {
+	return s.StepWithContext(nil)
+}
+
+// SignatureFromVector maps a wire context vector to a core.Signature. The
+// vector is [phase, mpki, bw_util]: the phase must be a non-negative
+// integer (it is used verbatim, modulo the 16-bit field width); the MPKI
+// and bandwidth-utilization values are bucketed by the core banding
+// functions. Wrong lengths and non-finite values are errors, so a typo'd
+// client sees a 400 instead of silently landing in a garbage context.
+func SignatureFromVector(v []float64) (core.Signature, error) {
+	if len(v) != 3 {
+		return 0, fmt.Errorf("context needs exactly 3 values [phase, mpki, bw_util], got %d", len(v))
+	}
+	for i, f := range v {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, fmt.Errorf("context[%d] is not finite", i)
+		}
+	}
+	phase := int(v[0])
+	if float64(phase) != v[0] || phase < 0 {
+		return 0, fmt.Errorf("context phase %v is not a non-negative integer", v[0])
+	}
+	return core.SignatureOf(phase, v[1], v[2]), nil
+}
+
+// StepWithContext is Step with an optional context vector: a non-nil
+// ctxVec selects the signature context the decision runs in. Sending a
+// context to a non-contextual session is a bad request; omitting it on a
+// contextual session keeps the most recently selected context (the zero
+// signature before any context has been sent).
+func (s *Session) StepWithContext(ctxVec []float64) (seq uint64, arm int, err error) {
+	var sig core.Signature
+	if ctxVec != nil {
+		if sig, err = SignatureFromVector(ctxVec); err != nil {
+			return 0, 0, &ProtocolError{Code: CodeBadRequest, Msg: err.Error()}
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.deleted {
 		return 0, 0, errSessionDeleted(s.id)
 	}
+	// A context on a non-contextual session is rejected before the
+	// step-open check: the request is malformed no matter what protocol
+	// state the session is in, so the answer cannot depend on op ordering
+	// (the batch plane runs demoted ops after kernel ops).
+	var cs core.ContextSetter
+	if ctxVec != nil {
+		var ok bool
+		if cs, ok = s.agent.(core.ContextSetter); !ok {
+			return 0, 0, &ProtocolError{
+				Code: CodeBadRequest,
+				Msg:  fmt.Sprintf("session algorithm %q does not accept a context", s.spec.Algo),
+			}
+		}
+	}
 	if err := s.lockedCheckStep(); err != nil {
 		return 0, 0, err
+	}
+	if cs != nil {
+		cs.SetContext(sig)
 	}
 	arm = s.drive.Step()
 	return s.lockedCommitStep(arm), arm, nil

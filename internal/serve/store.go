@@ -241,7 +241,8 @@ func (st *Store) CreateWithID(id string, spec Spec) (s *Session, created bool, e
 
 // specEqual compares two normalized specs field by field.
 func specEqual(a, b Spec) bool {
-	if a.Algo != b.Algo || a.Arms != b.Arms || a.Seed != b.Seed || a.Faults != b.Faults {
+	if a.Algo != b.Algo || a.Arms != b.Arms || a.Seed != b.Seed || a.Faults != b.Faults ||
+		a.MaxContexts != b.MaxContexts {
 		return false
 	}
 	if len(a.MetaPairs) != len(b.MetaPairs) {
