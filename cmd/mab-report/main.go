@@ -4,6 +4,7 @@
 //
 //	mab-report [-preset smoke|quick|full] [-exp id] [-list] [-seed n] [-j n]
 //	mab-report -robust [-faults noise:0.5,stuckarm:1:7]
+//	mab-report -scenarios [-scenario dramsched,cacheins]
 //	mab-report -robust -telemetry out.jsonl [-telemetry-every 100]
 //	mab-report -parbench BENCH_parallel.json [-preset quick] [-j n]
 //	mab-report -servebench BENCH_batch.json [-servebench-duration 2s] [-j n]
@@ -15,7 +16,11 @@
 // experiment registry (ids match DESIGN.md's per-experiment index).
 // -robust runs the fault-injection robustness sweep, optionally with a
 // custom -faults sweep (comma-separated kind:intensity[:seed] specs, one
-// sweep row each). -parbench times the heaviest experiments serial vs
+// sweep row each). -scenarios runs every registered decision scenario
+// (DRAM scheduling, cache insertion, prefetch degree, prefetch config,
+// agent selection) with the same bandit against each scenario's static
+// arms; -scenario filters to a comma-separated subset, and unknown names
+// exit 2 listing the valid ones. -parbench times the heaviest experiments serial vs
 // parallel and writes the wall-clock comparison as JSON. -servebench
 // measures serving throughput — the scalar step/reward baseline, then a
 // /v1/batch size sweep — and writes BENCH_batch.json. -clusterbench
@@ -52,6 +57,7 @@ import (
 	"microbandit/internal/harness"
 	"microbandit/internal/obs"
 	"microbandit/internal/par"
+	"microbandit/internal/scenario"
 	"microbandit/internal/serve"
 	"microbandit/internal/serve/loadgen"
 	"microbandit/internal/simbench"
@@ -66,6 +72,8 @@ func main() {
 	csvDir := flag.String("csvdir", "", "also write per-experiment CSV files into this directory")
 	workers := flag.Int("j", 0, "worker goroutines per experiment (0 = one per CPU, 1 = serial)")
 	robust := flag.Bool("robust", false, "run the fault-injection robustness sweep")
+	scenarios := flag.Bool("scenarios", false, "run the cross-scenario reusability experiment (one bandit, every decision problem)")
+	scenarioNames := flag.String("scenario", "", "with -scenarios: comma-separated scenario names to run ("+strings.Join(scenario.Names(), ", ")+")")
 	faultSpec := flag.String("faults", "", "with -robust: custom sweep as comma-separated kind:intensity[:seed] ("+strings.Join(fault.KindNames(), ", ")+")")
 	parBench := flag.String("parbench", "", "time Table8 and Fig5 serial vs parallel, write JSON here")
 	serveBench := flag.String("servebench", "", "measure serving throughput (scalar baseline + /v1/batch size sweep), write JSON here")
@@ -113,8 +121,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mab-report: -faults requires -robust")
 		os.Exit(2)
 	}
-	if *telemetry != "" && !*robust {
-		fmt.Fprintln(os.Stderr, "mab-report: -telemetry requires -robust")
+	if *scenarioNames != "" && !*scenarios {
+		fmt.Fprintln(os.Stderr, "mab-report: -scenario requires -scenarios")
+		os.Exit(2)
+	}
+	if *telemetry != "" && !*robust && !*scenarios {
+		fmt.Fprintln(os.Stderr, "mab-report: -telemetry requires -robust or -scenarios")
 		os.Exit(2)
 	}
 	if *telemetryEvery <= 0 {
@@ -183,6 +195,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
 			exit(1)
 		}
+	}
+
+	if *scenarios {
+		names := scenario.Names()
+		if *scenarioNames != "" {
+			names = strings.Split(*scenarioNames, ",")
+			for i := range names {
+				names[i] = strings.TrimSpace(names[i])
+			}
+		}
+		var collector *obs.Collector
+		if *telemetry != "" {
+			collector = obs.NewCollector(*telemetryEvery)
+			o.Obs = collector
+		}
+		start := time.Now()
+		r, err := harness.ScenariosWith(o, names)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(r.Render())
+		if *csvDir != "" {
+			writeCSV(*csvDir, "scenarios", r.CSV())
+		}
+		if collector != nil {
+			if err := obs.WriteFiles(*telemetry, *telemetryEvery, collector.Events()); err != nil {
+				fmt.Fprintf(os.Stderr, "mab-report: telemetry: %v\n", err)
+				exit(1)
+			}
+		}
+		fmt.Printf("(scenarios: %.1fs)\n", time.Since(start).Seconds())
+		exitAfterAppendix(o.Errs)
 	}
 
 	if *robust {
@@ -402,9 +447,9 @@ func runSimBench(path, baselinePath string, insts int64, seed uint64) error {
 // step/reward baseline plus a /v1/batch size sweep, all on one server
 // configuration.
 type serveBenchReport struct {
-	CPUs      int     `json:"cpus"`
-	Workers   int     `json:"workers"`
-	DurationS float64 `json:"duration_s"`
+	CPUs      int               `json:"cpus"`
+	Workers   int               `json:"workers"`
+	DurationS float64           `json:"duration_s"`
 	Scalar    *loadgen.Result   `json:"scalar"`
 	Batch     []*loadgen.Result `json:"batch"`
 	// MaxDecisionsPerSec is the headline: the best throughput any

@@ -17,6 +17,24 @@ type Controller interface {
 	InInitialRR() bool
 }
 
+// RewardProbe is a per-step reward source: StepReward returns the reward
+// for the bandit step that just ended, measured against whatever baseline
+// the probe keeps internally (typically a diff of substrate counters
+// since its previous call). The runner's built-in reward is step IPC; a
+// decision scenario installs a probe when its objective is better
+// expressed another way (row-hit rate, cache hit rate, ...).
+type RewardProbe interface {
+	StepReward() float64
+}
+
+// ProbeSetter is the optional Controller capability of receiving the
+// scenario's reward probe — controllers that aggregate other controllers
+// (Selector, fault wrappers) implement it by forwarding, so the probe
+// reaches every learner however deeply the controller is wrapped.
+type ProbeSetter interface {
+	SetRewardProbe(p RewardProbe)
+}
+
 // FixedArm is a Controller that always selects one arm and ignores
 // rewards. Used for best-static oracle sweeps and for wiring a
 // conventional (non-learning) configuration through the same harness code

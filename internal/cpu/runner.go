@@ -35,8 +35,18 @@ type Runner struct {
 
 	// Ctrl selects arms on Tunable when both are non-nil.
 	Ctrl core.Controller
-	// Tunable is the arm-controlled prefetcher (normally L2Pf itself).
-	Tunable prefetch.Tunable
+	// Tunable is the arm-controlled unit the bandit steers. Historically
+	// always the L2 prefetcher itself; the scenario subsystem plugs in
+	// other decision problems (DRAM scheduling, cache insertion, degree
+	// throttling) through the same Actuator surface.
+	Tunable Actuator
+
+	// Probe, when non-nil, replaces the built-in step-IPC reward with a
+	// scenario-specific one (core.RewardProbe). The probe is called
+	// exactly once per completed bandit step, after the step's simulation
+	// and before the next arm selection, so counter-diffing probes see
+	// one step per call.
+	Probe core.RewardProbe
 
 	// StepL2 is the bandit step length in L2 demand accesses.
 	StepL2 int
@@ -97,9 +107,20 @@ type ArmSample struct {
 	Arm   int
 }
 
+// Actuator is the minimal arm surface the runner drives: the
+// scenario-agnostic half of prefetch.Tunable (and of scenario.Tunable,
+// which both satisfy it structurally). Apply must tolerate being called
+// repeatedly with the current arm and must not allocate in steady state.
+type Actuator interface {
+	// NumArms returns the number of selectable arms.
+	NumArms() int
+	// Apply switches the unit to the given arm; panics if out of range.
+	Apply(arm int)
+}
+
 // NewRunner builds a runner. ctrl and tun may both be nil for
 // conventional (non-learning) prefetchers.
-func NewRunner(c *Core, l2pf prefetch.Prefetcher, ctrl core.Controller, tun prefetch.Tunable) *Runner {
+func NewRunner(c *Core, l2pf prefetch.Prefetcher, ctrl core.Controller, tun Actuator) *Runner {
 	r := &Runner{
 		Core:          c,
 		Hier:          c.Hier(),
@@ -266,14 +287,17 @@ func (r *Runner) onL2Access(pc, addr uint64, hit bool, cycle int64) {
 	if r.stepAccesses < r.StepL2 {
 		return
 	}
-	// Bandit step complete: reward is the step's IPC.
+	// Bandit step complete: reward is the step's IPC, or the scenario
+	// probe's measurement when one is installed.
 	insts := r.Core.Insts() - r.stepStartInsts
 	cycles := r.Core.Cycles() - r.stepStartCycle
-	ipc := 0.0
-	if cycles > 0 {
-		ipc = float64(insts) / float64(cycles)
+	reward := 0.0
+	if r.Probe != nil {
+		reward = r.Probe.StepReward()
+	} else if cycles > 0 {
+		reward = float64(insts) / float64(cycles)
 	}
-	r.Ctrl.Reward(ipc)
+	r.Ctrl.Reward(reward)
 	r.rewardCount++
 	r.obsWindow(cycle)
 	r.setContext()

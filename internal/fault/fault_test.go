@@ -112,6 +112,89 @@ func TestControllerForwardsSetContext(t *testing.T) {
 	plain.(core.ContextSetter).SetContext(core.Signature(1))
 }
 
+// probeRecorder is a recorder that also accepts reward probes, like
+// core.Selector.
+type probeRecorder struct {
+	recorder
+	probes []core.RewardProbe
+}
+
+func (r *probeRecorder) SetRewardProbe(p core.RewardProbe) { r.probes = append(r.probes, p) }
+
+// constProbe is a trivial core.RewardProbe.
+type constProbe float64
+
+func (p constProbe) StepReward() float64 { return float64(p) }
+
+// TestControllerForwardsSetRewardProbe: the reward-channel fault wrapper
+// must not hide the inner controller's ProbeSetter — the mirror of the
+// SetContext wrapper-hiding bug above, for the scenario subsystem's
+// per-scenario reward probes. Without forwarding, a faulted scenario run
+// would silently train on the default reward instead of the scenario's.
+func TestControllerForwardsSetRewardProbe(t *testing.T) {
+	rec := &probeRecorder{}
+	fs := Set{{Kind: Noise, Intensity: 0.5, Seed: 3}}
+	c := Controller(rec, fs, 7)
+	if c == core.Controller(rec) {
+		t.Fatal("noise set should have wrapped the controller")
+	}
+	ps, ok := c.(core.ProbeSetter)
+	if !ok {
+		t.Fatal("fault wrapper hides core.ProbeSetter from the scenario wiring")
+	}
+	probe := constProbe(0.25)
+	ps.SetRewardProbe(probe)
+	if len(rec.probes) != 1 || rec.probes[0] != core.RewardProbe(probe) {
+		t.Fatalf("inner received probes %v, want the one forwarded", rec.probes)
+	}
+	// A probe-less inner tolerates the forwarded call as a no-op.
+	plain := Controller(&recorder{}, fs, 7)
+	plain.(core.ProbeSetter).SetRewardProbe(probe)
+}
+
+// armsRecorder records Apply calls through the scenario-generic Applier
+// surface.
+type armsRecorder struct {
+	arms    int
+	applied []int
+}
+
+func (a *armsRecorder) NumArms() int  { return a.arms }
+func (a *armsRecorder) Apply(arm int) { a.applied = append(a.applied, arm) }
+
+// TestArmsStuck: the generic stuck-arm wrapper drops some Apply calls
+// deterministically and passes NumArms through; without a stuck-arm
+// spec the inner Applier is returned unchanged.
+func TestArmsStuck(t *testing.T) {
+	inner := &armsRecorder{arms: 4}
+	if got := Arms(inner, nil, 1); got != Applier(inner) {
+		t.Fatal("empty set must return the inner Applier unchanged")
+	}
+	fs := Set{{Kind: StuckArm, Intensity: 0.5, Seed: 9}}
+	w := Arms(inner, fs, 3)
+	if w == Applier(inner) {
+		t.Fatal("stuck-arm set should have wrapped the Applier")
+	}
+	if w.NumArms() != 4 {
+		t.Fatalf("NumArms through wrapper = %d, want 4", w.NumArms())
+	}
+	for i := 0; i < 64; i++ {
+		w.Apply(i & 3)
+	}
+	if len(inner.applied) == 0 || len(inner.applied) == 64 {
+		t.Fatalf("stuck-arm at 0.5 delivered %d/64 Apply calls, want some dropped", len(inner.applied))
+	}
+	// Same spec and seeds -> same drop pattern.
+	inner2 := &armsRecorder{arms: 4}
+	w2 := Arms(inner2, fs, 3)
+	for i := 0; i < 64; i++ {
+		w2.Apply(i & 3)
+	}
+	if len(inner2.applied) != len(inner.applied) {
+		t.Fatalf("same seeds dropped differently: %d vs %d", len(inner2.applied), len(inner.applied))
+	}
+}
+
 func TestControllerCleanPassthrough(t *testing.T) {
 	rec := &recorder{}
 	if got := Controller(rec, nil, 1); got != core.Controller(rec) {

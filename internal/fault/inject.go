@@ -90,6 +90,16 @@ func (c *faultyController) SetContext(sig core.Signature) {
 	}
 }
 
+// SetRewardProbe implements core.ProbeSetter by forwarding the
+// scenario's reward probe to the inner controller when it accepts one.
+// Like SetContext, the wrapper must not hide the capability: the faults
+// perturb reward values in Reward, wherever those values came from.
+func (c *faultyController) SetRewardProbe(p core.RewardProbe) {
+	if ps, ok := c.inner.(core.ProbeSetter); ok {
+		ps.SetRewardProbe(p)
+	}
+}
+
 // Reward implements core.Controller, applying noise, quantization, and
 // delayed delivery before the inner controller sees the value.
 func (c *faultyController) Reward(r float64) {
@@ -154,6 +164,48 @@ func (s *stuckTunable) Apply(arm int) {
 		return
 	}
 	s.Tunable.Apply(arm)
+}
+
+// Applier is the minimal arm surface shared by prefetch.Tunable and
+// scenario.Tunable — what the stuck-arm fault actually needs.
+type Applier interface {
+	NumArms() int
+	Apply(arm int)
+}
+
+// stuckApplier is stuckTunable for arbitrary decision scenarios: same
+// fault, no prefetcher surface.
+type stuckApplier struct {
+	inner Applier
+	rng   *xrand.Rand
+	prob  float64
+}
+
+// Arms wraps inner with the set's stuck-arm fault; without one it
+// returns inner unchanged. It is the scenario-generic sibling of
+// Tunable, for arm-controlled units that are not prefetchers.
+func Arms(inner Applier, fs Set, runSeed uint64) Applier {
+	s, ok := fs.find(StuckArm)
+	if !ok {
+		return inner
+	}
+	return &stuckApplier{
+		inner: inner,
+		rng:   xrand.New(mix(s.Seed, runSeed)),
+		prob:  s.Intensity,
+	}
+}
+
+// NumArms implements Applier.
+func (s *stuckApplier) NumArms() int { return s.inner.NumArms() }
+
+// Apply implements Applier, silently failing with the configured
+// probability.
+func (s *stuckApplier) Apply(arm int) {
+	if s.rng.Bool(s.prob) {
+		return
+	}
+	s.inner.Apply(arm)
 }
 
 // ---------------------------------------------------------------------

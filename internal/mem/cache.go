@@ -66,7 +66,69 @@ type Cache struct {
 	ways  int
 	mask  uint64
 	stats CacheStats
+
+	// insert selects where fills land in the recency order (the cacheins
+	// decision scenario). InsertMRU is classic LRU; bipCount drives the
+	// deterministic BIP epsilon.
+	insert   InsertPolicy
+	bipCount uint64
 }
+
+// InsertPolicy selects where a filled line enters a set's recency order.
+// The zero value InsertMRU is classic LRU insertion (historical
+// behaviour).
+type InsertPolicy uint8
+
+// Insertion policies.
+const (
+	// InsertMRU: fills go to the MRU position — classic LRU replacement.
+	InsertMRU InsertPolicy = iota
+	// InsertLIP: LRU-insertion policy — fills stay at the LRU position,
+	// so a line must be re-referenced to survive the next fill. Makes
+	// thrashing scans pass through a single way instead of flushing the
+	// set.
+	InsertLIP
+	// InsertBIP32: bimodal insertion — LIP, except every 32nd fill goes
+	// to MRU, letting a small resident fraction of a thrashing working
+	// set stick. The epsilon counter is global and deterministic.
+	InsertBIP32
+	// InsertBIP8: bimodal insertion with a 1/8 MRU fraction.
+	InsertBIP8
+
+	numInsertPolicies
+)
+
+// InsertPolicyNames lists the policies in arm order.
+func InsertPolicyNames() []string { return []string{"lru", "lip", "bip32", "bip8"} }
+
+// String implements fmt.Stringer.
+func (p InsertPolicy) String() string {
+	switch p {
+	case InsertMRU:
+		return "lru"
+	case InsertLIP:
+		return "lip"
+	case InsertBIP32:
+		return "bip32"
+	case InsertBIP8:
+		return "bip8"
+	default:
+		return fmt.Sprintf("insert(%d)", uint8(p))
+	}
+}
+
+// SetInsertPolicy switches the insertion policy. Safe to call mid-run
+// (it is the cacheins scenario's Apply path) and allocation-free;
+// resident lines keep their current recency positions.
+func (c *Cache) SetInsertPolicy(p InsertPolicy) {
+	if p >= numInsertPolicies {
+		panic(fmt.Sprintf("mem: cache %s invalid insertion policy %d", c.name, uint8(p)))
+	}
+	c.insert = p
+}
+
+// Insert returns the active insertion policy.
+func (c *Cache) Insert() InsertPolicy { return c.insert }
 
 // NewCache builds a cache with the given geometry. sets must be a power of
 // two; ways must be positive (and at most 255, for the uint8 LRU links).
@@ -230,7 +292,9 @@ func (c *Cache) fillVictim(set, base int, lineAddr uint64, prefetched, dirty boo
 	victim := base + int(c.head[set])
 	var ev Evicted
 	v := &c.meta[victim]
+	cold := true
 	if t := c.tags[victim]; t != invalidTag {
+		cold = false
 		ev = Evicted{LineAddr: t, Dirty: v.dirty, Valid: true}
 		c.stats.Evictions++
 		if v.dirty {
@@ -240,7 +304,29 @@ func (c *Cache) fillVictim(set, base int, lineAddr uint64, prefetched, dirty boo
 			c.stats.PrefUnused++
 		}
 	}
-	c.touch(set, base, victim)
+	// Insertion policy: where the filled line enters the recency order.
+	// The victim way is already the set's LRU head, so LIP's
+	// insert-at-LRU is "do nothing" and the line is the next victim
+	// unless a demand hit promotes it first. Cold fills (an empty way)
+	// always promote: victim selection must walk the remaining empty
+	// ways before any policy can sensibly apply — this also preserves
+	// the lowest-empty-way victim order the recency list is built on.
+	switch {
+	case cold || c.insert == InsertMRU:
+		c.touch(set, base, victim)
+	case c.insert == InsertLIP:
+		// leave at LRU
+	case c.insert == InsertBIP32:
+		c.bipCount++
+		if c.bipCount&31 == 0 {
+			c.touch(set, base, victim)
+		}
+	case c.insert == InsertBIP8:
+		c.bipCount++
+		if c.bipCount&7 == 0 {
+			c.touch(set, base, victim)
+		}
+	}
 	c.tags[victim] = lineAddr
 	*v = lineMeta{dirty: dirty, prefetched: prefetched}
 	c.stats.Fills++
@@ -254,11 +340,13 @@ func (c *Cache) fillVictim(set, base int, lineAddr uint64, prefetched, dirty boo
 // was already cached or in flight.
 func (c *Cache) NoteRedundantPrefetch() { c.stats.PrefRedundant++ }
 
-// Reset clears contents and statistics.
+// Reset clears contents and statistics. The insertion policy is
+// configuration and survives; its epsilon counter is state and does not.
 func (c *Cache) Reset() {
 	c.initState()
 	for i := range c.meta {
 		c.meta[i] = lineMeta{}
 	}
 	c.stats = CacheStats{}
+	c.bipCount = 0
 }

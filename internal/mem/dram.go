@@ -8,6 +8,13 @@ import "fmt"
 // can stream lines out, they queue and the observed latency grows — the
 // behaviour behind the paper's bandwidth-sensitivity sweep (Fig. 10),
 // where aggressive prefetching stops paying off at low MTPS.
+//
+// An optional scheduling policy (SetSchedPolicy) layers a row-buffer
+// model on top: open-page policies pay less for row hits and more for
+// row misses, close-page pays a flat activate cost, and FR-FCFS models
+// the scheduler reordering queued requests to favour row hits. The zero
+// value SchedNone is the historical flat-latency channel and is the
+// default everywhere.
 type DRAM struct {
 	latency  int64   // uncontended access latency in core cycles
 	period   float64 // core cycles needed to stream one 64B line
@@ -22,7 +29,76 @@ type DRAM struct {
 	writes     int64
 	busyCycles float64
 	queued     int64 // requests that waited on the channel
+
+	// Row-buffer model state (active only when policy != SchedNone).
+	policy    SchedPolicy
+	openRow   uint64 // currently open row in the (single modelled) bank
+	haveRow   bool   // a row is open
+	frParity  uint64 // deterministic FR-FCFS reorder counter
+	rowHits   int64
+	rowMisses int64
+	reorders  int64 // queued row misses FR-FCFS turned into hits
 }
+
+// SchedPolicy selects the channel's request-scheduling / row-buffer
+// policy — the arm space of the dramsched decision scenario. SchedNone
+// (the zero value) disables the row model entirely and reproduces the
+// flat-latency channel bit for bit.
+type SchedPolicy uint8
+
+// Scheduling policies.
+const (
+	// SchedNone: flat latency, no row-buffer model (historical behaviour).
+	SchedNone SchedPolicy = iota
+	// SchedFCFSOpen: in-order service, rows stay open after an access —
+	// row hits skip the activate, row misses pay precharge+activate.
+	SchedFCFSOpen
+	// SchedFCFSClose: in-order service, rows auto-precharge after every
+	// access — a flat activate cost, never a precharge stall.
+	SchedFCFSClose
+	// SchedFRFCFSOpen: open-page with first-ready reordering — when
+	// requests queue on the busy channel, the scheduler services row
+	// hits ahead of row misses; modelled deterministically as every
+	// other queued row miss finding a row-hit candidate to run instead.
+	SchedFRFCFSOpen
+
+	numSchedPolicies
+)
+
+// SchedPolicyNames lists the selectable policies in arm order (SchedNone
+// is not an arm: it is the absence of the model).
+func SchedPolicyNames() []string { return []string{"fcfs-open", "fcfs-close", "frfcfs-open"} }
+
+// String implements fmt.Stringer.
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedNone:
+		return "none"
+	case SchedFCFSOpen:
+		return "fcfs-open"
+	case SchedFCFSClose:
+		return "fcfs-close"
+	case SchedFRFCFSOpen:
+		return "frfcfs-open"
+	default:
+		return fmt.Sprintf("sched(%d)", uint8(p))
+	}
+}
+
+// Row-model timing offsets relative to the configured flat latency.
+// With the default 160-cycle latency: an open-page row hit completes in
+// 100 cycles, an open-page row miss (precharge + activate) in 220, and
+// a close-page access (activate only, precharge hidden after the
+// previous access) in 180.
+const (
+	rowHitSave     = 60 // cycles saved by an open-page row hit
+	rowMissPenalty = 60 // extra cycles for precharge+activate on a row miss
+	closeActivate  = 20 // extra cycles for the unconditional activate
+)
+
+// rowShift converts a line address to its DRAM row: 64 lines x 64 B =
+// 4 KB rows.
+const rowShift = 6
 
 // BandwidthFault transiently degrades the channel: PeriodScale returns
 // the multiplier (>= 1) applied to the per-line streaming period for a
@@ -35,6 +111,19 @@ type BandwidthFault interface {
 
 // SetBandwidthFault installs a channel-degradation fault (nil clears it).
 func (d *DRAM) SetBandwidthFault(f BandwidthFault) { d.fault = f }
+
+// SetSchedPolicy switches the scheduling policy. Safe to call mid-run
+// (it is the dramsched scenario's Apply path) and allocation-free; row
+// state carries across switches like real hardware's would.
+func (d *DRAM) SetSchedPolicy(p SchedPolicy) {
+	if p >= numSchedPolicies {
+		panic(fmt.Sprintf("mem: invalid scheduling policy %d", uint8(p)))
+	}
+	d.policy = p
+}
+
+// Policy returns the active scheduling policy.
+func (d *DRAM) Policy() SchedPolicy { return d.policy }
 
 // NewDRAM builds a channel for a core running at freqGHz with a transfer
 // rate of mtps mega-transfers/s (8 bytes per transfer, DDR-style) and the
@@ -52,22 +141,37 @@ func NewDRAM(mtps, freqGHz float64, latencyCycles int64) *DRAM {
 }
 
 // Read schedules a line read issued at cycle and returns its completion
-// cycle, accounting for channel occupancy.
-func (d *DRAM) Read(cycle int64) int64 {
+// cycle, accounting for channel occupancy. Equivalent to ReadLine with
+// an unknown address; callers that know the line should prefer ReadLine
+// so row-buffer policies see real locality.
+func (d *DRAM) Read(cycle int64) int64 { return d.ReadLine(0, cycle) }
+
+// ReadLine schedules a read of the given cache line issued at cycle and
+// returns its completion cycle, accounting for channel occupancy and —
+// when a scheduling policy is active — row-buffer locality.
+func (d *DRAM) ReadLine(line uint64, cycle int64) int64 {
 	d.reads++
-	return d.schedule(cycle)
+	return d.schedule(line, cycle)
 }
 
 // Write schedules a line writeback at cycle. The returned completion is
 // when the channel finishes the transfer (callers normally ignore it —
 // writebacks are off the critical path — but they still consume
-// bandwidth).
-func (d *DRAM) Write(cycle int64) int64 {
+// bandwidth). Equivalent to WriteLine with an unknown address.
+func (d *DRAM) Write(cycle int64) int64 { return d.WriteLine(0, cycle) }
+
+// WriteLine schedules a writeback of the given cache line at cycle.
+func (d *DRAM) WriteLine(line uint64, cycle int64) int64 {
 	d.writes++
-	return d.schedule(cycle)
+	return d.schedule(line, cycle)
 }
 
-func (d *DRAM) schedule(cycle int64) int64 {
+// schedule serializes one line transfer onto the channel. Requests are
+// serviced in call order, not issue-cycle order: a writeback issued at
+// an earlier cycle than an already-scheduled read still queues behind
+// it (the fill queue delivers events in ready order, so call order is
+// the model's arrival order).
+func (d *DRAM) schedule(line uint64, cycle int64) int64 {
 	period := d.period
 	if d.fault != nil {
 		if s := d.fault.PeriodScale(cycle); s > 1 {
@@ -75,13 +179,61 @@ func (d *DRAM) schedule(cycle int64) int64 {
 		}
 	}
 	start := float64(cycle)
+	waited := false
 	if d.nextFree > start {
 		start = d.nextFree
 		d.queued++
+		waited = true
+	}
+	lat := d.latency
+	if d.policy != SchedNone {
+		lat += d.rowLatency(line, waited)
 	}
 	d.nextFree = start + period
 	d.busyCycles += period
-	return int64(start) + d.latency + int64(period)
+	s := int64(start)
+	if s < cycle {
+		// float64 cannot represent every int64 exactly; at very large
+		// cycle counts the conversion can round below the issue cycle,
+		// which would let a completion land before cycle+latency. Clamp
+		// so completions never precede their issue.
+		s = cycle
+	}
+	return s + lat + int64(period)
+}
+
+// rowLatency returns the row-buffer latency adjustment for an access to
+// line, updating row state and hit/miss counters. waited reports that
+// the request queued on a busy channel — the window in which FR-FCFS
+// reordering has anything to reorder.
+func (d *DRAM) rowLatency(line uint64, waited bool) int64 {
+	row := line >> rowShift
+	if d.policy == SchedFCFSClose {
+		// Closed page: the previous access auto-precharged, so every
+		// access pays exactly one activate and never a precharge stall.
+		d.rowMisses++
+		return closeActivate
+	}
+	if d.haveRow && row == d.openRow {
+		d.rowHits++
+		return -rowHitSave
+	}
+	if d.policy == SchedFRFCFSOpen && waited {
+		// First-ready reordering: with requests queued, the scheduler
+		// can usually find a row hit to service ahead of this miss, so
+		// the miss's precharge overlaps another transfer. Modelled
+		// deterministically as every other queued miss being hidden;
+		// the open row is unchanged (the reordered hit targeted it).
+		d.frParity++
+		if d.frParity&1 == 1 {
+			d.reorders++
+			d.rowHits++
+			return -rowHitSave
+		}
+	}
+	d.rowMisses++
+	d.haveRow, d.openRow = true, row
+	return rowMissPenalty
 }
 
 // Reads returns the number of line reads serviced.
@@ -92,6 +244,16 @@ func (d *DRAM) Writes() int64 { return d.writes }
 
 // Queued returns how many requests found the channel busy.
 func (d *DRAM) Queued() int64 { return d.queued }
+
+// RowHits returns row-buffer hits (0 unless a policy is active).
+func (d *DRAM) RowHits() int64 { return d.rowHits }
+
+// RowMisses returns row-buffer misses/activates (0 unless a policy is
+// active).
+func (d *DRAM) RowMisses() int64 { return d.rowMisses }
+
+// Reorders returns how many queued row misses FR-FCFS serviced as hits.
+func (d *DRAM) Reorders() int64 { return d.reorders }
 
 // Utilization returns the fraction of cycles the channel was busy up to
 // the given cycle.
@@ -114,11 +276,18 @@ func (d *DRAM) BusyCycles() float64 { return d.busyCycles }
 // inverse bandwidth seen by the hierarchy.
 func (d *DRAM) LinePeriodCycles() float64 { return d.period }
 
-// Reset clears scheduling state and counters.
+// Reset clears scheduling state and counters. The policy itself is
+// configuration, not state, and survives.
 func (d *DRAM) Reset() {
 	d.nextFree = 0
 	d.reads = 0
 	d.writes = 0
 	d.busyCycles = 0
 	d.queued = 0
+	d.openRow = 0
+	d.haveRow = false
+	d.frParity = 0
+	d.rowHits = 0
+	d.rowMisses = 0
+	d.reorders = 0
 }

@@ -212,7 +212,7 @@ func (h *Hierarchy) applyFill(f *fill) {
 		// at the target level to avoid double counting.
 		llcPref := prefetched && f.target == PrefToLLC
 		if ev := h.shared.LLC.FillNew(f.line, llcPref, false); ev.Valid && ev.Dirty {
-			h.shared.DRAM.Write(f.ready)
+			h.shared.DRAM.WriteLine(ev.LineAddr, f.ready)
 		}
 	}
 	switch f.target {
@@ -269,7 +269,7 @@ func (h *Hierarchy) fillL2(line uint64, prefetched, dirty bool, cycle int64, kno
 	}
 	if ev.Valid && ev.Dirty {
 		if lev := h.shared.LLC.Fill(ev.LineAddr, false, true); lev.Valid && lev.Dirty {
-			h.shared.DRAM.Write(cycle)
+			h.shared.DRAM.WriteLine(lev.LineAddr, cycle)
 		}
 	}
 }
@@ -334,7 +334,7 @@ func (h *Hierarchy) Access(addr uint64, isWrite bool, cycle int64) AccessResult 
 	}
 	h.stats.LLCMisses++
 	issue := h.waitForMSHR(cycle)
-	ready := h.shared.DRAM.Read(issue + h.cfg.LLCLat)
+	ready := h.shared.DRAM.ReadLine(line, issue+h.cfg.LLCLat)
 	e := h.mshr.put(line)
 	e.ready, e.demanded, e.dirty = ready, true, isWrite
 	h.demandInFlite++
@@ -399,7 +399,7 @@ func (h *Hierarchy) Prefetch(addr uint64, cycle int64, target PrefTarget) {
 		h.stats.PrefIssued--
 		return
 	}
-	ready := h.shared.DRAM.Read(cycle + h.cfg.LLCLat)
+	ready := h.shared.DRAM.ReadLine(line, cycle+h.cfg.LLCLat)
 	e := h.mshr.put(line)
 	e.ready, e.isPrefetch = ready, true
 	h.prefInFlite++

@@ -1,0 +1,307 @@
+package mem
+
+import "testing"
+
+// Tests for the DRAM scheduling-policy row model and the cache insertion
+// policies — the two new decision-scenario arm spaces — plus the
+// zero-allocation guards on their arm-switch paths.
+
+// testDRAM builds a channel with round numbers: period 10 cycles/line
+// (800 MT/s at 1 GHz), flat latency 100. Row offsets: hit -60, miss +60,
+// close-page +20.
+func testDRAM() *DRAM { return NewDRAM(800, 1.0, 100) }
+
+// op is one scheduled access in an audit sequence.
+type schedOp struct {
+	write bool
+	line  uint64
+	cycle int64
+	want  int64 // expected completion cycle
+}
+
+// TestDRAMScheduleAudit pins the schedule/rowLatency contract per policy:
+// completion times, call-order (not issue-cycle-order) service, queued
+// counting, and the row hit/miss/reorder counters. The sequences mix
+// reads and writebacks because the fill queue really does interleave
+// them on one channel.
+func TestDRAMScheduleAudit(t *testing.T) {
+	cases := []struct {
+		name                          string
+		policy                        SchedPolicy
+		ops                           []schedOp
+		queued, hits, misses, reorder int64
+	}{
+		{
+			name:   "none/flat latency and queueing",
+			policy: SchedNone,
+			ops: []schedOp{
+				{line: 0, cycle: 0, want: 110},   // free channel: 0+100+10
+				{line: 64, cycle: 0, want: 120},  // queued: starts at 10
+				{line: 0, cycle: 500, want: 610}, // idle again
+			},
+			queued: 1,
+		},
+		{
+			name:   "none/write queues behind earlier read in call order",
+			policy: SchedNone,
+			ops: []schedOp{
+				{line: 0, cycle: 100, want: 210},
+				// Writeback issued at an EARLIER cycle still queues behind
+				// the read: the channel services arrivals in call order.
+				{write: true, line: 1, cycle: 50, want: 220},
+				{line: 2, cycle: 50, want: 230},
+			},
+			queued: 2,
+		},
+		{
+			name:   "fcfs-open/row hits and misses",
+			policy: SchedFCFSOpen,
+			ops: []schedOp{
+				{line: 0, cycle: 0, want: 170},      // miss: 100+60
+				{line: 1, cycle: 300, want: 350},    // same row 0: hit, 100-60
+				{line: 64, cycle: 600, want: 770},   // row 1: miss
+				{line: 65, cycle: 1000, want: 1050}, // row 1 again: hit
+			},
+			hits: 2, misses: 2,
+		},
+		{
+			name:   "fcfs-open/writeback shares the row buffer",
+			policy: SchedFCFSOpen,
+			ops: []schedOp{
+				{line: 0, cycle: 0, want: 170},                // miss opens row 0
+				{write: true, line: 1, cycle: 300, want: 350}, // writeback hits row 0
+				{line: 2, cycle: 600, want: 650},              // read hits the row the writeback kept open
+			},
+			hits: 2, misses: 1,
+		},
+		{
+			name:   "fcfs-close/flat activate, no precharge stalls",
+			policy: SchedFCFSClose,
+			ops: []schedOp{
+				{line: 0, cycle: 0, want: 130},   // 100+20
+				{line: 1, cycle: 300, want: 430}, // same row: still 100+20
+				{line: 64, cycle: 600, want: 730},
+			},
+			misses: 3, // every access is an activate
+		},
+		{
+			name:   "frfcfs-open/unqueued misses never reorder",
+			policy: SchedFRFCFSOpen,
+			ops: []schedOp{
+				{line: 0, cycle: 0, want: 170},    // miss
+				{line: 64, cycle: 300, want: 470}, // miss: channel idle, nothing to reorder
+				{line: 65, cycle: 600, want: 650}, // hit on row 1
+			},
+			hits: 1, misses: 2,
+		},
+		{
+			name:   "frfcfs-open/alternate queued misses become hits",
+			policy: SchedFRFCFSOpen,
+			ops: []schedOp{
+				{line: 0, cycle: 0, want: 170},   // miss opens row 0; busy till 10
+				{line: 64, cycle: 0, want: 60},   // queued miss -> reordered hit (starts 10, 100-60+10)
+				{line: 128, cycle: 0, want: 190}, // queued miss, parity says no hide: starts 20, +60
+				{line: 256, cycle: 0, want: 80},  // queued miss -> reordered hit again (starts 30)
+			},
+			queued: 3, hits: 2, misses: 2, reorder: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := testDRAM()
+			d.SetSchedPolicy(tc.policy)
+			for i, op := range tc.ops {
+				var got int64
+				if op.write {
+					got = d.WriteLine(op.line, op.cycle)
+				} else {
+					got = d.ReadLine(op.line, op.cycle)
+				}
+				if got != op.want {
+					t.Errorf("op %d (line %d @%d): completion %d, want %d", i, op.line, op.cycle, got, op.want)
+				}
+			}
+			if d.Queued() != tc.queued {
+				t.Errorf("queued = %d, want %d", d.Queued(), tc.queued)
+			}
+			if d.RowHits() != tc.hits {
+				t.Errorf("row hits = %d, want %d", d.RowHits(), tc.hits)
+			}
+			if d.RowMisses() != tc.misses {
+				t.Errorf("row misses = %d, want %d", d.RowMisses(), tc.misses)
+			}
+			if d.Reorders() != tc.reorder {
+				t.Errorf("reorders = %d, want %d", d.Reorders(), tc.reorder)
+			}
+		})
+	}
+}
+
+// TestDRAMScheduleLargeCycle pins the float64 precision clamp: at cycle
+// counts beyond float64's integer range, int64(float64(cycle)) can land
+// below the issue cycle, and without the clamp a completion would
+// precede its own issue.
+func TestDRAMScheduleLargeCycle(t *testing.T) {
+	d := testDRAM()
+	cycle := int64(1)<<62 + 1 // rounds down to 1<<62 as float64
+	got := d.ReadLine(0, cycle)
+	if min := cycle + 100 + 10; got < min {
+		t.Fatalf("completion %d precedes issue+latency %d at large cycle", got, min)
+	}
+}
+
+// TestDRAMPolicyDefaultUnchanged pins that the zero-value policy
+// (SchedNone) reproduces the historical flat channel exactly — the
+// every-experiment-must-not-move contract for this PR.
+func TestDRAMPolicyDefaultUnchanged(t *testing.T) {
+	flat := testDRAM() // never touched by SetSchedPolicy
+	for i := int64(0); i < 100; i++ {
+		line := uint64(i * 37 % 512)
+		want := flat.latency + int64(flat.period)
+		got := flat.ReadLine(line, i*1000) - i*1000
+		if got != want {
+			t.Fatalf("SchedNone read %d: latency %d, want flat %d", i, got, want)
+		}
+	}
+	if flat.RowHits() != 0 || flat.RowMisses() != 0 {
+		t.Fatalf("SchedNone touched row counters: hits=%d misses=%d", flat.RowHits(), flat.RowMisses())
+	}
+}
+
+func TestSetSchedPolicyValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetSchedPolicy accepted an out-of-range policy")
+		}
+	}()
+	testDRAM().SetSchedPolicy(numSchedPolicies)
+}
+
+// TestDRAMSchedZeroAlloc pins the allocation-free arm-switch contract:
+// switching the scheduling policy every few accesses (the bandit's Apply
+// path) and servicing reads/writes under every policy must not allocate.
+func TestDRAMSchedZeroAlloc(t *testing.T) {
+	d := testDRAM()
+	i := int64(0)
+	if n := testing.AllocsPerRun(100, func() {
+		for k := 0; k < 100; k++ {
+			d.SetSchedPolicy(SchedPolicy(1 + i%int64(numSchedPolicies-1)))
+			d.ReadLine(uint64(i%997), i*3)
+			d.WriteLine(uint64(i%991), i*3+1)
+			i++
+		}
+	}); n != 0 {
+		t.Fatalf("sched-policy path allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestCacheInsertPolicies pins the insertion-depth semantics on a tiny
+// 1-set, 4-way cache: MRU inserts protect the new line, LIP leaves it
+// as the next victim, BIP promotes only every Nth fill — and cold fills
+// always promote regardless of policy (the lowest-empty-way invariant).
+func TestCacheInsertPolicies(t *testing.T) {
+	// fillSeq fills lines 0..n-1 through a warmed cache and returns which
+	// of the warmup lines survived.
+	warm := []uint64{100, 101, 102, 103}
+	newCache := func(p InsertPolicy) *Cache {
+		c := NewCache("LLC", 1, 4)
+		c.SetInsertPolicy(p)
+		for _, l := range warm {
+			c.Fill(l, false, false)
+		}
+		return c
+	}
+
+	t.Run("lru evicts in order", func(t *testing.T) {
+		c := newCache(InsertMRU)
+		c.Fill(200, false, false) // evicts 100, inserts at MRU
+		c.Fill(201, false, false) // evicts 101
+		if !c.Contains(200) || !c.Contains(201) {
+			t.Fatal("MRU-inserted lines evicted prematurely")
+		}
+		if c.Contains(100) || c.Contains(101) {
+			t.Fatal("LRU victims survived")
+		}
+	})
+
+	t.Run("lip leaves insert at lru", func(t *testing.T) {
+		c := newCache(InsertLIP)
+		c.Fill(200, false, false) // evicts 100, stays at LRU
+		c.Fill(201, false, false) // evicts 200 (the LIP insert), not 101
+		if c.Contains(200) {
+			t.Fatal("LIP insert was protected; want it to be the next victim")
+		}
+		if !c.Contains(101) {
+			t.Fatal("LIP evicted the working set instead of the new insert")
+		}
+	})
+
+	t.Run("lip promotes on demand hit", func(t *testing.T) {
+		c := newCache(InsertLIP)
+		c.Fill(200, false, false) // at LRU
+		c.Lookup(200, false)      // demand hit promotes to MRU
+		c.Fill(201, false, false) // must evict 101 now, not 200
+		if !c.Contains(200) || c.Contains(101) {
+			t.Fatal("demand-hit LIP insert was not protected")
+		}
+	})
+
+	t.Run("bip8 promotes exactly every 8th evicting fill", func(t *testing.T) {
+		c := newCache(InsertBIP8)
+		for i := uint64(0); i < 16; i++ {
+			c.Fill(200+i, false, false)
+		}
+		// The global counter promotes fills 8 and 16 (lines 207 and 215);
+		// every other fill stays at LRU and is re-evicted by its successor.
+		resident := []uint64{}
+		for i := uint64(0); i < 16; i++ {
+			if c.Contains(200 + i) {
+				resident = append(resident, 200+i)
+			}
+		}
+		if len(resident) != 2 || resident[0] != 207 || resident[1] != 215 {
+			t.Fatalf("BIP8 residents = %v, want [207 215]", resident)
+		}
+	})
+
+	t.Run("cold fills always promote", func(t *testing.T) {
+		c := NewCache("LLC", 1, 4)
+		c.SetInsertPolicy(InsertLIP)
+		for i := uint64(0); i < 4; i++ {
+			c.Fill(i, false, false)
+		}
+		for i := uint64(0); i < 4; i++ {
+			if !c.Contains(i) {
+				t.Fatalf("cold fill %d missing: LIP must not starve empty ways", i)
+			}
+		}
+	})
+}
+
+func TestSetInsertPolicyValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetInsertPolicy accepted an out-of-range policy")
+		}
+	}()
+	NewCache("LLC", 1, 4).SetInsertPolicy(numInsertPolicies)
+}
+
+// TestCacheInsertZeroAlloc pins the allocation-free arm-switch contract
+// for the insertion-policy path: switching policies between fills (the
+// cacheins scenario's Apply path) must not allocate.
+func TestCacheInsertZeroAlloc(t *testing.T) {
+	c := NewCache("LLC", 64, 8)
+	policies := []InsertPolicy{InsertMRU, InsertLIP, InsertBIP32, InsertBIP8}
+	i := uint64(0)
+	if n := testing.AllocsPerRun(100, func() {
+		for k := 0; k < 100; k++ {
+			c.SetInsertPolicy(policies[i%4])
+			c.Fill(i&0xffff, false, false)
+			c.Lookup(i&0xffff, false)
+			i++
+		}
+	}); n != 0 {
+		t.Fatalf("insert-policy path allocates %.1f times per run, want 0", n)
+	}
+}

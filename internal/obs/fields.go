@@ -14,14 +14,14 @@ type FieldKey uint8
 // Field keys, in the alphabetical order of their wire names (the order
 // encoding/json gives sorted map keys, which the JSONL codec preserves).
 const (
-	FieldDRAMBWUtil FieldKey = iota // dram_bw_util
-	FieldIPC                        // ipc
-	FieldIPC0                       // ipc0
-	FieldIPC1                       // ipc1
-	FieldMPKI                       // mpki
-	FieldPrefAccuracy               // pref_accuracy
-	FieldPrefCoverage               // pref_coverage
-	FieldSumIPC                     // sum_ipc
+	FieldDRAMBWUtil   FieldKey = iota // dram_bw_util
+	FieldIPC                          // ipc
+	FieldIPC0                         // ipc0
+	FieldIPC1                         // ipc1
+	FieldMPKI                         // mpki
+	FieldPrefAccuracy                 // pref_accuracy
+	FieldPrefCoverage                 // pref_coverage
+	FieldSumIPC                       // sum_ipc
 
 	numFieldKeys
 )

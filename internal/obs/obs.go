@@ -61,6 +61,9 @@ const (
 	// KindFault marks a fault-injection spec armed for the run
 	// (Label is the kind:intensity[:seed] spec).
 	KindFault Kind = "fault"
+	// KindScenario marks which decision scenario a run exercises (Label
+	// is the scenario name, e.g. "dramsched").
+	KindScenario Kind = "scenario"
 )
 
 // Event is one telemetry record. A single flat struct (rather than one
@@ -68,13 +71,13 @@ const (
 // mixed streams in one slice; unused fields stay at their zero value and
 // are omitted from the encoded form.
 type Event struct {
-	Kind   Kind               `json:"ev"`
-	Step   int64              `json:"step,omitempty"`
-	Cycle  int64              `json:"cycle,omitempty"`
-	Arm    int                `json:"arm,omitempty"`
-	Forced bool               `json:"forced,omitempty"`
-	Value  float64            `json:"value,omitempty"`
-	Raw    float64            `json:"raw,omitempty"`
+	Kind   Kind      `json:"ev"`
+	Step   int64     `json:"step,omitempty"`
+	Cycle  int64     `json:"cycle,omitempty"`
+	Arm    int       `json:"arm,omitempty"`
+	Forced bool      `json:"forced,omitempty"`
+	Value  float64   `json:"value,omitempty"`
+	Raw    float64   `json:"raw,omitempty"`
 	RTable []float64 `json:"rtable,omitempty"`
 	NTable []float64 `json:"ntable,omitempty"`
 	NTotal float64   `json:"ntotal,omitempty"`

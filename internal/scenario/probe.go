@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"microbandit/internal/core"
+	"microbandit/internal/cpu"
+	"microbandit/internal/mem"
+)
+
+// This file holds the per-scenario reward probes. A probe diffs
+// substrate counters against its own previous call, so it must be
+// called exactly once per bandit step (the runner guarantees it). All
+// probes are allocation-free after construction.
+
+// IPCProbe rewards the step's IPC — the paper's objective, made
+// explicit as a probe so scenarios that want it still exercise the
+// probe seam (and its fault-wrapper forwarding) end to end.
+type IPCProbe struct {
+	c          *cpu.Core
+	lastInsts  int64
+	lastCycles int64
+}
+
+// NewIPCProbe builds an IPC probe over the core.
+func NewIPCProbe(c *cpu.Core) *IPCProbe { return &IPCProbe{c: c} }
+
+// StepReward implements core.RewardProbe.
+func (p *IPCProbe) StepReward() float64 {
+	insts, cycles := p.c.Insts(), p.c.Cycles()
+	dInsts, dCycles := insts-p.lastInsts, cycles-p.lastCycles
+	p.lastInsts, p.lastCycles = insts, cycles
+	if dCycles <= 0 {
+		return 0
+	}
+	return float64(dInsts) / float64(dCycles)
+}
+
+// HitRateProbe rewards the step's LLC demand hit rate — the insertion
+// policy's local objective, cleaner than IPC when DRAM queueing noise
+// the policy cannot influence dominates cycle counts. An empty step
+// (no LLC demand) rewards the previous rate, so a quiet step neither
+// punishes nor rewards the arm that happened to be active.
+type HitRateProbe struct {
+	h          *mem.Hierarchy
+	lastDemand int64
+	lastMisses int64
+	lastRate   float64
+}
+
+// NewHitRateProbe builds an LLC-demand-hit-rate probe over the
+// hierarchy.
+func NewHitRateProbe(h *mem.Hierarchy) *HitRateProbe { return &HitRateProbe{h: h} }
+
+// StepReward implements core.RewardProbe.
+func (p *HitRateProbe) StepReward() float64 {
+	st := p.h.Stats()
+	dDemand := st.LLCDemand - p.lastDemand
+	dMisses := st.LLCMisses - p.lastMisses
+	p.lastDemand, p.lastMisses = st.LLCDemand, st.LLCMisses
+	if dDemand <= 0 {
+		return p.lastRate
+	}
+	rate := 1 - float64(dMisses)/float64(dDemand)
+	if rate < 0 {
+		rate = 0
+	}
+	p.lastRate = rate
+	return rate
+}
+
+var (
+	_ core.RewardProbe = (*IPCProbe)(nil)
+	_ core.RewardProbe = (*HitRateProbe)(nil)
+)

@@ -16,7 +16,7 @@ import (
 // mpki, bw_util) that cycles through a handful of distinct signatures.
 func ctxVecFor(round int) [3]float64 {
 	phase := round % 3
-	mpki := []float64{1, 5, 60}[round%3] // all above the first band cut, so
+	mpki := []float64{1, 5, 60}[round%3]    // all above the first band cut, so
 	bw := []float64{0.3, 0.6, 0.9}[round%3] // no vector aliases the zero signature
 	return [3]float64{float64(phase), mpki, bw}
 }

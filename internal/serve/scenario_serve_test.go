@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microbandit/internal/scenario"
+)
+
+// Tests for Spec.Scenario: a session bound to a decision scenario
+// inherits the scenario's arm count, rejects mismatches and unknown
+// names, and the binding survives a checkpoint round-trip.
+
+func TestSpecScenarioFillsArms(t *testing.T) {
+	st := NewStore(1)
+	s, err := st.Create(Spec{Algo: "ducb", Scenario: "dramsched"})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	sc, err := scenario.NewByName("dramsched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Spec().Arms, len(sc.ArmLabels()); got != want {
+		t.Fatalf("arms = %d, want the scenario's %d", got, want)
+	}
+	if s.Spec().Scenario != "dramsched" {
+		t.Fatalf("spec lost its scenario: %+v", s.Spec())
+	}
+	// Matching explicit arms is fine.
+	if _, err := st.Create(Spec{Algo: "ducb", Scenario: "cacheins", Arms: 4}); err != nil {
+		t.Fatalf("Create with matching arms: %v", err)
+	}
+}
+
+func TestSpecScenarioRejections(t *testing.T) {
+	st := NewStore(1)
+	if _, err := st.Create(Spec{Algo: "ducb", Scenario: "dramsched", Arms: 7}); err == nil {
+		t.Error("Create accepted arms mismatching the scenario")
+	}
+	_, err := st.Create(Spec{Algo: "ducb", Scenario: "warpdrive"})
+	if err == nil {
+		t.Fatal("Create accepted an unknown scenario")
+	}
+	msg := err.Error()
+	for _, n := range scenario.Names() {
+		if !strings.Contains(msg, n) {
+			t.Errorf("error %q does not list valid scenario %q", msg, n)
+		}
+	}
+}
+
+func TestScenarioSessionOverHTTP(t *testing.T) {
+	srv := New(Config{})
+	var cr createResponse
+	do(t, srv, "POST", "/v1/sessions", `{"algo":"ducb","scenario":"cacheins"}`, http.StatusCreated, &cr)
+	if cr.Arms != 4 {
+		t.Fatalf("created arms = %d, want cacheins's 4", cr.Arms)
+	}
+	base := "/v1/sessions/" + cr.ID
+	var stp stepResponse
+	do(t, srv, "POST", base+"/step", "", http.StatusOK, &stp)
+	if stp.Arm < 0 || stp.Arm >= 4 {
+		t.Fatalf("step arm = %d, want within the scenario's 4", stp.Arm)
+	}
+	var info SessionInfo
+	do(t, srv, "GET", base, "", http.StatusOK, &info)
+	if info.Spec.Scenario != "cacheins" {
+		t.Fatalf("info spec = %+v, want the scenario binding", info.Spec)
+	}
+
+	if code := errCode(t, srv, "POST", "/v1/sessions",
+		`{"algo":"ducb","scenario":"warpdrive"}`, http.StatusBadRequest); code != CodeBadRequest {
+		t.Fatalf("unknown-scenario code = %q, want %s", code, CodeBadRequest)
+	}
+	if code := errCode(t, srv, "POST", "/v1/sessions",
+		`{"algo":"ducb","scenario":"dramsched","arms":9}`, http.StatusBadRequest); code != CodeBadRequest {
+		t.Fatalf("mismatched-arms code = %q, want %s", code, CodeBadRequest)
+	}
+}
+
+func TestScenarioSpecCheckpointRoundTrip(t *testing.T) {
+	st := NewStore(2)
+	s, err := st.Create(Spec{Algo: "ducb", Scenario: "pfdegree"})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		seq, _, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Reward(seq, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := st.WriteCheckpoint(path); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	st2, err := LoadCheckpoint(path, 2)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	s2, ok := st2.Get(s.ID())
+	if !ok {
+		t.Fatalf("session %s missing after reload", s.ID())
+	}
+	sp := s2.Spec()
+	if sp.Scenario != "pfdegree" || sp.Arms != 4 {
+		t.Fatalf("reloaded spec = %+v, want scenario pfdegree with 4 arms", sp)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"microbandit/internal/core"
 	"microbandit/internal/fault"
+	"microbandit/internal/scenario"
 )
 
 // MaxArms bounds the arm count a session spec may request. Specs cross a
@@ -44,6 +45,14 @@ type Spec struct {
 	// (Algo "ctx-ducb", "linucb", "ctx-thompson"); 0 means the core
 	// default. Rejected for non-contextual algorithms.
 	MaxContexts int `json:"max_contexts,omitempty"`
+	// Scenario names the decision scenario this session serves arms for
+	// (scenario.Names: "prefetch", "dramsched", ...). Purely descriptive
+	// plus one convenience: with Arms 0 the scenario's arm count is
+	// filled in, and a non-zero Arms that disagrees with the scenario is
+	// rejected — a client driving real hardware arms cannot silently
+	// bind to the wrong decision space. Unknown names are rejected with
+	// the valid list.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // isContextualAlgo reports whether name denotes a signature-keyed
@@ -66,10 +75,26 @@ func (sp *Spec) normalize() {
 	if sp.Seed == 0 {
 		sp.Seed = 1
 	}
+	if sp.Arms == 0 && sp.Scenario != "" {
+		if sc, err := scenario.NewByName(sp.Scenario); err == nil {
+			sp.Arms = len(sc.ArmLabels())
+		}
+		// Unknown names leave Arms at 0; Validate reports the name error
+		// (more useful than the arms-range error normalize would cause).
+	}
 }
 
 // Validate checks the spec without building anything.
 func (sp Spec) Validate() error {
+	if sp.Scenario != "" {
+		sc, err := scenario.NewByName(sp.Scenario)
+		if err != nil {
+			return err
+		}
+		if want := len(sc.ArmLabels()); sp.Arms != 0 && sp.Arms != want {
+			return fmt.Errorf("arms %d does not match scenario %q (%d arms)", sp.Arms, sp.Scenario, want)
+		}
+	}
 	if sp.Arms < 1 || sp.Arms > MaxArms {
 		return fmt.Errorf("arms %d outside [1, %d]", sp.Arms, MaxArms)
 	}
