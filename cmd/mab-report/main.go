@@ -61,6 +61,7 @@ import (
 	"microbandit/internal/serve"
 	"microbandit/internal/serve/loadgen"
 	"microbandit/internal/simbench"
+	"microbandit/internal/trace"
 	"microbandit/internal/version"
 )
 
@@ -84,6 +85,8 @@ func main() {
 	simBench := flag.String("simbench", "", "measure single-run simulator throughput (insts/sec per workload), write JSON here")
 	simBenchBaseline := flag.String("simbench-baseline", "", "with -simbench: previously recorded BENCH_sim.json to compute speedups against")
 	simBenchInsts := flag.Int64("simbench-insts", simbench.DefaultInsts, "with -simbench: instructions per workload")
+	simBenchGuard := flag.Float64("simbench-guard", 0, "with -simbench-baseline: exit 1 if gmean speedup vs the baseline falls below this ratio (skipped when the CPU counts differ)")
+	noChunkCache := flag.Bool("no-chunk-cache", false, "disable the shared trace chunk cache for experiment runs (outputs are byte-identical either way; this only trades speed for memory)")
 	telemetry := flag.String("telemetry", "", "with -robust: write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
 	telemetryEvery := flag.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
 	pprofDir := flag.String("pprof", "", "capture cpu.pprof, heap.pprof, and runtime metrics into this directory")
@@ -141,6 +144,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mab-report: -simbench-insts must be positive, got %d\n", *simBenchInsts)
 		os.Exit(2)
 	}
+	if *simBenchGuard < 0 {
+		fmt.Fprintf(os.Stderr, "mab-report: -simbench-guard must be >= 0, got %v\n", *simBenchGuard)
+		os.Exit(2)
+	}
+	if *simBenchGuard > 0 && *simBenchBaseline == "" {
+		fmt.Fprintln(os.Stderr, "mab-report: -simbench-guard requires -simbench-baseline")
+		os.Exit(2)
+	}
 	o.Seed = *seed
 	o.Workers = *workers
 	// Collect per-job failures instead of crashing: experiments render
@@ -167,7 +178,7 @@ func main() {
 	}
 
 	if *simBench != "" {
-		if err := runSimBench(*simBench, *simBenchBaseline, *simBenchInsts, *seed); err != nil {
+		if err := runSimBench(*simBench, *simBenchBaseline, *simBenchInsts, *seed, *simBenchGuard); err != nil {
 			fmt.Fprintf(os.Stderr, "mab-report: %v\n", err)
 			exit(1)
 		}
@@ -188,6 +199,15 @@ func main() {
 			exit(1)
 		}
 		exit(0)
+	}
+
+	// Experiment runs share one trace chunk cache: sweeps replay the same
+	// (app, seed) trace across many agent configurations, and a memoized
+	// slab turns every repeat into a memcpy. Rendered text and CSV are
+	// byte-identical with the cache on or off (pinned by
+	// TestChunkCacheInvariant), so this is on by default.
+	if !*noChunkCache {
+		o.ChunkCache = trace.NewChunkCache(0)
 	}
 
 	if *csvDir != "" {
@@ -421,26 +441,57 @@ func runOne(e harness.Experiment, o harness.Options, csvDir string) string {
 // runSimBench measures single-run simulator throughput per workload and
 // writes the BENCH_sim.json report, merging speedups against a prior
 // recording when one is supplied.
-func runSimBench(path, baselinePath string, insts int64, seed uint64) error {
+func runSimBench(path, baselinePath string, insts int64, seed uint64, guard float64) error {
 	rep := simbench.Run(insts, seed)
+	var base simbench.Report
 	if baselinePath != "" {
-		base, err := simbench.ReadReport(baselinePath)
+		var err error
+		base, err = simbench.ReadReport(baselinePath)
 		if err != nil {
 			return err
 		}
 		rep = simbench.Merge(rep, base)
 	}
 	for _, w := range rep.Workloads {
-		line := fmt.Sprintf("%-8s (%s): %.0f insts/sec, ipc %.4f", w.Name, w.App, w.InstsPerSec, w.IPC)
+		line := fmt.Sprintf("%-8s (%s): %.0f insts/sec", w.Name, w.App, w.InstsPerSec)
+		if w.InstsPerSecMemo > 0 {
+			line += fmt.Sprintf(" (memo %.0f, hit %.2f, ff %.2f)", w.InstsPerSecMemo, w.ChunkHitRate, w.FFCoverage)
+		}
+		line += fmt.Sprintf(", ipc %.4f", w.IPC)
 		if w.Speedup > 0 {
 			line += fmt.Sprintf(", %.2fx vs baseline", w.Speedup)
+		}
+		if w.SpeedupMemo > 0 {
+			line += fmt.Sprintf(" (memo %.2fx)", w.SpeedupMemo)
 		}
 		fmt.Println(line)
 	}
 	if rep.GMeanSpeedup > 0 {
 		fmt.Printf("gmean speedup: %.2fx\n", rep.GMeanSpeedup)
 	}
-	return simbench.WriteReport(path, rep)
+	if rep.GMeanSpeedupMemo > 0 {
+		fmt.Printf("gmean speedup (warm chunk cache): %.2fx\n", rep.GMeanSpeedupMemo)
+	}
+	// Write the report before the guard verdict so a failing run still
+	// leaves its measurements behind for diagnosis.
+	if err := simbench.WriteReport(path, rep); err != nil {
+		return err
+	}
+	if guard > 0 {
+		switch {
+		case base.CPUs != rep.CPUs:
+			// Different vCPU class: absolute throughput is not
+			// comparable, so the guard abstains rather than flaking.
+			fmt.Printf("simbench guard: skipped (baseline recorded on %d CPUs, this host has %d)\n",
+				base.CPUs, rep.CPUs)
+		case rep.GMeanSpeedup < guard:
+			return fmt.Errorf("simbench guard: gmean %.3fx vs %s is below the %.2fx floor",
+				rep.GMeanSpeedup, baselinePath, guard)
+		default:
+			fmt.Printf("simbench guard: ok (gmean %.2fx >= %.2fx floor)\n", rep.GMeanSpeedup, guard)
+		}
+	}
+	return nil
 }
 
 // serveBenchReport is the BENCH_batch.json schema: the scalar
@@ -557,6 +608,12 @@ type parBenchEntry struct {
 	ParallelS  float64 `json:"parallel_s"`
 	Speedup    float64 `json:"speedup"`
 	Identical  bool    `json:"output_identical"`
+	// ChunkHitRate and FFCoverage describe the parallel run: the
+	// fraction of trace chunks served from the shared memo cache
+	// (cross-configuration sweep reuse) and the fraction of simulated
+	// instructions retired through the steady-state fast-forward path.
+	ChunkHitRate float64 `json:"chunk_hit_rate"`
+	FFCoverage   float64 `json:"ff_coverage"`
 }
 
 // parBenchReport is the BENCH_parallel.json schema.
@@ -582,10 +639,16 @@ func runParBench(path, preset string, o harness.Options) error {
 		Workers: workers,
 	}
 	for _, id := range []string{"table8", "fig5"} {
+		// Each mode gets its own cold chunk cache so the serial and
+		// parallel timings see identical memoization behavior and the
+		// speedup stays an apples-to-apples engine comparison.
 		serial := o
 		serial.Workers = 1
+		serial.ChunkCache = trace.NewChunkCache(0)
 		parallel := o
 		parallel.Workers = workers
+		parallel.ChunkCache = trace.NewChunkCache(0)
+		parallel.SimCounters = &harness.SimCounters{}
 
 		fmt.Printf("timing %s serial...\n", id)
 		t0 := time.Now()
@@ -601,16 +664,18 @@ func runParBench(path, preset string, o harness.Options) error {
 		parallelS := time.Since(t0).Seconds()
 
 		e := parBenchEntry{
-			Experiment: id,
-			SerialS:    serialS,
-			ParallelS:  parallelS,
-			Identical:  textS == textP,
+			Experiment:   id,
+			SerialS:      serialS,
+			ParallelS:    parallelS,
+			Identical:    textS == textP,
+			ChunkHitRate: parallel.SimCounters.HitRate(),
+			FFCoverage:   parallel.SimCounters.FFCoverage(),
 		}
 		if parallelS > 0 {
 			e.Speedup = serialS / parallelS
 		}
-		fmt.Printf("%s: serial %.1fs, parallel %.1fs, speedup %.2fx, identical=%v\n",
-			id, e.SerialS, e.ParallelS, e.Speedup, e.Identical)
+		fmt.Printf("%s: serial %.1fs, parallel %.1fs, speedup %.2fx, identical=%v, chunk hit %.2f, ff %.2f\n",
+			id, e.SerialS, e.ParallelS, e.Speedup, e.Identical, e.ChunkHitRate, e.FFCoverage)
 		rep.Entries = append(rep.Entries, e)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -93,6 +93,7 @@ func run(args []string) {
 	workers := fs.Int("j", 0, "worker goroutines (0 = one per CPU)")
 	telemetry := fs.String("telemetry", "", "write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
 	telemetryEvery := fs.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
+	simFields := fs.Bool("sim-fields", false, "with -telemetry: add simulator-effectiveness fields (chunk_hit_rate, ff_coverage) to interval events")
 	_ = fs.Parse(args)
 
 	if *insts <= 0 {
@@ -139,7 +140,7 @@ func run(args []string) {
 		if collector != nil {
 			rec = collector.Slot(j.i, j.app.Name)
 		}
-		return runOne(ctx, j.app, *insts, *stepL2, *seed, *telemetryEvery, rec)
+		return runOne(ctx, j.app, *insts, *stepL2, *seed, *telemetryEvery, rec, *simFields)
 	})
 	failed := 0
 	for i, report := range reports {
@@ -170,7 +171,7 @@ func run(args []string) {
 // runOne simulates one app under the bandit prefetcher and returns its
 // report line. An interrupted run reports the instructions that did run,
 // flagged as partial.
-func runOne(ctx context.Context, app trace.App, insts int64, stepL2 int, seed uint64, every int, rec obs.Recorder) (string, error) {
+func runOne(ctx context.Context, app trace.App, insts int64, stepL2 int, seed uint64, every int, rec obs.Recorder, simFields bool) (string, error) {
 	hier := mem.NewHierarchy(mem.DefaultConfig())
 	c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
 	ens := prefetch.NewTable7Ensemble()
@@ -184,6 +185,7 @@ func runOne(ctx context.Context, app trace.App, insts int64, stepL2 int, seed ui
 	if rec != nil {
 		runner.Obs = rec
 		runner.ObsEvery = every
+		runner.ObsSimCounters = simFields
 	}
 	interrupted := runner.RunCtx(ctx, insts) != nil
 	if rec != nil {
@@ -270,18 +272,32 @@ func recordOne(ctx context.Context, app trace.App, path string, insts int64, see
 	if err != nil {
 		return "", err
 	}
-	g := app.New(seed)
+	// Generation goes through the chunked source — slab-sized batches,
+	// bit-identical to the scalar stream — with a short final chunk for
+	// budgets that are not a multiple of ChunkLen. The file format is
+	// unchanged: chunking is purely a producer-side batching.
+	src := trace.SourceOf(app.New(seed))
+	var chunk trace.Chunk
 	var inst trace.Inst
-	for i := int64(0); i < insts; i++ {
-		if i%65536 == 0 && ctx.Err() != nil {
+	for done := int64(0); done < insts; {
+		if ctx.Err() != nil {
 			f.Close()
 			os.Remove(path)
 			return "", ctx.Err()
 		}
-		g.Next(&inst)
-		if err := w.Write(&inst); err != nil {
-			return "", err
+		n := int64(trace.ChunkLen)
+		if rem := insts - done; rem < n {
+			n = rem
 		}
+		chunk.Reset(int(n))
+		src.NextChunk(&chunk)
+		for i := 0; i < chunk.Len(); i++ {
+			chunk.Get(i, &inst)
+			if err := w.Write(&inst); err != nil {
+				return "", err
+			}
+		}
+		done += n
 	}
 	if err := w.Flush(); err != nil {
 		return "", err
@@ -302,6 +318,7 @@ func replay(args []string) {
 	seed := fs.Uint64("seed", 1, "bandit seed")
 	telemetry := fs.String("telemetry", "", "write a JSONL telemetry event stream to this path (plus timeline.csv/regret.csv alongside)")
 	telemetryEvery := fs.Int("telemetry-every", 100, "telemetry snapshot/interval cadence in bandit steps")
+	simFields := fs.Bool("sim-fields", false, "with -telemetry: add simulator-effectiveness fields (chunk_hit_rate, ff_coverage) to interval events")
 	_ = fs.Parse(args)
 
 	if *in == "" {
@@ -369,6 +386,7 @@ func replay(args []string) {
 	if rec != nil {
 		runner.Obs = rec
 		runner.ObsEvery = *telemetryEvery
+		runner.ObsSimCounters = *simFields
 	}
 	ctx, stop := interruptCtx()
 	defer stop()

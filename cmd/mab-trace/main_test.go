@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microbandit/internal/trace"
+)
+
+// TestRecordRoundTripChunkBoundary records an instruction budget that
+// straddles a chunk boundary (one full slab plus a short tail) and
+// checks the file replays exactly the scalar generator stream — the
+// chunked record path must not change the .mbt format or the bytes in
+// it, including for budgets that are not a multiple of ChunkLen.
+func TestRecordRoundTripChunkBoundary(t *testing.T) {
+	const insts = trace.ChunkLen + 37
+	app, err := trace.ByName("lbm17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lbm17.mbt")
+	if _, err := recordOne(context.Background(), app, path, insts, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TraceName() != app.Name {
+		t.Fatalf("trace name = %q, want %q", r.TraceName(), app.Name)
+	}
+
+	// The recorded stream must match a fresh scalar generator bit for
+	// bit, across the ChunkLen boundary and through the short tail.
+	g := app.New(1)
+	var got, want trace.Inst
+	for i := 0; i < insts; i++ {
+		if err := r.Read(&got); err != nil {
+			t.Fatalf("inst %d: read: %v", i, err)
+		}
+		g.Next(&want)
+		if got != want {
+			t.Fatalf("inst %d: recorded %+v, scalar generator %+v", i, got, want)
+		}
+	}
+	if err := r.Read(&got); err == nil {
+		t.Fatalf("trace longer than the %d-instruction budget", insts)
+	}
+}
+
+// TestReplayLoopChunked pins the §6.2 loop-replay path: a Loop over the
+// recorded instructions serves chunks identical to its scalar stream
+// even when reads wrap past the end of the trace mid-chunk.
+func TestReplayLoopChunked(t *testing.T) {
+	const insts = trace.ChunkLen/2 + 11 // wraps several times per chunk
+	app, err := trace.ByName("mcf06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := app.New(7)
+	recorded := make([]trace.Inst, insts)
+	for i := range recorded {
+		g.Next(&recorded[i])
+	}
+
+	scalar := trace.NewLoop(app.Name, recorded)
+	chunked := trace.SourceOf(trace.NewLoop(app.Name, recorded))
+	var c trace.Chunk
+	var want trace.Inst
+	pos := 0
+	for read := 0; read < 3*trace.ChunkLen; read += c.Len() {
+		c.Reset(trace.ChunkLen)
+		chunked.NextChunk(&c)
+		for i := 0; i < c.Len(); i++ {
+			var got trace.Inst
+			c.Get(i, &got)
+			scalar.Next(&want)
+			if got != want {
+				t.Fatalf("inst %d (loop pos %d): chunked %+v, scalar %+v", read+i, pos, got, want)
+			}
+			pos = (pos + 1) % insts
+		}
+	}
+}

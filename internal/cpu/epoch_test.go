@@ -1,0 +1,183 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"microbandit/internal/core"
+	"microbandit/internal/fault"
+	"microbandit/internal/mem"
+	"microbandit/internal/prefetch"
+	"microbandit/internal/trace"
+)
+
+// epochStack is one fully wired simulation whose results the
+// differential tests compare across execution paths.
+type epochStack struct {
+	r *Runner
+	c *Core
+}
+
+// newEpochStack builds a bandit-controlled prefetching run over the
+// given generator, optionally with a contextual controller (which
+// exercises the phase-probe path).
+func newEpochStack(gen trace.Generator, seed uint64, contextual bool) epochStack {
+	hier := mem.NewHierarchy(mem.DefaultConfig())
+	c := New(DefaultConfig(), hier, gen)
+	ens := prefetch.NewTable7Ensemble()
+	var ctrl core.Controller
+	if contextual {
+		var err error
+		ctrl, err = core.NewContextualAgent(core.ContextualConfig{
+			Arms: ens.NumArms(), Algo: "ducb", Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+	} else {
+		ctrl = core.MustNew(core.Config{
+			Arms:      ens.NumArms(),
+			Policy:    core.NewDUCB(core.PrefetchC, core.PrefetchGamma),
+			Normalize: true,
+			Seed:      seed,
+		})
+	}
+	r := NewRunner(c, ens, ctrl, ens)
+	r.StepL2 = 200
+	r.RecordArms()
+	return epochStack{r: r, c: c}
+}
+
+// checkEpochEquivalence runs the same configuration through the chunked
+// and scalar paths and asserts every observable — IPC bits, cycles,
+// hierarchy counters, prefetch classification, and the arm-selection
+// trace — matches exactly.
+func checkEpochEquivalence(t *testing.T, name string, mk func() trace.Generator, contextual bool, insts int64) {
+	t.Helper()
+	chunked := newEpochStack(mk(), 7, contextual)
+	scalar := newEpochStack(mk(), 7, contextual)
+	scalar.c.scalar = true
+
+	// Split the run unevenly so chunk-boundary state (partial slabs) is
+	// exercised across RunInsts calls.
+	chunked.r.Run(insts/3 + 1)
+	chunked.r.Run(insts - insts/3 - 1)
+	scalar.r.Run(insts/3 + 1)
+	scalar.r.Run(insts - insts/3 - 1)
+
+	if a, b := chunked.c.Insts(), scalar.c.Insts(); a != b {
+		t.Fatalf("%s: insts %d != %d", name, a, b)
+	}
+	if a, b := chunked.c.Cycles(), scalar.c.Cycles(); a != b {
+		t.Fatalf("%s: cycles %d != %d", name, a, b)
+	}
+	if a, b := math.Float64bits(chunked.c.IPC()), math.Float64bits(scalar.c.IPC()); a != b {
+		t.Fatalf("%s: IPC bits %x != %x (%v vs %v)", name, a, b, chunked.c.IPC(), scalar.c.IPC())
+	}
+	if a, b := chunked.c.Hier().Stats(), scalar.c.Hier().Stats(); a != b {
+		t.Fatalf("%s: stats %+v != %+v", name, a, b)
+	}
+	if a, b := chunked.c.Hier().Classify(), scalar.c.Hier().Classify(); a != b {
+		t.Fatalf("%s: classification %+v != %+v", name, a, b)
+	}
+	if a, b := chunked.r.ArmTrace, scalar.r.ArmTrace; len(a) != len(b) {
+		t.Fatalf("%s: arm trace length %d != %d", name, len(a), len(b))
+	}
+	for i := range chunked.r.ArmTrace {
+		if chunked.r.ArmTrace[i] != scalar.r.ArmTrace[i] {
+			t.Fatalf("%s: arm trace[%d] %+v != %+v", name, i,
+				chunked.r.ArmTrace[i], scalar.r.ArmTrace[i])
+		}
+	}
+	if chunked.c.FFInsts() == 0 {
+		t.Fatalf("%s: chunked run reports zero fast-forwarded instructions", name)
+	}
+}
+
+// TestEpochEquivalence pins the epoch-batched path against the scalar
+// reference over representative catalog patterns, including the
+// phase-structured mcf17 with a contextual controller (phase probes) and
+// a storm-wrapped trace (fault hooks).
+func TestEpochEquivalence(t *testing.T) {
+	mkApp := func(name string) func() trace.Generator {
+		app, err := trace.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func() trace.Generator { return app.New(3) }
+	}
+	cases := []struct {
+		name       string
+		mk         func() trace.Generator
+		contextual bool
+	}{
+		{"stream", mkApp("lbm17"), false},
+		{"chase", mkApp("omnetpp17"), false},
+		{"server", mkApp("cassandra"), false},
+		{"phase-ctx", mkApp("mcf17"), true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			checkEpochEquivalence(t, tc.name, tc.mk, tc.contextual, 400_000)
+		})
+	}
+	t.Run("storm-ctx", func(t *testing.T) {
+		t.Parallel()
+		fs, err := fault.ParseSet("phasestorm:0.9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := func() trace.Generator {
+			app, err := trace.ByName("mcf17")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fault.Generator(app.New(3), fs, 3)
+		}
+		checkEpochEquivalence(t, "storm-ctx", mk, true, 400_000)
+	})
+}
+
+// TestEpochPartialRuns pins slab-state persistence: many tiny RunInsts
+// calls (the multi-core interleaving pattern) must land on the same
+// state as one large call.
+func TestEpochPartialRuns(t *testing.T) {
+	app, err := trace.ByName("ligra-bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := newEpochStack(app.New(5), 5, false)
+	many := newEpochStack(app.New(5), 5, false)
+	one.r.Run(200_000)
+	var done int64
+	for i := int64(1); done < 200_000; i++ {
+		n := i % 97
+		if done+n > 200_000 {
+			n = 200_000 - done
+		}
+		many.r.Run(n)
+		done += n
+	}
+	if a, b := one.c.IPC(), many.c.IPC(); math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("IPC %v != %v across split runs", a, b)
+	}
+	if a, b := one.c.Hier().Stats(), many.c.Hier().Stats(); a != b {
+		t.Fatalf("stats %+v != %+v across split runs", a, b)
+	}
+}
+
+// TestEpochRunZeroAlloc pins the epoch loop's steady state: after
+// warmup, simulating through the chunked path allocates nothing.
+func TestEpochRunZeroAlloc(t *testing.T) {
+	app, err := trace.ByName("lbm17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newEpochStack(app.New(1), 1, false)
+	s.r.Run(300_000) // warm: slab, Mem, prefetcher tables at high-water mark
+	allocs := testing.AllocsPerRun(5, func() { s.r.Run(20_000) })
+	if allocs != 0 {
+		t.Fatalf("epoch loop allocates %.1f per run, want 0", allocs)
+	}
+}

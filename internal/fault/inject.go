@@ -216,6 +216,7 @@ func (s *stuckApplier) Apply(arm int) {
 // state is wrong for.
 type stormGen struct {
 	inner  trace.Generator
+	src    trace.ChunkSource
 	rng    *xrand.Rand
 	period int64
 	n      int64
@@ -235,6 +236,7 @@ func Generator(inner trace.Generator, fs Set, runSeed uint64) trace.Generator {
 	}
 	return &stormGen{
 		inner:  inner,
+		src:    trace.SourceOf(inner),
 		rng:    xrand.New(mix(s.Seed, runSeed)),
 		period: period,
 	}
@@ -254,6 +256,29 @@ func (g *stormGen) Next(i *trace.Inst) {
 	}
 	if g.offset != 0 && (i.Kind == trace.KindLoad || i.Kind == trace.KindStore) {
 		i.Addr += g.offset
+	}
+}
+
+// NextChunk implements trace.ChunkSource: the inner source fills the
+// slab, then the storm relocation runs over it with per-instruction
+// period accounting identical to Next. stormGen deliberately does not
+// implement trace.PhaseAtter — a storm-wrapped trace reports phase 0,
+// exactly as the scalar wrapper hides the inner generator's Phase.
+func (g *stormGen) NextChunk(c *trace.Chunk) {
+	g.src.NextChunk(c)
+	n := c.Len()
+	memIdx := 0
+	for i := 0; i < n; i++ {
+		g.n++
+		if g.n%g.period == 0 {
+			g.offset = g.rng.Uint64() & 0x3fff_ffc0
+		}
+		if memIdx < len(c.Mem) && int(c.Mem[memIdx]) == i {
+			memIdx++
+			if g.offset != 0 {
+				c.Addr[i] += g.offset
+			}
+		}
 	}
 }
 

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"testing"
+
+	"microbandit/internal/trace"
+)
+
+// mkStorm builds a phasestorm-wrapped catalog generator for the
+// differential tests.
+func mkStorm(t *testing.T, intensity float64) trace.Generator {
+	t.Helper()
+	app, err := trace.ByName("mcf17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ParseSet("phasestorm:" + fmtFloat(intensity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Generator(app.New(11), fs, 11)
+}
+
+// fmtFloat renders an intensity the spec parser accepts.
+func fmtFloat(v float64) string {
+	if v >= 1 {
+		return "1.0"
+	}
+	return "0.9"
+}
+
+// TestStormChunkEquivalence pins the storm wrapper's chunked stream
+// against its scalar stream: the period accounting and offset updates
+// must land on exactly the same instructions. Intensity 0.9 gives a
+// 49k-instruction period, so several relocations fall mid-chunk.
+func TestStormChunkEquivalence(t *testing.T) {
+	const n = 150_000
+	want := trace.CollectN(mkStorm(t, 0.9), n)
+	for _, size := range []int{1, 7, trace.ChunkLen - 1, trace.ChunkLen} {
+		src := trace.SourceOf(mkStorm(t, 0.9))
+		var c trace.Chunk
+		got := make([]trace.Inst, 0, n)
+		for len(got) < n {
+			sz := size
+			if sz > n-len(got) {
+				sz = n - len(got)
+			}
+			c.Reset(sz)
+			src.NextChunk(&c)
+			var inst trace.Inst
+			for i := 0; i < sz; i++ {
+				c.Get(i, &inst)
+				got = append(got, inst)
+			}
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("chunk size %d diverges at %d:\nscalar  %+v\nchunked %+v",
+					size, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestStormHidesPhase pins the phase-hiding contract: a storm-wrapped
+// generator exposes neither Phase nor PhaseAt, so contextual agents see
+// phase 0 under storms — the scalar behavior the robustness sweep's
+// outputs are pinned to.
+func TestStormHidesPhase(t *testing.T) {
+	g := mkStorm(t, 0.9)
+	if _, ok := g.(interface{ Phase() int }); ok {
+		t.Fatal("storm wrapper leaks Phase()")
+	}
+	if _, ok := g.(trace.PhaseAtter); ok {
+		t.Fatal("storm wrapper leaks PhaseAt()")
+	}
+}

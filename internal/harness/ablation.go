@@ -108,7 +108,7 @@ func AblationRRRestart(o Options) AblationResult {
 			seed := o.subSeed("abl-rr", app.Name, fmt.Sprint(coreID),
 				fmt.Sprint(prob), fmt.Sprint(coordinated))
 			hier := mem.NewCoreHierarchy(memCfg, shared)
-			c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+			c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 			ens := prefetch.NewTable7Ensemble()
 			ctrl := core.MustNew(core.Config{
 				Arms:          ens.NumArms(),
@@ -269,7 +269,7 @@ func AblationArms(o Options) AblationResult {
 		set := sets[j.setIdx]
 		seed := o.subSeed("abl-arms", app.Name, set.name)
 		hier := mem.NewHierarchy(memCfg)
-		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 		ens := prefetch.NewEnsemble(set.arms)
 		ctrl := core.MustNew(core.Config{
 			Arms:      ens.NumArms(),
@@ -280,6 +280,7 @@ func AblationArms(o Options) AblationResult {
 		r := cpu.NewRunner(c, ens, ctrl, ens)
 		r.StepL2 = o.StepL2
 		o.simInsts(r)
+		o.noteSim(c)
 		return c.IPC()
 	})
 
@@ -317,7 +318,7 @@ func AblationTargetLevel(o Options) AblationResult {
 		extended := variants[j.varIdx]
 		seed := o.subSeed("abl-target", app.Name, fmt.Sprint(extended))
 		hier := mem.NewHierarchy(memCfg)
-		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 		var tun prefetch.Tunable
 		if extended {
 			tun = prefetch.NewExtendedEnsemble()
@@ -333,6 +334,7 @@ func AblationTargetLevel(o Options) AblationResult {
 		r := cpu.NewRunner(c, tun, ctrl, tun)
 		r.StepL2 = o.StepL2
 		o.simInsts(r)
+		o.noteSim(c)
 		return c.IPC()
 	})
 

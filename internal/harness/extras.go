@@ -67,10 +67,11 @@ func Extras(o Options) ExtrasResult {
 		// BOP: single learned offset, degree 1.
 		seed := o.subSeed("extras", app.Name)
 		hier := mem.NewHierarchy(memCfg)
-		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 		r := cpu.NewRunner(c, prefetch.NewBOP(), nil, nil)
 		r.StepL2 = o.StepL2
 		o.simInsts(r)
+		o.noteSim(c)
 		out.bop = c.IPC() / base
 
 		// Paper-default (flat) Bandit.

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"microbandit/internal/core"
 	"microbandit/internal/cpu"
@@ -77,6 +78,73 @@ type Options struct {
 	// jobs land in Errs as cancellations, and the experiment renders
 	// partial results. Nil means run to completion.
 	Ctx context.Context
+
+	// ChunkCache, when non-nil, is shared across the experiment's runs:
+	// trace-generator output is memoized at chunk granularity, so sweep
+	// points simulating the same (generator, seed) trace replay stored
+	// slabs instead of regenerating them. Replay is bit-identical and
+	// correctness never depends on residency, so every output is
+	// byte-identical with and without the cache.
+	ChunkCache *trace.ChunkCache
+
+	// SimCounters, when non-nil, accumulates simulator-effectiveness
+	// totals (instructions simulated, instructions fast-forwarded,
+	// chunk-cache hits/misses) across the experiment's prefetching runs;
+	// the CI bench matrix reports them per vCPU count.
+	SimCounters *SimCounters
+}
+
+// SimCounters aggregates simulator-effectiveness counters across an
+// experiment's runs. Safe for concurrent use: runs fan out across the
+// worker pool.
+type SimCounters struct {
+	Insts  atomic.Int64 // instructions simulated
+	FF     atomic.Int64 // instructions advanced by fast-forward spans
+	Hits   atomic.Int64 // chunk-cache hits
+	Misses atomic.Int64 // chunk-cache misses
+}
+
+// FFCoverage returns the fraction of simulated instructions advanced by
+// the steady-state fast-forward pass.
+func (s *SimCounters) FFCoverage() float64 {
+	if insts := s.Insts.Load(); insts > 0 {
+		return float64(s.FF.Load()) / float64(insts)
+	}
+	return 0
+}
+
+// HitRate returns the chunk-cache hit rate over the accumulated runs, or
+// 0 before any chunk traffic.
+func (s *SimCounters) HitRate() float64 {
+	h, m := s.Hits.Load(), s.Misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// gen wraps a freshly built trace generator in the shared chunk cache
+// when one is configured. seed must be the seed the generator was built
+// with: the cache key is the generator's name plus that seed —
+// everything a catalog stream is a function of.
+func (o Options) gen(g trace.Generator, seed uint64) trace.Generator {
+	if o.ChunkCache == nil {
+		return g
+	}
+	return o.ChunkCache.Source(fmt.Sprintf("%s:%x", g.Name(), seed), g)
+}
+
+// noteSim folds a finished run's simulator-effectiveness counters into
+// SimCounters, when configured.
+func (o Options) noteSim(c *cpu.Core) {
+	if o.SimCounters == nil {
+		return
+	}
+	o.SimCounters.Insts.Add(c.Insts())
+	o.SimCounters.FF.Add(c.FFInsts())
+	h, m := c.ChunkCacheStats()
+	o.SimCounters.Hits.Add(h)
+	o.SimCounters.Misses.Add(m)
 }
 
 // ctx resolves the engine context for simulation runners.
@@ -284,11 +352,12 @@ func pfSetup(kind PfKind, seed uint64) (l2 prefetch.Prefetcher, ctrl core.Contro
 func (o Options) runPrefetch(app trace.App, kind PfKind, memCfg mem.Config) PrefetchRun {
 	seed := o.subSeed("pf", app.Name, string(kind))
 	hier := mem.NewHierarchy(memCfg)
-	c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+	c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 	l2, ctrl, tun := pfSetup(kind, seed)
 	r := cpu.NewRunner(c, l2, ctrl, tun)
 	r.StepL2 = o.StepL2
 	o.simInsts(r)
+	o.noteSim(c)
 	return PrefetchRun{
 		App: app.Name, Suite: app.Suite, Kind: string(kind),
 		IPC: c.IPC(), Stats: hier.Stats(), Class: hier.Classify(),
@@ -300,11 +369,12 @@ func (o Options) runPrefetch(app trace.App, kind PfKind, memCfg mem.Config) Pref
 func (o Options) runPrefetchCtrl(app trace.App, name string, ctrl core.Controller, memCfg mem.Config) PrefetchRun {
 	seed := o.subSeed("pfctrl", app.Name, name)
 	hier := mem.NewHierarchy(memCfg)
-	c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+	c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 	ens := prefetch.NewTable7Ensemble()
 	r := cpu.NewRunner(c, ens, ctrl, ens)
 	r.StepL2 = o.StepL2
 	o.simInsts(r)
+	o.noteSim(c)
 	return PrefetchRun{
 		App: app.Name, Suite: app.Suite, Kind: name,
 		IPC: c.IPC(), Stats: hier.Stats(), Class: hier.Classify(),

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"testing"
+
+	"microbandit/internal/trace"
+)
+
+// TestChunkCacheInvariant pins the shared-cache contract: enabling the
+// chunk cache changes no output byte, a repeat run over the warm cache
+// replays chunks instead of regenerating them, and the effectiveness
+// counters report the activity. The cached runs use Workers=8 so the
+// cache is exercised concurrently (meaningful under -race).
+func TestChunkCacheInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const id = "fig8"
+	plain := smokeDeterminism()
+	textPlain, csvPlain, ok := RunWithCSV(id, plain)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+
+	cached := smokeDeterminism()
+	cached.Workers = 8
+	cached.ChunkCache = trace.NewChunkCache(0)
+	cached.SimCounters = &SimCounters{}
+	textCold, csvCold, _ := RunWithCSV(id, cached)
+	if textCold != textPlain || csvCold != csvPlain {
+		t.Fatalf("%s: cold cached run differs from uncached run\n--- plain ---\n%s\n--- cached ---\n%s",
+			id, textPlain, textCold)
+	}
+	if cached.SimCounters.Insts.Load() == 0 {
+		t.Fatal("SimCounters recorded no instructions")
+	}
+	if cov := cached.SimCounters.FFCoverage(); cov <= 0 || cov >= 1 {
+		t.Fatalf("fast-forward coverage = %v, want in (0, 1)", cov)
+	}
+
+	textWarm, csvWarm, _ := RunWithCSV(id, cached)
+	if textWarm != textPlain || csvWarm != csvPlain {
+		t.Fatalf("%s: warm cached run differs from uncached run\n--- plain ---\n%s\n--- warm ---\n%s",
+			id, textPlain, textWarm)
+	}
+	hits, _ := cached.ChunkCache.Stats()
+	if hits == 0 {
+		t.Fatal("warm repeat run produced no chunk-cache hits")
+	}
+	if hr := cached.SimCounters.HitRate(); hr <= 0 {
+		t.Fatalf("SimCounters hit rate = %v, want > 0", hr)
+	}
+}

@@ -41,10 +41,11 @@ func Fig2(o Options) Fig2Result {
 	rows := runJobs(o, apps, func(app trace.App) out {
 		seed := o.subSeed("fig2", app.Name)
 		hier := mem.NewHierarchy(mem.DefaultConfig())
-		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 		py := prefetch.NewPythia(seed)
 		r := cpu.NewRunner(c, py, nil, nil)
 		o.simInsts(r)
+		o.noteSim(c)
 
 		counts := py.ActionCounts()
 		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
@@ -468,7 +469,7 @@ func Fig12(o Options) Fig12Result {
 		cb := combos[j.comboIdx]
 		seed := o.subSeed("fig12", app.Name, cb.name)
 		hier := mem.NewHierarchy(memCfg)
-		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 
 		var l2 prefetch.Prefetcher
 		var ctrl core.Controller
@@ -482,6 +483,7 @@ func Fig12(o Options) Fig12Result {
 		r.L1Pf = cb.l1(seed)
 		r.StepL2 = o.StepL2
 		o.simInsts(r)
+		o.noteSim(c)
 		return c.IPC()
 	})
 
@@ -549,7 +551,7 @@ func Fig14(o Options) Fig14Result {
 			app := w.apps[coreID]
 			seed := o.subSeed("fig14", w.name, app.Name, string(kind), fmt.Sprint(coreID))
 			hier := mem.NewCoreHierarchy(memCfg, shared)
-			c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+			c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 			var (
 				l2   prefetch.Prefetcher
 				ctrl core.Controller
@@ -707,12 +709,13 @@ func Fig7Prefetch(o Options) []Fig7Panel {
 		}
 		seed := o.subSeed("fig7", app.Name, name)
 		hier := mem.NewHierarchy(memCfg)
-		c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+		c := cpu.New(cpu.DefaultConfig(), hier, o.gen(app.New(seed), seed))
 		ens := prefetch.NewTable7Ensemble()
 		r := cpu.NewRunner(c, ens, ctrl, ens)
 		r.StepL2 = o.StepL2
 		r.RecordArms()
 		o.simInsts(r)
+		o.noteSim(c)
 		panel := Fig7Panel{Algo: name, App: app.Name, IPC: c.IPC()}
 		panel.Arms = make([]ArmPoint, 0, len(r.ArmTrace))
 		for _, s := range r.ArmTrace {

@@ -163,7 +163,7 @@ func (o Options) runPrefetchFaulted(app trace.App, algo string, fs fault.Set, me
 	if bf := fault.Bandwidth(fs, seed); bf != nil {
 		hier.DRAM().SetBandwidthFault(bf)
 	}
-	gen := fault.Generator(app.New(seed), fs, seed)
+	gen := fault.Generator(o.gen(app.New(seed), seed), fs, seed)
 	c := cpu.New(cpu.DefaultConfig(), hier, gen)
 	ens := prefetch.NewTable7Ensemble()
 	inner := robustController(algo, seed, ens.NumArms())
@@ -187,6 +187,7 @@ func (o Options) runPrefetchFaulted(app trace.App, algo string, fs fault.Set, me
 		r.ObsEvery = every
 	}
 	o.simInsts(r)
+	o.noteSim(c)
 	ipc := c.IPC()
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: r.Steps(),

@@ -222,7 +222,7 @@ func (o Options) runScenarioCell(sc scenario.Scenario, app trace.App, col scenar
 	if bf := fault.Bandwidth(fs, seed); bf != nil {
 		hier.DRAM().SetBandwidthFault(bf)
 	}
-	gen := fault.Generator(app.New(seed), fs, seed)
+	gen := fault.Generator(o.gen(app.New(seed), seed), fs, seed)
 	c := cpu.New(cpu.DefaultConfig(), hier, gen)
 	inst := sc.Wire(c, hier, seed)
 
@@ -256,6 +256,7 @@ func (o Options) runScenarioCell(sc scenario.Scenario, app trace.App, col scenar
 		r.ObsEvery = every
 	}
 	o.simInsts(r)
+	o.noteSim(c)
 	ipc := c.IPC()
 	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.KindRunEnd, Step: r.Steps(),

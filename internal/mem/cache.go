@@ -221,6 +221,22 @@ func (c *Cache) touch(set, base, w int) {
 func (c *Cache) Lookup(lineAddr uint64, isWrite bool) bool {
 	set := int(lineAddr & c.mask)
 	base := set * c.ways
+	// MRU-first: repeated accesses to one line (sequential words of a
+	// streaming access pattern) hit the tail way, where touch is a no-op.
+	// A line occupies at most one way, so probing the tail first cannot
+	// change the outcome.
+	if w := base + int(c.tail[set]); c.tags[w] == lineAddr {
+		m := &c.meta[w]
+		if isWrite {
+			m.dirty = true
+		}
+		if m.prefetched && !m.used {
+			m.used = true
+			c.stats.PrefUseful++
+		}
+		c.stats.Hits++
+		return true
+	}
 	w := c.find(base, lineAddr)
 	if w < 0 {
 		c.stats.Misses++

@@ -31,7 +31,17 @@ type fillQueue struct {
 	slab []fill
 	free []int32 // recycled slab indices
 	heap []int32 // heap-ordered slab indices
+
+	// nextReady caches the root's ready time (noFillReady when empty) so
+	// the hierarchy's per-access drain guard is a single comparison with
+	// no dependent loads through the heap.
+	nextReady int64
 }
+
+// noFillReady is nextReady's empty-queue sentinel. The zero value of
+// fillQueue starts at 0, which is fine: a 0 guard fails open into the
+// drain loop, which then finds the queue empty and fixes nextReady up.
+const noFillReady = int64(^uint64(0) >> 1)
 
 // len returns the number of pending fills.
 func (q *fillQueue) len() int { return len(q.heap) }
@@ -53,6 +63,7 @@ func (q *fillQueue) push(f fill) {
 	q.slab[idx] = f
 	q.heap = append(q.heap, idx)
 	q.up(len(q.heap) - 1)
+	q.nextReady = q.slab[q.heap[0]].ready
 }
 
 // pop dequeues and returns the earliest fill, releasing its slab slot.
@@ -64,6 +75,11 @@ func (q *fillQueue) pop() fill {
 	q.heap = q.heap[:n]
 	f := q.slab[idx]
 	q.free = append(q.free, idx)
+	if n > 0 {
+		q.nextReady = q.slab[q.heap[0]].ready
+	} else {
+		q.nextReady = noFillReady
+	}
 	return f
 }
 

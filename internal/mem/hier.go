@@ -175,11 +175,25 @@ func (h *Hierarchy) LLC() *Cache { return h.shared.LLC }
 func (h *Hierarchy) DRAM() *DRAM { return h.shared.DRAM }
 
 // Drain applies all pending fills whose ready time is at or before cycle.
-// The core model calls it as simulated time advances.
+// The core model calls it as simulated time advances. The guard inlines
+// into every Access/Prefetch call site, so the common no-fill-ready case
+// costs one comparison.
 func (h *Hierarchy) Drain(cycle int64) {
+	if h.pending.nextReady > cycle {
+		return
+	}
+	h.drainReady(cycle)
+}
+
+// drainReady is Drain's slow path: at least one fill is (or may be,
+// right after construction) ready.
+func (h *Hierarchy) drainReady(cycle int64) {
 	for h.pending.len() > 0 && h.pending.topReady() <= cycle {
 		f := h.pending.pop()
 		h.applyFill(&f)
+	}
+	if h.pending.len() == 0 {
+		h.pending.nextReady = noFillReady
 	}
 }
 

@@ -70,34 +70,46 @@ type Result struct {
 	Insts       int64   `json:"insts"`
 	Seconds     float64 `json:"seconds"`
 	InstsPerSec float64 `json:"insts_per_sec"`
+	// InstsPerSecMemo is the same measurement over a warm chunk cache —
+	// the throughput a sweep's second and later runs over the same trace
+	// see. Run asserts its IPC matches the cold column bit for bit.
+	InstsPerSecMemo float64 `json:"insts_per_sec_memo,omitempty"`
 	// IPC is the run's simulated instructions per cycle — the
 	// determinism anchor (see the package comment).
 	IPC float64 `json:"ipc"`
+	// ChunkHitRate is the warm run's chunk-cache hit rate (1.0 when the
+	// whole trace is resident).
+	ChunkHitRate float64 `json:"chunk_hit_rate,omitempty"`
+	// FFCoverage is the fraction of measured instructions advanced by the
+	// steady-state fast-forward pass (memory-free span arithmetic).
+	FFCoverage float64 `json:"ff_coverage,omitempty"`
 
-	// BaselineInstsPerSec and Speedup are filled by Merge when a
-	// baseline report is supplied.
+	// BaselineInstsPerSec and the speedup columns are filled by Merge
+	// when a baseline report is supplied.
 	BaselineInstsPerSec float64 `json:"baseline_insts_per_sec,omitempty"`
 	Speedup             float64 `json:"speedup,omitempty"`
+	SpeedupMemo         float64 `json:"speedup_memo,omitempty"`
 }
 
 // Report is the BENCH_sim.json schema.
 type Report struct {
-	GOOS         string   `json:"goos"`
-	GOARCH       string   `json:"goarch"`
-	CPUs         int      `json:"cpus"`
-	InstsPerRun  int64    `json:"insts_per_run"`
-	Seed         uint64   `json:"seed"`
-	Workloads    []Result `json:"workloads"`
-	GMeanSpeedup float64  `json:"gmean_speedup,omitempty"`
+	GOOS             string   `json:"goos"`
+	GOARCH           string   `json:"goarch"`
+	CPUs             int      `json:"cpus"`
+	InstsPerRun      int64    `json:"insts_per_run"`
+	Seed             uint64   `json:"seed"`
+	Workloads        []Result `json:"workloads"`
+	GMeanSpeedup     float64  `json:"gmean_speedup,omitempty"`
+	GMeanSpeedupMemo float64  `json:"gmean_speedup_memo,omitempty"`
 }
 
 // newRunner builds the measured configuration: the paper's
 // bandit-controlled Table 7 ensemble (DUCB, Table 6 hyperparameters)
 // over the default Table 4 hierarchy — the configuration every
 // prefetching experiment runs most of its jobs under.
-func newRunner(app trace.App, seed uint64) *cpu.Runner {
+func newRunner(gen trace.Generator, seed uint64) *cpu.Runner {
 	hier := mem.NewHierarchy(mem.DefaultConfig())
-	c := cpu.New(cpu.DefaultConfig(), hier, app.New(seed))
+	c := cpu.New(cpu.DefaultConfig(), hier, gen)
 	ens := prefetch.NewTable7Ensemble()
 	ctrl := core.MustNew(core.Config{
 		Arms:      ens.NumArms(),
@@ -132,9 +144,12 @@ func Run(insts int64, seed uint64) Report {
 		if err != nil {
 			panic(fmt.Sprintf("simbench: workload %q: %v", w.Name, err))
 		}
-		r := newRunner(app, seed)
+		// Cold column: live trace generation (a sweep's first run over a
+		// trace).
+		r := newRunner(app.New(seed), seed)
 		r.Run(warmup)
 		startInsts := r.Core.Insts()
+		startFF := r.Core.FFInsts()
 		t0 := time.Now()
 		r.Run(insts)
 		secs := time.Since(t0).Seconds()
@@ -146,12 +161,51 @@ func Run(insts int64, seed uint64) Report {
 			Seconds: secs,
 			IPC:     r.Core.IPC(),
 		}
+		if ran > 0 {
+			res.FFCoverage = float64(r.Core.FFInsts()-startFF) / float64(ran)
+		}
 		if secs > 0 {
 			res.InstsPerSec = float64(ran) / secs
+		}
+
+		// Warm column: the same run over a pre-populated chunk cache (a
+		// sweep's second and later runs, which replay slabs instead of
+		// regenerating). The cache is populated untimed, then the
+		// simulation is re-run from scratch against it.
+		key := fmt.Sprintf("%s:%d", w.App, seed)
+		cc := trace.NewChunkCache(0)
+		populate(cc.Source(key, app.New(seed)), warmup+insts+trace.ChunkLen)
+		rm := newRunner(cc.Source(key, app.New(seed)), seed)
+		rm.Run(warmup)
+		startInsts = rm.Core.Insts()
+		t0 = time.Now()
+		rm.Run(insts)
+		memoSecs := time.Since(t0).Seconds()
+		memoRan := rm.Core.Insts() - startInsts
+		if memoSecs > 0 {
+			res.InstsPerSecMemo = float64(memoRan) / memoSecs
+		}
+		if hits, misses := rm.Core.ChunkCacheStats(); hits+misses > 0 {
+			res.ChunkHitRate = float64(hits) / float64(hits+misses)
+		}
+		if math.Float64bits(rm.Core.IPC()) != math.Float64bits(res.IPC) {
+			panic(fmt.Sprintf("simbench: %s memoized IPC %v != live IPC %v — determinism violation",
+				w.Name, rm.Core.IPC(), res.IPC))
 		}
 		rep.Workloads = append(rep.Workloads, res)
 	}
 	return rep
+}
+
+// populate pulls n instructions through a cache-backed source so the
+// measured run replays resident chunks.
+func populate(gen trace.Generator, n int64) {
+	src := trace.SourceOf(gen)
+	var c trace.Chunk
+	for done := int64(0); done < n; done += trace.ChunkLen {
+		c.Reset(trace.ChunkLen)
+		src.NextChunk(&c)
+	}
 }
 
 // Merge fills each result's baseline throughput and speedup from a
@@ -163,6 +217,7 @@ func Merge(cur Report, baseline Report) Report {
 		base[r.Name] = r
 	}
 	logSum, n := 0.0, 0
+	logSumMemo, nMemo := 0.0, 0
 	for i := range cur.Workloads {
 		r := &cur.Workloads[i]
 		b, ok := base[r.Name]
@@ -173,9 +228,17 @@ func Merge(cur Report, baseline Report) Report {
 		r.Speedup = r.InstsPerSec / b.InstsPerSec
 		logSum += math.Log(r.Speedup)
 		n++
+		if r.InstsPerSecMemo > 0 {
+			r.SpeedupMemo = r.InstsPerSecMemo / b.InstsPerSec
+			logSumMemo += math.Log(r.SpeedupMemo)
+			nMemo++
+		}
 	}
 	if n > 0 {
 		cur.GMeanSpeedup = math.Exp(logSum / float64(n))
+	}
+	if nMemo > 0 {
+		cur.GMeanSpeedupMemo = math.Exp(logSumMemo / float64(nMemo))
 	}
 	return cur
 }

@@ -38,6 +38,11 @@ type gen struct {
 	mem        memFunc
 	fillerLeft int
 	fillerIdx  int
+
+	// scratch is the decode target handed to mem during chunk fills;
+	// keeping it in the struct stops the pointer escaping through the
+	// memFunc call (one heap allocation per memory op otherwise).
+	scratch Inst
 }
 
 // newGen builds a generator around the given memory pattern.
@@ -275,6 +280,7 @@ func MixPattern(weights []float64, parts ...memFunc) memFunc {
 type PhaseGen struct {
 	name     string
 	parts    []Generator
+	fillers  []chunkFiller
 	phaseLen int
 	pos      int
 	cur      int
@@ -289,7 +295,11 @@ func NewPhaseGen(name string, phaseLen int, parts ...Generator) *PhaseGen {
 	if phaseLen < 1 {
 		panic("trace: PhaseGen needs a positive phase length")
 	}
-	return &PhaseGen{name: name, parts: parts, phaseLen: phaseLen}
+	fillers := make([]chunkFiller, len(parts))
+	for i, p := range parts {
+		fillers[i] = fillerOf(p)
+	}
+	return &PhaseGen{name: name, parts: parts, fillers: fillers, phaseLen: phaseLen}
 }
 
 // Name implements Generator.
@@ -307,3 +317,11 @@ func (p *PhaseGen) Next(i *Inst) {
 
 // Phase returns the index of the currently active sub-generator.
 func (p *PhaseGen) Phase() int { return p.cur }
+
+// PhaseAt implements PhaseAtter: the phase governing instruction n, as a
+// pure function of the stream position. Under chunked execution the
+// mutable phase state (Phase) runs up to a chunk ahead of the
+// simulation, so phase probes use this instead.
+func (p *PhaseGen) PhaseAt(n int64) int {
+	return int((n / int64(p.phaseLen)) % int64(len(p.parts)))
+}
